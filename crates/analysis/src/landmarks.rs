@@ -1,0 +1,226 @@
+//! Landmark-based distance estimation — complex-graph analysis when the
+//! O(n²) matrix does not fit.
+//!
+//! The paper's future work targets "much larger graphs, which cannot be
+//! handled on a commodity single machine" (§7). The standard
+//! analysis-side answer is landmarks: pick k ≪ n vertices, compute only
+//! their exact rows (O(k·n) memory, via
+//! [`parapsp_core::subset::par_apsp_subset`]), and bound any pairwise
+//! distance by triangulation:
+//!
+//! * upper bound: `min over landmarks l of d(u, l) + d(l, v)`,
+//! * lower bound: `max over l of |d(l, u) − d(l, v)|` (undirected only).
+//!
+//! Picking landmarks by **descending degree** is the same scale-free
+//! intuition as the paper's ordering optimization: hubs sit on many
+//! shortest paths, so hub landmarks make tight estimators.
+
+use parapsp_core::subset::{par_apsp_subset, SubsetRows};
+use parapsp_graph::{degree, CsrGraph, INF};
+use parapsp_order::seq_bucket::seq_bucket_sort;
+
+/// How landmark vertices are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandmarkStrategy {
+    /// The k highest-degree vertices (the hubs — best for scale-free
+    /// graphs, same reasoning as the paper's §2.2).
+    HighestDegree,
+    /// Deterministic spread: every ⌈n/k⌉-th vertex by id (a degree-blind
+    /// baseline to compare against).
+    Stride,
+}
+
+/// A landmark index over an **undirected** graph: exact rows for k chosen
+/// landmarks plus estimation helpers.
+#[derive(Debug)]
+pub struct LandmarkIndex {
+    rows: SubsetRows,
+}
+
+impl LandmarkIndex {
+    /// Builds the index: chooses `k` landmarks by `strategy` and computes
+    /// their exact SSSP rows with the subset APSP engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on directed graphs (triangulation needs symmetric
+    /// distances) and when `k` is 0 or exceeds the vertex count.
+    pub fn build(
+        graph: &CsrGraph,
+        k: usize,
+        strategy: LandmarkStrategy,
+        threads: usize,
+    ) -> LandmarkIndex {
+        assert!(
+            !graph.direction().is_directed(),
+            "landmark triangulation requires an undirected graph"
+        );
+        let n = graph.vertex_count();
+        assert!(k > 0 && k <= n, "need 1 <= k <= n landmarks (k = {k}, n = {n})");
+        let landmarks: Vec<u32> = match strategy {
+            LandmarkStrategy::HighestDegree => {
+                let degrees = degree::out_degrees(graph);
+                seq_bucket_sort(&degrees).into_iter().take(k).collect()
+            }
+            LandmarkStrategy::Stride => {
+                let stride = n.div_ceil(k);
+                (0..n as u32).step_by(stride).take(k).collect()
+            }
+        };
+        LandmarkIndex {
+            rows: par_apsp_subset(graph, &landmarks, threads),
+        }
+    }
+
+    /// The chosen landmark vertices.
+    pub fn landmarks(&self) -> &[u32] {
+        self.rows.sources()
+    }
+
+    /// Upper bound on `d(u, v)`: the best two-hop route through a
+    /// landmark. [`INF`] when no landmark reaches both.
+    pub fn upper_bound(&self, u: u32, v: u32) -> u32 {
+        if u == v {
+            return 0;
+        }
+        let mut best = INF;
+        for i in 0..self.landmarks().len() {
+            let row = self.rows.row(i);
+            let via = row[u as usize].saturating_add(row[v as usize]);
+            best = best.min(via);
+        }
+        best
+    }
+
+    /// Lower bound on `d(u, v)` from the reverse triangle inequality.
+    pub fn lower_bound(&self, u: u32, v: u32) -> u32 {
+        if u == v {
+            return 0;
+        }
+        let mut best = 0u32;
+        for i in 0..self.landmarks().len() {
+            let row = self.rows.row(i);
+            let (du, dv) = (row[u as usize], row[v as usize]);
+            if du != INF && dv != INF {
+                best = best.max(du.abs_diff(dv));
+            }
+        }
+        best
+    }
+
+    /// Point estimate: the upper bound (exact whenever some shortest
+    /// `u–v` path passes through a landmark — always true when `u` or `v`
+    /// *is* a landmark).
+    pub fn estimate(&self, u: u32, v: u32) -> u32 {
+        self.upper_bound(u, v)
+    }
+
+    /// Mean relative overestimate of `estimate` against an exact row
+    /// oracle, over all finite pairs reachable from `sample_sources`.
+    /// Used by tests and the example to report estimator quality.
+    pub fn mean_relative_error(
+        &self,
+        graph: &CsrGraph,
+        sample_sources: &[u32],
+        threads: usize,
+    ) -> f64 {
+        let exact = par_apsp_subset(graph, sample_sources, threads);
+        let mut total_err = 0.0f64;
+        let mut count = 0usize;
+        for (i, &s) in sample_sources.iter().enumerate() {
+            let row = exact.row(i);
+            for (v, &d) in row.iter().enumerate() {
+                if v as u32 == s || d == INF {
+                    continue;
+                }
+                let est = self.estimate(s, v as u32);
+                debug_assert!(est >= d, "upper bound below exact distance");
+                total_err += (est - d) as f64 / d as f64;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total_err / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapsp_core::baselines::apsp_dijkstra;
+    use parapsp_graph::generate::{barabasi_albert, star_graph, WeightSpec};
+
+    #[test]
+    fn bounds_bracket_the_exact_distance() {
+        let g = barabasi_albert(300, 3, WeightSpec::Unit, 71).unwrap();
+        let exact = apsp_dijkstra(&g);
+        let index = LandmarkIndex::build(&g, 12, LandmarkStrategy::HighestDegree, 3);
+        assert_eq!(index.landmarks().len(), 12);
+        for u in (0..300u32).step_by(29) {
+            for v in (0..300u32).step_by(31) {
+                let d = exact.get(u, v);
+                let lo = index.lower_bound(u, v);
+                let hi = index.upper_bound(u, v);
+                assert!(lo <= d, "lower bound {lo} above exact {d} ({u}, {v})");
+                assert!(hi >= d, "upper bound {hi} below exact {d} ({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_pairs_are_exact() {
+        let g = barabasi_albert(200, 3, WeightSpec::Unit, 72).unwrap();
+        let exact = apsp_dijkstra(&g);
+        let index = LandmarkIndex::build(&g, 8, LandmarkStrategy::HighestDegree, 2);
+        for &l in index.landmarks() {
+            for v in 0..200u32 {
+                assert_eq!(index.estimate(l, v), exact.get(l, v));
+            }
+        }
+    }
+
+    #[test]
+    fn star_hub_landmark_is_perfect() {
+        let g = star_graph(50);
+        let index = LandmarkIndex::build(&g, 1, LandmarkStrategy::HighestDegree, 2);
+        assert_eq!(index.landmarks(), &[0]); // the hub
+        let exact = apsp_dijkstra(&g);
+        for u in 0..50u32 {
+            for v in 0..50u32 {
+                assert_eq!(index.estimate(u, v), exact.get(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn hub_landmarks_beat_stride_landmarks_on_scale_free_graphs() {
+        let g = barabasi_albert(500, 3, WeightSpec::Unit, 73).unwrap();
+        let samples: Vec<u32> = (0..500).step_by(37).collect();
+        let hubs = LandmarkIndex::build(&g, 10, LandmarkStrategy::HighestDegree, 3);
+        let stride = LandmarkIndex::build(&g, 10, LandmarkStrategy::Stride, 3);
+        let hub_err = hubs.mean_relative_error(&g, &samples, 3);
+        let stride_err = stride.mean_relative_error(&g, &samples, 3);
+        assert!(
+            hub_err <= stride_err,
+            "hub landmarks ({hub_err:.3}) should not lose to stride ({stride_err:.3})"
+        );
+        assert!(hub_err < 0.35, "hub estimator error too high: {hub_err:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn directed_graph_rejected() {
+        let g = parapsp_graph::generate::cycle_graph(5, parapsp_graph::Direction::Directed);
+        let _ = LandmarkIndex::build(&g, 2, LandmarkStrategy::HighestDegree, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn zero_landmarks_rejected() {
+        let g = star_graph(5);
+        let _ = LandmarkIndex::build(&g, 0, LandmarkStrategy::HighestDegree, 1);
+    }
+}

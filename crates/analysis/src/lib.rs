@@ -1,0 +1,28 @@
+//! Complex-graph analysis on APSP results.
+//!
+//! The paper's motivation (§1) is that APSP is the substrate for studying
+//! the characteristics of large complex networks. This crate provides those
+//! downstream analyses — the quantities a network scientist computes *from*
+//! the distance matrix — plus the degree-distribution report of Fig. 3:
+//!
+//! * [`centrality`] — closeness (two normalizations) and harmonic
+//!   centrality, with top-k helpers;
+//! * [`paths`] — eccentricity, diameter, radius, average path length and
+//!   the full distance distribution;
+//! * [`components`] — connected / strongly-reachable structure derived
+//!   from the matrix, plus a direct union-find implementation for graphs.
+
+#![warn(missing_docs)]
+
+pub mod betweenness;
+pub mod centrality;
+pub mod components;
+pub mod landmarks;
+pub mod paths;
+pub mod structure;
+
+pub use betweenness::{
+    average_clustering, betweenness_centrality, clustering_coefficients, degree_assortativity,
+};
+pub use centrality::{closeness_centrality, harmonic_centrality, top_k, Normalization};
+pub use paths::{distance_distribution, eccentricities, PathStats};

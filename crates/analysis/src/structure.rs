@@ -1,0 +1,148 @@
+//! Mesoscale structure metrics: average-neighbor-degree spectrum and the
+//! rich-club coefficient.
+//!
+//! Both quantify *how* the hubs of a complex network sit in its topology —
+//! the structural facts behind the paper's claim that "the connectivity of
+//! the network is dominated by those high-degree vertices" (§2.2).
+
+use std::collections::HashSet;
+
+use parapsp_graph::{degree, CsrGraph};
+
+/// Average degree of each vertex's neighbors (`k_nn` per vertex). Isolated
+/// vertices score 0.
+pub fn average_neighbor_degree(graph: &CsrGraph) -> Vec<f64> {
+    let degrees = degree::out_degrees(graph);
+    (0..graph.vertex_count() as u32)
+        .map(|v| {
+            let neighbors = graph.neighbors(v);
+            if neighbors.is_empty() {
+                return 0.0;
+            }
+            neighbors
+                .iter()
+                .map(|&u| degrees[u as usize] as f64)
+                .sum::<f64>()
+                / neighbors.len() as f64
+        })
+        .collect()
+}
+
+/// `k_nn(k)` spectrum: mean [`average_neighbor_degree`] over vertices of
+/// degree `k`, as `(k, knn)` pairs for the degrees present. A decreasing
+/// spectrum = disassortative (hubs attach to leaves), the typical shape of
+/// the paper's social/information networks.
+pub fn knn_spectrum(graph: &CsrGraph) -> Vec<(u32, f64)> {
+    let degrees = degree::out_degrees(graph);
+    let knn = average_neighbor_degree(graph);
+    let max = degrees.iter().copied().max().unwrap_or(0) as usize;
+    let mut sums = vec![0.0f64; max + 1];
+    let mut counts = vec![0usize; max + 1];
+    for (v, &d) in degrees.iter().enumerate() {
+        sums[d as usize] += knn[v];
+        counts[d as usize] += 1;
+    }
+    (0..=max)
+        .filter(|&d| counts[d] > 0 && d > 0)
+        .map(|d| (d as u32, sums[d] / counts[d] as f64))
+        .collect()
+}
+
+/// Rich-club coefficient φ(k): the edge density among vertices of degree
+/// `> k`. φ(k) near 1 means the hubs form a near-clique — the regime where
+/// early hub rows are maximally reusable.
+///
+/// Returns `None` when fewer than 2 vertices exceed degree `k`.
+pub fn rich_club_coefficient(graph: &CsrGraph, k: u32) -> Option<f64> {
+    let degrees = degree::out_degrees(graph);
+    let club: HashSet<u32> = (0..graph.vertex_count() as u32)
+        .filter(|&v| degrees[v as usize] > k)
+        .collect();
+    let size = club.len();
+    if size < 2 {
+        return None;
+    }
+    // Count arcs inside the club once per logical edge.
+    let mut internal = 0usize;
+    for (u, v, _) in graph.logical_edges() {
+        if u != v && club.contains(&u) && club.contains(&v) {
+            internal += 1;
+        }
+    }
+    let possible = size * (size - 1) / 2;
+    let possible = if graph.direction().is_directed() {
+        possible * 2
+    } else {
+        possible
+    };
+    Some(internal as f64 / possible as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapsp_graph::generate::{barabasi_albert, complete_graph, star_graph, WeightSpec};
+    use parapsp_graph::{CsrGraph, Direction};
+
+    #[test]
+    fn neighbor_degree_on_star() {
+        let g = star_graph(6);
+        let knn = average_neighbor_degree(&g);
+        assert_eq!(knn[0], 1.0); // hub's neighbors are leaves
+        for leaf_knn in &knn[1..6] {
+            assert_eq!(*leaf_knn, 5.0); // each leaf sees only the hub
+        }
+    }
+
+    #[test]
+    fn spectrum_is_disassortative_on_star() {
+        let g = star_graph(10);
+        let spectrum = knn_spectrum(&g);
+        // Degrees present: 1 (leaves, knn 9) and 9 (hub, knn 1).
+        assert_eq!(spectrum, vec![(1, 9.0), (9, 1.0)]);
+    }
+
+    #[test]
+    fn ba_spectrum_trends_downward() {
+        let g = barabasi_albert(3000, 3, WeightSpec::Unit, 5).unwrap();
+        let spectrum = knn_spectrum(&g);
+        let low: f64 = spectrum.iter().take(3).map(|&(_, v)| v).sum::<f64>() / 3.0;
+        let high: f64 = spectrum.iter().rev().take(3).map(|&(_, v)| v).sum::<f64>() / 3.0;
+        assert!(
+            high < low,
+            "hubs should see lower-degree neighbors: low-deg knn {low:.1}, high-deg knn {high:.1}"
+        );
+    }
+
+    #[test]
+    fn rich_club_of_complete_graph_is_one() {
+        let g = complete_graph(8);
+        // All degrees are 7; club of degree > 3 is everyone, density 1.
+        assert_eq!(rich_club_coefficient(&g, 3), Some(1.0));
+        // Nobody exceeds degree 7.
+        assert_eq!(rich_club_coefficient(&g, 7), None);
+    }
+
+    #[test]
+    fn rich_club_counts_internal_edges_only() {
+        // Two hubs (degree 3) joined to each other and two leaves each...
+        // club(k=2) = {0, 1}, one internal edge, density 1.
+        let g = CsrGraph::from_unit_edges(
+            6,
+            Direction::Undirected,
+            &[(0, 1), (0, 2), (0, 3), (1, 4), (1, 5)],
+        )
+        .unwrap();
+        assert_eq!(rich_club_coefficient(&g, 2), Some(1.0));
+        // club(k=0) = everyone: 5 edges of 15 possible.
+        assert_eq!(rich_club_coefficient(&g, 0), Some(5.0 / 15.0));
+    }
+
+    #[test]
+    fn empty_and_isolated_inputs() {
+        let g = CsrGraph::from_unit_edges(4, Direction::Undirected, &[]).unwrap();
+        assert!(average_neighbor_degree(&g).iter().all(|&x| x == 0.0));
+        assert!(knn_spectrum(&g).is_empty());
+        assert_eq!(rich_club_coefficient(&g, 0), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the kernel's row reuse (Peng's dynamic-programming step) and the SPFA
+//!   dedup guard,
+//! * the explicit-schedule thread pool vs rayon's work stealing for the
+//!   embarrassingly parallel heap-Dijkstra APSP (rayon cannot express the
+//!   ordered dynamic-cyclic loop, so the comparison uses the unordered
+//!   baseline both runtimes can run),
+//! * MultiLists as a general sort vs `sort_unstable_by_key`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parapsp_core::baselines;
+use parapsp_core::kernel::KernelOptions;
+use parapsp_core::ParApsp;
+use parapsp_datasets::{find, Scale};
+use parapsp_graph::{degree, INF};
+use parapsp_order::sort::{sort_indices, SortDirection};
+use parapsp_parfor::ThreadPool;
+
+fn bench_kernel_switches(c: &mut Criterion) {
+    let graph = find("WordNet")
+        .unwrap()
+        .generate(Scale::Vertices(1200))
+        .unwrap();
+    let mut group = c.benchmark_group("ablation/kernel");
+    group.sample_size(10);
+    for (label, options) in [
+        ("row-reuse+dedup", KernelOptions::default()),
+        (
+            "row-reuse-only",
+            KernelOptions {
+                row_reuse: true,
+                dedup_queue: false,
+                max_distance: None,
+            },
+        ),
+        (
+            "dedup-only",
+            KernelOptions {
+                row_reuse: false,
+                dedup_queue: true,
+                max_distance: None,
+            },
+        ),
+        (
+            "plain-spfa",
+            KernelOptions {
+                row_reuse: false,
+                dedup_queue: false,
+                max_distance: None,
+            },
+        ),
+    ] {
+        group.bench_function(BenchmarkId::new(label, "4t"), |b| {
+            let driver = ParApsp::par_apsp(4).with_kernel_options(options);
+            b.iter(|| black_box(driver.run(black_box(&graph))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parfor_vs_rayon(c: &mut Criterion) {
+    let graph = find("Flickr")
+        .unwrap()
+        .generate(Scale::Vertices(900))
+        .unwrap();
+    let n = graph.vertex_count();
+    let mut group = c.benchmark_group("ablation/runtime");
+    group.sample_size(10);
+
+    group.bench_function("parfor-dijkstra-4t", |b| {
+        let pool = ThreadPool::new(4);
+        b.iter(|| black_box(baselines::par_apsp_dijkstra(black_box(&graph), &pool)));
+    });
+
+    let rayon_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("rayon pool");
+    group.bench_function("rayon-dijkstra-4t", |b| {
+        b.iter(|| {
+            rayon_pool.install(|| {
+                use rayon::prelude::*;
+                let rows: Vec<Vec<u32>> = (0..n as u32)
+                    .into_par_iter()
+                    .map(|s| {
+                        let mut row = vec![INF; n];
+                        baselines::dijkstra_sssp(&graph, s, &mut row);
+                        row
+                    })
+                    .collect();
+                black_box(rows)
+            })
+        });
+    });
+    group.finish();
+}
+
+fn bench_multilists_vs_std_sort(c: &mut Criterion) {
+    let graph = find("WordNet")
+        .unwrap()
+        .generate(Scale::Fraction(0.05))
+        .unwrap();
+    let keys = degree::out_degrees(&graph);
+    let mut group = c.benchmark_group("ablation/sort");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let pool = ThreadPool::new(threads);
+        group.bench_function(BenchmarkId::new("multi-lists", format!("{threads}t")), |b| {
+            b.iter(|| black_box(sort_indices(black_box(&keys), SortDirection::Descending, &pool)))
+        });
+    }
+    for threads in [1usize, 4] {
+        let pool = ThreadPool::new(threads);
+        group.bench_function(BenchmarkId::new("radix", format!("{threads}t")), |b| {
+            b.iter(|| {
+                black_box(parapsp_order::radix::par_radix_sort_indices(
+                    black_box(&keys),
+                    parapsp_order::radix::SortDirection::Descending,
+                    &pool,
+                ))
+            })
+        });
+    }
+    group.bench_function("std-sort-by-key", |b| {
+        b.iter(|| {
+            let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
+            idx.sort_by_key(|&v| std::cmp::Reverse(keys[v as usize]));
+            black_box(idx)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_switches,
+    bench_parfor_vs_rayon,
+    bench_multilists_vs_std_sort
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the headline algorithm comparison — regenerates the
+//! shape of **Figure 7** (ParAlg1 vs ParAlg2, Flickr) and **Figure 8**
+//! (ParAlg1 vs ParAlg2 vs ParAPSP, WordNet).
+//!
+//! Expected shape: ParAlg2 beats ParAlg1 by 2–4× (degree ordering);
+//! ParAPSP matches or beats ParAlg2 (same order, O(n) ordering step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parapsp_core::ParApsp;
+use parapsp_datasets::{find, Scale};
+
+fn bench_algorithms(c: &mut Criterion) {
+    for (dataset, scale) in [("Flickr", 0.008), ("WordNet", 0.01)] {
+        let graph = find(dataset)
+            .unwrap()
+            .generate(Scale::Fraction(scale))
+            .unwrap();
+        let mut group = c.benchmark_group(format!("apsp/{}", dataset.to_lowercase()));
+        group.sample_size(10);
+        for (label, make) in [
+            ("ParAlg1", ParApsp::par_alg1 as fn(usize) -> ParApsp),
+            ("ParAlg2", ParApsp::par_alg2),
+            ("ParAPSP", ParApsp::par_apsp),
+        ] {
+            for threads in [1usize, 4] {
+                group.bench_function(BenchmarkId::new(label, format!("{threads}t")), |b| {
+                    let driver = make(threads);
+                    b.iter(|| black_box(driver.run(black_box(&graph))));
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

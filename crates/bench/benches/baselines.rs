@@ -1,0 +1,53 @@
+//! Criterion bench of the classic baselines against the Peng-family
+//! algorithms — regenerates the paper's background comparisons (§2):
+//! Floyd–Warshall O(n³) vs per-source heap Dijkstra vs Peng's basic and
+//! optimized algorithms (the "2 to 4 times faster" claim of §2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use parapsp_core::baselines;
+use parapsp_core::seq::{seq_adaptive, seq_basic, seq_optimized};
+use parapsp_datasets::{find, Scale};
+
+fn bench_baselines(c: &mut Criterion) {
+    let graph = find("WordNet")
+        .unwrap()
+        .generate(Scale::Vertices(700))
+        .unwrap();
+
+    let mut group = c.benchmark_group("baselines/wordnet-700");
+    group.sample_size(10);
+    group.bench_function("floyd-warshall", |b| {
+        b.iter(|| black_box(baselines::floyd_warshall(black_box(&graph))))
+    });
+    group.bench_function("blocked-floyd-warshall-4t", |b| {
+        let pool = parapsp_parfor::ThreadPool::new(4);
+        b.iter(|| {
+            black_box(parapsp_core::blocked_fw::blocked_floyd_warshall(
+                black_box(&graph),
+                64,
+                &pool,
+            ))
+        })
+    });
+    group.bench_function("apsp-dijkstra-heap", |b| {
+        b.iter(|| black_box(baselines::apsp_dijkstra(black_box(&graph))))
+    });
+    group.bench_function("apsp-bfs", |b| {
+        b.iter(|| black_box(baselines::apsp_bfs(black_box(&graph))))
+    });
+    group.bench_function("peng-basic", |b| {
+        b.iter(|| black_box(seq_basic(black_box(&graph))))
+    });
+    group.bench_function("peng-optimized", |b| {
+        b.iter(|| black_box(seq_optimized(black_box(&graph), 1.0)))
+    });
+    group.bench_function("peng-adaptive", |b| {
+        b.iter(|| black_box(seq_adaptive(black_box(&graph), 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench across all Table 2 replicas — regenerates the shape of
+//! **Figure 10**: ParAPSP elapsed time (and, via the thread axis, speedup)
+//! on every evaluation dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parapsp_core::ParApsp;
+use parapsp_datasets::{paper_datasets, Scale};
+
+fn bench_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datasets/parapsp");
+    group.sample_size(10);
+    for spec in paper_datasets() {
+        let graph = spec.generate(Scale::Vertices(1000)).unwrap();
+        for threads in [1usize, 4] {
+            group.bench_function(BenchmarkId::new(spec.name, format!("{threads}t")), |b| {
+                let driver = ParApsp::par_apsp(threads);
+                b.iter(|| black_box(driver.run(black_box(&graph))));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datasets);
+criterion_main!(benches);

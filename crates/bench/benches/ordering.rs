@@ -1,0 +1,55 @@
+//! Criterion bench for the ordering procedures — regenerates the shape of
+//! **Table 1** (selection vs ParBuckets), **Figure 4** (ParBuckets vs
+//! ParMax) and **Figure 6** (ParMax vs MultiLists) on the WordNet replica.
+//!
+//! Expected shape: selection is O(n²) and orders of magnitude slower than
+//! every bucket procedure; among the O(n) procedures, lock traffic
+//! (ParBuckets > ParMax > MultiLists) dominates at higher thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parapsp_datasets::{find, Scale};
+use parapsp_graph::degree;
+use parapsp_order::OrderingProcedure;
+use parapsp_parfor::ThreadPool;
+
+fn bench_ordering(c: &mut Criterion) {
+    let graph = find("WordNet")
+        .unwrap()
+        .generate(Scale::Fraction(0.05))
+        .unwrap();
+    let degrees = degree::out_degrees(&graph);
+
+    let mut group = c.benchmark_group("ordering/wordnet");
+    group.sample_size(10);
+    for procedure in [
+        OrderingProcedure::selection(),
+        OrderingProcedure::SeqBucket,
+        OrderingProcedure::par_buckets(),
+        OrderingProcedure::par_max(),
+        OrderingProcedure::multi_lists(),
+    ] {
+        for threads in [1usize, 2, 4] {
+            // Sequential procedures only make sense at one thread.
+            if !matches!(
+                procedure,
+                OrderingProcedure::ParBuckets { .. }
+                    | OrderingProcedure::ParMax { .. }
+                    | OrderingProcedure::MultiLists { .. }
+            ) && threads != 1
+            {
+                continue;
+            }
+            let pool = ThreadPool::new(threads);
+            group.bench_function(
+                BenchmarkId::new(procedure.label(), format!("{threads}t")),
+                |b| b.iter(|| black_box(procedure.compute(black_box(&degrees), &pool))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for the loop-schedule study — regenerates the shape of
+//! **Figure 1**: ParAlg2's elapsed time under block, static-cyclic and
+//! dynamic-cyclic scheduling on the ca-HepPh replica.
+//!
+//! Expected shape: the cyclic schemes beat block partitioning because they
+//! preserve (dynamic) or approximate (static) the degree-descending issue
+//! order the optimization depends on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use parapsp_core::ParApsp;
+use parapsp_datasets::{ca_hepph, Scale};
+use parapsp_parfor::Schedule;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let graph = ca_hepph().generate(Scale::Fraction(0.06)).unwrap();
+
+    let mut group = c.benchmark_group("scheduling/ca-hepph");
+    group.sample_size(10);
+    for schedule in [
+        Schedule::Block,
+        Schedule::StaticCyclic,
+        Schedule::dynamic_cyclic(),
+    ] {
+        for threads in [1usize, 2, 4] {
+            group.bench_function(
+                BenchmarkId::new(schedule.label(), format!("{threads}t")),
+                |b| {
+                    let driver = ParApsp::par_alg2(threads).with_schedule(schedule);
+                    b.iter(|| black_box(driver.run(black_box(&graph))));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench isolating the *Dijkstra part* — regenerates the shape
+//! of **Figure 5**: SSSP-phase elapsed time under the orders produced by
+//! the exact selection sort (ParAlg2), the approximate ParBuckets, and the
+//! exact ParMax procedure.
+//!
+//! Expected shape: the approximate ParBuckets order makes the SSSP sweep
+//! slower (hub rows arrive later); exact orders are equivalent.
+//!
+//! Uses `iter_custom` so only the SSSP phase (reported by the driver's
+//! phase timer) is accumulated, not the ordering step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use parapsp_core::ParApsp;
+use parapsp_datasets::{find, Scale};
+use parapsp_order::OrderingProcedure;
+
+fn bench_sssp_phase(c: &mut Criterion) {
+    let graph = find("WordNet")
+        .unwrap()
+        .generate(Scale::Fraction(0.01))
+        .unwrap();
+
+    let mut group = c.benchmark_group("sssp-phase/wordnet");
+    group.sample_size(10);
+    for (label, ordering) in [
+        ("selection", OrderingProcedure::selection()),
+        ("par-buckets", OrderingProcedure::par_buckets()),
+        ("par-max", OrderingProcedure::par_max()),
+    ] {
+        for threads in [1usize, 4] {
+            group.bench_function(BenchmarkId::new(label, format!("{threads}t")), |b| {
+                let driver = ParApsp::par_apsp(threads).with_ordering(ordering);
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let out = driver.run(&graph);
+                        total += out.timings.sssp;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp_phase);
+criterion_main!(benches);

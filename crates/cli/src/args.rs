@@ -1,0 +1,134 @@
+//! Tiny dependency-free argument parser for the `parapsp` binary.
+
+use std::collections::HashMap;
+
+/// Parsed invocation: a subcommand, positional arguments, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The first positional token (`apsp`, `stats`, …).
+    pub command: String,
+    /// Remaining positional tokens.
+    pub positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Options that take a value; everything else starting with `--` is a flag.
+const VALUED: &[&str] = &[
+    "--threads",
+    "--algorithm",
+    "--format",
+    "--top",
+    "--model",
+    "--n",
+    "--m",
+    "--p",
+    "--seed",
+    "--out",
+    "--nodes",
+    "--hub-fraction",
+    "--weights",
+    "--cap",
+    "--partition",
+];
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                if VALUED.contains(&token.as_str()) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("option {token} needs a value"))?;
+                    args.options.insert(name.to_string(), value);
+                } else {
+                    args.flags.push(name.to_string());
+                }
+            } else if args.command.is_empty() {
+                args.command = token;
+            } else {
+                args.positional.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A parsed `--name` value or a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{name} value `{raw}` is invalid")),
+        }
+    }
+
+    /// Whether `--name` was passed as a bare flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The n-th positional argument after the command.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positional.get(index).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn command_positionals_options_and_flags() {
+        let args = parse(&[
+            "apsp",
+            "graph.txt",
+            "--threads",
+            "8",
+            "--directed",
+            "--algorithm",
+            "par-alg2",
+        ]);
+        assert_eq!(args.command, "apsp");
+        assert_eq!(args.positional(0), Some("graph.txt"));
+        assert_eq!(args.get("threads"), Some("8"));
+        assert_eq!(args.get("algorithm"), Some("par-alg2"));
+        assert!(args.flag("directed"));
+        assert!(!args.flag("undirected"));
+    }
+
+    #[test]
+    fn parsed_values_and_defaults() {
+        let args = parse(&["stats", "--threads", "4"]);
+        assert_eq!(args.get_parsed("threads", 1usize).unwrap(), 4);
+        assert_eq!(args.get_parsed("top", 10usize).unwrap(), 10);
+        assert!(args.get_parsed::<usize>("threads", 1).is_ok());
+    }
+
+    #[test]
+    fn invalid_value_reports_option_name() {
+        let args = parse(&["stats", "--threads", "lots"]);
+        let err = args.get_parsed::<usize>("threads", 1).unwrap_err();
+        assert!(err.contains("threads"));
+        assert!(err.contains("lots"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Args::parse(["x".to_string(), "--threads".to_string()]).unwrap_err();
+        assert!(err.contains("--threads"));
+    }
+}

@@ -1,0 +1,539 @@
+//! The `parapsp` subcommand implementations.
+
+use parapsp_analysis::{
+    average_clustering, betweenness_centrality, closeness_centrality, degree_assortativity,
+    harmonic_centrality, top_k, Normalization,
+};
+use parapsp_analysis::components::weakly_connected_components;
+use parapsp_analysis::paths::{distance_distribution, path_stats};
+use parapsp_core::adaptive::{par_adaptive, AdaptiveConfig};
+use parapsp_core::baselines;
+use parapsp_core::paths::par_apsp_with_paths;
+use parapsp_core::seq::{seq_basic, seq_optimized};
+use parapsp_core::{DistanceMatrix, ParApsp};
+use parapsp_dist::{dist_apsp, ClusterConfig};
+use parapsp_graph::io::{read_edge_list_file, LoadedGraph, ParseOptions};
+use parapsp_graph::{degree, transform, CsrGraph, Direction};
+use parapsp_parfor::ThreadPool;
+
+use crate::args::Args;
+
+/// Help text shared with `main`.
+pub const USAGE: &str = "\
+parapsp — parallel all-pairs shortest paths for complex graph analysis
+
+usage: parapsp <command> [options]
+
+commands:
+  stats <file>               degree / component / clustering summary
+  apsp <file>                run an APSP algorithm, report timings
+  analyze <file>             APSP + centralities + path statistics
+  path <file> <src> <dst>    print one shortest route
+  estimate <file> <s> <d>    landmark distance bounds (O(k·n) memory)
+  generate                   write a synthetic graph to --out
+  help                       this text
+
+common options:
+  --directed | --undirected  edge interpretation (default: undirected)
+  --format <snap|konect>     comment style (default: snap)
+  --threads <N>              worker threads (default: 4)
+
+apsp options:
+  --algorithm <name>         par-apsp | par-alg1 | par-alg2 | par-adaptive |
+                             seq-basic | seq-optimized | floyd-warshall |
+                             dijkstra | dist
+  --nodes <P>                simulated cluster size for `dist`
+  --hub-fraction <F>         hub broadcast fraction for `dist`
+  --partition <name>         dist source partition: cyclic-degree |
+                             block-degree | cyclic-id
+  --cap <D>                  bounded horizon: leave pairs beyond distance D
+                             at infinity (par-* algorithms only)
+  --out <file>               save the distance matrix (.tsv/.txt = text,
+                             anything else = compact binary)
+
+generate options:
+  --model <ba|er|ws> --n <N> --m <M> [--p <P>] [--seed <S>] --out <file>
+";
+
+fn parse_options(args: &Args) -> Result<ParseOptions, String> {
+    let direction = if args.flag("directed") {
+        Direction::Directed
+    } else {
+        Direction::Undirected
+    };
+    match args.get("format").unwrap_or("snap") {
+        "snap" => Ok(ParseOptions::snap(direction)),
+        "konect" => Ok(ParseOptions::konect(direction)),
+        other => Err(format!("unknown format `{other}` (snap or konect)")),
+    }
+}
+
+fn load(args: &Args) -> Result<LoadedGraph, String> {
+    let path = args
+        .positional(0)
+        .ok_or_else(|| "expected a graph file argument".to_string())?;
+    read_edge_list_file(path, parse_options(args)?).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn check_matrix_budget(n: usize) -> Result<(), String> {
+    let bytes = (n as u64) * (n as u64) * 4;
+    if bytes > 8 << 30 {
+        return Err(format!(
+            "a {n}-vertex APSP needs a {:.1} GiB distance matrix; \
+             extract a component first (this is the paper's own memory wall)",
+            bytes as f64 / (1u64 << 30) as f64
+        ));
+    }
+    Ok(())
+}
+
+/// `parapsp stats <file>` — structural summary, no O(n²) allocation.
+pub fn stats(args: &Args) -> Result<(), String> {
+    let loaded = load(args)?;
+    let g = &loaded.graph;
+    println!(
+        "{}: {} vertices, {} edges ({})",
+        args.positional(0).unwrap_or("-"),
+        g.vertex_count(),
+        g.edge_count(),
+        if g.direction().is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        }
+    );
+    let degrees = degree::out_degrees(g);
+    if let Some(s) = degree::degree_stats(&degrees) {
+        println!(
+            "degree: min {} / median {} / mean {:.2} / max {}",
+            s.min, s.median, s.mean, s.max
+        );
+    }
+    let (_, components) = weakly_connected_components(g);
+    println!("weakly connected components: {components}");
+    let (lcc, _) = transform::largest_connected_component(g);
+    println!(
+        "largest component: {} vertices ({:.1}%)",
+        lcc.vertex_count(),
+        lcc.vertex_count() as f64 / g.vertex_count().max(1) as f64 * 100.0
+    );
+    if !g.direction().is_directed() {
+        println!("average clustering: {:.4}", average_clustering(g));
+    }
+    println!("degree assortativity: {:+.4}", degree_assortativity(g));
+    println!("\ndegree distribution (log-binned):");
+    for (bin, count) in degree::log_binned_histogram(&degrees) {
+        println!("  >= {bin:<6} {count}");
+    }
+    Ok(())
+}
+
+fn run_algorithm(
+    name: &str,
+    graph: &CsrGraph,
+    threads: usize,
+    args: &Args,
+) -> Result<(DistanceMatrix, String), String> {
+    // Optional bounded horizon (exact within the cap, INF beyond it).
+    let cap: Option<u32> = match args.get("cap") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--cap value `{raw}` is invalid"))?,
+        ),
+    };
+    let with_cap = |driver: ParApsp| match cap {
+        Some(c) => driver.with_max_distance(c),
+        None => driver,
+    };
+    let out = match name {
+        "par-apsp" => with_cap(ParApsp::par_apsp(threads)).run(graph),
+        "par-alg1" => with_cap(ParApsp::par_alg1(threads)).run(graph),
+        "par-alg2" => with_cap(ParApsp::par_alg2(threads)).run(graph),
+        "par-adaptive" => par_adaptive(graph, threads, AdaptiveConfig::default()),
+        "seq-basic" => seq_basic(graph),
+        "seq-optimized" => seq_optimized(graph, 1.0),
+        "floyd-warshall" => {
+            let start = std::time::Instant::now();
+            let dist = baselines::floyd_warshall(graph);
+            return Ok((dist, format!("floyd-warshall: {:?}", start.elapsed())));
+        }
+        "dijkstra" => {
+            let pool = ThreadPool::new(threads);
+            let start = std::time::Instant::now();
+            let dist = baselines::par_apsp_dijkstra(graph, &pool);
+            return Ok((dist, format!("parallel heap-dijkstra: {:?}", start.elapsed())));
+        }
+        "dist" => {
+            use parapsp_dist::SourcePartition;
+            let nodes = args.get_parsed("nodes", 4usize)?;
+            let hub_fraction = args.get_parsed("hub-fraction", 0.05f64)?;
+            let partition = match args.get("partition").unwrap_or("cyclic-degree") {
+                "cyclic-degree" => SourcePartition::CyclicByDegree,
+                "block-degree" => SourcePartition::BlockByDegree,
+                "cyclic-id" => SourcePartition::CyclicById,
+                other => {
+                    return Err(format!(
+                        "unknown partition `{other}` (cyclic-degree, block-degree, cyclic-id)"
+                    ))
+                }
+            };
+            let out = dist_apsp(
+                graph,
+                ClusterConfig {
+                    nodes,
+                    hub_fraction,
+                    partition,
+                },
+            );
+            let summary = format!(
+                "distributed ({} nodes): {:?}; broadcast {} KiB, gather {} KiB, remote reuses {}",
+                nodes,
+                out.elapsed,
+                out.total_broadcast_bytes() / 1024,
+                out.gather_bytes / 1024,
+                out.node_stats.iter().map(|s| s.remote_reuses).sum::<u64>()
+            );
+            return Ok((out.dist, summary));
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let summary = format!(
+        "{} ({} threads): ordering {:?}, sssp {:?}, total {:?}; {} relaxations, {} row reuses",
+        out.algorithm,
+        out.threads,
+        out.timings.ordering,
+        out.timings.sssp,
+        out.timings.total,
+        out.counters.relaxations,
+        out.counters.row_reuses
+    );
+    Ok((out.dist, summary))
+}
+
+/// `parapsp apsp <file>` — run one algorithm and report.
+pub fn apsp(args: &Args) -> Result<(), String> {
+    let loaded = load(args)?;
+    check_matrix_budget(loaded.graph.vertex_count())?;
+    let threads = args.get_parsed("threads", 4usize)?;
+    let algorithm = args.get("algorithm").unwrap_or("par-apsp");
+    let (dist, summary) = run_algorithm(algorithm, &loaded.graph, threads, args)?;
+    println!("{summary}");
+    let stats = path_stats(&dist);
+    println!(
+        "diameter {} / radius {} / avg path {:.3} / connectivity {:.1}%",
+        stats.diameter,
+        stats.radius,
+        stats.average_path_length,
+        stats.connectivity() * 100.0
+    );
+    if let Some(out_path) = args.get("out") {
+        use parapsp_core::persist;
+        if out_path.ends_with(".tsv") || out_path.ends_with(".txt") {
+            let file =
+                std::fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+            persist::write_tsv(&dist, file).map_err(|e| e.to_string())?;
+        } else {
+            persist::save_binary(&dist, out_path).map_err(|e| e.to_string())?;
+        }
+        println!("distance matrix written to {out_path}");
+    }
+    Ok(())
+}
+
+/// `parapsp analyze <file>` — APSP plus the full analysis report.
+pub fn analyze(args: &Args) -> Result<(), String> {
+    let loaded = load(args)?;
+    let g = &loaded.graph;
+    check_matrix_budget(g.vertex_count())?;
+    let threads = args.get_parsed("threads", 4usize)?;
+    let top = args.get_parsed("top", 5usize)?;
+
+    let out = ParApsp::par_apsp(threads).run(g);
+    println!("ParAPSP: {:?} on {} threads\n", out.timings.total, out.threads);
+
+    let stats = path_stats(&out.dist);
+    println!(
+        "diameter {} / radius {} / avg path {:.3} / connectivity {:.1}%",
+        stats.diameter,
+        stats.radius,
+        stats.average_path_length,
+        stats.connectivity() * 100.0
+    );
+    println!("\ndistance distribution:");
+    for (d, count) in distance_distribution(&out.dist).iter().enumerate().skip(1) {
+        if *count > 0 {
+            println!("  {d}: {count}");
+        }
+    }
+
+    let degrees = degree::out_degrees(g);
+    let closeness = closeness_centrality(&out.dist, Normalization::WassermanFaust);
+    let harmonic = harmonic_centrality(&out.dist);
+    let original = |v: u32| loaded.original_ids[v as usize];
+    println!("\ntop {top} by closeness:");
+    for v in top_k(&closeness, top) {
+        println!(
+            "  vertex {} (file id {}): {:.4}  degree {}",
+            v,
+            original(v),
+            closeness[v as usize],
+            degrees[v as usize]
+        );
+    }
+    println!("top {top} by harmonic centrality:");
+    for v in top_k(&harmonic, top) {
+        println!(
+            "  vertex {} (file id {}): {:.4}  degree {}",
+            v,
+            original(v),
+            harmonic[v as usize],
+            degrees[v as usize]
+        );
+    }
+    if !g.direction().is_directed() && g.is_unit_weight() {
+        let pool = ThreadPool::new(threads);
+        let betweenness = betweenness_centrality(g, &pool);
+        println!("top {top} by betweenness:");
+        for v in top_k(&betweenness, top) {
+            println!(
+                "  vertex {} (file id {}): {:.1}  degree {}",
+                v,
+                original(v),
+                betweenness[v as usize],
+                degrees[v as usize]
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `parapsp path <file> <src> <dst>` — one reconstructed route.
+pub fn path(args: &Args) -> Result<(), String> {
+    let loaded = load(args)?;
+    check_matrix_budget(loaded.graph.vertex_count())?;
+    let threads = args.get_parsed("threads", 4usize)?;
+    let parse_vertex = |index: usize, what: &str| -> Result<u32, String> {
+        let raw = args
+            .positional(index)
+            .ok_or_else(|| format!("expected a {what} vertex id"))?;
+        let original: u64 = raw
+            .parse()
+            .map_err(|_| format!("{what} id `{raw}` is not an integer"))?;
+        loaded
+            .dense_id(original)
+            .ok_or_else(|| format!("{what} id {original} not present in the file"))
+    };
+    let src = parse_vertex(1, "source")?;
+    let dst = parse_vertex(2, "destination")?;
+
+    let result = par_apsp_with_paths(&loaded.graph, threads);
+    match result.pred.path(src, dst) {
+        Some(route) => {
+            println!(
+                "distance {} over {} hops:",
+                result.dist.get(src, dst),
+                route.len() - 1
+            );
+            let labels: Vec<String> = route
+                .iter()
+                .map(|&v| loaded.original_ids[v as usize].to_string())
+                .collect();
+            println!("  {}", labels.join(" -> "));
+        }
+        None => println!("no path"),
+    }
+    Ok(())
+}
+
+/// `parapsp estimate <file> <src> <dst> [--k 16]` — landmark-based distance
+/// bounds without the O(n²) matrix (for graphs where `apsp` won't fit).
+pub fn estimate(args: &Args) -> Result<(), String> {
+    use parapsp_analysis::landmarks::{LandmarkIndex, LandmarkStrategy};
+    let loaded = load(args)?;
+    if loaded.graph.direction().is_directed() {
+        return Err("estimate requires an undirected graph (triangulation)".into());
+    }
+    let threads = args.get_parsed("threads", 4usize)?;
+    let k = args
+        .get_parsed("top", 16usize)? // reuse --top as the landmark count
+        .min(loaded.graph.vertex_count());
+    let parse_vertex = |index: usize, what: &str| -> Result<u32, String> {
+        let raw = args
+            .positional(index)
+            .ok_or_else(|| format!("expected a {what} vertex id"))?;
+        let original: u64 = raw
+            .parse()
+            .map_err(|_| format!("{what} id `{raw}` is not an integer"))?;
+        loaded
+            .dense_id(original)
+            .ok_or_else(|| format!("{what} id {original} not present in the file"))
+    };
+    let src = parse_vertex(1, "source")?;
+    let dst = parse_vertex(2, "destination")?;
+    let index = LandmarkIndex::build(&loaded.graph, k.max(1), LandmarkStrategy::HighestDegree, threads);
+    let lo = index.lower_bound(src, dst);
+    let hi = index.upper_bound(src, dst);
+    if hi == parapsp_graph::INF {
+        println!("no landmark reaches both endpoints (likely disconnected)");
+    } else {
+        println!("d({}, {}) ∈ [{lo}, {hi}]  ({} hub landmarks, O(k·n) memory)",
+            args.positional(1).unwrap_or("?"),
+            args.positional(2).unwrap_or("?"),
+            index.landmarks().len()
+        );
+    }
+    Ok(())
+}
+
+/// `parapsp generate --model ba --n 1000 --m 4 --out g.txt`.
+pub fn generate(args: &Args) -> Result<(), String> {
+    use parapsp_graph::generate as gen;
+    let n = args.get_parsed("n", 1_000usize)?;
+    let m = args.get_parsed("m", 4usize)?;
+    let p = args.get_parsed("p", 0.1f64)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let out_path = args
+        .get("out")
+        .ok_or_else(|| "generate needs --out <file>".to_string())?;
+    let graph = match args.get("model").unwrap_or("ba") {
+        "ba" => gen::barabasi_albert(n, m, gen::WeightSpec::Unit, seed),
+        "er" => gen::erdos_renyi_gnp(n, p, Direction::Undirected, gen::WeightSpec::Unit, seed),
+        "ws" => gen::watts_strogatz(n, m.max(2) & !1, p, gen::WeightSpec::Unit, seed),
+        other => return Err(format!("unknown model `{other}` (ba, er, ws)")),
+    }
+    .map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+    parapsp_graph::io::write_edge_list(&graph, std::io::BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} vertices / {} edges to {out_path}",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn sample_file() -> String {
+        let dir = std::env::temp_dir().join("parapsp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.txt");
+        std::fs::write(&path, "# demo\n1 2\n2 3\n3 1\n3 4\n4 5\n").unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn stats_and_apsp_run_on_sample() {
+        let file = sample_file();
+        stats(&args(&["stats", &file])).unwrap();
+        for algorithm in [
+            "par-apsp",
+            "par-alg1",
+            "par-alg2",
+            "par-adaptive",
+            "seq-basic",
+            "seq-optimized",
+            "floyd-warshall",
+            "dijkstra",
+            "dist",
+        ] {
+            apsp(&args(&["apsp", &file, "--algorithm", algorithm, "--threads", "2"]))
+                .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+        }
+    }
+
+    #[test]
+    fn analyze_and_path_run_on_sample() {
+        let file = sample_file();
+        analyze(&args(&["analyze", &file, "--top", "3"])).unwrap();
+        path(&args(&["path", &file, "1", "5"])).unwrap();
+        // Unknown vertex id.
+        assert!(path(&args(&["path", &file, "1", "99"])).is_err());
+    }
+
+    #[test]
+    fn capped_apsp_runs_and_bad_cap_errors() {
+        let file = sample_file();
+        apsp(&args(&["apsp", &file, "--cap", "1", "--threads", "2"])).unwrap();
+        assert!(apsp(&args(&["apsp", &file, "--cap", "many"])).is_err());
+    }
+
+    #[test]
+    fn apsp_saves_matrix_when_out_is_given() {
+        let dir = std::env::temp_dir().join("parapsp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = sample_file();
+
+        let bin = dir.join("out.bin").to_string_lossy().into_owned();
+        apsp(&args(&["apsp", &file, "--out", &bin])).unwrap();
+        let loaded = parapsp_core::persist::load_binary(&bin).unwrap();
+        assert_eq!(loaded.n(), 5);
+
+        let tsv = dir.join("out.tsv").to_string_lossy().into_owned();
+        apsp(&args(&["apsp", &file, "--out", &tsv])).unwrap();
+        let text = std::fs::read_to_string(&tsv).unwrap();
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn dist_partitions_via_cli() {
+        let file = sample_file();
+        for partition in ["cyclic-degree", "block-degree", "cyclic-id"] {
+            apsp(&args(&[
+                "apsp", &file, "--algorithm", "dist", "--nodes", "2", "--partition", partition,
+            ]))
+            .unwrap_or_else(|e| panic!("{partition}: {e}"));
+        }
+        assert!(apsp(&args(&[
+            "apsp", &file, "--algorithm", "dist", "--partition", "nope"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn estimate_runs_on_sample_and_rejects_directed() {
+        let file = sample_file();
+        estimate(&args(&["estimate", &file, "1", "5", "--top", "2"])).unwrap();
+        assert!(estimate(&args(&["estimate", &file, "1", "5", "--directed"])).is_err());
+        assert!(estimate(&args(&["estimate", &file, "1"])).is_err());
+    }
+
+    #[test]
+    fn generate_roundtrip() {
+        let dir = std::env::temp_dir().join("parapsp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("generated.txt").to_string_lossy().into_owned();
+        generate(&args(&[
+            "generate", "--model", "ba", "--n", "200", "--m", "3", "--out", &out,
+        ]))
+        .unwrap();
+        let loaded = read_edge_list_file(&out, ParseOptions::snap(Direction::Undirected)).unwrap();
+        assert_eq!(loaded.graph.vertex_count(), 200);
+        stats(&args(&["stats", &out])).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(load(&args(&["stats", "/no/such/file"])).is_err());
+        assert!(stats(&args(&["stats"])).is_err());
+        let file = sample_file();
+        assert!(apsp(&args(&["apsp", &file, "--algorithm", "nope"])).is_err());
+        assert!(parse_options(&args(&["stats", "x", "--format", "bad"])).is_err());
+        assert!(generate(&args(&["generate"])).is_err());
+    }
+
+    #[test]
+    fn budget_guard_trips_on_huge_inputs() {
+        assert!(check_matrix_budget(100_000).is_err());
+        assert!(check_matrix_budget(10_000).is_ok());
+    }
+}

@@ -1,0 +1,59 @@
+//! `parapsp` — run the paper's APSP algorithms and graph analyses from the
+//! command line.
+//!
+//! ```text
+//! parapsp <COMMAND> [ARGS]
+//!
+//! Commands:
+//!   stats <file>                  degree / component / clustering summary
+//!   apsp <file>                   run an APSP algorithm, report timings
+//!       --algorithm <name>        par-apsp (default) | par-alg1 | par-alg2 |
+//!                                 par-adaptive | seq-basic | seq-optimized |
+//!                                 floyd-warshall | dijkstra | dist
+//!       --threads <N>             threads (default 4)
+//!       --nodes <P>               simulated nodes for --algorithm dist
+//!       --hub-fraction <F>        hub broadcast fraction for dist (0.05)
+//!   analyze <file>                APSP + full analysis report
+//!       --top <K>                 how many central vertices to list (5)
+//!   path <file> <src> <dst>       print one shortest route
+//!   generate                      write a synthetic graph
+//!       --model <ba|er|ws>        generator (default ba)
+//!       --n <N> --m <M> [--p <P>] parameters
+//!       --seed <S> --out <file>   determinism and destination
+//!
+//! Common options:
+//!   --directed | --undirected     edge interpretation (default undirected)
+//!   --format <snap|konect>        comment style (default snap)
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "stats" => commands::stats(&parsed),
+        "apsp" => commands::apsp(&parsed),
+        "analyze" => commands::analyze(&parsed),
+        "path" => commands::path(&parsed),
+        "estimate" => commands::estimate(&parsed),
+        "generate" => commands::generate(&parsed),
+        "" | "help" | "--help" | "-h" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `parapsp help`)")),
+    };
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

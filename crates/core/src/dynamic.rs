@@ -1,0 +1,232 @@
+//! Incremental APSP maintenance under edge insertions.
+//!
+//! The paper's related work cites Roditty & Zwick's dynamic shortest-path
+//! results (ref. 16). The *incremental* direction (insertions /
+//! weight decreases only) has a simple exact update: when edge `(u, v, w)`
+//! appears, every improved pair must route through it, so
+//!
+//! ```text
+//! D'[x, y] = min(D[x, y],  D[x, u] + w + D[v, y])
+//! ```
+//!
+//! — one O(n²) pass, embarrassingly parallel over rows, versus a full
+//! O(n^2.4) recompute. Deletions/weight increases lack such an update and
+//! require recomputation (that asymmetry is precisely why the dynamic APSP
+//! literature exists); [`IncrementalApsp`] tracks whether its matrix is
+//! still valid.
+
+use parapsp_graph::{CsrGraph, Direction, GraphBuilder, INF};
+use parapsp_parfor::{ParSlice, Schedule, ThreadPool};
+
+use crate::dist::DistanceMatrix;
+use crate::par::ParApsp;
+
+/// A distance matrix kept exact across edge insertions.
+#[derive(Debug)]
+pub struct IncrementalApsp {
+    dist: DistanceMatrix,
+    /// Edges inserted since the base graph (kept so the graph can be
+    /// rebuilt for a from-scratch verification or recompute).
+    inserted: Vec<(u32, u32, u32)>,
+    direction: Direction,
+}
+
+impl IncrementalApsp {
+    /// Seeds the structure with a full ParAPSP solve of `graph`.
+    pub fn new(graph: &CsrGraph, threads: usize) -> Self {
+        IncrementalApsp {
+            dist: ParApsp::par_apsp(threads).run(graph).dist,
+            inserted: Vec::new(),
+            direction: graph.direction(),
+        }
+    }
+
+    /// Current exact distances.
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.dist
+    }
+
+    /// Edges inserted since construction.
+    pub fn inserted_edges(&self) -> &[(u32, u32, u32)] {
+        &self.inserted
+    }
+
+    /// Applies one edge insertion (or weight decrease) exactly, in O(n²)
+    /// parallel work. Undirected structures apply the update in both
+    /// directions.
+    ///
+    /// Returns the number of pairs whose distance improved.
+    pub fn insert_edge(&mut self, u: u32, v: u32, w: u32, pool: &ThreadPool) -> usize {
+        let n = self.dist.n();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge endpoints out of range"
+        );
+        self.inserted.push((u, v, w));
+        let mut improved = self.apply_directed(u, v, w, pool);
+        if !self.direction.is_directed() && u != v {
+            improved += self.apply_directed(v, u, w, pool);
+        }
+        improved
+    }
+
+    fn apply_directed(&mut self, u: u32, v: u32, w: u32, pool: &ThreadPool) -> usize {
+        let n = self.dist.n();
+        // Snapshot the two pivot rows/columns we read: row of v, and the
+        // column of u (i.e. D[x, u] for all x). Reading them up front keeps
+        // the parallel pass free of read/write overlap.
+        let row_v: Vec<u32> = self.dist.row(v).to_vec();
+        let col_u: Vec<u32> = (0..n as u32).map(|x| self.dist.get(x, u)).collect();
+
+        let improved = std::sync::atomic::AtomicUsize::new(0);
+        {
+            let data = self.dist.raw_mut();
+            let view = ParSlice::new(data);
+            pool.parallel_for(n, Schedule::Block, |_tid, x| {
+                let via_u = col_u[x];
+                if via_u == INF {
+                    return;
+                }
+                let base = via_u.saturating_add(w);
+                if base == INF {
+                    return;
+                }
+                let mut local = 0usize;
+                let row_base = x * n;
+                for y in 0..n {
+                    let alt = base.saturating_add(row_v[y]);
+                    // SAFETY: row `x` of the matrix belongs exclusively to
+                    // this iteration (rows are the parallel unit).
+                    if alt < unsafe { view.read(row_base + y) } {
+                        unsafe { view.write(row_base + y, alt) };
+                        local += 1;
+                    }
+                }
+                if local > 0 {
+                    improved.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        improved.into_inner()
+    }
+
+    /// Rebuilds the graph (base edges must be supplied by the caller) and
+    /// recomputes from scratch — the escape hatch for deletions.
+    pub fn recompute(base_edges: &[(u32, u32, u32)], n: usize, direction: Direction, threads: usize) -> Result<Self, parapsp_graph::GraphError> {
+        let mut builder = GraphBuilder::new(n, direction);
+        for &(u, v, w) in base_edges {
+            builder.add_edge(u, v, w)?;
+        }
+        Ok(Self::new(&builder.build(), threads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::apsp_dijkstra;
+    use parapsp_graph::generate::{barabasi_albert, erdos_renyi_gnm, WeightSpec};
+
+    fn graph_plus_edges(
+        base: &CsrGraph,
+        extra: &[(u32, u32, u32)],
+    ) -> CsrGraph {
+        let mut builder = GraphBuilder::new(base.vertex_count(), base.direction());
+        for (u, v, w) in base.logical_edges() {
+            builder.add_edge(u, v, w).unwrap();
+        }
+        for &(u, v, w) in extra {
+            builder.add_edge(u, v, w).unwrap();
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn insertions_match_full_recompute_directed() {
+        let base = erdos_renyi_gnm(
+            100,
+            300,
+            Direction::Directed,
+            WeightSpec::Uniform { lo: 1, hi: 20 },
+            90,
+        )
+        .unwrap();
+        let pool = ThreadPool::new(4);
+        let mut incremental = IncrementalApsp::new(&base, 4);
+        let mut extra = Vec::new();
+        // A deterministic stream of insertions, including weight decreases
+        // on existing pairs.
+        for i in 0..25u32 {
+            let u = (i * 17) % 100;
+            let v = (i * 29 + 3) % 100;
+            if u == v {
+                continue;
+            }
+            let w = 1 + (i % 7);
+            incremental.insert_edge(u, v, w, &pool);
+            extra.push((u, v, w));
+            let expected = apsp_dijkstra(&graph_plus_edges(&base, &extra));
+            assert_eq!(
+                expected.first_difference(incremental.distances()),
+                None,
+                "after inserting {:?}",
+                (u, v, w)
+            );
+        }
+        assert_eq!(incremental.inserted_edges().len(), extra.len());
+    }
+
+    #[test]
+    fn insertions_match_full_recompute_undirected() {
+        let base = barabasi_albert(80, 2, WeightSpec::Uniform { lo: 1, hi: 9 }, 91).unwrap();
+        let pool = ThreadPool::new(3);
+        let mut incremental = IncrementalApsp::new(&base, 3);
+        let inserts = [(0u32, 79u32, 1u32), (40, 41, 2), (5, 60, 1)];
+        let mut extra = Vec::new();
+        for &(u, v, w) in &inserts {
+            incremental.insert_edge(u, v, w, &pool);
+            extra.push((u, v, w));
+        }
+        let expected = apsp_dijkstra(&graph_plus_edges(&base, &extra));
+        assert_eq!(expected.first_difference(incremental.distances()), None);
+    }
+
+    #[test]
+    fn bridging_components_reports_improvements() {
+        // Two disconnected cliques; the bridge connects 50 × 50 pairs.
+        let base = CsrGraph::from_unit_edges(
+            6,
+            Direction::Undirected,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+        .unwrap();
+        let pool = ThreadPool::new(2);
+        let mut incremental = IncrementalApsp::new(&base, 2);
+        assert_eq!(incremental.distances().get(0, 3), INF);
+        let improved = incremental.insert_edge(2, 3, 1, &pool);
+        assert!(improved > 0);
+        assert_eq!(incremental.distances().get(0, 3), 2); // 0 — 2 — 3
+        assert_eq!(incremental.distances().get(5, 0), 3); // 5 — 3 — 2 — 0
+        assert!(incremental.distances().is_symmetric());
+    }
+
+    #[test]
+    fn useless_insertion_changes_nothing() {
+        let base = parapsp_graph::generate::complete_graph(20);
+        let pool = ThreadPool::new(2);
+        let mut incremental = IncrementalApsp::new(&base, 2);
+        // A heavy parallel edge can't improve unit distances.
+        let improved = incremental.insert_edge(3, 7, 100, &pool);
+        assert_eq!(improved, 0);
+    }
+
+    #[test]
+    fn recompute_escape_hatch() {
+        let edges = vec![(0u32, 1u32, 2u32), (1, 2, 2)];
+        let rebuilt =
+            IncrementalApsp::recompute(&edges, 3, Direction::Directed, 2).unwrap();
+        assert_eq!(rebuilt.distances().get(0, 2), 4);
+    }
+
+    use parapsp_graph::CsrGraph;
+}

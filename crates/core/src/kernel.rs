@@ -1,0 +1,352 @@
+//! The modified Dijkstra kernel (paper Alg. 1, after Peng et al.).
+//!
+//! Despite the name it is *not* a priority-queue Dijkstra: Peng's procedure
+//! is a FIFO label-correcting SSSP (SPFA-style) with one extra move — when
+//! the dequeued vertex `t` already has a complete SSSP row (`flag[t]`),
+//! the whole row `D[t][*]` is used to relax every vertex at once and `t`'s
+//! edges are *not* expanded. Vertices improved by a row reuse are not
+//! re-enqueued; Peng et al. prove this preserves exactness (the intuition:
+//! any continuation of a path through a flagged vertex is already covered
+//! by that vertex's complete row).
+//!
+//! The kernel writes into a caller-supplied row and reads other rows
+//! through the publication protocol in the `crate::shared` module, which makes the
+//! very same code the engine of the sequential *and* parallel algorithms.
+
+use std::collections::VecDeque;
+
+use parapsp_graph::CsrGraph;
+
+use crate::shared::SharedDistState;
+use crate::stats::Counters;
+
+/// Tuning/ablation switches for the kernel. The defaults reproduce the
+/// paper; the switches exist so the benchmark harness can quantify each
+/// ingredient separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelOptions {
+    /// Reuse published rows (the dynamic-programming step of Alg. 1,
+    /// lines 6–11). Disabling degrades the kernel to plain SPFA.
+    pub row_reuse: bool,
+    /// Skip enqueueing a vertex that is already queued (the standard SPFA
+    /// guard; the paper's pseudocode enqueues unconditionally).
+    pub dedup_queue: bool,
+    /// Distance cap: pairs farther than this stay at [`INF`](parapsp_graph::INF).
+    /// Bounded-horizon APSP ("k-hop neighborhoods") does much less work on
+    /// small-world graphs while remaining exact within the cap: any path of
+    /// total length ≤ cap decomposes into segments that are themselves
+    /// ≤ cap, so capped rows compose correctly under reuse.
+    pub max_distance: Option<u32>,
+}
+
+impl Default for KernelOptions {
+    fn default() -> Self {
+        KernelOptions {
+            row_reuse: true,
+            dedup_queue: true,
+            max_distance: None,
+        }
+    }
+}
+
+/// Reusable per-task scratch space, sized once per thread so the inner loop
+/// performs no allocation.
+pub(crate) struct Workspace {
+    queue: VecDeque<u32>,
+    in_queue: Vec<bool>,
+}
+
+impl Workspace {
+    pub(crate) fn new(n: usize) -> Self {
+        Workspace {
+            queue: VecDeque::with_capacity(64),
+            in_queue: vec![false; n],
+        }
+    }
+}
+
+/// Runs the modified Dijkstra from source `s`, filling row `s` of `state`
+/// and publishing it on completion.
+///
+/// # Safety contract (enforced by callers)
+///
+/// The caller must guarantee that it is the unique task running source `s`
+/// (see [`SharedDistState::row_mut`]). Every APSP driver in this crate
+/// iterates a permutation of the sources, which provides that guarantee.
+///
+/// Optional `intermediate_credit`: incremented at `t` whenever expanding
+/// `t`'s edges improved some other vertex — the signal Peng's *adaptive*
+/// ordering feeds back into source selection.
+pub(crate) fn modified_dijkstra(
+    graph: &CsrGraph,
+    s: u32,
+    state: &SharedDistState,
+    ws: &mut Workspace,
+    options: KernelOptions,
+    counters: &mut Counters,
+    mut intermediate_credit: Option<&mut [u64]>,
+) {
+    let n = state.n();
+    debug_assert_eq!(graph.vertex_count(), n);
+    debug_assert!(ws.in_queue.iter().all(|&q| !q), "dirty workspace");
+
+    // SAFETY: the caller guarantees unique ownership of row `s` and that it
+    // is unpublished; the borrow ends before `publish` below.
+    let row = unsafe { state.row_mut(s) };
+    row[s as usize] = 0;
+
+    ws.queue.push_back(s);
+    if options.dedup_queue {
+        ws.in_queue[s as usize] = true;
+    }
+
+    while let Some(t) = ws.queue.pop_front() {
+        counters.queue_pops += 1;
+        if options.dedup_queue {
+            ws.in_queue[t as usize] = false;
+        }
+        let dt = row[t as usize];
+
+        // Alg. 1 lines 6–11: a flagged vertex contributes its whole row.
+        // `t != s` always holds for published rows (row `s` is published
+        // only after this function returns), so no aliasing with `row`.
+        let cap = options.max_distance.unwrap_or(u32::MAX);
+        if options.row_reuse {
+            if let Some(t_row) = state.published_row(t) {
+                counters.row_reuses += 1;
+                for (v, (&via_t, mine)) in t_row.iter().zip(row.iter_mut()).enumerate() {
+                    let alt = dt.saturating_add(via_t);
+                    if alt < *mine && alt <= cap {
+                        *mine = alt;
+                        counters.relaxations += 1;
+                        let _ = v;
+                    }
+                }
+                continue;
+            }
+        }
+
+        // Alg. 1 lines 12–18: ordinary edge relaxation with enqueue.
+        let mut improved_someone = false;
+        for (v, w) in graph.out_edges(t) {
+            let alt = dt.saturating_add(w);
+            if alt < row[v as usize] && alt <= cap {
+                row[v as usize] = alt;
+                counters.relaxations += 1;
+                improved_someone = true;
+                if !options.dedup_queue || !ws.in_queue[v as usize] {
+                    ws.queue.push_back(v);
+                    if options.dedup_queue {
+                        ws.in_queue[v as usize] = true;
+                    }
+                }
+            }
+        }
+        if improved_someone && t != s {
+            if let Some(credit) = intermediate_credit.as_deref_mut() {
+                credit[t as usize] += 1;
+            }
+        }
+    }
+
+    counters.sources += 1;
+    // Alg. 1 line 21: flag[s] = 1 — i.e. publish the completed row.
+    state.publish(s);
+
+    if !options.dedup_queue {
+        // Without the guard the bitmap was never written, nothing to clean.
+        debug_assert!(ws.in_queue.iter().all(|&q| !q));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapsp_graph::{CsrGraph, Direction, INF};
+
+    fn run_all_sources(graph: &CsrGraph, options: KernelOptions) -> crate::DistanceMatrix {
+        let n = graph.vertex_count();
+        let state = SharedDistState::new(n);
+        let mut ws = Workspace::new(n);
+        let mut counters = Counters::default();
+        for s in 0..n as u32 {
+            modified_dijkstra(graph, s, &state, &mut ws, options, &mut counters, None);
+        }
+        assert_eq!(counters.sources, n as u64);
+        state.into_matrix()
+    }
+
+    #[test]
+    fn weighted_diamond_exact_distances() {
+        // 0 -> 1 (2), 0 -> 2 (1), 1 -> 3 (1), 2 -> 3 (5): best 0->3 is 3.
+        let g = CsrGraph::from_edges(
+            4,
+            Direction::Directed,
+            &[(0, 1, 2), (0, 2, 1), (1, 3, 1), (2, 3, 5)],
+        )
+        .unwrap();
+        let d = run_all_sources(&g, KernelOptions::default());
+        assert_eq!(d.get(0, 3), 3);
+        assert_eq!(d.get(0, 2), 1);
+        assert_eq!(d.get(3, 0), INF);
+        assert_eq!(d.get(2, 2), 0);
+    }
+
+    #[test]
+    fn unit_weight_path_graph() {
+        let g = parapsp_graph::generate::path_graph(6, Direction::Undirected);
+        let d = run_all_sources(&g, KernelOptions::default());
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                assert_eq!(d.get(u, v), u.abs_diff(v));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_cap_truncates_exactly() {
+        let g = parapsp_graph::generate::path_graph(10, Direction::Undirected);
+        let capped = run_all_sources(
+            &g,
+            KernelOptions {
+                max_distance: Some(3),
+                ..KernelOptions::default()
+            },
+        );
+        let full = run_all_sources(&g, KernelOptions::default());
+        for u in 0..10u32 {
+            for v in 0..10u32 {
+                let exact = full.get(u, v);
+                let expect = if exact <= 3 { exact } else { INF };
+                assert_eq!(capped.get(u, v), expect, "({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_cap_is_exact_within_cap_on_weighted_graph() {
+        let g = parapsp_graph::generate::erdos_renyi_gnm(
+            100,
+            500,
+            Direction::Directed,
+            parapsp_graph::generate::WeightSpec::Uniform { lo: 1, hi: 9 },
+            71,
+        )
+        .unwrap();
+        let full = run_all_sources(&g, KernelOptions::default());
+        for cap in [0u32, 5, 17, 50] {
+            let capped = run_all_sources(
+                &g,
+                KernelOptions {
+                    max_distance: Some(cap),
+                    ..KernelOptions::default()
+                },
+            );
+            for u in 0..100u32 {
+                for v in 0..100u32 {
+                    let exact = full.get(u, v);
+                    let expect = if exact <= cap || u == v { exact } else { INF };
+                    assert_eq!(capped.get(u, v), expect, "cap {cap} ({u}, {v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_reuse_and_plain_spfa_agree() {
+        let g = parapsp_graph::generate::erdos_renyi_gnm(
+            80,
+            300,
+            Direction::Directed,
+            parapsp_graph::generate::WeightSpec::Uniform { lo: 1, hi: 20 },
+            13,
+        )
+        .unwrap();
+        let with_reuse = run_all_sources(&g, KernelOptions::default());
+        let without = run_all_sources(
+            &g,
+            KernelOptions {
+                row_reuse: false,
+                dedup_queue: true,
+                max_distance: None,
+            },
+        );
+        assert_eq!(with_reuse.first_difference(&without), None);
+    }
+
+    #[test]
+    fn dedup_toggle_does_not_change_results() {
+        let g = parapsp_graph::generate::barabasi_albert(
+            120,
+            2,
+            parapsp_graph::generate::WeightSpec::Unit,
+            5,
+        )
+        .unwrap();
+        let a = run_all_sources(&g, KernelOptions::default());
+        let b = run_all_sources(
+            &g,
+            KernelOptions {
+                row_reuse: true,
+                dedup_queue: false,
+                max_distance: None,
+            },
+        );
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn row_reuse_actually_fires_on_later_sources() {
+        let g = parapsp_graph::generate::complete_graph(10);
+        let state = SharedDistState::new(10);
+        let mut ws = Workspace::new(10);
+        let mut counters = Counters::default();
+        for s in 0..10u32 {
+            modified_dijkstra(
+                &g,
+                s,
+                &state,
+                &mut ws,
+                KernelOptions::default(),
+                &mut counters,
+                None,
+            );
+        }
+        assert!(
+            counters.row_reuses > 0,
+            "complete graph must trigger row reuse"
+        );
+        assert_eq!(state.published_count(), 10);
+    }
+
+    #[test]
+    fn disconnected_components_stay_infinite() {
+        let g = CsrGraph::from_unit_edges(4, Direction::Undirected, &[(0, 1), (2, 3)]).unwrap();
+        let d = run_all_sources(&g, KernelOptions::default());
+        assert_eq!(d.get(0, 1), 1);
+        assert_eq!(d.get(0, 2), INF);
+        assert_eq!(d.get(3, 1), INF);
+        assert!(d.is_symmetric());
+    }
+
+    #[test]
+    fn intermediate_credit_counts_hub() {
+        // Star graph: every cross-leaf path passes through the hub 0.
+        let g = parapsp_graph::generate::star_graph(8);
+        let state = SharedDistState::new(8);
+        let mut ws = Workspace::new(8);
+        let mut counters = Counters::default();
+        let mut credit = vec![0u64; 8];
+        // Disable row reuse so edges are always expanded.
+        let opts = KernelOptions {
+            row_reuse: false,
+            dedup_queue: true,
+            max_distance: None,
+        };
+        for s in 0..8u32 {
+            modified_dijkstra(&g, s, &state, &mut ws, opts, &mut counters, Some(&mut credit));
+        }
+        assert!(credit[0] > 0, "the hub must collect intermediate credit");
+        assert!(credit[1..].iter().all(|&c| c == 0), "leaves never relay");
+    }
+}

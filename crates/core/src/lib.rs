@@ -1,0 +1,58 @@
+//! ParAPSP core: Peng et al.'s fast all-pairs shortest-path algorithm and
+//! the shared-memory parallelizations from Kim, Choi & Bae (ICPP'18).
+//!
+//! # The algorithm family
+//!
+//! The foundation is Peng et al.'s *modified Dijkstra* (paper Alg. 1): a
+//! queue-based label-correcting SSSP that, whenever it dequeues a vertex
+//! `t` whose own SSSP row is already complete (`flag[t] == 1`), relaxes the
+//! whole row `D[t][*]` at once instead of expanding `t`'s edges — a dynamic
+//! programming reuse of earlier sources' results.
+//!
+//! * [`seq::seq_basic`] — Alg. 2: run the kernel from every source in index
+//!   order.
+//! * [`seq::seq_optimized`] — Alg. 3: visit sources in descending degree
+//!   order so hub rows are reusable early (2–4× faster on scale-free
+//!   graphs).
+//! * [`seq::seq_adaptive`] — Peng's adaptive variant (reconstructed; the
+//!   ICPP paper describes but does not parallelize it).
+//! * [`par::ParApsp`] — the parallel drivers: **ParAlg1**, **ParAlg2**, and
+//!   the paper's contribution **ParAPSP** (MultiLists ordering +
+//!   dynamic-cyclic scheduling), plus every intermediate variant, all
+//!   configurable by ordering procedure and loop schedule.
+//! * [`baselines`] — Floyd–Warshall, binary-heap Dijkstra APSP (sequential
+//!   and parallel), Bellman–Ford and BFS, used for cross-validation and
+//!   the background comparisons in the paper's §2.
+//!
+//! # Concurrency model
+//!
+//! Parallel runs share one distance matrix. Row `s` is written exclusively
+//! by the thread running source `s`; it becomes visible to other threads
+//! only after a `Release` store of `flag[s]`, and readers check the flag
+//! with `Acquire` before touching the row (see the `shared` module internals).
+//! Published rows are final, so every interleaving yields the same — exact
+//! — distances, which the test suite asserts against sequential runs and
+//! the classic baselines.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod baselines;
+pub mod blocked_fw;
+pub mod dist;
+pub mod dynamic;
+pub mod kernel;
+pub mod par;
+pub mod paths;
+pub mod persist;
+pub mod seq;
+mod shared;
+pub mod stats;
+pub mod subset;
+
+pub use dist::DistanceMatrix;
+pub use par::ParApsp;
+pub use stats::{ApspOutput, Counters, PhaseTimings};
+
+/// Infinite distance (no path); re-exported from the graph crate.
+pub use parapsp_graph::INF;

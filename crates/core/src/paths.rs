@@ -1,0 +1,334 @@
+//! All-pairs shortest *paths* (not just distances): predecessor tracking
+//! and route reconstruction.
+//!
+//! The paper's algorithms return the distance matrix; applications like the
+//! transportation studies cited in its related work (§6) also need the
+//! routes. This module extends the modified-Dijkstra kernel with a
+//! predecessor matrix sharing the same row-publication protocol — when a
+//! published row of `t` relaxes `v`, the predecessor of `v` on the
+//! composed path `s ⇝ t ⇝ v` is exactly `t`'s recorded predecessor of `v`,
+//! so reuse composes for predecessors just as it does for distances.
+//!
+//! Memory cost: a second n × n `u32` matrix.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use parapsp_graph::{degree, CsrGraph, INF};
+use parapsp_order::OrderingProcedure;
+use parapsp_parfor::{PerThread, Schedule, ThreadPool};
+
+use crate::dist::DistanceMatrix;
+
+/// Sentinel in the predecessor matrix: no predecessor (self or unreachable).
+pub const NO_PRED: u32 = u32::MAX;
+
+/// Row-major n × n predecessor matrix: `pred(s, v)` is the vertex right
+/// before `v` on a shortest `s → v` path, or [`NO_PRED`].
+#[derive(Clone)]
+pub struct PredecessorMatrix {
+    n: usize,
+    data: Box<[u32]>,
+}
+
+impl PredecessorMatrix {
+    /// Predecessor of `v` on the shortest `s → v` path.
+    #[inline]
+    pub fn get(&self, s: u32, v: u32) -> u32 {
+        self.data[s as usize * self.n + v as usize]
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reconstructs the shortest `s → v` path as a vertex sequence
+    /// (inclusive of both endpoints). Returns `None` when `v` is
+    /// unreachable from `s`.
+    pub fn path(&self, s: u32, v: u32) -> Option<Vec<u32>> {
+        if s == v {
+            return Some(vec![s]);
+        }
+        let mut route = vec![v];
+        let mut cursor = v;
+        // A shortest path visits each vertex at most once; the bound guards
+        // against corrupted input.
+        for _ in 0..self.n {
+            let prev = self.get(s, cursor);
+            if prev == NO_PRED {
+                return None;
+            }
+            route.push(prev);
+            if prev == s {
+                route.reverse();
+                return Some(route);
+            }
+            cursor = prev;
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for PredecessorMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PredecessorMatrix({} × {})", self.n, self.n)
+    }
+}
+
+/// Distances and predecessors from every source.
+#[derive(Debug)]
+pub struct ApspPaths {
+    /// The exact distance matrix.
+    pub dist: DistanceMatrix,
+    /// Predecessor matrix for route reconstruction.
+    pub pred: PredecessorMatrix,
+    /// End-to-end wall time.
+    pub elapsed: std::time::Duration,
+}
+
+/// Shared distance + predecessor state with one publication flag per row
+/// pair. Same memory model as `SharedDistState` (see `crate::shared`): the
+/// flag is stored with `Release` after *both* rows are final, and loaded
+/// with `Acquire` before either is read.
+struct SharedPathState {
+    n: usize,
+    dist: Box<[UnsafeCell<u32>]>,
+    pred: Box<[UnsafeCell<u32>]>,
+    flags: Box<[AtomicBool]>,
+}
+
+// SAFETY: identical protocol to `SharedDistState`; both matrices are
+// guarded by the same flag.
+unsafe impl Sync for SharedPathState {}
+
+impl SharedPathState {
+    fn new(n: usize) -> Self {
+        let len = n.checked_mul(n).expect("matrix size overflow");
+        let dist: Box<[u32]> = vec![INF; len].into_boxed_slice();
+        let pred: Box<[u32]> = vec![NO_PRED; len].into_boxed_slice();
+        // SAFETY: UnsafeCell<u32> is repr(transparent) over u32.
+        let dist = unsafe { Box::from_raw(Box::into_raw(dist) as *mut [UnsafeCell<u32>]) };
+        let pred = unsafe { Box::from_raw(Box::into_raw(pred) as *mut [UnsafeCell<u32>]) };
+        let flags = (0..n).map(|_| AtomicBool::new(false)).collect();
+        SharedPathState {
+            n,
+            dist,
+            pred,
+            flags,
+        }
+    }
+
+    /// # Safety
+    /// Caller must be the unique owner of row `s` (unpublished).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn rows_mut(&self, s: u32) -> (&mut [u32], &mut [u32]) {
+        let start = s as usize * self.n;
+        // SAFETY: forwarded from the caller; dist and pred are distinct
+        // allocations so the two borrows never alias.
+        unsafe {
+            (
+                std::slice::from_raw_parts_mut(self.dist[start].get(), self.n),
+                std::slice::from_raw_parts_mut(self.pred[start].get(), self.n),
+            )
+        }
+    }
+
+    fn publish(&self, s: u32) {
+        self.flags[s as usize].store(true, Ordering::Release);
+    }
+
+    fn published_rows(&self, t: u32) -> Option<(&[u32], &[u32])> {
+        if self.flags[t as usize].load(Ordering::Acquire) {
+            let start = t as usize * self.n;
+            // SAFETY: Acquire pairs with the owner's Release; rows are
+            // final after publication.
+            Some(unsafe {
+                (
+                    std::slice::from_raw_parts(self.dist[start].get() as *const u32, self.n),
+                    std::slice::from_raw_parts(self.pred[start].get() as *const u32, self.n),
+                )
+            })
+        } else {
+            None
+        }
+    }
+
+    fn into_matrices(self) -> (DistanceMatrix, PredecessorMatrix) {
+        let n = self.n;
+        // SAFETY: inverse transmute of `new`.
+        let dist: Box<[u32]> = unsafe { Box::from_raw(Box::into_raw(self.dist) as *mut [u32]) };
+        let pred: Box<[u32]> = unsafe { Box::from_raw(Box::into_raw(self.pred) as *mut [u32]) };
+        (
+            DistanceMatrix::from_raw(n, dist),
+            PredecessorMatrix { n, data: pred },
+        )
+    }
+}
+
+/// The modified Dijkstra with predecessor tracking, from source `s`.
+///
+/// Safety contract identical to the distance-only kernel: the caller is the
+/// unique task for source `s`.
+fn kernel_with_pred(
+    graph: &CsrGraph,
+    s: u32,
+    state: &SharedPathState,
+    queue: &mut VecDeque<u32>,
+    in_queue: &mut [bool],
+) {
+    // SAFETY: unique ownership of row `s` is the caller's contract.
+    let (dist, pred) = unsafe { state.rows_mut(s) };
+    dist[s as usize] = 0;
+    queue.push_back(s);
+    in_queue[s as usize] = true;
+    while let Some(t) = queue.pop_front() {
+        in_queue[t as usize] = false;
+        let dt = dist[t as usize];
+        if let Some((t_dist, t_pred)) = state.published_rows(t) {
+            for v in 0..state.n {
+                let alt = dt.saturating_add(t_dist[v]);
+                if alt < dist[v] {
+                    dist[v] = alt;
+                    // Composition: the predecessor of v inside t's tree is
+                    // also its predecessor on the s ⇝ t ⇝ v path; for
+                    // v == t's direct successors this is t itself, which is
+                    // what t_pred records. v == t never improves (alt == dt).
+                    pred[v] = if t_pred[v] == NO_PRED { t } else { t_pred[v] };
+                }
+            }
+            continue;
+        }
+        for (v, w) in graph.out_edges(t) {
+            let alt = dt.saturating_add(w);
+            if alt < dist[v as usize] {
+                dist[v as usize] = alt;
+                pred[v as usize] = t;
+                if !in_queue[v as usize] {
+                    queue.push_back(v);
+                    in_queue[v as usize] = true;
+                }
+            }
+        }
+    }
+    state.publish(s);
+}
+
+/// ParAPSP with route reconstruction: MultiLists ordering, dynamic-cyclic
+/// scheduling, and a predecessor matrix produced alongside the distances.
+pub fn par_apsp_with_paths(graph: &CsrGraph, threads: usize) -> ApspPaths {
+    let n = graph.vertex_count();
+    let pool = ThreadPool::new(threads);
+    let start = Instant::now();
+    let degrees = degree::out_degrees(graph);
+    let order = OrderingProcedure::multi_lists().compute(&degrees, &pool);
+    let state = SharedPathState::new(n);
+    let locals: PerThread<(VecDeque<u32>, Vec<bool>)> =
+        PerThread::from_fn(pool.num_threads(), |_| (VecDeque::new(), vec![false; n]));
+    let order_ref = &order;
+    let state_ref = &state;
+    pool.parallel_for(n, Schedule::dynamic_cyclic(), |tid, k| {
+        let s = order_ref[k];
+        // SAFETY: one slot per pool thread.
+        let (queue, in_queue) = unsafe { locals.get_mut(tid) };
+        // `order` is a permutation: source `s` is uniquely owned here.
+        kernel_with_pred(graph, s, state_ref, queue, in_queue);
+    });
+    let (dist, pred) = state.into_matrices();
+    ApspPaths {
+        dist,
+        pred,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapsp_graph::generate::{barabasi_albert, erdos_renyi_gnm, WeightSpec};
+    use parapsp_graph::Direction;
+
+    /// Checks that every reconstructed path is a real edge walk whose
+    /// weights sum to the reported distance.
+    fn validate_paths(graph: &CsrGraph, result: &ApspPaths) {
+        let n = graph.vertex_count();
+        for s in 0..n as u32 {
+            for v in 0..n as u32 {
+                let d = result.dist.get(s, v);
+                if d == INF {
+                    assert!(result.pred.path(s, v).is_none() || s == v);
+                    continue;
+                }
+                let path = result
+                    .pred
+                    .path(s, v)
+                    .unwrap_or_else(|| panic!("no path {s} -> {v} but dist {d}"));
+                assert_eq!(path.first(), Some(&s));
+                assert_eq!(path.last(), Some(&v));
+                let mut total = 0u32;
+                for pair in path.windows(2) {
+                    let (a, b) = (pair[0], pair[1]);
+                    let w = graph
+                        .out_edges(a)
+                        .filter(|&(t, _)| t == b)
+                        .map(|(_, w)| w)
+                        .min()
+                        .unwrap_or_else(|| panic!("path uses nonexistent edge {a} -> {b}"));
+                    total += w;
+                }
+                assert_eq!(total, d, "path weight mismatch {s} -> {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_on_weighted_directed_graph() {
+        let g = erdos_renyi_gnm(
+            80,
+            400,
+            Direction::Directed,
+            WeightSpec::Uniform { lo: 1, hi: 9 },
+            3,
+        )
+        .unwrap();
+        for threads in [1, 4] {
+            let result = par_apsp_with_paths(&g, threads);
+            let reference = crate::baselines::apsp_dijkstra(&g);
+            assert_eq!(reference.first_difference(&result.dist), None);
+            validate_paths(&g, &result);
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_on_scale_free_graph() {
+        let g = barabasi_albert(120, 3, WeightSpec::Unit, 8).unwrap();
+        let result = par_apsp_with_paths(&g, 4);
+        validate_paths(&g, &result);
+    }
+
+    #[test]
+    fn trivial_paths() {
+        let g = CsrGraph::from_unit_edges(3, Direction::Directed, &[(0, 1)]).unwrap();
+        let result = par_apsp_with_paths(&g, 2);
+        assert_eq!(result.pred.path(0, 0), Some(vec![0]));
+        assert_eq!(result.pred.path(0, 1), Some(vec![0, 1]));
+        assert_eq!(result.pred.path(1, 0), None);
+        assert_eq!(result.pred.path(0, 2), None);
+        assert_eq!(result.pred.get(0, 1), 0);
+        assert_eq!(result.pred.get(0, 2), NO_PRED);
+        assert_eq!(result.pred.n(), 3);
+    }
+
+    #[test]
+    fn long_chain_path_reconstructs_fully() {
+        let g = parapsp_graph::generate::path_graph(50, Direction::Undirected);
+        let result = par_apsp_with_paths(&g, 3);
+        let path = result.pred.path(0, 49).unwrap();
+        assert_eq!(path, (0..50u32).collect::<Vec<_>>());
+    }
+
+    use parapsp_graph::CsrGraph;
+}

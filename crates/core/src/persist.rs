@@ -1,0 +1,209 @@
+//! Saving and loading distance matrices.
+//!
+//! An APSP run over a real dataset can take hours (the paper quotes
+//! "several hours" for Flickr sequentially) — downstream analysis should
+//! not have to recompute it. Two formats:
+//!
+//! * **binary** — `PAPD` magic, format version, `n` as u64, then `n²`
+//!   little-endian `u32`s. Compact and exact; ~4·n² bytes.
+//! * **TSV** — human-readable rows, `INF` spelled as `inf`; intended for
+//!   spreadsheets and ad-hoc scripts on small matrices.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use parapsp_graph::INF;
+
+use crate::dist::DistanceMatrix;
+
+const MAGIC: &[u8; 4] = b"PAPD";
+const VERSION: u8 = 1;
+
+/// Errors from matrix persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not a matrix file, or is a newer/corrupt version.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(err) => write!(f, "I/O error: {err}"),
+            PersistError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(err: std::io::Error) -> Self {
+        PersistError::Io(err)
+    }
+}
+
+/// Writes the binary format to any writer.
+pub fn write_binary<W: Write>(dist: &DistanceMatrix, writer: W) -> Result<(), PersistError> {
+    let mut writer = BufWriter::new(writer);
+    writer.write_all(MAGIC)?;
+    writer.write_all(&[VERSION])?;
+    writer.write_all(&(dist.n() as u64).to_le_bytes())?;
+    for &cell in dist.as_slice() {
+        writer.write_all(&cell.to_le_bytes())?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads the binary format from any reader.
+pub fn read_binary<R: Read>(reader: R) -> Result<DistanceMatrix, PersistError> {
+    let mut reader = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Format(
+            "missing PAPD magic — not a distance matrix file".into(),
+        ));
+    }
+    let mut version = [0u8; 1];
+    reader.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported format version {}",
+            version[0]
+        )));
+    }
+    let mut n_bytes = [0u8; 8];
+    reader.read_exact(&mut n_bytes)?;
+    let n = u64::from_le_bytes(n_bytes) as usize;
+    let cells = n
+        .checked_mul(n)
+        .ok_or_else(|| PersistError::Format(format!("matrix size {n} overflows")))?;
+    let mut data = vec![0u32; cells];
+    let mut buf = [0u8; 4];
+    for cell in data.iter_mut() {
+        reader.read_exact(&mut buf)?;
+        *cell = u32::from_le_bytes(buf);
+    }
+    // Trailing garbage indicates a corrupt/concatenated file.
+    if reader.read(&mut buf)? != 0 {
+        return Err(PersistError::Format("trailing bytes after matrix".into()));
+    }
+    Ok(DistanceMatrix::from_raw(n, data.into_boxed_slice()))
+}
+
+/// Writes a matrix to `path` in the binary format.
+pub fn save_binary(dist: &DistanceMatrix, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    write_binary(dist, std::fs::File::create(path)?)
+}
+
+/// Loads a matrix from a binary file.
+pub fn load_binary(path: impl AsRef<Path>) -> Result<DistanceMatrix, PersistError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+/// Writes a tab-separated text dump (`inf` for unreachable pairs).
+pub fn write_tsv<W: Write>(dist: &DistanceMatrix, writer: W) -> Result<(), PersistError> {
+    let mut writer = BufWriter::new(writer);
+    for (_, row) in dist.rows() {
+        let mut first = true;
+        for &cell in row {
+            if !first {
+                writer.write_all(b"\t")?;
+            }
+            first = false;
+            if cell == INF {
+                writer.write_all(b"inf")?;
+            } else {
+                write!(writer, "{cell}")?;
+            }
+        }
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParApsp;
+    use parapsp_graph::generate::{barabasi_albert, WeightSpec};
+
+    fn sample_matrix() -> DistanceMatrix {
+        let g = barabasi_albert(60, 2, WeightSpec::Uniform { lo: 1, hi: 9 }, 5).unwrap();
+        ParApsp::par_apsp(2).run(&g).dist
+    }
+
+    #[test]
+    fn binary_round_trip_in_memory() {
+        let dist = sample_matrix();
+        let mut buf = Vec::new();
+        write_binary(&dist, &mut buf).unwrap();
+        assert_eq!(buf.len(), 4 + 1 + 8 + 60 * 60 * 4);
+        let loaded = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(dist.first_difference(&loaded), None);
+    }
+
+    #[test]
+    fn binary_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("parapsp-persist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("matrix.bin");
+        let dist = sample_matrix();
+        save_binary(&dist, &path).unwrap();
+        let loaded = load_binary(&path).unwrap();
+        assert_eq!(dist.first_difference(&loaded), None);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(matches!(
+            read_binary(&b"NOPE"[..]),
+            Err(PersistError::Io(_)) | Err(PersistError::Format(_))
+        ));
+        let mut buf = Vec::new();
+        write_binary(&DistanceMatrix::new_infinite(3), &mut buf).unwrap();
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_binary(bad.as_slice()), Err(PersistError::Format(_))));
+        // Wrong version.
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(matches!(read_binary(bad.as_slice()), Err(PersistError::Format(_))));
+        // Truncated payload.
+        let truncated = &buf[..buf.len() - 2];
+        assert!(matches!(read_binary(truncated), Err(PersistError::Io(_))));
+        // Trailing bytes.
+        let mut extended = buf.clone();
+        extended.push(0);
+        assert!(matches!(
+            read_binary(extended.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn tsv_output_is_readable() {
+        let mut m = DistanceMatrix::new_infinite(2);
+        m.copy_row_from(0, &[0, 7]);
+        m.copy_row_from(1, &[INF, 0]);
+        let mut buf = Vec::new();
+        write_tsv(&m, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "0\t7\ninf\t0\n");
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let dist = DistanceMatrix::new_infinite(0);
+        let mut buf = Vec::new();
+        write_binary(&dist, &mut buf).unwrap();
+        let loaded = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(loaded.n(), 0);
+    }
+}

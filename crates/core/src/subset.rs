@@ -1,0 +1,272 @@
+//! APSP from a *subset* of sources — the memory-bounded entry point.
+//!
+//! The paper's hard limit is the O(n²) result matrix (its sx-superuser run
+//! needs 160 GB, §5.1). Many analyses don't need all rows: landmark-based
+//! distance estimation, closeness sampling, or per-community probes use
+//! k ≪ n sources. This module runs the modified Dijkstra from exactly
+//! those sources, with row reuse **among the subset** (a completed subset
+//! row accelerates the remaining subset runs exactly as in full ParAPSP),
+//! in O(k·n) memory.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use parapsp_graph::{degree, CsrGraph, INF};
+use parapsp_order::seq_bucket::seq_bucket_sort;
+use parapsp_parfor::{PerThread, Schedule, ThreadPool};
+
+/// Distance rows for a chosen set of sources, in O(k·n) memory.
+#[derive(Debug)]
+pub struct SubsetRows {
+    n: usize,
+    sources: Vec<u32>,
+    /// Row-major k × n distances, ordered like `sources`.
+    data: Box<[u32]>,
+    /// Wall time of the sweep.
+    pub elapsed: std::time::Duration,
+}
+
+impl SubsetRows {
+    /// The sources, in the order their rows are stored.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Number of vertices (row length).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The distance row of the i-th source.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The distance row of source vertex `s`, if `s` was in the subset.
+    pub fn row_of(&self, s: u32) -> Option<&[u32]> {
+        self.sources.iter().position(|&v| v == s).map(|i| self.row(i))
+    }
+}
+
+/// Shared k × n state: the same Release/Acquire publication protocol as the
+/// full matrix, with a vertex → slot indirection.
+struct SubsetState {
+    n: usize,
+    /// slot_of[v] = row slot of v when v is a subset source, else u32::MAX.
+    slot_of: Vec<u32>,
+    cells: Box<[UnsafeCell<u32>]>,
+    flags: Box<[AtomicBool]>,
+}
+
+// SAFETY: same argument as `SharedDistState` — rows are uniquely owned
+// until published, immutable after.
+unsafe impl Sync for SubsetState {}
+
+impl SubsetState {
+    fn new(n: usize, sources: &[u32]) -> Self {
+        let mut slot_of = vec![u32::MAX; n];
+        for (slot, &s) in sources.iter().enumerate() {
+            assert!(
+                (s as usize) < n,
+                "subset source {s} out of range for {n} vertices"
+            );
+            assert!(
+                slot_of[s as usize] == u32::MAX,
+                "subset source {s} listed twice"
+            );
+            slot_of[s as usize] = slot as u32;
+        }
+        let len = sources.len().checked_mul(n).expect("subset size overflow");
+        let plain: Box<[u32]> = vec![INF; len].into_boxed_slice();
+        // SAFETY: UnsafeCell<u32> is repr(transparent) over u32.
+        let cells = unsafe { Box::from_raw(Box::into_raw(plain) as *mut [UnsafeCell<u32>]) };
+        SubsetState {
+            n,
+            slot_of,
+            cells,
+            flags: (0..sources.len()).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// # Safety
+    /// Caller must be the unique task for slot `slot`, pre-publication.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row_mut(&self, slot: u32) -> &mut [u32] {
+        let start = slot as usize * self.n;
+        // SAFETY: forwarded to the caller.
+        unsafe { std::slice::from_raw_parts_mut(self.cells[start].get(), self.n) }
+    }
+
+    fn published_row_of_vertex(&self, v: u32) -> Option<&[u32]> {
+        let slot = self.slot_of[v as usize];
+        if slot == u32::MAX {
+            return None;
+        }
+        if self.flags[slot as usize].load(Ordering::Acquire) {
+            let start = slot as usize * self.n;
+            // SAFETY: Acquire pairs with the publishing Release.
+            Some(unsafe {
+                std::slice::from_raw_parts(self.cells[start].get() as *const u32, self.n)
+            })
+        } else {
+            None
+        }
+    }
+
+    fn publish(&self, slot: u32) {
+        self.flags[slot as usize].store(true, Ordering::Release);
+    }
+}
+
+/// Runs the modified Dijkstra from every vertex in `sources` (duplicates
+/// rejected), visiting them in descending degree order and reusing rows
+/// completed within the subset. Memory: O(k·n).
+pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> SubsetRows {
+    let n = graph.vertex_count();
+    let start = Instant::now();
+    let state = SubsetState::new(n, sources);
+
+    // Visit subset sources hub-first (same rationale as Alg. 3).
+    let degrees = degree::out_degrees(graph);
+    let subset_degrees: Vec<u32> = sources.iter().map(|&s| degrees[s as usize]).collect();
+    let order: Vec<u32> = seq_bucket_sort(&subset_degrees); // indices into `sources`
+
+    let pool = ThreadPool::new(threads);
+    let locals: PerThread<(VecDeque<u32>, Vec<bool>)> =
+        PerThread::from_fn(pool.num_threads(), |_| (VecDeque::new(), vec![false; n]));
+    let state_ref = &state;
+    let order_ref = &order;
+    pool.parallel_for(sources.len(), Schedule::dynamic_cyclic(), |tid, k| {
+        let slot = order_ref[k];
+        let s = sources[slot as usize];
+        // SAFETY: one scratch slot per pool thread.
+        let (queue, in_queue) = unsafe { locals.get_mut(tid) };
+        // SAFETY: `order` is a permutation of slots, so this task is the
+        // unique owner of `slot`.
+        let row = unsafe { state_ref.row_mut(slot) };
+        row[s as usize] = 0;
+        queue.push_back(s);
+        in_queue[s as usize] = true;
+        while let Some(t) = queue.pop_front() {
+            in_queue[t as usize] = false;
+            let dt = row[t as usize];
+            if t != s {
+                if let Some(t_row) = state_ref.published_row_of_vertex(t) {
+                    for (mine, &via_t) in row.iter_mut().zip(t_row) {
+                        let alt = dt.saturating_add(via_t);
+                        if alt < *mine {
+                            *mine = alt;
+                        }
+                    }
+                    continue;
+                }
+            }
+            for (v, w) in graph.out_edges(t) {
+                let alt = dt.saturating_add(w);
+                if alt < row[v as usize] {
+                    row[v as usize] = alt;
+                    if !in_queue[v as usize] {
+                        queue.push_back(v);
+                        in_queue[v as usize] = true;
+                    }
+                }
+            }
+        }
+        state_ref.publish(slot);
+    });
+
+    // SAFETY: all rows published; single ownership again.
+    let data: Box<[u32]> =
+        unsafe { Box::from_raw(Box::into_raw(state.cells) as *mut [u32]) };
+    SubsetRows {
+        n,
+        sources: sources.to_vec(),
+        data,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::dijkstra_sssp;
+    use parapsp_graph::generate::{barabasi_albert, erdos_renyi_gnm, WeightSpec};
+    use parapsp_graph::Direction;
+
+    #[test]
+    fn subset_rows_match_per_source_dijkstra() {
+        let g = barabasi_albert(300, 3, WeightSpec::Unit, 31).unwrap();
+        let sources: Vec<u32> = vec![5, 0, 120, 299, 42];
+        for threads in [1, 4] {
+            let rows = par_apsp_subset(&g, &sources, threads);
+            assert_eq!(rows.sources(), &sources[..]);
+            assert_eq!(rows.n(), 300);
+            let mut expected = vec![0u32; 300];
+            for (i, &s) in sources.iter().enumerate() {
+                dijkstra_sssp(&g, s, &mut expected);
+                assert_eq!(rows.row(i), &expected[..], "source {s}, {threads} threads");
+                assert_eq!(rows.row_of(s), Some(&expected[..]));
+            }
+        }
+    }
+
+    #[test]
+    fn subset_on_weighted_directed_graph() {
+        let g = erdos_renyi_gnm(
+            200,
+            1_200,
+            Direction::Directed,
+            WeightSpec::Uniform { lo: 1, hi: 15 },
+            32,
+        )
+        .unwrap();
+        let sources: Vec<u32> = (0..200).step_by(13).collect();
+        let rows = par_apsp_subset(&g, &sources, 3);
+        let mut expected = vec![0u32; 200];
+        for (i, &s) in sources.iter().enumerate() {
+            dijkstra_sssp(&g, s, &mut expected);
+            assert_eq!(rows.row(i), &expected[..], "source {s}");
+        }
+    }
+
+    #[test]
+    fn full_subset_equals_full_apsp() {
+        let g = barabasi_albert(120, 2, WeightSpec::Unit, 33).unwrap();
+        let all: Vec<u32> = (0..120).collect();
+        let rows = par_apsp_subset(&g, &all, 4);
+        let full = crate::par::ParApsp::par_apsp(4).run(&g);
+        for s in 0..120u32 {
+            assert_eq!(rows.row_of(s).unwrap(), full.dist.row(s));
+        }
+    }
+
+    #[test]
+    fn missing_source_lookup_returns_none() {
+        let g = barabasi_albert(50, 2, WeightSpec::Unit, 34).unwrap();
+        let rows = par_apsp_subset(&g, &[1, 2], 2);
+        assert!(rows.row_of(10).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_sources_rejected() {
+        let g = barabasi_albert(20, 2, WeightSpec::Unit, 35).unwrap();
+        let _ = par_apsp_subset(&g, &[3, 3], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_rejected() {
+        let g = barabasi_albert(20, 2, WeightSpec::Unit, 36).unwrap();
+        let _ = par_apsp_subset(&g, &[25], 1);
+    }
+
+    #[test]
+    fn empty_subset_is_fine() {
+        let g = barabasi_albert(20, 2, WeightSpec::Unit, 37).unwrap();
+        let rows = par_apsp_subset(&g, &[], 2);
+        assert!(rows.sources().is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic replicas of the paper's evaluation datasets (Table 2).
+//!
+//! The paper evaluates on real SNAP / KONECT graphs that cannot be bundled
+//! here (licensing, size — the sx-superuser distance matrix alone needs
+//! 160 GB). Every effect the paper measures depends on one structural
+//! property: the **scale-free (power-law) degree distribution**. The
+//! replicas therefore use seeded Barabási–Albert generation with the
+//! original average degree and directedness, at a configurable scale:
+//!
+//! * [`Scale::Fraction`] — vertex counts reduced (default 1/10) so the O(n²)
+//!   distance matrix fits a laptop;
+//! * [`Scale::OrderingFull`] — the *original* vertex counts, for the
+//!   ordering-procedure experiments that never allocate the matrix
+//!   (Table 1, Figs. 4 and 6);
+//! * [`Scale::Vertices`] — any vertex count.
+//!
+//! Real datasets can still be used: download the SNAP/KONECT file and load
+//! it with [`parapsp_graph::io::read_edge_list_file`].
+
+#![warn(missing_docs)]
+
+pub mod registry;
+
+pub use registry::{
+    ca_hepph, find, ordering_datasets, paper_datasets, DatasetSpec, GraphModel, Scale,
+};

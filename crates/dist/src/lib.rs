@@ -1,0 +1,38 @@
+//! Distributed-memory ParAPSP — a faithful simulation of the paper's
+//! stated future work ("extend the ParAPSP algorithm on distributed-memory
+//! parallel environments so that we could find APSP solutions for much
+//! larger graphs", §7).
+//!
+//! # Model
+//!
+//! A cluster of `P` **nodes** is simulated by `P` OS threads with strictly
+//! *private* memory: each node owns only the distance rows of its assigned
+//! sources (an `n²/P` share — the reason distributed memory unlocks larger
+//! graphs than the paper's 256 GB machine). Nodes communicate exclusively
+//! by message passing over channels; every transferred row is **cloned**
+//! (modelling the network copy) and its bytes are accounted in
+//! [`NodeStats`].
+//!
+//! # Algorithm
+//!
+//! Sources are assigned to nodes *cyclically along the global descending
+//! degree order* (computed once with MultiLists, like ParAPSP), so every
+//! node front-loads hub sources. The modified Dijkstra's row reuse then
+//! draws on two pools:
+//!
+//! * rows the node itself has completed (always available), and
+//! * **hub rows** broadcast by other nodes — only sources in the top
+//!   `hub_fraction` of the degree order are broadcast, because complex
+//!   networks concentrate reuse value in the hubs (paper §2.2) while
+//!   broadcasting everything would cost Θ(P·n²) traffic.
+//!
+//! Exactness is unconditional: row reuse is an optimization, not a
+//! correctness requirement, and only *final* rows are ever shared (same
+//! argument as the shared-memory publication protocol).
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod node;
+
+pub use cluster::{dist_apsp, ClusterConfig, DistApspOutput, NodeStats, SourcePartition};

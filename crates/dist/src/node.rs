@@ -1,0 +1,195 @@
+//! The per-node worker: private rows, a local modified-Dijkstra kernel,
+//! and the hub-row mailbox.
+//!
+//! Unlike the shared-memory kernel in `parapsp-core`, a node is
+//! single-threaded over its own memory, so everything here is safe code —
+//! the distributed setting trades the publication protocol for explicit
+//! messages.
+
+use std::collections::VecDeque;
+
+use parapsp_graph::{CsrGraph, INF};
+
+/// A completed row received from another node.
+#[derive(Debug, Clone)]
+pub(crate) struct RowMessage {
+    /// Global source vertex of the row.
+    pub source: u32,
+    /// The full, final distance row of that source.
+    pub row: Vec<u32>,
+}
+
+impl RowMessage {
+    /// Bytes this message occupies on the simulated wire.
+    pub(crate) fn wire_bytes(&self) -> u64 {
+        4 + self.row.len() as u64 * 4
+    }
+}
+
+/// Private per-node state: the rows this node owns plus whatever remote
+/// hub rows have arrived.
+pub(crate) struct NodeState {
+    n: usize,
+    /// `local_rows[i]` is the row of the i-th *owned* source (dense local
+    /// indexing); `None` until computed.
+    local_rows: Vec<Option<Vec<u32>>>,
+    /// Maps a global vertex to its local row slot, or `u32::MAX`.
+    local_slot: Vec<u32>,
+    /// Remote rows received from other nodes, indexed by global source.
+    remote_rows: Vec<Option<Vec<u32>>>,
+    /// Scratch: SPFA queue and in-queue bitmap.
+    queue: VecDeque<u32>,
+    in_queue: Vec<bool>,
+    /// Local reuse counters (reported through `NodeStats`).
+    pub(crate) local_reuses: u64,
+    pub(crate) remote_reuses: u64,
+}
+
+impl NodeState {
+    pub(crate) fn new(n: usize, owned_sources: &[u32]) -> Self {
+        let mut local_slot = vec![u32::MAX; n];
+        for (slot, &s) in owned_sources.iter().enumerate() {
+            local_slot[s as usize] = slot as u32;
+        }
+        NodeState {
+            n,
+            local_rows: vec![None; owned_sources.len()],
+            local_slot,
+            remote_rows: vec![None; n],
+            queue: VecDeque::new(),
+            in_queue: vec![false; n],
+            local_reuses: 0,
+            remote_reuses: 0,
+        }
+    }
+
+    /// Stores a received remote row.
+    pub(crate) fn accept(&mut self, message: RowMessage) {
+        debug_assert_eq!(message.row.len(), self.n);
+        self.remote_rows[message.source as usize] = Some(message.row);
+    }
+
+    /// A completed row for `t`, if this node has one (own or remote).
+    fn completed_row(&self, t: u32) -> Option<(&[u32], bool)> {
+        let slot = self.local_slot[t as usize];
+        if slot != u32::MAX {
+            if let Some(row) = self.local_rows[slot as usize].as_deref() {
+                return Some((row, true));
+            }
+        }
+        self.remote_rows[t as usize]
+            .as_deref()
+            .map(|row| (row, false))
+    }
+
+    /// Runs the modified Dijkstra for owned source `s`, storing the row
+    /// locally and returning a reference to it.
+    pub(crate) fn run_source(&mut self, graph: &CsrGraph, s: u32) -> &[u32] {
+        let n = self.n;
+        let mut row = vec![INF; n];
+        row[s as usize] = 0;
+        // Local counters sidestep the borrow of `self` held by
+        // `completed_row` inside the loop.
+        let mut local_reuses = 0u64;
+        let mut remote_reuses = 0u64;
+        self.queue.push_back(s);
+        self.in_queue[s as usize] = true;
+        while let Some(t) = self.queue.pop_front() {
+            self.in_queue[t as usize] = false;
+            let dt = row[t as usize];
+            if t != s {
+                if let Some((t_row, local)) = self.completed_row(t) {
+                    if local {
+                        local_reuses += 1;
+                    } else {
+                        remote_reuses += 1;
+                    }
+                    for (mine, &via_t) in row.iter_mut().zip(t_row) {
+                        let alt = dt.saturating_add(via_t);
+                        if alt < *mine {
+                            *mine = alt;
+                        }
+                    }
+                    continue;
+                }
+            }
+            for (v, w) in graph.out_edges(t) {
+                let alt = dt.saturating_add(w);
+                if alt < row[v as usize] {
+                    row[v as usize] = alt;
+                    if !self.in_queue[v as usize] {
+                        self.queue.push_back(v);
+                        self.in_queue[v as usize] = true;
+                    }
+                }
+            }
+        }
+        self.local_reuses += local_reuses;
+        self.remote_reuses += remote_reuses;
+        let slot = self.local_slot[s as usize];
+        debug_assert_ne!(slot, u32::MAX, "run_source on a non-owned source");
+        let slot = slot as usize;
+        self.local_rows[slot] = Some(row);
+        self.local_rows[slot].as_deref().expect("just stored")
+    }
+
+    /// Consumes the node, yielding `(global_source, row)` pairs for every
+    /// owned source (the gather phase).
+    pub(crate) fn into_rows(self, owned_sources: &[u32]) -> Vec<(u32, Vec<u32>)> {
+        owned_sources
+            .iter()
+            .zip(self.local_rows)
+            .map(|(&s, row)| (s, row.expect("all owned sources were run")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapsp_graph::generate::path_graph;
+    use parapsp_graph::Direction;
+
+    #[test]
+    fn single_node_computes_exact_rows() {
+        let g = path_graph(5, Direction::Undirected);
+        let owned: Vec<u32> = (0..5).collect();
+        let mut node = NodeState::new(5, &owned);
+        for s in 0..5u32 {
+            node.run_source(&g, s);
+        }
+        let rows = node.into_rows(&owned);
+        for (s, row) in rows {
+            for v in 0..5u32 {
+                assert_eq!(row[v as usize], s.abs_diff(v));
+            }
+        }
+    }
+
+    #[test]
+    fn remote_rows_are_reused() {
+        let g = parapsp_graph::generate::complete_graph(6);
+        // Node owns only source 3; receives row of 0 from "elsewhere".
+        let mut node = NodeState::new(6, &[3]);
+        let mut remote = vec![1u32; 6];
+        remote[0] = 0;
+        node.accept(RowMessage {
+            source: 0,
+            row: remote,
+        });
+        node.run_source(&g, 3);
+        assert_eq!(node.remote_reuses, 1);
+        let rows = node.into_rows(&[3]);
+        assert_eq!(rows[0].1[0], 1);
+        assert_eq!(rows[0].1[3], 0);
+    }
+
+    #[test]
+    fn wire_bytes_counts_header_and_payload() {
+        let m = RowMessage {
+            source: 1,
+            row: vec![0; 10],
+        };
+        assert_eq!(m.wire_bytes(), 4 + 40);
+    }
+}

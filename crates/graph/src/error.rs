@@ -1,0 +1,106 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, generating or parsing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint was `>= vertex_count`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices in the graph.
+        vertex_count: usize,
+    },
+    /// A self-loop was rejected by the active policy.
+    SelfLoop {
+        /// The looping vertex.
+        vertex: u32,
+    },
+    /// A duplicate edge was rejected by the active policy.
+    DuplicateEdge {
+        /// Source endpoint.
+        from: u32,
+        /// Target endpoint.
+        to: u32,
+    },
+    /// A generator was asked for an impossible configuration.
+    InvalidParameter(String),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                vertex_count,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for a graph with {vertex_count} vertices"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} rejected by policy")
+            }
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge ({from}, {to}) rejected by policy")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(err) => write!(f, "I/O error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            vertex_count: 5,
+        };
+        assert!(e.to_string().contains("vertex 9"));
+        assert!(e.to_string().contains("5 vertices"));
+
+        let e = GraphError::Parse {
+            line: 3,
+            message: "expected integer".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+    }
+}

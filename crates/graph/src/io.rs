@@ -1,0 +1,342 @@
+//! Edge-list I/O in the formats used by the paper's data sources.
+//!
+//! * **SNAP** (`snap.stanford.edu`): whitespace-separated `from to` pairs,
+//!   `#`-prefixed comment lines, arbitrary (sparse) vertex ids.
+//! * **KONECT** (`konect.cc`): like SNAP but with `%`-prefixed headers and
+//!   an optional third weight column.
+//!
+//! Vertex ids found in a file are densified to `0..n` in first-appearance
+//! order; [`LoadedGraph::original_ids`] keeps the mapping so analysis output
+//! can be reported in the dataset's own id space.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::csr::{CsrGraph, Direction};
+use crate::error::GraphError;
+
+/// A parsed edge-list file: the graph plus the id mapping back to the file.
+#[derive(Debug, Clone)]
+pub struct LoadedGraph {
+    /// The densified graph.
+    pub graph: CsrGraph,
+    /// `original_ids[v]` is the id vertex `v` had in the input file.
+    pub original_ids: Vec<u64>,
+}
+
+impl LoadedGraph {
+    /// Looks up the dense id of an original file id, if present.
+    pub fn dense_id(&self, original: u64) -> Option<u32> {
+        // O(n) lookup is fine for the occasional query; bulk users should
+        // build their own map from `original_ids`.
+        self.original_ids
+            .iter()
+            .position(|&id| id == original)
+            .map(|i| i as u32)
+    }
+}
+
+/// Options controlling edge-list parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Directedness to give the resulting graph.
+    pub direction: Direction,
+    /// Characters that start a comment line.
+    pub comment_prefixes: &'static [char],
+    /// How to treat repeated edges (datasets like sx-superuser repeat
+    /// interactions; the paper treats graphs as simple).
+    pub duplicate_policy: DuplicatePolicy,
+    /// Weight assigned when a line has no weight column.
+    pub default_weight: u32,
+}
+
+impl ParseOptions {
+    /// SNAP conventions: `#` comments.
+    pub fn snap(direction: Direction) -> Self {
+        ParseOptions {
+            direction,
+            comment_prefixes: &['#'],
+            duplicate_policy: DuplicatePolicy::Ignore,
+            default_weight: 1,
+        }
+    }
+
+    /// KONECT conventions: `%` comments.
+    pub fn konect(direction: Direction) -> Self {
+        ParseOptions {
+            direction,
+            comment_prefixes: &['%'],
+            duplicate_policy: DuplicatePolicy::Ignore,
+            default_weight: 1,
+        }
+    }
+}
+
+/// Parses an edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R, options: ParseOptions) -> Result<LoadedGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut ids: HashMap<u64, u32> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+
+    let intern = |raw: u64, ids: &mut HashMap<u64, u32>, originals: &mut Vec<u64>| -> u32 {
+        *ids.entry(raw).or_insert_with(|| {
+            let dense = originals.len() as u32;
+            originals.push(raw);
+            dense
+        })
+    };
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if options
+            .comment_prefixes
+            .iter()
+            .any(|&c| trimmed.starts_with(c))
+        {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let parse_field = |s: Option<&str>, what: &str| -> Result<u64, GraphError> {
+            let s = s.ok_or_else(|| GraphError::Parse {
+                line: line_no + 1,
+                message: format!("missing {what} column"),
+            })?;
+            s.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: line_no + 1,
+                message: format!("{what} column `{s}` is not a non-negative integer"),
+            })
+        };
+        let from = parse_field(fields.next(), "source")?;
+        let to = parse_field(fields.next(), "target")?;
+        let weight = match fields.next() {
+            // Third column may be a weight or (in KONECT temporal files) a
+            // timestamp; treat any integer as a weight, clamped to >= 1.
+            Some(s) => s
+                .parse::<f64>()
+                .map_err(|_| GraphError::Parse {
+                    line: line_no + 1,
+                    message: format!("weight column `{s}` is not numeric"),
+                })?
+                .max(1.0) as u32,
+            None => options.default_weight,
+        };
+        let u = intern(from, &mut ids, &mut original_ids);
+        let v = intern(to, &mut ids, &mut original_ids);
+        edges.push((u, v, weight));
+    }
+
+    let mut builder = GraphBuilder::new(original_ids.len(), options.direction)
+        .with_duplicate_policy(options.duplicate_policy);
+    builder.reserve(edges.len());
+    for (u, v, w) in edges {
+        builder.add_edge(u, v, w)?;
+    }
+    Ok(LoadedGraph {
+        graph: builder.build(),
+        original_ids,
+    })
+}
+
+/// Parses an edge-list file from disk.
+pub fn read_edge_list_file(
+    path: impl AsRef<Path>,
+    options: ParseOptions,
+) -> Result<LoadedGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, options)
+}
+
+/// Writes a graph as a SNAP-style edge list (one logical edge per line,
+/// with the weight as a third column when not 1).
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(
+        writer,
+        "# {} graph: {} vertices, {} edges",
+        if graph.direction().is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        },
+        graph.vertex_count(),
+        graph.edge_count()
+    )?;
+    for (u, v, w) in graph.logical_edges() {
+        if w == 1 {
+            writeln!(writer, "{u}\t{v}")?;
+        } else {
+            writeln!(writer, "{u}\t{v}\t{w}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a graph in Graphviz DOT format (for `dot -Tsvg` rendering of
+/// small graphs). Weights become edge labels when not 1.
+pub fn write_dot<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+    let (keyword, arrow) = if graph.direction().is_directed() {
+        ("digraph", "->")
+    } else {
+        ("graph", "--")
+    };
+    writeln!(writer, "{keyword} g {{")?;
+    writeln!(writer, "  node [shape=circle];")?;
+    for v in 0..graph.vertex_count() {
+        writeln!(writer, "  {v};")?;
+    }
+    for (u, v, w) in graph.logical_edges() {
+        if w == 1 {
+            writeln!(writer, "  {u} {arrow} {v};")?;
+        } else {
+            writeln!(writer, "  {u} {arrow} {v} [label={w}];")?;
+        }
+    }
+    writeln!(writer, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAP_SAMPLE: &str = "\
+# Directed graph (each unordered pair of nodes is saved once)
+# FromNodeId\tToNodeId
+10 20
+20 30
+10 30
+30 10
+";
+
+    #[test]
+    fn snap_sample_parses_and_densifies() {
+        let loaded =
+            read_edge_list(SNAP_SAMPLE.as_bytes(), ParseOptions::snap(Direction::Directed))
+                .unwrap();
+        assert_eq!(loaded.graph.vertex_count(), 3);
+        assert_eq!(loaded.graph.edge_count(), 4);
+        assert_eq!(loaded.original_ids, vec![10, 20, 30]);
+        assert_eq!(loaded.dense_id(20), Some(1));
+        assert_eq!(loaded.dense_id(99), None);
+        // 10 -> 20 and 10 -> 30
+        assert_eq!(loaded.graph.out_degree(0), 2);
+    }
+
+    #[test]
+    fn konect_comments_and_weights() {
+        let text = "% sym weighted\n1 2 5\n2 3 2\n";
+        let loaded =
+            read_edge_list(text.as_bytes(), ParseOptions::konect(Direction::Undirected)).unwrap();
+        assert_eq!(loaded.graph.edge_count(), 2);
+        assert_eq!(loaded.graph.weights(0), &[5]);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored_by_default() {
+        let text = "1 2\n1 2\n2 1\n";
+        let loaded =
+            read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Undirected)).unwrap();
+        assert_eq!(loaded.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let text = "1 2\nfoo bar\n";
+        let err =
+            read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Directed)).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("foo"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_column_reports_position() {
+        let text = "1\n";
+        let err =
+            read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Directed)).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "\n1 2\n\n   \n2 3\n";
+        let loaded =
+            read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Directed)).unwrap();
+        assert_eq!(loaded.graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn round_trip_write_then_read() {
+        let g = crate::generate::erdos_renyi_gnm(
+            30,
+            60,
+            Direction::Directed,
+            crate::generate::WeightSpec::Uniform { lo: 1, hi: 9 },
+            3,
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded =
+            read_edge_list(buf.as_slice(), ParseOptions::snap(Direction::Directed)).unwrap();
+        // Ids were already dense, so the round trip is exact up to edge order.
+        assert_eq!(loaded.graph.vertex_count(), g.vertex_count());
+        assert_eq!(loaded.graph.edge_count(), g.edge_count());
+        let mut a: Vec<_> = g.arcs().collect();
+        let mut b: Vec<_> = loaded
+            .graph
+            .arcs()
+            .map(|(u, v, w)| {
+                (
+                    loaded.original_ids[u as usize] as u32,
+                    loaded.original_ids[v as usize] as u32,
+                    w,
+                )
+            })
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dot_output_shapes() {
+        let directed = CsrGraph::from_edges(3, Direction::Directed, &[(0, 1, 1), (1, 2, 5)])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_dot(&directed, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("digraph g {"));
+        assert!(text.contains("0 -> 1;"));
+        assert!(text.contains("1 -> 2 [label=5];"));
+
+        let undirected =
+            CsrGraph::from_unit_edges(2, Direction::Undirected, &[(0, 1)]).unwrap();
+        let mut buf = Vec::new();
+        write_dot(&undirected, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("graph g {"));
+        assert!(text.contains("0 -- 1;"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("parapsp-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::write(&path, "# c\n0 1\n1 2\n").unwrap();
+        let loaded = read_edge_list_file(&path, ParseOptions::snap(Direction::Undirected)).unwrap();
+        assert_eq!(loaded.graph.edge_count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,33 @@
+//! Graph substrate for the ParAPSP reproduction.
+//!
+//! Provides the compressed-sparse-row graph representation the APSP
+//! algorithms run on, plus everything needed to *obtain* graphs:
+//!
+//! * [`builder::GraphBuilder`] — incremental edge-list construction with
+//!   deduplication and self-loop policies,
+//! * [`generate`] — seeded random-graph models (Erdős–Rényi, the scale-free
+//!   Barabási–Albert model that the paper's datasets resemble,
+//!   Watts–Strogatz small-world) and deterministic fixtures,
+//! * [`io`] — SNAP / KONECT edge-list parsing and writing, so the real
+//!   evaluation datasets can be dropped in when available,
+//! * [`degree`] — degree tables and distribution statistics (paper Fig. 3).
+//!
+//! Weights are `u32` with [`INF`] (`u32::MAX`) as "unreachable"; complex
+//! network analysis in the paper uses unit weights throughout.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod degree;
+pub mod error;
+pub mod generate;
+pub mod io;
+pub mod transform;
+
+pub use builder::{DuplicatePolicy, GraphBuilder};
+pub use csr::{CsrGraph, Direction};
+pub use error::GraphError;
+
+/// Infinite distance marker: no path.
+pub const INF: u32 = u32::MAX;

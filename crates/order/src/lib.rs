@@ -1,0 +1,188 @@
+//! Degree-ordering procedures from the ParAPSP paper (§2.2, §4).
+//!
+//! Peng et al.'s optimized APSP visits source vertices in **descending
+//! degree order** so that hub rows are computed early and re-used by every
+//! later modified-Dijkstra run. The ordering step itself then becomes the
+//! parallel bottleneck; this crate implements the full progression of
+//! procedures the paper walks through:
+//!
+//! | Procedure | Paper | Complexity | Exact order? | Parallel? |
+//! |---|---|---|---|---|
+//! | [`selection::partial_selection_sort`] | Alg. 3 lines 6–12 | O(r·n²) | yes (for r = 1) | no (loop-carried dependency) |
+//! | [`seq_bucket::seq_bucket_sort`] | §4 intro | O(n) | yes | no |
+//! | [`par_buckets::par_buckets`] | Alg. 5 | O(n) | **approximate** (101 coarse buckets) | yes, lock per bucket |
+//! | [`par_max::par_max`] | Alg. 6 | O(n) | yes | partially (1 %-of-max threshold) |
+//! | [`multi_lists::multi_lists`] | Alg. 7 | O(n) | yes | yes, lock-free (per-thread lists) |
+//!
+//! [`OrderingProcedure`] selects one of these by value, which is how the
+//! APSP driver and the benchmark harness sweep them.
+//!
+//! The MultiLists engine is also exposed as a **general-purpose parallel
+//! sort for bounded integer keys** in [`sort`], as the paper suggests
+//! ("can be used for general sorting purposes").
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod multi_lists;
+pub mod par_buckets;
+pub mod par_max;
+pub mod quality;
+pub mod radix;
+pub mod selection;
+pub mod seq_bucket;
+pub mod sort;
+
+use parapsp_parfor::ThreadPool;
+
+/// Which ordering procedure to run before the SSSP sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OrderingProcedure {
+    /// No ordering: sources are visited as `0..n` (Peng's *basic* algorithm
+    /// / ParAlg1).
+    Identity,
+    /// The paper's original O(n²) selection-style sort (ParAlg2), sorting
+    /// the first `ratio * n` positions exactly. `ratio = 1.0` reproduces the
+    /// full descending order used in the evaluation.
+    SelectionSort {
+        /// Fraction of positions to sort (Alg. 3's `r`, `0 < r <= 1`).
+        ratio: f64,
+    },
+    /// Sequential exact bucket (counting) sort, O(n).
+    SeqBucket,
+    /// Parallel approximate bucketing with a fixed number of degree ranges
+    /// and one lock per bucket (Alg. 5). The paper uses 100 ranges (101
+    /// buckets) and also tried 1000.
+    ParBuckets {
+        /// Number of degree ranges (buckets = ranges + 1).
+        ranges: usize,
+    },
+    /// Exact parallel bucket sort with `max_degree + 1` buckets; vertices
+    /// above `threshold × max` insert in parallel under locks, the long
+    /// low-degree tail inserts sequentially (Alg. 6, threshold 0.01).
+    ParMax {
+        /// Fraction of the max degree above which insertion is parallel.
+        threshold: f64,
+    },
+    /// Lock-free exact ordering with per-thread bucket lists and a
+    /// two-phase merge (Alg. 7) — the procedure inside **ParAPSP**.
+    MultiLists {
+        /// Fraction of the degree range merged in parallel (Alg. 7's
+        /// `parRatio`, 0.1 in the paper).
+        par_ratio: f64,
+    },
+}
+
+impl OrderingProcedure {
+    /// Alg. 3's full selection sort (`r = 1.0`), as used by ParAlg2.
+    pub fn selection() -> Self {
+        OrderingProcedure::SelectionSort { ratio: 1.0 }
+    }
+
+    /// Alg. 5 with the paper's 100 degree ranges.
+    pub fn par_buckets() -> Self {
+        OrderingProcedure::ParBuckets { ranges: 100 }
+    }
+
+    /// Alg. 6 with the paper's 1 % threshold.
+    pub fn par_max() -> Self {
+        OrderingProcedure::ParMax { threshold: 0.01 }
+    }
+
+    /// Alg. 7 with the paper's `parRatio = 0.1`.
+    pub fn multi_lists() -> Self {
+        OrderingProcedure::MultiLists { par_ratio: 0.1 }
+    }
+
+    /// Stable label for benchmark reports.
+    pub fn label(&self) -> String {
+        match self {
+            OrderingProcedure::Identity => "identity".into(),
+            OrderingProcedure::SelectionSort { ratio } => {
+                if (*ratio - 1.0).abs() < f64::EPSILON {
+                    "selection".into()
+                } else {
+                    format!("selection(r={ratio})")
+                }
+            }
+            OrderingProcedure::SeqBucket => "seq-bucket".into(),
+            OrderingProcedure::ParBuckets { ranges } => format!("par-buckets({ranges})"),
+            OrderingProcedure::ParMax { threshold } => format!("par-max({threshold})"),
+            OrderingProcedure::MultiLists { par_ratio } => format!("multi-lists({par_ratio})"),
+        }
+    }
+
+    /// True when the procedure is guaranteed to produce an exact descending
+    /// degree order (ParBuckets is only approximate).
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, OrderingProcedure::ParBuckets { .. })
+    }
+
+    /// Runs the procedure over a degree array, returning the visit order
+    /// (a permutation of `0..degrees.len()`).
+    pub fn compute(&self, degrees: &[u32], pool: &ThreadPool) -> Vec<u32> {
+        match *self {
+            OrderingProcedure::Identity => (0..degrees.len() as u32).collect(),
+            OrderingProcedure::SelectionSort { ratio } => {
+                selection::partial_selection_sort(degrees, ratio)
+            }
+            OrderingProcedure::SeqBucket => seq_bucket::seq_bucket_sort(degrees),
+            OrderingProcedure::ParBuckets { ranges } => {
+                par_buckets::par_buckets(degrees, ranges, pool)
+            }
+            OrderingProcedure::ParMax { threshold } => par_max::par_max(degrees, threshold, pool),
+            OrderingProcedure::MultiLists { par_ratio } => {
+                multi_lists::multi_lists(degrees, par_ratio, pool)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{assert_is_permutation, is_descending_by_degree};
+
+    #[test]
+    fn dispatch_produces_valid_orders_for_every_procedure() {
+        let degrees: Vec<u32> = vec![3, 0, 7, 7, 1, 2, 9, 0, 4, 4, 4, 1];
+        let pool = ThreadPool::new(3);
+        for proc in [
+            OrderingProcedure::Identity,
+            OrderingProcedure::selection(),
+            OrderingProcedure::SeqBucket,
+            OrderingProcedure::par_buckets(),
+            OrderingProcedure::par_max(),
+            OrderingProcedure::multi_lists(),
+        ] {
+            let order = proc.compute(&degrees, &pool);
+            assert_is_permutation(&order, degrees.len());
+            if proc.is_exact() && proc != OrderingProcedure::Identity {
+                assert!(
+                    is_descending_by_degree(&degrees, &order),
+                    "{} not descending: {order:?}",
+                    proc.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            OrderingProcedure::Identity,
+            OrderingProcedure::selection(),
+            OrderingProcedure::SeqBucket,
+            OrderingProcedure::par_buckets(),
+            OrderingProcedure::par_max(),
+            OrderingProcedure::multi_lists(),
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -1,0 +1,159 @@
+//! ParMax — Alg. 6: exact parallel bucket ordering with `max + 1` buckets
+//! and a degree threshold that routes the contended low-degree tail to a
+//! sequential pass.
+//!
+//! Using one bucket per distinct degree removes ParBuckets' approximation
+//! (and the Eq. 1 computation). The scale-free degree distribution then
+//! concentrates nearly all insertions in the few lowest buckets, so those
+//! are inserted *sequentially* (no lock traffic) while the rare
+//! high-degree vertices — above `threshold × max` — are inserted in
+//! parallel under per-bucket locks. An `added` bitmap lets the sequential
+//! pass skip vertices already placed by the parallel pass (paper §4.2).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+use parapsp_parfor::{Schedule, ThreadPool};
+
+use crate::common::par_degree_bounds;
+
+/// Runs the ParMax procedure, returning the exact descending degree order.
+///
+/// `threshold` is the fraction of the maximum degree above which vertices
+/// are inserted in parallel (the paper uses 0.01). The result is always an
+/// exact descending order; within a degree, the sequential tail is stable
+/// by vertex id while the parallel head may interleave (as in the OpenMP
+/// original).
+pub fn par_max(degrees: &[u32], threshold: f64, pool: &ThreadPool) -> Vec<u32> {
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "ParMax threshold {threshold} outside [0, 1]"
+    );
+    let n = degrees.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (_min, max) = par_degree_bounds(degrees, pool).expect("non-empty");
+
+    // Alg. 6 line 2: one bucket per distinct degree, with locks.
+    let mut buckets: Vec<Mutex<Vec<u32>>> =
+        (0..=max as usize).map(|_| Mutex::new(Vec::new())).collect();
+    let added: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let cut = max as f64 * threshold;
+
+    // Alg. 6 lines 3–11: parallel insertion of high-degree vertices.
+    pool.parallel_for(n, Schedule::Block, |_tid, i| {
+        let deg = degrees[i];
+        if deg as f64 >= cut {
+            buckets[deg as usize].lock().push(i as u32);
+            // Only this iteration's thread writes `added[i]`; Relaxed is
+            // enough because the sequential pass starts after the region's
+            // barrier.
+            added[i].store(true, Ordering::Relaxed);
+        }
+    });
+
+    // Alg. 6 lines 12–16: sequential insertion of the remaining (low
+    // degree, heavily populated) vertices — no lock contention by design.
+    for (i, &deg) in degrees.iter().enumerate() {
+        if !added[i].load(Ordering::Relaxed) {
+            buckets[deg as usize].get_mut().push(i as u32);
+        }
+    }
+    let buckets = buckets; // freeze for the read-only merge
+
+    // Alg. 6 lines 17–23: concatenate from max degree down to 0.
+    let mut order = Vec::with_capacity(n);
+    for bucket in buckets.iter().rev() {
+        order.extend_from_slice(&bucket.lock());
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{assert_is_permutation, is_descending_by_degree};
+    use crate::seq_bucket::seq_bucket_sort;
+
+    fn scale_free_like(n: u32) -> Vec<u32> {
+        // A few hubs, many leaves — the distribution ParMax targets.
+        (0..n)
+            .map(|i| if i % 97 == 0 { 500 + i % 400 } else { i % 6 })
+            .collect()
+    }
+
+    #[test]
+    fn exact_descending_for_all_thread_counts() {
+        let degrees = scale_free_like(4000);
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let order = par_max(&degrees, 0.01, &pool);
+            assert_is_permutation(&order, degrees.len());
+            assert!(is_descending_by_degree(&degrees, &order));
+        }
+    }
+
+    #[test]
+    fn degree_multiset_matches_reference_sort() {
+        let degrees = scale_free_like(2500);
+        let pool = ThreadPool::new(4);
+        let got: Vec<u32> = par_max(&degrees, 0.01, &pool)
+            .iter()
+            .map(|&v| degrees[v as usize])
+            .collect();
+        let want: Vec<u32> = seq_bucket_sort(&degrees)
+            .iter()
+            .map(|&v| degrees[v as usize])
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_thread_matches_stable_reference_exactly() {
+        // With one thread both passes are sequential and stable, so the
+        // permutation itself must equal the counting-sort reference.
+        let degrees = scale_free_like(1000);
+        let pool = ThreadPool::new(1);
+        assert_eq!(par_max(&degrees, 0.01, &pool), seq_bucket_sort(&degrees));
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        let degrees = scale_free_like(500);
+        let pool = ThreadPool::new(3);
+        // threshold 0: every vertex goes through the parallel pass.
+        let all_par = par_max(&degrees, 0.0, &pool);
+        assert!(is_descending_by_degree(&degrees, &all_par));
+        // threshold 1: only max-degree vertices in parallel.
+        let all_seq = par_max(&degrees, 1.0, &pool);
+        assert!(is_descending_by_degree(&degrees, &all_seq));
+    }
+
+    #[test]
+    fn uniform_and_tiny_inputs() {
+        let pool = ThreadPool::new(2);
+        assert!(par_max(&[], 0.01, &pool).is_empty());
+        assert_eq!(par_max(&[9], 0.01, &pool), vec![0]);
+        let order = par_max(&[3, 3, 3, 3], 0.01, &pool);
+        assert_is_permutation(&order, 4);
+    }
+
+    #[test]
+    fn zero_degree_graph() {
+        // max = 0 means the cut is 0 and *every* vertex satisfies
+        // `deg >= cut`, taking the parallel path; order is still valid.
+        let degrees = vec![0u32; 100];
+        let pool = ThreadPool::new(4);
+        let order = par_max(&degrees, 0.01, &pool);
+        assert_is_permutation(&order, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_threshold_rejected() {
+        let pool = ThreadPool::new(1);
+        let _ = par_max(&[1], 2.0, &pool);
+    }
+}

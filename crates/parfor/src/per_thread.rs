@@ -1,0 +1,141 @@
+//! Per-thread mutable storage for parallel regions.
+//!
+//! The MultiLists ordering procedure (paper Alg. 7) gives every thread its
+//! own list of buckets so it can insert without locks. [`PerThread`] is the
+//! generic building block for that pattern: one slot per pool thread, each
+//! slot mutably accessible by exactly one thread id during a region, all
+//! slots collectible afterwards.
+
+use std::cell::UnsafeCell;
+
+use crossbeam::utils::CachePadded;
+
+/// One mutable slot per pool thread, accessed by thread id.
+///
+/// Slots are cache-line padded so threads hammering their own slot do not
+/// false-share (the paper calls out false sharing as the reason MultiLists
+/// serializes its high-degree merge range, §4.3).
+///
+/// ```
+/// use parapsp_parfor::{PerThread, ThreadPool, Schedule};
+///
+/// let pool = ThreadPool::new(4);
+/// let locals: PerThread<Vec<usize>> = PerThread::new(pool.num_threads());
+/// pool.parallel_for(100, Schedule::Block, |tid, i| {
+///     // SAFETY: each thread only touches its own slot.
+///     unsafe { locals.get_mut(tid) }.push(i);
+/// });
+/// let total: usize = locals.into_inner().iter().map(Vec::len).sum();
+/// assert_eq!(total, 100);
+/// ```
+pub struct PerThread<T> {
+    slots: Vec<CachePadded<UnsafeCell<T>>>,
+}
+
+// SAFETY: access to each slot is mediated by the unsafe `get_mut`, whose
+// contract requires callers to pass distinct thread ids from distinct
+// threads. The type itself stores plain data.
+unsafe impl<T: Send> Sync for PerThread<T> {}
+
+impl<T: Default> PerThread<T> {
+    /// Creates `threads` default-initialized slots.
+    pub fn new(threads: usize) -> Self {
+        Self::from_fn(threads, |_| T::default())
+    }
+}
+
+impl<T> PerThread<T> {
+    /// Creates `threads` slots, initializing slot `i` with `init(i)`.
+    pub fn from_fn(threads: usize, init: impl FnMut(usize) -> T) -> Self {
+        let mut init = init;
+        PerThread {
+            slots: (0..threads)
+                .map(|i| CachePadded::new(UnsafeCell::new(init(i))))
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the container has no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns a mutable reference to slot `tid`.
+    ///
+    /// # Safety
+    ///
+    /// For the duration of the returned borrow no other reference to slot
+    /// `tid` may exist. The intended discipline — each pool thread passes
+    /// only its own thread id, inside a single parallel region — satisfies
+    /// this, because the pool hands out distinct ids.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn get_mut(&self, tid: usize) -> &mut T {
+        debug_assert!(tid < self.slots.len(), "thread id out of range");
+        unsafe { &mut *self.slots[tid].get() }
+    }
+
+    /// Consumes the container, returning all slot values in thread-id order.
+    pub fn into_inner(self) -> Vec<T> {
+        self.slots
+            .into_iter()
+            .map(|padded| CachePadded::into_inner(padded).into_inner())
+            .collect()
+    }
+
+    /// Iterates over the slots by shared reference.
+    ///
+    /// Only sound once no parallel region is mutating slots, which the
+    /// `&mut self` receiver enforces.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().map(|padded| padded.get_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Schedule, ThreadPool};
+
+    #[test]
+    fn each_thread_accumulates_into_its_own_slot() {
+        let pool = ThreadPool::new(4);
+        let locals: PerThread<u64> = PerThread::new(pool.num_threads());
+        pool.parallel_for(1000, Schedule::dynamic_cyclic(), |tid, i| {
+            // SAFETY: tid identifies this pool thread uniquely.
+            unsafe { *locals.get_mut(tid) += i as u64 };
+        });
+        let total: u64 = locals.into_inner().into_iter().sum();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn from_fn_initializes_per_slot() {
+        let p = PerThread::from_fn(3, |i| i * 10);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.into_inner(), vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn iter_mut_visits_all_slots() {
+        let mut p: PerThread<i32> = PerThread::new(4);
+        for (i, slot) in p.iter_mut().enumerate() {
+            *slot = i as i32;
+        }
+        assert_eq!(p.into_inner(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_container() {
+        let p: PerThread<u8> = PerThread::new(0);
+        assert!(p.is_empty());
+        assert!(p.into_inner().is_empty());
+    }
+}

@@ -1,0 +1,617 @@
+//! A persistent thread pool with OpenMP-style *broadcast* parallel regions.
+//!
+//! Unlike a task queue, every parallel region runs the same closure on all
+//! threads of the pool (each with a stable thread id), exactly like an
+//! OpenMP `parallel` construct. [`ThreadPool::parallel_for`] layers the three
+//! loop schedules from [`Schedule`] on top.
+//!
+//! The calling thread participates as thread 0, so a pool of `T` threads
+//! spawns `T - 1` OS workers. A single-threaded pool executes regions inline
+//! with no synchronization at all, which keeps 1-thread baseline timings
+//! honest.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::schedule::{block_range, Schedule};
+
+/// A broadcast job: invoked once per pool thread with that thread's id.
+///
+/// The pointer is lifetime-erased; see the safety argument in
+/// [`ThreadPool::run`].
+#[derive(Clone, Copy)]
+struct JobRef {
+    ptr: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: `JobRef` is only ever dereferenced while the `run` call that
+// created it is still blocked waiting for all workers, so the referent is
+// live, and the referent is `Sync` so shared calls from many threads are
+// allowed.
+unsafe impl Send for JobRef {}
+
+struct Slot {
+    /// Monotonic counter identifying the current parallel region.
+    epoch: u64,
+    /// Job of the current epoch, if a region is active.
+    job: Option<JobRef>,
+    /// Workers that have not yet finished the current region.
+    remaining: usize,
+    /// Whether any worker's closure panicked during the current region.
+    worker_panicked: bool,
+    /// Set by `Drop` to terminate the worker loops.
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Workers park here waiting for a new epoch.
+    work_cv: Condvar,
+    /// The caller parks here waiting for `remaining == 0`.
+    done_cv: Condvar,
+}
+
+thread_local! {
+    /// Guards against nested parallel regions, which would deadlock: a
+    /// worker would wait for an epoch that can only be announced by itself.
+    static INSIDE_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A fixed-size pool of worker threads supporting OpenMP-like parallel
+/// regions and scheduled parallel loops.
+///
+/// ```
+/// use parapsp_parfor::{ThreadPool, Schedule};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(3);
+/// assert_eq!(pool.num_threads(), 3);
+///
+/// let hits = AtomicUsize::new(0);
+/// pool.run(|tid| {
+///     assert!(tid < 3);
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 3);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `num_threads` total threads (the caller counts as
+    /// thread 0, so `num_threads - 1` OS threads are spawned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads == 0`.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "a thread pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                worker_panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..num_threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("parfor-worker-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            num_threads,
+        }
+    }
+
+    /// Number of threads participating in each parallel region.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Executes `f(tid)` once on every pool thread (an OpenMP `parallel`
+    /// region) and returns when all of them have finished.
+    ///
+    /// Panics in any thread's closure are propagated to the caller after the
+    /// whole region has completed, so the pool stays usable afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside another region of any pool (nested
+    /// parallelism is not supported, as in the paper's flat OpenMP usage).
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        INSIDE_REGION.with(|flag| {
+            assert!(
+                !flag.get(),
+                "nested parallel regions are not supported by parapsp-parfor"
+            );
+            flag.set(true);
+        });
+        // Make sure the flag is cleared even if `f` panics on thread 0.
+        struct ResetGuard;
+        impl Drop for ResetGuard {
+            fn drop(&mut self) {
+                INSIDE_REGION.with(|flag| flag.set(false));
+            }
+        }
+        let _guard = ResetGuard;
+
+        if self.num_threads == 1 {
+            f(0);
+            return;
+        }
+
+        let wide: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: we erase the lifetime of `f` to hand it to the workers.
+        // This is sound because this function does not return (and `f` is
+        // not dropped) until `remaining == 0`, i.e. every worker has
+        // finished calling the closure and will never touch it again.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(wide)
+        };
+        let job = JobRef {
+            ptr: erased as *const _,
+        };
+
+        {
+            let mut slot = self.shared.slot.lock();
+            debug_assert!(slot.job.is_none(), "previous region not cleaned up");
+            slot.epoch += 1;
+            slot.job = Some(job);
+            slot.remaining = self.num_threads - 1;
+            slot.worker_panicked = false;
+            self.shared.work_cv.notify_all();
+        }
+
+        // The caller participates as thread 0. Catch its panic so we can
+        // still wait for the workers (they borrow `f`!) before unwinding.
+        let own_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        let worker_panicked = {
+            let mut slot = self.shared.slot.lock();
+            while slot.remaining > 0 {
+                self.shared.done_cv.wait(&mut slot);
+            }
+            slot.job = None;
+            slot.worker_panicked
+        };
+
+        if let Err(payload) = own_result {
+            resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("a parapsp-parfor worker thread panicked inside a parallel region");
+        }
+    }
+
+    /// Runs `f(tid, i)` for every `i` in `0..n`, assigning iterations to
+    /// threads according to `schedule`. Returns after all iterations finish.
+    ///
+    /// With [`Schedule::DynamicChunked(1)`](Schedule::DynamicChunked) the
+    /// global order in which iterations are *claimed* equals the iteration
+    /// order, which is what makes degree-ordered APSP effective (paper §3.2).
+    pub fn parallel_for<F>(&self, n: usize, schedule: Schedule, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        if self.num_threads == 1 {
+            // Inline fast path: identical iteration order for every schedule.
+            INSIDE_REGION.with(|flag| {
+                assert!(
+                    !flag.get(),
+                    "nested parallel regions are not supported by parapsp-parfor"
+                );
+            });
+            for i in 0..n {
+                f(0, i);
+            }
+            return;
+        }
+        match schedule {
+            Schedule::Block => {
+                let threads = self.num_threads;
+                self.run(|tid| {
+                    for i in block_range(n, threads, tid) {
+                        f(tid, i);
+                    }
+                });
+            }
+            Schedule::StaticCyclic => {
+                let threads = self.num_threads;
+                self.run(|tid| {
+                    let mut i = tid;
+                    while i < n {
+                        f(tid, i);
+                        i += threads;
+                    }
+                });
+            }
+            Schedule::DynamicChunked(chunk) => {
+                let chunk = chunk.max(1);
+                let next = AtomicUsize::new(0);
+                self.run(|tid| loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        f(tid, i);
+                    }
+                });
+            }
+            Schedule::Guided(min_chunk) => {
+                let min_chunk = min_chunk.max(1);
+                let threads = self.num_threads;
+                let next = AtomicUsize::new(0);
+                self.run(|tid| {
+                    let mut observed = next.load(Ordering::Relaxed);
+                    while observed < n {
+                        // OpenMP guided: claim (remaining / 2T), floored at
+                        // min_chunk, via CAS so chunks shrink as work drains.
+                        let remaining = n - observed;
+                        let chunk = (remaining / (2 * threads)).max(min_chunk).min(remaining);
+                        match next.compare_exchange_weak(
+                            observed,
+                            observed + chunk,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(start) => {
+                                for i in start..start + chunk {
+                                    f(tid, i);
+                                }
+                                observed = next.load(Ordering::Relaxed);
+                            }
+                            Err(current) => observed = current,
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    /// Parallel map-reduce over `0..n`: `map(tid, i)` produces a value per
+    /// iteration, values are folded per thread with `reduce`, and the
+    /// per-thread partials (plus `identity`) are folded on the caller.
+    ///
+    /// `reduce` must be associative and commutative up to the caller's
+    /// tolerance — iteration grouping depends on the schedule.
+    ///
+    /// ```
+    /// use parapsp_parfor::{Schedule, ThreadPool};
+    /// let pool = ThreadPool::new(4);
+    /// let max = pool.parallel_map_reduce(
+    ///     1_000,
+    ///     Schedule::Block,
+    ///     u64::MIN,
+    ///     |_tid, i| (i as u64 * 2_654_435_761) % 1_009,
+    ///     |a, b| a.max(b),
+    /// );
+    /// assert_eq!(max, 1_008);
+    /// ```
+    pub fn parallel_map_reduce<T, M, R>(
+        &self,
+        n: usize,
+        schedule: Schedule,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Send + Clone,
+        M: Fn(usize, usize) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+    {
+        let locals: crate::PerThread<Option<T>> = crate::PerThread::new(self.num_threads);
+        self.parallel_for(n, schedule, |tid, i| {
+            let value = map(tid, i);
+            // SAFETY: each pool thread folds into its own slot.
+            let slot = unsafe { locals.get_mut(tid) };
+            *slot = Some(match slot.take() {
+                Some(acc) => reduce(acc, value),
+                None => value,
+            });
+        });
+        locals
+            .into_inner()
+            .into_iter()
+            .flatten()
+            .fold(identity, reduce)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            // A worker only panics for bugs outside user closures (those are
+            // caught); surface such bugs instead of hiding them.
+            if handle.join().is_err() {
+                eprintln!("parapsp-parfor: worker thread terminated abnormally");
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen_epoch {
+                    seen_epoch = slot.epoch;
+                    break slot.job.expect("epoch advanced without a job");
+                }
+                shared.work_cv.wait(&mut slot);
+            }
+        };
+
+        INSIDE_REGION.with(|flag| flag.set(true));
+        // SAFETY: see `JobRef`'s `Send` impl — the caller of `run` keeps the
+        // closure alive until we decrement `remaining` below.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.ptr)(tid) }));
+        INSIDE_REGION.with(|flag| flag.set(false));
+
+        let mut slot = shared.slot.lock();
+        if result.is_err() {
+            slot.worker_panicked = true;
+        }
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PlMutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_thread_runs_once_per_region() {
+        let pool = ThreadPool::new(4);
+        for _ in 0..50 {
+            let counts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(|tid| {
+                counts[tid].fetch_add(1, Ordering::Relaxed);
+            });
+            for c in &counts {
+                assert_eq!(c.load(Ordering::Relaxed), 1);
+            }
+        }
+    }
+
+    fn check_coverage(threads: usize, n: usize, schedule: Schedule) {
+        let pool = ThreadPool::new(threads);
+        let visits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(n, schedule, |tid, i| {
+            assert!(tid < threads);
+            visits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, v) in visits.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), 1, "index {i} visited wrong count");
+        }
+    }
+
+    #[test]
+    fn all_schedules_cover_all_indices_exactly_once() {
+        for threads in [1usize, 2, 3, 8] {
+            for n in [0usize, 1, 2, 7, 64, 1000] {
+                for schedule in [
+                    Schedule::Block,
+                    Schedule::StaticCyclic,
+                    Schedule::DynamicChunked(1),
+                    Schedule::DynamicChunked(7),
+                    Schedule::Guided(1),
+                    Schedule::Guided(4),
+                ] {
+                    check_coverage(threads, n, schedule);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_cyclic_assigns_by_modulo() {
+        let threads = 4;
+        let pool = ThreadPool::new(threads);
+        let owner: Vec<AtomicUsize> = (0..40).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        pool.parallel_for(40, Schedule::StaticCyclic, |tid, i| {
+            owner[i].store(tid, Ordering::Relaxed);
+        });
+        for (i, o) in owner.iter().enumerate() {
+            assert_eq!(o.load(Ordering::Relaxed), i % threads);
+        }
+    }
+
+    #[test]
+    fn block_assigns_contiguously() {
+        let threads = 3;
+        let pool = ThreadPool::new(threads);
+        let owner: Vec<AtomicUsize> = (0..10).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        pool.parallel_for(10, Schedule::Block, |tid, i| {
+            owner[i].store(tid, Ordering::Relaxed);
+        });
+        let owners: Vec<usize> = owner.iter().map(|o| o.load(Ordering::Relaxed)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn dynamic_cyclic_claims_in_issue_order() {
+        // The claim sequence observed through a mutex must be exactly 0..n,
+        // which is the property the paper relies on for degree ordering.
+        let pool = ThreadPool::new(4);
+        let log = PlMutex::new(Vec::new());
+        pool.parallel_for(200, Schedule::dynamic_cyclic(), |_tid, i| {
+            log.lock().push(i);
+        });
+        let mut seen = log.into_inner();
+        // Claims are in order; execution interleaves, but each index appears
+        // exactly once and the multiset is complete.
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_many_times() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.parallel_for(17, Schedule::dynamic_cyclic(), |_tid, _i| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200 * 17);
+    }
+
+    #[test]
+    fn more_threads_than_work_is_fine() {
+        check_coverage(8, 3, Schedule::Block);
+        check_coverage(8, 3, Schedule::StaticCyclic);
+        check_coverage(8, 3, Schedule::dynamic_cyclic());
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(100, Schedule::dynamic_cyclic(), |_tid, i| {
+                if i == 57 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still work after a panic.
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(10, Schedule::Block, |_tid, _i| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn caller_thread_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 0 {
+                    panic!("caller boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Reusable afterwards.
+        pool.run(|_tid| {});
+    }
+
+    #[test]
+    fn nested_regions_panic_cleanly() {
+        let pool = ThreadPool::new(2);
+        let inner = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|_tid| {
+                inner.run(|_t| {});
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_in_order() {
+        let pool = ThreadPool::new(1);
+        let log = PlMutex::new(Vec::new());
+        pool.parallel_for(10, Schedule::dynamic_cyclic(), |tid, i| {
+            assert_eq!(tid, 0);
+            log.lock().push(i);
+        });
+        assert_eq!(log.into_inner(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn guided_claims_cover_in_order() {
+        // The claim sequence is monotone: sorting the observed claim order
+        // must reproduce 0..n, and chunks shrink over time by construction.
+        let pool = ThreadPool::new(4);
+        let log = PlMutex::new(Vec::new());
+        pool.parallel_for(500, Schedule::Guided(2), |_tid, i| {
+            log.lock().push(i);
+        });
+        let mut seen = log.into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_reduce_sums_and_maxes() {
+        let pool = ThreadPool::new(4);
+        for schedule in [
+            Schedule::Block,
+            Schedule::StaticCyclic,
+            Schedule::dynamic_cyclic(),
+            Schedule::Guided(1),
+        ] {
+            let sum = pool.parallel_map_reduce(1000, schedule, 0u64, |_t, i| i as u64, |a, b| a + b);
+            assert_eq!(sum, 999 * 1000 / 2, "{schedule:?}");
+        }
+        // Empty range yields the identity.
+        let empty = pool.parallel_map_reduce(0, Schedule::Block, 42u64, |_t, i| i as u64, |a, b| a + b);
+        assert_eq!(empty, 42);
+        // Single-threaded pool takes the inline path.
+        let single = ThreadPool::new(1);
+        let sum = single.parallel_map_reduce(10, Schedule::Block, 0u64, |_t, i| i as u64, |a, b| a + b);
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn borrows_local_data_without_static_lifetime() {
+        let data: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPool::new(4);
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(data.len(), Schedule::Block, |_tid, i| {
+            sum.fetch_add(data[i] as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+}

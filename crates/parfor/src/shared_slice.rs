@@ -1,0 +1,130 @@
+//! Disjoint concurrent writes into one slice.
+//!
+//! Phase 2 of the MultiLists ordering (paper Alg. 7, lines 10–19) has many
+//! threads writing different, pre-computed ranges of the single global
+//! `order` array. [`ParSlice`] wraps a `&mut [T]` so it can be shared across
+//! a parallel region, with an unsafe per-element write whose disjointness
+//! contract is documented at the call sites.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A shareable view over a mutable slice allowing concurrent writes to
+/// *disjoint* indices.
+///
+/// ```
+/// use parapsp_parfor::{ParSlice, Schedule, ThreadPool};
+///
+/// let mut data = vec![0u32; 100];
+/// {
+///     let view = ParSlice::new(&mut data);
+///     let pool = ThreadPool::new(4);
+///     pool.parallel_for(100, Schedule::StaticCyclic, |_tid, i| {
+///         // SAFETY: each index is visited exactly once.
+///         unsafe { view.write(i, i as u32 * 2) };
+///     });
+/// }
+/// assert_eq!(data[21], 42);
+/// ```
+pub struct ParSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a UnsafeCell<[T]>>,
+}
+
+// SAFETY: the only mutation path is `write`, whose contract demands that
+// concurrent calls target disjoint indices; `T: Send` means moving values
+// into the slice from another thread is fine.
+unsafe impl<T: Send> Sync for ParSlice<'_, T> {}
+unsafe impl<T: Send> Send for ParSlice<'_, T> {}
+
+impl<'a, T> ParSlice<'a, T> {
+    /// Wraps a mutable slice for the duration of a parallel region.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        ParSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// No other read or write of `index` may happen concurrently: every
+    /// index must be owned by at most one thread at any moment. Bounds are
+    /// checked (panics on out-of-range), only aliasing is the caller's
+    /// obligation.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        assert!(index < self.len, "ParSlice index {index} out of bounds");
+        // SAFETY: in-bounds by the assert; exclusivity by the caller.
+        unsafe { self.ptr.add(index).write(value) };
+    }
+
+    /// Reads the value at `index`.
+    ///
+    /// # Safety
+    ///
+    /// No write to `index` may happen concurrently (concurrent reads are
+    /// fine). Tiled algorithms use this to read pivot regions that the
+    /// current phase never writes.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        assert!(index < self.len, "ParSlice index {index} out of bounds");
+        // SAFETY: in-bounds by the assert; no concurrent writer by the
+        // caller's contract.
+        unsafe { self.ptr.add(index).read() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Schedule, ThreadPool};
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut data = vec![0usize; 1000];
+        {
+            let view = ParSlice::new(&mut data);
+            let pool = ThreadPool::new(4);
+            pool.parallel_for(1000, Schedule::dynamic_cyclic(), |_tid, i| unsafe {
+                view.write(i, i + 1);
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_write_panics() {
+        let mut data = vec![0u8; 4];
+        let view = ParSlice::new(&mut data);
+        unsafe { view.write(4, 1) };
+    }
+
+    #[test]
+    fn empty_slice() {
+        let mut data: Vec<u8> = Vec::new();
+        let view = ParSlice::new(&mut data);
+        assert!(view.is_empty());
+        assert_eq!(view.len(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Domain example: a miniature version of the paper's evaluation — sweep
+//! thread counts over the algorithm family and print elapsed time and
+//! speedup, like Figures 8 and 9.
+//!
+//! ```text
+//! cargo run --release --example scaling_study [vertices]
+//! ```
+//!
+//! Note: real speedup needs real cores; on a single-core machine the sweep
+//! still demonstrates the *algorithmic* gaps (ParAlg2 and ParAPSP beating
+//! ParAlg1, and ParAPSP eliminating ParAlg2's ordering overhead).
+
+use parapsp::core::ParApsp;
+use parapsp::datasets::{find, Scale};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_500);
+    let graph = find("WordNet")
+        .expect("registry")
+        .generate(Scale::Vertices(n))
+        .expect("generation");
+    println!(
+        "WordNet replica: {} vertices, {} edges\n",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    let threads = [1usize, 2, 4, 8];
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>12} {:>9}",
+        "algorithm", "threads", "ordering", "sssp", "total", "speedup"
+    );
+    for (label, make) in [
+        ("ParAlg1", ParApsp::par_alg1 as fn(usize) -> ParApsp),
+        ("ParAlg2", ParApsp::par_alg2),
+        ("ParAPSP", ParApsp::par_apsp),
+    ] {
+        let mut t1 = None;
+        for &t in &threads {
+            let out = make(t).run(&graph);
+            let total = out.timings.total.as_secs_f64();
+            let t1 = *t1.get_or_insert(total);
+            println!(
+                "{label:<10} {t:>8} {:>12.2?} {:>12.2?} {:>12.2?} {:>8.2}x",
+                out.timings.ordering, out.timings.sssp, out.timings.total,
+                t1 / total
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,72 @@
+//! Domain example: who are the most *influential* members of a social
+//! network? — the paper's motivating use case (§1): complex-network
+//! analysis on top of an all-pairs shortest-path solution.
+//!
+//! Generates a scale-free friendship network (the structure of Livemocha /
+//! Flickr in the paper's Table 2), computes APSP with ParAPSP, then ranks
+//! members by closeness and harmonic centrality and reports global
+//! path-length statistics.
+//!
+//! ```text
+//! cargo run --release --example social_influence
+//! ```
+
+use parapsp::analysis::{
+    centrality::{closeness_centrality, harmonic_centrality, top_k, Normalization},
+    paths::{distance_distribution, path_stats},
+};
+use parapsp::core::ParApsp;
+use parapsp::graph::degree;
+use parapsp::graph::generate::{barabasi_albert, WeightSpec};
+
+fn main() {
+    let n = 2_000;
+    let graph = barabasi_albert(n, 4, WeightSpec::Unit, 2024).expect("generation");
+    let degrees = degree::out_degrees(&graph);
+    println!(
+        "friendship network: {} members, {} friendships, max degree {}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        degrees.iter().max().unwrap()
+    );
+
+    let out = ParApsp::par_apsp(4).run(&graph);
+    println!(
+        "APSP solved in {:?} ({} row reuses did the work of full searches)\n",
+        out.timings.total, out.counters.row_reuses
+    );
+
+    // Global structure: the "small world" numbers.
+    let stats = path_stats(&out.dist);
+    println!("diameter: {} hops", stats.diameter);
+    println!("radius:   {} hops", stats.radius);
+    println!("average separation: {:.3} hops", stats.average_path_length);
+    println!("connected pairs: {:.1}%\n", stats.connectivity() * 100.0);
+
+    let hist = distance_distribution(&out.dist);
+    println!("degrees of separation:");
+    for (d, count) in hist.iter().enumerate().skip(1) {
+        if *count > 0 {
+            let share = *count as f64 / stats.reachable_pairs as f64 * 100.0;
+            println!("  {d} hops: {share:5.1}%  {}", "#".repeat((share / 2.0) as usize));
+        }
+    }
+
+    // Who is central?
+    let closeness = closeness_centrality(&out.dist, Normalization::WassermanFaust);
+    let harmonic = harmonic_centrality(&out.dist);
+    println!("\ntop 5 by closeness centrality:");
+    for v in top_k(&closeness, 5) {
+        println!(
+            "  member {v:4}  closeness {:.4}  degree {}",
+            closeness[v as usize], degrees[v as usize]
+        );
+    }
+    println!("top 5 by harmonic centrality:");
+    for v in top_k(&harmonic, 5) {
+        println!(
+            "  member {v:4}  harmonic {:.4}  degree {}",
+            harmonic[v as usize], degrees[v as usize]
+        );
+    }
+}
