@@ -748,7 +748,7 @@ pub fn dist(config: &Config) -> Vec<Table> {
                 parapsp_dist::ClusterConfig {
                     nodes,
                     hub_fraction,
-                    partition: Default::default(),
+                    ..Default::default()
                 },
             );
             let remote: u64 = out.node_stats.iter().map(|s| s.remote_reuses).sum();

@@ -31,6 +31,13 @@ const VALUED: &[&str] = &[
     "--weights",
     "--cap",
     "--partition",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--resume",
+    "--fault-seed",
+    "--crash",
+    "--drop-prob",
+    "--corrupt-prob",
 ];
 
 impl Args {

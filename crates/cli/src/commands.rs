@@ -1,17 +1,17 @@
 //! The `parapsp` subcommand implementations.
 
+use parapsp_analysis::components::weakly_connected_components;
+use parapsp_analysis::paths::{distance_distribution, path_stats};
 use parapsp_analysis::{
     average_clustering, betweenness_centrality, closeness_centrality, degree_assortativity,
     harmonic_centrality, top_k, Normalization,
 };
-use parapsp_analysis::components::weakly_connected_components;
-use parapsp_analysis::paths::{distance_distribution, path_stats};
 use parapsp_core::adaptive::{par_adaptive, AdaptiveConfig};
 use parapsp_core::baselines;
 use parapsp_core::paths::par_apsp_with_paths;
 use parapsp_core::seq::{seq_basic, seq_optimized};
 use parapsp_core::{DistanceMatrix, ParApsp};
-use parapsp_dist::{dist_apsp, ClusterConfig};
+use parapsp_dist::{dist_apsp, ClusterConfig, FaultPlan};
 use parapsp_graph::io::{read_edge_list_file, LoadedGraph, ParseOptions};
 use parapsp_graph::{degree, transform, CsrGraph, Direction};
 use parapsp_parfor::ThreadPool;
@@ -50,6 +50,17 @@ apsp options:
                              at infinity (par-* algorithms only)
   --out <file>               save the distance matrix (.tsv/.txt = text,
                              anything else = compact binary)
+  --checkpoint <file>        write completed rows to <file> periodically
+                             (par-apsp | par-alg1 | par-alg2)
+  --checkpoint-every <K>     rows between checkpoint writes (default: 64)
+  --resume <file>            load a checkpoint and compute only the
+                             missing rows
+
+dist fault injection (deterministic, seeded):
+  --fault-seed <S>           seed for the fault plan (default: 0)
+  --crash <node:k[,..]>      crash node(s) after their k-th source
+  --drop-prob <P>            drop each hub broadcast with probability P
+  --corrupt-prob <Q>         bit-flip each row payload with probability Q
 
 generate options:
   --model <ba|er|ws> --n <N> --m <M> [--p <P>] [--seed <S>] --out <file>
@@ -128,6 +139,37 @@ pub fn stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the `dist` fault plan from `--fault-seed`, `--crash`,
+/// `--drop-prob`, and `--corrupt-prob`.
+fn parse_fault_plan(args: &Args) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::seeded(args.get_parsed("fault-seed", 0u64)?);
+    if let Some(spec) = args.get("crash") {
+        for entry in spec.split(',') {
+            let (node, after) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("--crash entry `{entry}` is not <node>:<k>"))?;
+            let node: usize = node
+                .parse()
+                .map_err(|_| format!("--crash node `{node}` is invalid"))?;
+            let after: u64 = after
+                .parse()
+                .map_err(|_| format!("--crash count `{after}` is invalid"))?;
+            plan = plan.crash_node_after(node, after);
+        }
+    }
+    let drop_prob = args.get_parsed("drop-prob", 0.0f64)?;
+    if !(0.0..=1.0).contains(&drop_prob) {
+        return Err(format!("--drop-prob {drop_prob} outside [0, 1]"));
+    }
+    let corrupt_prob = args.get_parsed("corrupt-prob", 0.0f64)?;
+    if !(0.0..1.0).contains(&corrupt_prob) {
+        return Err(format!("--corrupt-prob {corrupt_prob} outside [0, 1)"));
+    }
+    Ok(plan
+        .with_drop_probability(drop_prob)
+        .with_corrupt_probability(corrupt_prob))
+}
+
 fn run_algorithm(
     name: &str,
     graph: &CsrGraph,
@@ -146,10 +188,49 @@ fn run_algorithm(
         Some(c) => driver.with_max_distance(c),
         None => driver,
     };
+    // Checkpoint/resume applies to the ParApsp drivers only.
+    if (args.get("checkpoint").is_some() || args.get("resume").is_some())
+        && !matches!(name, "par-apsp" | "par-alg1" | "par-alg2")
+    {
+        return Err(format!(
+            "--checkpoint/--resume work with par-apsp, par-alg1, or par-alg2 (got `{name}`)"
+        ));
+    }
+    let checkpoint_every = args.get_parsed("checkpoint-every", 64usize)?;
+    if checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    let run_par = |driver: ParApsp| -> Result<parapsp_core::ApspOutput, String> {
+        let driver = match args.get("checkpoint") {
+            Some(path) => with_cap(driver).with_checkpoint(path, checkpoint_every),
+            None => with_cap(driver),
+        };
+        match args.get("resume") {
+            Some(path) => {
+                use parapsp_core::persist;
+                let cp = persist::load_checkpoint(path)
+                    .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+                if cp.n() != graph.vertex_count() {
+                    return Err(format!(
+                        "checkpoint {path} is for {} vertices but the graph has {}",
+                        cp.n(),
+                        graph.vertex_count()
+                    ));
+                }
+                println!(
+                    "resuming: {} of {} rows already complete",
+                    cp.completed_count(),
+                    cp.n()
+                );
+                Ok(driver.run_resumed(graph, cp))
+            }
+            None => Ok(driver.run(graph)),
+        }
+    };
     let out = match name {
-        "par-apsp" => with_cap(ParApsp::par_apsp(threads)).run(graph),
-        "par-alg1" => with_cap(ParApsp::par_alg1(threads)).run(graph),
-        "par-alg2" => with_cap(ParApsp::par_alg2(threads)).run(graph),
+        "par-apsp" => run_par(ParApsp::par_apsp(threads))?,
+        "par-alg1" => run_par(ParApsp::par_alg1(threads))?,
+        "par-alg2" => run_par(ParApsp::par_alg2(threads))?,
         "par-adaptive" => par_adaptive(graph, threads, AdaptiveConfig::default()),
         "seq-basic" => seq_basic(graph),
         "seq-optimized" => seq_optimized(graph, 1.0),
@@ -162,7 +243,10 @@ fn run_algorithm(
             let pool = ThreadPool::new(threads);
             let start = std::time::Instant::now();
             let dist = baselines::par_apsp_dijkstra(graph, &pool);
-            return Ok((dist, format!("parallel heap-dijkstra: {:?}", start.elapsed())));
+            return Ok((
+                dist,
+                format!("parallel heap-dijkstra: {:?}", start.elapsed()),
+            ));
         }
         "dist" => {
             use parapsp_dist::SourcePartition;
@@ -178,21 +262,33 @@ fn run_algorithm(
                     ))
                 }
             };
+            let faults = parse_fault_plan(args)?;
             let out = dist_apsp(
                 graph,
                 ClusterConfig {
                     nodes,
                     hub_fraction,
                     partition,
+                    faults,
+                    ..ClusterConfig::default()
                 },
             );
+            let sum = |field: fn(&parapsp_dist::NodeStats) -> u64| {
+                out.node_stats.iter().map(field).sum::<u64>()
+            };
             let summary = format!(
-                "distributed ({} nodes): {:?}; broadcast {} KiB, gather {} KiB, remote reuses {}",
+                "distributed ({} nodes, {} crashed): {:?}; broadcast {} KiB, gather {} KiB, \
+                 remote reuses {}, rows rejected {} (+{} at gather), retries {}, reassigned {}",
                 nodes,
+                out.crashed_nodes(),
                 out.elapsed,
                 out.total_broadcast_bytes() / 1024,
                 out.gather_bytes / 1024,
-                out.node_stats.iter().map(|s| s.remote_reuses).sum::<u64>()
+                sum(|s| s.remote_reuses),
+                sum(|s| s.rows_rejected),
+                out.gather_rejected,
+                sum(|s| s.retries),
+                sum(|s| s.reassigned_sources),
             );
             return Ok((out.dist, summary));
         }
@@ -250,7 +346,10 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     let top = args.get_parsed("top", 5usize)?;
 
     let out = ParApsp::par_apsp(threads).run(g);
-    println!("ParAPSP: {:?} on {} threads\n", out.timings.total, out.threads);
+    println!(
+        "ParAPSP: {:?} on {} threads\n",
+        out.timings.total, out.threads
+    );
 
     let stats = path_stats(&out.dist);
     println!(
@@ -371,13 +470,19 @@ pub fn estimate(args: &Args) -> Result<(), String> {
     };
     let src = parse_vertex(1, "source")?;
     let dst = parse_vertex(2, "destination")?;
-    let index = LandmarkIndex::build(&loaded.graph, k.max(1), LandmarkStrategy::HighestDegree, threads);
+    let index = LandmarkIndex::build(
+        &loaded.graph,
+        k.max(1),
+        LandmarkStrategy::HighestDegree,
+        threads,
+    );
     let lo = index.lower_bound(src, dst);
     let hi = index.upper_bound(src, dst);
     if hi == parapsp_graph::INF {
         println!("no landmark reaches both endpoints (likely disconnected)");
     } else {
-        println!("d({}, {}) ∈ [{lo}, {hi}]  ({} hub landmarks, O(k·n) memory)",
+        println!(
+            "d({}, {}) ∈ [{lo}, {hi}]  ({} hub landmarks, O(k·n) memory)",
             args.positional(1).unwrap_or("?"),
             args.positional(2).unwrap_or("?"),
             index.landmarks().len()
@@ -446,8 +551,15 @@ mod tests {
             "dijkstra",
             "dist",
         ] {
-            apsp(&args(&["apsp", &file, "--algorithm", algorithm, "--threads", "2"]))
-                .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            apsp(&args(&[
+                "apsp",
+                &file,
+                "--algorithm",
+                algorithm,
+                "--threads",
+                "2",
+            ]))
+            .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
         }
     }
 
@@ -485,16 +597,70 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_and_resume_via_cli() {
+        let dir = std::env::temp_dir().join("parapsp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = sample_file();
+        let ckpt = dir.join("cli.ckpt").to_string_lossy().into_owned();
+        apsp(&args(&[
+            "apsp",
+            &file,
+            "--checkpoint",
+            &ckpt,
+            "--checkpoint-every",
+            "2",
+        ]))
+        .unwrap();
+        let cp = parapsp_core::persist::load_checkpoint(&ckpt).unwrap();
+        assert!(cp.is_complete());
+        // Resuming from a complete checkpoint recomputes nothing and succeeds.
+        apsp(&args(&["apsp", &file, "--resume", &ckpt])).unwrap();
+        // Checkpointing is a ParApsp-driver feature.
+        assert!(apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "seq-basic",
+            "--checkpoint",
+            &ckpt
+        ]))
+        .is_err());
+        assert!(apsp(&args(&[
+            "apsp",
+            &file,
+            "--checkpoint",
+            &ckpt,
+            "--checkpoint-every",
+            "0"
+        ]))
+        .is_err());
+        assert!(apsp(&args(&["apsp", &file, "--resume", "/no/such/checkpoint"])).is_err());
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
     fn dist_partitions_via_cli() {
         let file = sample_file();
         for partition in ["cyclic-degree", "block-degree", "cyclic-id"] {
             apsp(&args(&[
-                "apsp", &file, "--algorithm", "dist", "--nodes", "2", "--partition", partition,
+                "apsp",
+                &file,
+                "--algorithm",
+                "dist",
+                "--nodes",
+                "2",
+                "--partition",
+                partition,
             ]))
             .unwrap_or_else(|e| panic!("{partition}: {e}"));
         }
         assert!(apsp(&args(&[
-            "apsp", &file, "--algorithm", "dist", "--partition", "nope"
+            "apsp",
+            &file,
+            "--algorithm",
+            "dist",
+            "--partition",
+            "nope"
         ]))
         .is_err());
     }

@@ -37,6 +37,12 @@ impl DistanceMatrix {
         DistanceMatrix { n, data }
     }
 
+    /// Consumes the matrix, yielding its row-major buffer (the inverse of
+    /// [`DistanceMatrix::from_raw`]).
+    pub fn into_raw(self) -> Box<[u32]> {
+        self.data
+    }
+
     /// Number of vertices (the matrix is `n × n`).
     #[inline]
     pub fn n(&self) -> usize {
@@ -94,7 +100,9 @@ impl DistanceMatrix {
     /// True when `d(u, v) == d(v, u)` for all pairs — a structural
     /// invariant of APSP on undirected graphs that the tests exploit.
     pub fn is_symmetric(&self) -> bool {
-        (0..self.n).all(|u| (u + 1..self.n).all(|v| self.data[u * self.n + v] == self.data[v * self.n + u]))
+        (0..self.n).all(|u| {
+            (u + 1..self.n).all(|v| self.data[u * self.n + v] == self.data[v * self.n + u])
+        })
     }
 
     /// Number of ordered pairs `(u, v)`, `u != v`, with a finite distance.

@@ -93,8 +93,8 @@ impl IncrementalApsp {
                 }
                 let mut local = 0usize;
                 let row_base = x * n;
-                for y in 0..n {
-                    let alt = base.saturating_add(row_v[y]);
+                for (y, &via_v) in row_v.iter().enumerate() {
+                    let alt = base.saturating_add(via_v);
                     // SAFETY: row `x` of the matrix belongs exclusively to
                     // this iteration (rows are the parallel unit).
                     if alt < unsafe { view.read(row_base + y) } {
@@ -112,7 +112,12 @@ impl IncrementalApsp {
 
     /// Rebuilds the graph (base edges must be supplied by the caller) and
     /// recomputes from scratch — the escape hatch for deletions.
-    pub fn recompute(base_edges: &[(u32, u32, u32)], n: usize, direction: Direction, threads: usize) -> Result<Self, parapsp_graph::GraphError> {
+    pub fn recompute(
+        base_edges: &[(u32, u32, u32)],
+        n: usize,
+        direction: Direction,
+        threads: usize,
+    ) -> Result<Self, parapsp_graph::GraphError> {
         let mut builder = GraphBuilder::new(n, direction);
         for &(u, v, w) in base_edges {
             builder.add_edge(u, v, w)?;
@@ -127,10 +132,7 @@ mod tests {
     use crate::baselines::apsp_dijkstra;
     use parapsp_graph::generate::{barabasi_albert, erdos_renyi_gnm, WeightSpec};
 
-    fn graph_plus_edges(
-        base: &CsrGraph,
-        extra: &[(u32, u32, u32)],
-    ) -> CsrGraph {
+    fn graph_plus_edges(base: &CsrGraph, extra: &[(u32, u32, u32)]) -> CsrGraph {
         let mut builder = GraphBuilder::new(base.vertex_count(), base.direction());
         for (u, v, w) in base.logical_edges() {
             builder.add_edge(u, v, w).unwrap();
@@ -223,8 +225,7 @@ mod tests {
     #[test]
     fn recompute_escape_hatch() {
         let edges = vec![(0u32, 1u32, 2u32), (1, 2, 2)];
-        let rebuilt =
-            IncrementalApsp::recompute(&edges, 3, Direction::Directed, 2).unwrap();
+        let rebuilt = IncrementalApsp::recompute(&edges, 3, Direction::Directed, 2).unwrap();
         assert_eq!(rebuilt.distances().get(0, 2), 4);
     }
 

@@ -17,6 +17,7 @@
 //! reusable rows *sooner* — the effect the paper credits for hyper-linear
 //! speedup.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use parapsp_graph::{degree, CsrGraph};
@@ -24,8 +25,16 @@ use parapsp_order::OrderingProcedure;
 use parapsp_parfor::{PerThread, Schedule, ThreadPool};
 
 use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
+use crate::persist::{self, Checkpoint};
 use crate::shared::SharedDistState;
 use crate::stats::{ApspOutput, Counters, PhaseTimings};
+
+/// Where and how often a run writes its partial-progress checkpoint.
+#[derive(Debug, Clone)]
+struct CheckpointPolicy {
+    path: PathBuf,
+    every: usize,
+}
 
 /// Configurable parallel APSP driver. Build with a named constructor (the
 /// paper's algorithms) or customize any piece with the `with_*` methods.
@@ -45,6 +54,7 @@ pub struct ParApsp {
     schedule: Schedule,
     ordering: OrderingProcedure,
     kernel: KernelOptions,
+    checkpoint: Option<CheckpointPolicy>,
     label: String,
 }
 
@@ -57,6 +67,7 @@ impl ParApsp {
             schedule: Schedule::Block,
             ordering: OrderingProcedure::Identity,
             kernel: KernelOptions::default(),
+            checkpoint: None,
             label: "ParAlg1".into(),
         }
     }
@@ -69,6 +80,7 @@ impl ParApsp {
             schedule: Schedule::dynamic_cyclic(),
             ordering: OrderingProcedure::selection(),
             kernel: KernelOptions::default(),
+            checkpoint: None,
             label: "ParAlg2".into(),
         }
     }
@@ -80,6 +92,7 @@ impl ParApsp {
             schedule: Schedule::dynamic_cyclic(),
             ordering: OrderingProcedure::par_buckets(),
             kernel: KernelOptions::default(),
+            checkpoint: None,
             label: "ParBuckets".into(),
         }
     }
@@ -91,6 +104,7 @@ impl ParApsp {
             schedule: Schedule::dynamic_cyclic(),
             ordering: OrderingProcedure::par_max(),
             kernel: KernelOptions::default(),
+            checkpoint: None,
             label: "ParMax".into(),
         }
     }
@@ -104,6 +118,7 @@ impl ParApsp {
             schedule: Schedule::dynamic_cyclic(),
             ordering: OrderingProcedure::multi_lists(),
             kernel: KernelOptions::default(),
+            checkpoint: None,
             label: "ParAPSP".into(),
         }
     }
@@ -134,6 +149,30 @@ impl ParApsp {
         self
     }
 
+    /// Periodically persists progress: after every `every` completed
+    /// sources the driver writes a version-2 checkpoint (atomically —
+    /// temp file + rename) to `path`. A run killed between writes loses
+    /// at most `every` rows of work; reload the file with
+    /// [`persist::load_checkpoint`] and continue via
+    /// [`ParApsp::run_resumed`].
+    ///
+    /// Checkpointing inserts a barrier every `every` sources, so small
+    /// values trade sweep parallelism for durability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every` is zero, and later — during the run — if a
+    /// checkpoint write fails (durability was explicitly requested; a
+    /// silently unwritable checkpoint would defeat it).
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be at least 1 source");
+        self.checkpoint = Some(CheckpointPolicy {
+            path: path.into(),
+            every,
+        });
+        self
+    }
+
     /// Overrides the report label.
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
@@ -151,6 +190,31 @@ impl ParApsp {
         self.run_with_pool(graph, &pool)
     }
 
+    /// Continues an interrupted run from a checkpoint: rows the
+    /// checkpoint marks complete are pre-published (and immediately
+    /// reusable by the kernel), and only the missing sources are
+    /// computed. Because published rows are final and row reuse never
+    /// changes results, the output is bit-identical to an uninterrupted
+    /// run — `counters.sources` reports just the rows computed now.
+    ///
+    /// Combine with [`ParApsp::with_checkpoint`] to keep checkpointing
+    /// the resumed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint's matrix size does not match `graph`.
+    pub fn run_resumed(&self, graph: &CsrGraph, checkpoint: Checkpoint) -> ApspOutput {
+        assert_eq!(
+            checkpoint.n(),
+            graph.vertex_count(),
+            "checkpoint is for a {}-vertex matrix but the graph has {} vertices",
+            checkpoint.n(),
+            graph.vertex_count()
+        );
+        let pool = ThreadPool::new(self.threads);
+        self.run_inner(graph, &pool, None, Some(checkpoint))
+    }
+
     /// Like [`ParApsp::run`], additionally returning the wall time each
     /// *source* spent in its SSSP kernel (indexed by vertex id).
     ///
@@ -164,7 +228,7 @@ impl ParApsp {
         let mut nanos: Vec<u64> = vec![0; n];
         let out = {
             let view = parapsp_parfor::ParSlice::new(&mut nanos[..]);
-            self.run_inner(graph, &pool, Some(&view))
+            self.run_inner(graph, &pool, Some(&view), None)
         };
         (
             out,
@@ -178,7 +242,7 @@ impl ParApsp {
     /// Runs the driver on `graph` using an existing pool (the pool's thread
     /// count wins over the configured one).
     pub fn run_with_pool(&self, graph: &CsrGraph, pool: &ThreadPool) -> ApspOutput {
-        self.run_inner(graph, pool, None)
+        self.run_inner(graph, pool, None, None)
     }
 
     fn run_inner(
@@ -186,6 +250,7 @@ impl ParApsp {
         graph: &CsrGraph,
         pool: &ThreadPool,
         trace: Option<&parapsp_parfor::ParSlice<'_, u64>>,
+        resume: Option<Checkpoint>,
     ) -> ApspOutput {
         let n = graph.vertex_count();
         let start = Instant::now();
@@ -197,33 +262,67 @@ impl ParApsp {
         let ordering = t_order.elapsed();
         debug_assert_eq!(order.len(), n);
 
-        // Phase 2: the parallel SSSP sweep.
-        let state = SharedDistState::new(n);
+        // Phase 2: the parallel SSSP sweep. A resumed run pre-publishes
+        // the checkpoint's completed rows and sweeps only the rest, in
+        // the same (degree) order a fresh run would visit them.
+        let (state, todo) = match resume {
+            Some(checkpoint) => {
+                let (dist, completed) = checkpoint.into_parts();
+                let todo: Vec<u32> = order
+                    .iter()
+                    .copied()
+                    .filter(|&s| !completed[s as usize])
+                    .collect();
+                (SharedDistState::from_parts(dist, &completed), todo)
+            }
+            None => (SharedDistState::new(n), order.clone()),
+        };
         let locals: PerThread<(Workspace, Counters, std::time::Duration)> =
             PerThread::from_fn(pool.num_threads(), |_| {
-                (Workspace::new(n), Counters::default(), std::time::Duration::ZERO)
+                (
+                    Workspace::new(n),
+                    Counters::default(),
+                    std::time::Duration::ZERO,
+                )
             });
         let kernel = self.kernel;
-        let order_ref = &order;
         let state_ref = &state;
         let t_sssp = Instant::now();
-        pool.parallel_for(n, self.schedule, |tid, k| {
-            let s = order_ref[k];
-            // SAFETY: each pool thread touches only its own scratch slot.
-            let (ws, counters, busy) = unsafe { locals.get_mut(tid) };
-            let t0 = Instant::now();
-            // `order` is a permutation, so source `s` belongs to exactly
-            // this iteration — satisfying the unique-row-owner contract of
-            // the kernel (and of `SharedDistState::row_mut`).
-            modified_dijkstra(graph, s, state_ref, ws, kernel, counters, None);
-            let elapsed = t0.elapsed();
-            *busy += elapsed;
-            if let Some(view) = trace {
-                // SAFETY: `order` is a permutation, so source `s` (and its
-                // trace slot) belongs exclusively to this iteration.
-                unsafe { view.write(s as usize, elapsed.as_nanos() as u64) };
+        let sweep = |chunk: &[u32]| {
+            pool.parallel_for(chunk.len(), self.schedule, |tid, k| {
+                let s = chunk[k];
+                // SAFETY: each pool thread touches only its own scratch slot.
+                let (ws, counters, busy) = unsafe { locals.get_mut(tid) };
+                let t0 = Instant::now();
+                // `todo` is drawn from a permutation, so source `s` belongs
+                // to exactly this iteration — satisfying the
+                // unique-row-owner contract of the kernel (and of
+                // `SharedDistState::row_mut`).
+                modified_dijkstra(graph, s, state_ref, ws, kernel, counters, None);
+                let elapsed = t0.elapsed();
+                *busy += elapsed;
+                if let Some(view) = trace {
+                    // SAFETY: as above, the trace slot of `s` belongs
+                    // exclusively to this iteration.
+                    unsafe { view.write(s as usize, elapsed.as_nanos() as u64) };
+                }
+            });
+        };
+        match &self.checkpoint {
+            Some(policy) => {
+                // Between chunks no row owner is active, so a snapshot of
+                // the published rows is a consistent checkpoint.
+                for chunk in todo.chunks(policy.every) {
+                    sweep(chunk);
+                    let (dist, completed) = state.snapshot();
+                    let cp = Checkpoint::new(dist, completed);
+                    persist::save_checkpoint(&cp, &policy.path).unwrap_or_else(|err| {
+                        panic!("writing checkpoint {}: {err}", policy.path.display())
+                    });
+                }
             }
-        });
+            None => sweep(&todo),
+        }
         let sssp = t_sssp.elapsed();
 
         debug_assert_eq!(state.published_count(), n);
@@ -382,12 +481,67 @@ mod tests {
     }
 
     #[test]
+    fn checkpointed_run_matches_plain_run_and_leaves_a_complete_file() {
+        let dir = std::env::temp_dir().join("parapsp-par-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("full.ckpt");
+        let g = barabasi_albert(180, 3, WeightSpec::Unit, 11).unwrap();
+        let reference = ParApsp::par_apsp(4).run(&g);
+        let out = ParApsp::par_apsp(4).with_checkpoint(&path, 32).run(&g);
+        assert_eq!(reference.dist.first_difference(&out.dist), None);
+        let cp = crate::persist::load_checkpoint(&path).unwrap();
+        assert!(cp.is_complete());
+        assert_eq!(cp.matrix().first_difference(&out.dist), None);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn resume_computes_only_missing_rows_bit_identically() {
+        let g = barabasi_albert(200, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 23).unwrap();
+        let full = ParApsp::par_apsp(4).run(&g);
+        // Emulate a run killed midway: only a third of the rows survive.
+        let completed: Vec<bool> = (0..200).map(|s| s % 3 == 0).collect();
+        let kept = completed.iter().filter(|&&done| done).count() as u64;
+        let cp = crate::persist::Checkpoint::new(full.dist.clone(), completed);
+        let resumed = ParApsp::par_apsp(4).run_resumed(&g, cp);
+        assert_eq!(full.dist.first_difference(&resumed.dist), None);
+        assert_eq!(resumed.counters.sources, 200 - kept);
+    }
+
+    #[test]
+    fn resumed_run_can_keep_checkpointing() {
+        let dir = std::env::temp_dir().join("parapsp-par-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resumed.ckpt");
+        let g = barabasi_albert(120, 2, WeightSpec::Unit, 7).unwrap();
+        let full = ParApsp::par_apsp(3).run(&g);
+        let completed: Vec<bool> = (0..120).map(|s| s < 40).collect();
+        let cp = crate::persist::Checkpoint::new(full.dist.clone(), completed);
+        let resumed = ParApsp::par_apsp(3)
+            .with_checkpoint(&path, 16)
+            .run_resumed(&g, cp);
+        assert_eq!(full.dist.first_difference(&resumed.dist), None);
+        let on_disk = crate::persist::load_checkpoint(&path).unwrap();
+        assert!(on_disk.is_complete());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "vertices")]
+    fn resume_rejects_mismatched_checkpoint() {
+        let g = barabasi_albert(50, 2, WeightSpec::Unit, 3).unwrap();
+        let cp = crate::persist::Checkpoint::complete(crate::DistanceMatrix::new_infinite(10));
+        ParApsp::par_apsp(2).run_resumed(&g, cp);
+    }
+
+    #[test]
     fn tiny_graphs() {
         let g = parapsp_graph::CsrGraph::from_unit_edges(1, Direction::Directed, &[]).unwrap();
         let out = ParApsp::par_apsp(2).run(&g);
         assert_eq!(out.dist.get(0, 0), 0);
 
-        let g = parapsp_graph::CsrGraph::from_unit_edges(2, Direction::Directed, &[(0, 1)]).unwrap();
+        let g =
+            parapsp_graph::CsrGraph::from_unit_edges(2, Direction::Directed, &[(0, 1)]).unwrap();
         let out = ParApsp::par_alg1(2).run(&g);
         assert_eq!(out.dist.get(0, 1), 1);
         assert_eq!(out.dist.get(1, 0), parapsp_graph::INF);

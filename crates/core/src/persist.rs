@@ -1,16 +1,32 @@
-//! Saving and loading distance matrices.
+//! Saving and loading distance matrices, plus partial-run checkpoints.
 //!
 //! An APSP run over a real dataset can take hours (the paper quotes
 //! "several hours" for Flickr sequentially) — downstream analysis should
-//! not have to recompute it. Two formats:
+//! not have to recompute it, and a crashed run should not have to start
+//! over. Three on-disk shapes:
 //!
-//! * **binary** — `PAPD` magic, format version, `n` as u64, then `n²`
-//!   little-endian `u32`s. Compact and exact; ~4·n² bytes.
+//! * **binary, version 1** — `PAPD` magic, format version, `n` as u64,
+//!   then `n²` little-endian `u32`s. Compact and exact; ~4·n² bytes.
+//! * **checkpoint, version 2** — same magic, version 2, `n`, the number
+//!   of completed rows, a completed-row bitmap, then only the completed
+//!   rows in ascending source order. A finished run's checkpoint is a
+//!   complete matrix; a killed run's checkpoint resumes via
+//!   [`crate::ParApsp::run_resumed`].
 //! * **TSV** — human-readable rows, `INF` spelled as `inf`; intended for
 //!   spreadsheets and ad-hoc scripts on small matrices.
+//!
+//! Version skew is one-directional by design: [`read_checkpoint`] accepts
+//! a version-1 full matrix (treated as "every row complete"), while
+//! [`read_binary`] rejects version-2 files so pre-checkpoint readers fail
+//! loudly instead of misinterpreting a bitmap as distances.
+//!
+//! All readers treat the header as untrusted: payloads are read in
+//! bounded chunks, so a tiny file whose header claims a multi-gigabyte
+//! matrix fails with [`PersistError::Format`] instead of attempting the
+//! allocation.
 
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use parapsp_graph::INF;
 
@@ -18,6 +34,12 @@ use crate::dist::DistanceMatrix;
 
 const MAGIC: &[u8; 4] = b"PAPD";
 const VERSION: u8 = 1;
+const CHECKPOINT_VERSION: u8 = 2;
+
+/// Cells per chunked read: 64 Ki cells = 256 KiB. Memory for a payload
+/// grows with the bytes that actually arrive, never with the header's
+/// claimed size alone.
+const READ_CHUNK_CELLS: usize = 1 << 16;
 
 /// Errors from matrix persistence.
 #[derive(Debug)]
@@ -45,22 +67,49 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// Writes the binary format to any writer.
-pub fn write_binary<W: Write>(dist: &DistanceMatrix, writer: W) -> Result<(), PersistError> {
-    let mut writer = BufWriter::new(writer);
-    writer.write_all(MAGIC)?;
-    writer.write_all(&[VERSION])?;
-    writer.write_all(&(dist.n() as u64).to_le_bytes())?;
-    for &cell in dist.as_slice() {
-        writer.write_all(&cell.to_le_bytes())?;
+/// Reads `cells` little-endian `u32`s in bounded chunks. `cells` comes
+/// from an untrusted header, so nothing is allocated up front: the vector
+/// grows only as data arrives, and a premature EOF is a [`PersistError::Format`]
+/// naming how much of the promised payload was present.
+fn read_cells<R: Read>(reader: &mut R, cells: usize) -> Result<Vec<u32>, PersistError> {
+    let mut data = Vec::new();
+    let mut bytes = vec![0u8; READ_CHUNK_CELLS.min(cells.max(1)) * 4];
+    let mut remaining = cells;
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK_CELLS);
+        let chunk = &mut bytes[..take * 4];
+        reader.read_exact(chunk).map_err(|err| {
+            if err.kind() == std::io::ErrorKind::UnexpectedEof {
+                PersistError::Format(format!(
+                    "truncated payload: header promises {cells} cells, file ends within cell {}",
+                    cells - remaining
+                ))
+            } else {
+                PersistError::Io(err)
+            }
+        })?;
+        data.extend(
+            chunk
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+        remaining -= take;
     }
-    writer.flush()?;
+    Ok(data)
+}
+
+/// Rejects trailing garbage after a fully parsed payload (a corrupt or
+/// concatenated file).
+fn expect_eof<R: Read>(reader: &mut R) -> Result<(), PersistError> {
+    let mut probe = [0u8; 1];
+    if reader.read(&mut probe)? != 0 {
+        return Err(PersistError::Format("trailing bytes after matrix".into()));
+    }
     Ok(())
 }
 
-/// Reads the binary format from any reader.
-pub fn read_binary<R: Read>(reader: R) -> Result<DistanceMatrix, PersistError> {
-    let mut reader = BufReader::new(reader);
+/// Parses the shared `PAPD` header, returning `(version, n)`.
+fn read_header<R: Read>(reader: &mut R) -> Result<(u8, usize), PersistError> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -70,28 +119,54 @@ pub fn read_binary<R: Read>(reader: R) -> Result<DistanceMatrix, PersistError> {
     }
     let mut version = [0u8; 1];
     reader.read_exact(&mut version)?;
-    if version[0] != VERSION {
-        return Err(PersistError::Format(format!(
-            "unsupported format version {}",
-            version[0]
-        )));
-    }
     let mut n_bytes = [0u8; 8];
     reader.read_exact(&mut n_bytes)?;
-    let n = u64::from_le_bytes(n_bytes) as usize;
-    let cells = n
-        .checked_mul(n)
+    let n = u64::from_le_bytes(n_bytes);
+    let n = usize::try_from(n)
+        .ok()
+        .filter(|n| n.checked_mul(*n).is_some())
         .ok_or_else(|| PersistError::Format(format!("matrix size {n} overflows")))?;
-    let mut data = vec![0u32; cells];
-    let mut buf = [0u8; 4];
-    for cell in data.iter_mut() {
-        reader.read_exact(&mut buf)?;
-        *cell = u32::from_le_bytes(buf);
+    Ok((version[0], n))
+}
+
+/// Serializes one row as little-endian bytes and writes it in a single
+/// call (one syscall-sized write per row instead of one per cell).
+fn write_row<W: Write>(writer: &mut W, row: &[u32], buf: &mut Vec<u8>) -> std::io::Result<()> {
+    buf.clear();
+    for &cell in row {
+        buf.extend_from_slice(&cell.to_le_bytes());
     }
-    // Trailing garbage indicates a corrupt/concatenated file.
-    if reader.read(&mut buf)? != 0 {
-        return Err(PersistError::Format("trailing bytes after matrix".into()));
+    writer.write_all(buf)
+}
+
+/// Writes the binary format to any writer.
+pub fn write_binary<W: Write>(dist: &DistanceMatrix, writer: W) -> Result<(), PersistError> {
+    let mut writer = BufWriter::new(writer);
+    writer.write_all(MAGIC)?;
+    writer.write_all(&[VERSION])?;
+    writer.write_all(&(dist.n() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(dist.n() * 4);
+    for (_, row) in dist.rows() {
+        write_row(&mut writer, row, &mut buf)?;
     }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads the binary format from any reader. Rejects checkpoint (version 2)
+/// files: a partial matrix must be loaded with [`read_checkpoint`] so
+/// missing rows cannot masquerade as real distances.
+pub fn read_binary<R: Read>(reader: R) -> Result<DistanceMatrix, PersistError> {
+    let mut reader = BufReader::new(reader);
+    let (version, n) = read_header(&mut reader)?;
+    if version != VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported format version {version} (checkpoints are version {CHECKPOINT_VERSION}; \
+             load them with read_checkpoint)"
+        )));
+    }
+    let data = read_cells(&mut reader, n * n)?;
+    expect_eof(&mut reader)?;
     Ok(DistanceMatrix::from_raw(n, data.into_boxed_slice()))
 }
 
@@ -105,23 +180,209 @@ pub fn load_binary(path: impl AsRef<Path>) -> Result<DistanceMatrix, PersistErro
     read_binary(std::fs::File::open(path)?)
 }
 
-/// Writes a tab-separated text dump (`inf` for unreachable pairs).
-pub fn write_tsv<W: Write>(dist: &DistanceMatrix, writer: W) -> Result<(), PersistError> {
-    let mut writer = BufWriter::new(writer);
-    for (_, row) in dist.rows() {
-        let mut first = true;
-        for &cell in row {
-            if !first {
-                writer.write_all(b"\t")?;
-            }
-            first = false;
-            if cell == INF {
-                writer.write_all(b"inf")?;
-            } else {
-                write!(writer, "{cell}")?;
+/// A partially computed distance matrix: the matrix itself plus a flag
+/// per source row saying whether that row is final. Incomplete rows are
+/// all-[`INF`], exactly the state a fresh kernel expects, so a resumed
+/// run computes only the missing sources and lands on the bit-identical
+/// matrix a fault-free run would have produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    dist: DistanceMatrix,
+    completed: Vec<bool>,
+}
+
+impl Checkpoint {
+    /// Wraps a matrix and its completed-row flags.
+    ///
+    /// Rows marked incomplete are scrubbed back to all-[`INF`]: the
+    /// resume path owns them from scratch, so no half-written values may
+    /// leak through.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `completed.len() != dist.n()`.
+    pub fn new(mut dist: DistanceMatrix, completed: Vec<bool>) -> Self {
+        assert_eq!(
+            completed.len(),
+            dist.n(),
+            "one completed flag per source row"
+        );
+        for (s, &done) in completed.iter().enumerate() {
+            if !done {
+                dist.row_mut(s as u32).fill(INF);
             }
         }
-        writer.write_all(b"\n")?;
+        Checkpoint { dist, completed }
+    }
+
+    /// A checkpoint in which every row is final (a finished run).
+    pub fn complete(dist: DistanceMatrix) -> Self {
+        let completed = vec![true; dist.n()];
+        Checkpoint { dist, completed }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.dist.n()
+    }
+
+    /// Per-source completion flags.
+    pub fn completed(&self) -> &[bool] {
+        &self.completed
+    }
+
+    /// How many rows are final.
+    pub fn completed_count(&self) -> usize {
+        self.completed.iter().filter(|&&done| done).count()
+    }
+
+    /// Whether every row is final (the checkpoint is a full matrix).
+    pub fn is_complete(&self) -> bool {
+        self.completed.iter().all(|&done| done)
+    }
+
+    /// The matrix (incomplete rows are all-[`INF`]).
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.dist
+    }
+
+    /// Splits the checkpoint into matrix and flags.
+    pub fn into_parts(self) -> (DistanceMatrix, Vec<bool>) {
+        (self.dist, self.completed)
+    }
+}
+
+/// Bitmap bytes needed for `n` rows.
+fn bitmap_len(n: usize) -> usize {
+    n.div_ceil(8)
+}
+
+/// Writes the version-2 checkpoint format: header, completed count,
+/// completed-row bitmap (LSB-first within each byte, padding bits zero),
+/// then only the completed rows in ascending source order.
+pub fn write_checkpoint<W: Write>(cp: &Checkpoint, writer: W) -> Result<(), PersistError> {
+    let n = cp.n();
+    let mut writer = BufWriter::new(writer);
+    writer.write_all(MAGIC)?;
+    writer.write_all(&[CHECKPOINT_VERSION])?;
+    writer.write_all(&(n as u64).to_le_bytes())?;
+    writer.write_all(&(cp.completed_count() as u64).to_le_bytes())?;
+    let mut bitmap = vec![0u8; bitmap_len(n)];
+    for (s, &done) in cp.completed.iter().enumerate() {
+        if done {
+            bitmap[s / 8] |= 1 << (s % 8);
+        }
+    }
+    writer.write_all(&bitmap)?;
+    let mut buf = Vec::with_capacity(n * 4);
+    for (s, &done) in cp.completed.iter().enumerate() {
+        if done {
+            write_row(&mut writer, cp.dist.row(s as u32), &mut buf)?;
+        }
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads a checkpoint. Accepts both format versions: a version-1 full
+/// matrix loads as an all-rows-complete checkpoint (old outputs remain
+/// valid resume inputs), and version 2 is the native checkpoint format
+/// with its bitmap validated against the completed count and its padding
+/// bits required to be zero.
+pub fn read_checkpoint<R: Read>(reader: R) -> Result<Checkpoint, PersistError> {
+    let mut reader = BufReader::new(reader);
+    let (version, n) = read_header(&mut reader)?;
+    match version {
+        VERSION => {
+            let data = read_cells(&mut reader, n * n)?;
+            expect_eof(&mut reader)?;
+            Ok(Checkpoint::complete(DistanceMatrix::from_raw(
+                n,
+                data.into_boxed_slice(),
+            )))
+        }
+        CHECKPOINT_VERSION => {
+            let mut count_bytes = [0u8; 8];
+            reader.read_exact(&mut count_bytes)?;
+            let claimed = u64::from_le_bytes(count_bytes);
+            if claimed > n as u64 {
+                return Err(PersistError::Format(format!(
+                    "checkpoint claims {claimed} completed rows of only {n}"
+                )));
+            }
+            let mut bitmap = vec![0u8; bitmap_len(n)];
+            reader.read_exact(&mut bitmap)?;
+            let completed: Vec<bool> = (0..n)
+                .map(|s| bitmap[s / 8] & (1 << (s % 8)) != 0)
+                .collect();
+            let set = completed.iter().filter(|&&done| done).count();
+            if set as u64 != claimed {
+                return Err(PersistError::Format(format!(
+                    "checkpoint bitmap has {set} rows set but the header claims {claimed}"
+                )));
+            }
+            for s in n..bitmap.len() * 8 {
+                if bitmap[s / 8] & (1 << (s % 8)) != 0 {
+                    return Err(PersistError::Format(
+                        "checkpoint bitmap has padding bits set".into(),
+                    ));
+                }
+            }
+            let cells = read_cells(&mut reader, set * n)?;
+            expect_eof(&mut reader)?;
+            let mut dist = DistanceMatrix::new_infinite(n);
+            let mut rows = cells.chunks_exact(n.max(1));
+            for (s, &done) in completed.iter().enumerate() {
+                if done {
+                    dist.copy_row_from(s as u32, rows.next().expect("one chunk per set bit"));
+                }
+            }
+            Ok(Checkpoint { dist, completed })
+        }
+        other => Err(PersistError::Format(format!(
+            "unsupported format version {other}"
+        ))),
+    }
+}
+
+/// Atomically writes a checkpoint to `path`: the bytes land in a `.tmp`
+/// sibling first and are renamed into place, so a crash mid-write leaves
+/// the previous checkpoint intact instead of a truncated file.
+pub fn save_checkpoint(cp: &Checkpoint, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    write_checkpoint(cp, std::fs::File::create(&tmp)?)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a checkpoint from a file (either format version).
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, PersistError> {
+    read_checkpoint(std::fs::File::open(path)?)
+}
+
+/// Writes a tab-separated text dump (`inf` for unreachable pairs), one
+/// buffered write per row.
+pub fn write_tsv<W: Write>(dist: &DistanceMatrix, writer: W) -> Result<(), PersistError> {
+    use std::fmt::Write as _;
+    let mut writer = BufWriter::new(writer);
+    let mut line = String::new();
+    for (_, row) in dist.rows() {
+        line.clear();
+        for (i, &cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push('\t');
+            }
+            if cell == INF {
+                line.push_str("inf");
+            } else {
+                write!(line, "{cell}").expect("writing to a String cannot fail");
+            }
+        }
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
     }
     writer.flush()?;
     Ok(())
@@ -136,6 +397,12 @@ mod tests {
     fn sample_matrix() -> DistanceMatrix {
         let g = barabasi_albert(60, 2, WeightSpec::Uniform { lo: 1, hi: 9 }, 5).unwrap();
         ParApsp::par_apsp(2).run(&g).dist
+    }
+
+    fn partial_checkpoint() -> Checkpoint {
+        let dist = sample_matrix();
+        let completed: Vec<bool> = (0..dist.n()).map(|s| s % 3 != 1).collect();
+        Checkpoint::new(dist, completed)
     }
 
     #[test]
@@ -171,19 +438,154 @@ mod tests {
         // Wrong magic.
         let mut bad = buf.clone();
         bad[0] = b'X';
-        assert!(matches!(read_binary(bad.as_slice()), Err(PersistError::Format(_))));
+        assert!(matches!(
+            read_binary(bad.as_slice()),
+            Err(PersistError::Format(_))
+        ));
         // Wrong version.
         let mut bad = buf.clone();
         bad[4] = 99;
-        assert!(matches!(read_binary(bad.as_slice()), Err(PersistError::Format(_))));
-        // Truncated payload.
+        assert!(matches!(
+            read_binary(bad.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+        // Truncated payload — caught as a format error before any
+        // allocation proportional to the claimed size.
         let truncated = &buf[..buf.len() - 2];
-        assert!(matches!(read_binary(truncated), Err(PersistError::Io(_))));
+        assert!(matches!(
+            read_binary(truncated),
+            Err(PersistError::Format(_))
+        ));
         // Trailing bytes.
         let mut extended = buf.clone();
         extended.push(0);
         assert!(matches!(
             read_binary(extended.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn forged_giant_header_fails_without_allocating() {
+        // 4 GiB-matrix header followed by a handful of real bytes: the
+        // chunked reader must bail on the missing payload, not allocate
+        // cells for the claimed n².
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&(1u64 << 16).to_le_bytes());
+        buf.extend_from_slice(&[7u8; 64]);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "got {err}");
+        assert!(err.to_string().contains("truncated"), "got {err}");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_partial_and_complete() {
+        for cp in [partial_checkpoint(), Checkpoint::complete(sample_matrix())] {
+            let mut buf = Vec::new();
+            write_checkpoint(&cp, &mut buf).unwrap();
+            let loaded = read_checkpoint(buf.as_slice()).unwrap();
+            assert_eq!(loaded, cp);
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip_on_disk_is_atomic() {
+        let dir = std::env::temp_dir().join("parapsp-persist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("partial.ckpt");
+        let cp = partial_checkpoint();
+        save_checkpoint(&cp, &path).unwrap();
+        // The staging file is renamed away.
+        assert!(!dir.join("partial.ckpt.tmp").exists());
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded, cp);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checkpoint_stores_only_completed_rows() {
+        let cp = partial_checkpoint();
+        let mut buf = Vec::new();
+        write_checkpoint(&cp, &mut buf).unwrap();
+        let n = cp.n();
+        let expect = 4 + 1 + 8 + 8 + n.div_ceil(8) + cp.completed_count() * n * 4;
+        assert_eq!(buf.len(), expect);
+    }
+
+    #[test]
+    fn incomplete_rows_are_scrubbed_to_inf() {
+        let dist = sample_matrix();
+        let mut completed = vec![true; dist.n()];
+        completed[7] = false;
+        let cp = Checkpoint::new(dist, completed);
+        assert!(cp.matrix().row(7).iter().all(|&d| d == INF));
+        assert_eq!(cp.completed_count(), cp.n() - 1);
+        assert!(!cp.is_complete());
+    }
+
+    #[test]
+    fn version_skew_is_one_directional() {
+        // v1 full matrix loads as an all-complete checkpoint...
+        let dist = sample_matrix();
+        let mut v1 = Vec::new();
+        write_binary(&dist, &mut v1).unwrap();
+        let upgraded = read_checkpoint(v1.as_slice()).unwrap();
+        assert!(upgraded.is_complete());
+        assert_eq!(upgraded.matrix().first_difference(&dist), None);
+        // ...but a v2 checkpoint is rejected by the plain matrix reader,
+        // with a pointer at the right entry point.
+        let mut v2 = Vec::new();
+        write_checkpoint(&Checkpoint::complete(dist), &mut v2).unwrap();
+        let err = read_binary(v2.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("read_checkpoint"), "got {err}");
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        let cp = partial_checkpoint();
+        let mut buf = Vec::new();
+        write_checkpoint(&cp, &mut buf).unwrap();
+        let bitmap_start = 4 + 1 + 8 + 8;
+
+        // Truncated mid-payload.
+        let truncated = &buf[..buf.len() - 3];
+        assert!(matches!(
+            read_checkpoint(truncated),
+            Err(PersistError::Format(_))
+        ));
+        // Bitmap/count mismatch: clear a set bit without fixing the count.
+        let mut bad = buf.clone();
+        let byte = (0..cp.n())
+            .find(|&s| cp.completed()[s])
+            .map(|s| bitmap_start + s / 8)
+            .unwrap();
+        bad[byte] ^= 1 << ((0..cp.n()).find(|&s| cp.completed()[s]).unwrap() % 8);
+        assert!(matches!(
+            read_checkpoint(bad.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+        // Padding bits set beyond row n-1.
+        let mut bad = buf.clone();
+        let last_bitmap_byte = bitmap_start + cp.n().div_ceil(8) - 1;
+        bad[last_bitmap_byte] |= 1 << 7; // n = 60, bits 60..63 are padding
+        assert!(matches!(
+            read_checkpoint(bad.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+        // Claimed count larger than n.
+        let mut bad = buf.clone();
+        bad[13..21].copy_from_slice(&(cp.n() as u64 + 1).to_le_bytes());
+        assert!(matches!(
+            read_checkpoint(bad.as_slice()),
+            Err(PersistError::Format(_))
+        ));
+        // Trailing bytes.
+        let mut bad = buf.clone();
+        bad.push(0);
+        assert!(matches!(
+            read_checkpoint(bad.as_slice()),
             Err(PersistError::Format(_))
         ));
     }
@@ -205,5 +607,9 @@ mod tests {
         write_binary(&dist, &mut buf).unwrap();
         let loaded = read_binary(buf.as_slice()).unwrap();
         assert_eq!(loaded.n(), 0);
+        let cp = Checkpoint::complete(DistanceMatrix::new_infinite(0));
+        let mut buf = Vec::new();
+        write_checkpoint(&cp, &mut buf).unwrap();
+        assert!(read_checkpoint(buf.as_slice()).unwrap().is_complete());
     }
 }

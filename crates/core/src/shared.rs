@@ -54,6 +54,44 @@ impl SharedDistState {
         SharedDistState { n, cells, flags }
     }
 
+    /// Builds the state from a partially computed matrix: rows flagged in
+    /// `completed` are pre-published (they are final — resumed kernels may
+    /// reuse them immediately), the rest are reset to [`INF`] so their
+    /// future owners find the untouched state the kernel contract expects.
+    pub(crate) fn from_parts(dist: DistanceMatrix, completed: &[bool]) -> Self {
+        let n = dist.n();
+        assert_eq!(completed.len(), n, "one completed flag per row");
+        let mut plain: Box<[u32]> = dist.into_raw();
+        for (s, &done) in completed.iter().enumerate() {
+            if !done {
+                plain[s * n..(s + 1) * n].fill(INF);
+            }
+        }
+        // SAFETY: same repr(transparent) cast as in `new`.
+        let cells: Box<[UnsafeCell<u32>]> =
+            unsafe { Box::from_raw(Box::into_raw(plain) as *mut [UnsafeCell<u32>]) };
+        let flags: Box<[AtomicBool]> = completed
+            .iter()
+            .map(|&done| AtomicBool::new(done))
+            .collect();
+        SharedDistState { n, cells, flags }
+    }
+
+    /// Clones the published rows into a fresh matrix and reports which rows
+    /// those are (the checkpoint payload). Must run while no row owner is
+    /// active — the APSP drivers call it only between parallel sweeps.
+    pub(crate) fn snapshot(&self) -> (DistanceMatrix, Vec<bool>) {
+        let mut dist = DistanceMatrix::new_infinite(self.n);
+        let mut completed = vec![false; self.n];
+        for s in 0..self.n as u32 {
+            if let Some(row) = self.published_row(s) {
+                dist.copy_row_from(s, row);
+                completed[s as usize] = true;
+            }
+        }
+        (dist, completed)
+    }
+
     /// Number of vertices.
     #[inline]
     pub(crate) fn n(&self) -> usize {
@@ -95,7 +133,9 @@ impl SharedDistState {
             // SAFETY: the Acquire load observed the owner's Release store,
             // so every write to this row happens-before this read, and the
             // protocol forbids further writes.
-            Some(unsafe { std::slice::from_raw_parts(self.cells[start].get() as *const u32, self.n) })
+            Some(unsafe {
+                std::slice::from_raw_parts(self.cells[start].get() as *const u32, self.n)
+            })
         } else {
             None
         }
@@ -114,8 +154,7 @@ impl SharedDistState {
     pub(crate) fn into_matrix(self) -> DistanceMatrix {
         let n = self.n;
         // SAFETY: inverse of the cast in `new`; same layout, sole owner.
-        let plain: Box<[u32]> =
-            unsafe { Box::from_raw(Box::into_raw(self.cells) as *mut [u32]) };
+        let plain: Box<[u32]> = unsafe { Box::from_raw(Box::into_raw(self.cells) as *mut [u32]) };
         DistanceMatrix::from_raw(n, plain)
     }
 }
@@ -152,6 +191,28 @@ mod tests {
         let m = state.into_matrix();
         assert_eq!(m.get(0, 1), 9);
         assert_eq!(m.get(1, 0), INF);
+    }
+
+    #[test]
+    fn from_parts_prepublishes_and_snapshot_round_trips() {
+        let mut dist = DistanceMatrix::new_infinite(4);
+        dist.copy_row_from(1, &[3, 0, 1, 2]);
+        // Plant garbage in an incomplete row: from_parts must scrub it.
+        dist.copy_row_from(2, &[9, 9, 9, 9]);
+        let completed = vec![false, true, false, false];
+        let state = SharedDistState::from_parts(dist, &completed);
+        assert_eq!(state.published_count(), 1);
+        assert_eq!(state.published_row(1), Some(&[3u32, 0, 1, 2][..]));
+        assert!(state.published_row(2).is_none());
+        let (snap, flags) = state.snapshot();
+        assert_eq!(flags, completed);
+        assert_eq!(snap.row(1), &[3, 0, 1, 2]);
+        assert!(snap.row(0).iter().all(|&d| d == INF));
+        let m = state.into_matrix();
+        assert!(
+            m.row(2).iter().all(|&d| d == INF),
+            "garbage must not survive"
+        );
     }
 
     #[test]

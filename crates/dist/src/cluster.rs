@@ -1,14 +1,37 @@
-//! The cluster driver: source partitioning, hub broadcasting, gather.
+//! The cluster driver: source partitioning, hub broadcasting, streaming
+//! gather, and crash recovery.
+//!
+//! # Fault-tolerance protocol
+//!
+//! Nodes stream each completed row to the driver as soon as it is done
+//! (instead of a single bulk gather at the end), so work finished before a
+//! crash is never lost. Every row on the wire carries an FNV-1a checksum:
+//!
+//! * a corrupted **hub broadcast** is discarded by the receiving node
+//!   (row reuse is an optimization, so nothing else is needed);
+//! * a corrupted **gather row** makes the driver request a re-send from
+//!   the node that still holds the clean row.
+//!
+//! A crash is a node thread returning early: its channels disconnect, and
+//! the driver — which never blocks longer than [`ClusterConfig::heartbeat`]
+//! on any one mailbox — observes the disconnect after draining whatever
+//! the node managed to send. The crashed node's unfinished sources are then
+//! re-dealt cyclically over the survivors, preserving their original
+//! (degree-order) sequence. Because the kernel is exact regardless of
+//! which rows happen to be available for reuse, the recovered matrix is
+//! bit-identical to the fault-free one as long as one node survives.
 
-use std::time::Instant;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use parapsp_core::DistanceMatrix;
 use parapsp_graph::{degree, CsrGraph};
 use parapsp_order::OrderingProcedure;
 use parapsp_parfor::ThreadPool;
 
+use crate::fault::{FaultPlan, DRIVER};
 use crate::node::{NodeState, RowMessage};
 
 /// How sources are divided among the nodes.
@@ -29,7 +52,7 @@ pub enum SourcePartition {
 }
 
 /// Configuration of the simulated cluster.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of simulated distributed-memory nodes (each is one thread
     /// with private memory).
@@ -40,6 +63,11 @@ pub struct ClusterConfig {
     pub hub_fraction: f64,
     /// Source-to-node assignment strategy.
     pub partition: SourcePartition,
+    /// Faults to inject; the default plan injects none.
+    pub faults: FaultPlan,
+    /// Upper bound on how long the driver blocks on any one node's mailbox
+    /// before re-polling the cluster — the detection latency for crashes.
+    pub heartbeat: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -48,6 +76,8 @@ impl Default for ClusterConfig {
             nodes: 4,
             hub_fraction: 0.05,
             partition: SourcePartition::CyclicByDegree,
+            faults: FaultPlan::default(),
+            heartbeat: Duration::from_millis(10),
         }
     }
 }
@@ -61,10 +91,19 @@ pub struct NodeStats {
     pub local_reuses: u64,
     /// Row-reuse events against rows received from other nodes.
     pub remote_reuses: u64,
-    /// Bytes sent broadcasting hub rows.
+    /// Bytes sent broadcasting hub rows (dropped messages included — the
+    /// sender paid for them).
     pub bytes_sent: u64,
     /// Bytes received from other nodes' broadcasts.
     pub bytes_received: u64,
+    /// Received hub rows discarded for failing their checksum.
+    pub rows_rejected: u64,
+    /// Gather rows re-sent after the driver rejected a corrupted copy.
+    pub retries: u64,
+    /// Sources taken over from crashed nodes.
+    pub reassigned_sources: u64,
+    /// Whether this node crashed (by fault injection) before finishing.
+    pub crashed: bool,
 }
 
 /// Result of a distributed run: the exact distance matrix plus per-node
@@ -75,8 +114,11 @@ pub struct DistApspOutput {
     pub dist: DistanceMatrix,
     /// One entry per simulated node.
     pub node_stats: Vec<NodeStats>,
-    /// Bytes moved in the final gather of all rows to the driver.
+    /// Bytes moved streaming rows to the driver (rejected deliveries
+    /// included — they crossed the wire too).
     pub gather_bytes: u64,
+    /// Gather rows the driver rejected for failing their checksum.
+    pub gather_rejected: u64,
     /// End-to-end wall time of the simulated run.
     pub elapsed: std::time::Duration,
 }
@@ -86,6 +128,24 @@ impl DistApspOutput {
     pub fn total_broadcast_bytes(&self) -> u64 {
         self.node_stats.iter().map(|s| s.bytes_sent).sum()
     }
+
+    /// How many nodes crashed during the run.
+    pub fn crashed_nodes(&self) -> usize {
+        self.node_stats.iter().filter(|s| s.crashed).count()
+    }
+}
+
+/// Everything a node can find in its mailbox.
+enum NodeInbox {
+    /// A hub row broadcast by a peer.
+    Hub(RowMessage),
+    /// The driver re-deals a crashed node's source to this node.
+    Assign(u32),
+    /// The driver received a corrupted copy of this source's row; send a
+    /// fresh one.
+    Resend(u32),
+    /// All rows are gathered; exit.
+    Shutdown,
 }
 
 /// Runs the distributed-memory ParAPSP simulation.
@@ -94,7 +154,13 @@ impl DistApspOutput {
 /// source-partitioned APSP: the O(n + m) structure is negligible next to
 /// the O(n²/P) row share each node stores). Sources are dealt cyclically
 /// along the global descending degree order; completed rows of the top
-/// `hub_fraction` sources are broadcast.
+/// `hub_fraction` sources are broadcast, and every completed row is
+/// streamed to the driver immediately so crashes lose no finished work.
+///
+/// # Panics
+///
+/// Panics if the fault plan crashes every node: with no survivor there is
+/// nobody left to take over the unfinished sources.
 ///
 /// ```
 /// use parapsp_dist::{dist_apsp, ClusterConfig};
@@ -143,93 +209,354 @@ pub fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
             owned
         }
         SourcePartition::CyclicById => (0..nodes)
-            .map(|k| {
-                (k as u32..n as u32)
-                    .step_by(nodes)
-                    .collect()
-            })
+            .map(|k| (k as u32..n as u32).step_by(nodes).collect())
             .collect(),
     };
 
-    // One mailbox per node; every node holds senders to all *other* nodes.
-    let mut senders: Vec<Sender<RowMessage>> = Vec::with_capacity(nodes);
-    let mut receivers: Vec<Option<Receiver<RowMessage>>> = Vec::with_capacity(nodes);
+    // One mailbox per node (hub rows + driver control) and one gather
+    // channel per node (so a disconnect identifies who crashed).
+    let mut inbox_senders: Vec<Sender<NodeInbox>> = Vec::with_capacity(nodes);
+    let mut inbox_receivers: Vec<Option<Receiver<NodeInbox>>> = Vec::with_capacity(nodes);
+    let mut gather_senders: Vec<Option<Sender<RowMessage>>> = Vec::with_capacity(nodes);
+    let mut gather_receivers: Vec<Receiver<RowMessage>> = Vec::with_capacity(nodes);
     for _ in 0..nodes {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(Some(rx));
+        let (itx, irx) = unbounded();
+        inbox_senders.push(itx);
+        inbox_receivers.push(Some(irx));
+        let (gtx, grx) = unbounded();
+        gather_senders.push(Some(gtx));
+        gather_receivers.push(grx);
     }
 
     let is_hub = &is_hub;
     let owned_ref = &owned;
-    let senders_ref = &senders;
-    let mut gathered: Vec<(u32, Vec<u32>)> = Vec::new();
+    let inbox_senders_ref = &inbox_senders;
+    let plan = &config.faults;
     let mut node_stats = vec![NodeStats::default(); nodes];
+    let mut driver = Driver {
+        nodes,
+        inbox_tx: inbox_senders_ref,
+        alive: vec![true; nodes],
+        outstanding: owned.clone(),
+        got: vec![false; n],
+        gathered: 0,
+        gather_bytes: 0,
+        gather_rejected: 0,
+        reassign_cursor: 0,
+        dist: DistanceMatrix::new_infinite(n),
+    };
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..nodes)
             .map(|k| {
-                let my_rx = receivers[k].take().expect("receiver taken once");
+                let inbox = inbox_receivers[k].take().expect("receiver taken once");
+                let gather = gather_senders[k].take().expect("sender taken once");
                 scope.spawn(move || {
-                    let my_sources = &owned_ref[k];
-                    let mut state = NodeState::new(n, my_sources);
-                    let mut stats = NodeStats::default();
-                    for &s in my_sources {
-                        // Opportunistically drain the mailbox before each
-                        // SSSP so freshly arrived hub rows are usable.
-                        while let Ok(message) = my_rx.try_recv() {
-                            stats.bytes_received += message.wire_bytes();
-                            state.accept(message);
-                        }
-                        let row = state.run_source(graph, s);
-                        stats.sources += 1;
-                        if is_hub[s as usize] {
-                            for (peer, tx) in senders_ref.iter().enumerate() {
-                                if peer == k {
-                                    continue;
-                                }
-                                // The clone is the simulated network copy.
-                                let message = RowMessage {
-                                    source: s,
-                                    row: row.to_vec(),
-                                };
-                                stats.bytes_sent += message.wire_bytes();
-                                // A disconnected peer (already finished) is
-                                // not an error: rows are an optimization.
-                                let _ = tx.send(message);
-                            }
-                        }
-                    }
-                    stats.local_reuses = state.local_reuses;
-                    stats.remote_reuses = state.remote_reuses;
-                    let rows = state.into_rows(my_sources);
-                    (k, rows, stats)
+                    (
+                        k,
+                        run_node(
+                            k,
+                            graph,
+                            n,
+                            &owned_ref[k],
+                            is_hub,
+                            plan,
+                            inbox,
+                            inbox_senders_ref,
+                            gather,
+                        ),
+                    )
                 })
             })
             .collect();
+
+        while driver.gathered < n {
+            // Drain every alive node's gather stream; a disconnect here is
+            // the crash signal (mpsc reports it only after the buffered
+            // rows are consumed, so no finished work is lost).
+            let mut progressed = false;
+            for (k, gather) in gather_receivers.iter().enumerate() {
+                if !driver.alive[k] {
+                    continue;
+                }
+                loop {
+                    match gather.try_recv() {
+                        Ok(message) => {
+                            driver.on_row(k, message);
+                            progressed = true;
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            driver.on_crash(k);
+                            progressed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if driver.gathered >= n || progressed {
+                continue;
+            }
+            // Nothing queued anywhere: block — but never unboundedly — on
+            // a node that still owes rows, then re-poll the whole cluster.
+            let watch = driver
+                .watch_target()
+                .expect("ungathered sources must have an alive owner");
+            match gather_receivers[watch].recv_timeout(config.heartbeat) {
+                Ok(message) => driver.on_row(watch, message),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => driver.on_crash(watch),
+            }
+        }
+
+        for (k, inbox) in inbox_senders_ref.iter().enumerate() {
+            if driver.alive[k] {
+                let _ = inbox.send(NodeInbox::Shutdown);
+            }
+        }
         for handle in handles {
-            let (k, rows, stats) = handle.join().expect("node thread panicked");
+            let (k, stats) = handle.join().expect("node thread panicked");
             node_stats[k] = stats;
-            gathered.extend(rows);
         }
     });
-    drop(senders);
-
-    // Gather phase: assemble the full matrix on the driver and account the
-    // traffic (every row crosses the wire once).
-    let mut dist = DistanceMatrix::new_infinite(n);
-    let mut gather_bytes = 0u64;
-    for (s, row) in gathered {
-        gather_bytes += 4 + row.len() as u64 * 4;
-        dist.copy_row_from(s, &row);
-    }
 
     DistApspOutput {
-        dist,
+        dist: driver.dist,
         node_stats,
-        gather_bytes,
+        gather_bytes: driver.gather_bytes,
+        gather_rejected: driver.gather_rejected,
         elapsed: start.elapsed(),
     }
+}
+
+/// Driver-side bookkeeping for the streaming gather and crash recovery.
+struct Driver<'a> {
+    nodes: usize,
+    inbox_tx: &'a [Sender<NodeInbox>],
+    alive: Vec<bool>,
+    /// Sources each node is currently responsible for, in assignment
+    /// order; entries are filtered against `got` rather than removed.
+    outstanding: Vec<Vec<u32>>,
+    got: Vec<bool>,
+    gathered: usize,
+    gather_bytes: u64,
+    gather_rejected: u64,
+    /// Round-robin cursor for dealing crashed nodes' work to survivors.
+    reassign_cursor: usize,
+    dist: DistanceMatrix,
+}
+
+impl Driver<'_> {
+    /// Handles one gather message from node `k`.
+    fn on_row(&mut self, k: usize, message: RowMessage) {
+        self.gather_bytes += message.wire_bytes();
+        if !message.verify() {
+            self.gather_rejected += 1;
+            if !self.got[message.source as usize] {
+                let _ = self.inbox_tx[k].send(NodeInbox::Resend(message.source));
+            }
+            return;
+        }
+        let s = message.source as usize;
+        if self.got[s] {
+            return;
+        }
+        self.got[s] = true;
+        self.gathered += 1;
+        self.dist.copy_row_from(message.source, &message.row);
+    }
+
+    /// Handles node `k`'s disconnect: re-deal its unfinished sources
+    /// cyclically over the survivors, preserving their original order.
+    fn on_crash(&mut self, k: usize) {
+        self.alive[k] = false;
+        let remaining: Vec<u32> = self.outstanding[k]
+            .iter()
+            .copied()
+            .filter(|&s| !self.got[s as usize])
+            .collect();
+        self.outstanding[k].clear();
+        if remaining.is_empty() {
+            return;
+        }
+        let survivors: Vec<usize> = (0..self.nodes).filter(|&j| self.alive[j]).collect();
+        assert!(
+            !survivors.is_empty(),
+            "all nodes crashed with {} sources unfinished — nothing left to recover on",
+            remaining.len()
+        );
+        for s in remaining {
+            let j = survivors[self.reassign_cursor % survivors.len()];
+            self.reassign_cursor += 1;
+            self.outstanding[j].push(s);
+            let _ = self.inbox_tx[j].send(NodeInbox::Assign(s));
+        }
+    }
+
+    /// An alive node that still owes rows (the one to block on).
+    fn watch_target(&self) -> Option<usize> {
+        (0..self.nodes)
+            .find(|&k| self.alive[k] && self.outstanding[k].iter().any(|&s| !self.got[s as usize]))
+    }
+}
+
+/// The body of one simulated node thread.
+#[allow(clippy::too_many_arguments)]
+fn run_node(
+    k: usize,
+    graph: &CsrGraph,
+    n: usize,
+    initial: &[u32],
+    is_hub: &[bool],
+    plan: &FaultPlan,
+    inbox: Receiver<NodeInbox>,
+    peers: &[Sender<NodeInbox>],
+    gather: Sender<RowMessage>,
+) -> NodeStats {
+    let crash_after = plan.crash_after(k);
+    let mut state = NodeState::new(n, initial);
+    let mut pending: VecDeque<u32> = initial.iter().copied().collect();
+    let mut stats = NodeStats::default();
+    // Delivery attempt per source, so re-sends draw fresh fault decisions.
+    let mut attempts = vec![0u64; n];
+    let mut completed = 0u64;
+
+    'life: loop {
+        // Drain the mailbox so freshly arrived hub rows, assignments, and
+        // re-send requests are handled before the next SSSP.
+        loop {
+            match inbox.try_recv() {
+                Ok(message) => {
+                    if handle_inbox(
+                        message,
+                        k,
+                        plan,
+                        &mut state,
+                        &mut pending,
+                        &mut stats,
+                        &mut attempts,
+                        &gather,
+                    ) {
+                        break 'life;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break 'life,
+            }
+        }
+        // Injected crash: the thread simply returns; channels disconnect.
+        if crash_after.is_some_and(|after| completed >= after) {
+            stats.crashed = true;
+            break;
+        }
+        let Some(s) = pending.pop_front() else {
+            // Idle: wait for more work, a hub row, or shutdown.
+            match inbox.recv() {
+                Ok(message) => {
+                    if handle_inbox(
+                        message,
+                        k,
+                        plan,
+                        &mut state,
+                        &mut pending,
+                        &mut stats,
+                        &mut attempts,
+                        &gather,
+                    ) {
+                        break;
+                    }
+                    continue;
+                }
+                Err(_) => break,
+            }
+        };
+        if state.row_for(s).is_some() {
+            continue; // already computed (defensive; assignments are unique)
+        }
+        let row = state.run_source(graph, s).to_vec();
+        completed += 1;
+        stats.sources += 1;
+        if is_hub[s as usize] {
+            for (peer, tx) in peers.iter().enumerate() {
+                if peer == k {
+                    continue;
+                }
+                // The clone is the simulated network copy; the sender pays
+                // for the bytes whether or not the wire eats the message.
+                let mut message = RowMessage::new(s, row.clone());
+                stats.bytes_sent += message.wire_bytes();
+                if plan.drops_broadcast(k as u64, peer as u64, s) {
+                    continue;
+                }
+                if plan.corrupts_payload(k as u64, peer as u64, s, 0) {
+                    plan.corrupt_row(k as u64, peer as u64, s, 0, &mut message.row);
+                }
+                // A disconnected peer (crashed) is not an error: hub rows
+                // are an optimization.
+                let _ = tx.send(NodeInbox::Hub(message));
+            }
+        }
+        send_gather(k, s, &row, attempts[s as usize], plan, &gather);
+    }
+
+    stats.local_reuses = state.local_reuses;
+    stats.remote_reuses = state.remote_reuses;
+    stats.rows_rejected = state.rows_rejected;
+    stats
+}
+
+/// Processes one mailbox message; returns `true` on shutdown.
+#[allow(clippy::too_many_arguments)]
+fn handle_inbox(
+    message: NodeInbox,
+    k: usize,
+    plan: &FaultPlan,
+    state: &mut NodeState,
+    pending: &mut VecDeque<u32>,
+    stats: &mut NodeStats,
+    attempts: &mut [u64],
+    gather: &Sender<RowMessage>,
+) -> bool {
+    match message {
+        NodeInbox::Hub(row) => {
+            stats.bytes_received += row.wire_bytes();
+            state.accept(row);
+            false
+        }
+        NodeInbox::Assign(s) => {
+            state.assign(s);
+            pending.push_back(s);
+            stats.reassigned_sources += 1;
+            false
+        }
+        NodeInbox::Resend(s) => {
+            stats.retries += 1;
+            attempts[s as usize] += 1;
+            let row = state
+                .row_for(s)
+                .expect("driver requested a re-send of a row this node never sent")
+                .to_vec();
+            send_gather(k, s, &row, attempts[s as usize], plan, gather);
+            false
+        }
+        NodeInbox::Shutdown => true,
+    }
+}
+
+/// Streams one completed row to the driver, applying payload faults.
+fn send_gather(
+    k: usize,
+    s: u32,
+    row: &[u32],
+    attempt: u64,
+    plan: &FaultPlan,
+    gather: &Sender<RowMessage>,
+) {
+    let mut message = RowMessage::new(s, row.to_vec());
+    if plan.corrupts_payload(k as u64, DRIVER, s, attempt) {
+        plan.corrupt_row(k as u64, DRIVER, s, attempt, &mut message.row);
+    }
+    let _ = gather.send(message);
 }
 
 #[cfg(test)]
@@ -250,7 +577,7 @@ mod tests {
                     ClusterConfig {
                         nodes,
                         hub_fraction,
-                        partition: Default::default(),
+                        ..ClusterConfig::default()
                     },
                 );
                 assert_eq!(
@@ -258,10 +585,7 @@ mod tests {
                     None,
                     "nodes={nodes} hub={hub_fraction}"
                 );
-                assert_eq!(
-                    out.node_stats.iter().map(|s| s.sources).sum::<u64>(),
-                    160
-                );
+                assert_eq!(out.node_stats.iter().map(|s| s.sources).sum::<u64>(), 160);
             }
         }
     }
@@ -289,13 +613,15 @@ mod tests {
             ClusterConfig {
                 nodes: 4,
                 hub_fraction: 0.0,
-                partition: Default::default(),
+                ..ClusterConfig::default()
             },
         );
         assert_eq!(out.total_broadcast_bytes(), 0);
         assert!(out.node_stats.iter().all(|s| s.remote_reuses == 0));
-        // Gather still moves the whole matrix.
-        assert_eq!(out.gather_bytes, 100 * (4 + 400));
+        // The streaming gather still moves the whole matrix: per row a
+        // source id, a checksum, and n distances.
+        assert_eq!(out.gather_bytes, 100 * (4 + 4 + 400));
+        assert_eq!(out.gather_rejected, 0);
     }
 
     #[test]
@@ -306,7 +632,7 @@ mod tests {
             ClusterConfig {
                 nodes: 4,
                 hub_fraction: 0.05,
-                partition: Default::default(),
+                ..ClusterConfig::default()
             },
         );
         let large = dist_apsp(
@@ -314,7 +640,7 @@ mod tests {
             ClusterConfig {
                 nodes: 4,
                 hub_fraction: 0.5,
-                partition: Default::default(),
+                ..ClusterConfig::default()
             },
         );
         assert!(small.total_broadcast_bytes() > 0);
@@ -329,7 +655,7 @@ mod tests {
             ClusterConfig {
                 nodes: 1,
                 hub_fraction: 0.1,
-                partition: Default::default(),
+                ..ClusterConfig::default()
             },
         );
         let reference = apsp_dijkstra(&g);
@@ -353,13 +679,10 @@ mod tests {
                     nodes: 4,
                     hub_fraction: 0.1,
                     partition,
+                    ..ClusterConfig::default()
                 },
             );
-            assert_eq!(
-                reference.first_difference(&out.dist),
-                None,
-                "{partition:?}"
-            );
+            assert_eq!(reference.first_difference(&out.dist), None, "{partition:?}");
             assert_eq!(
                 out.node_stats.iter().map(|s| s.sources).sum::<u64>(),
                 140,
@@ -380,6 +703,7 @@ mod tests {
                     nodes: 4,
                     hub_fraction: 0.1,
                     partition,
+                    ..ClusterConfig::default()
                 },
             );
             out.node_stats
@@ -396,6 +720,144 @@ mod tests {
     }
 
     #[test]
+    fn crashed_node_work_is_recovered_exactly() {
+        let g = barabasi_albert(150, 3, WeightSpec::Unit, 90).unwrap();
+        let reference = apsp_dijkstra(&g);
+        let out = dist_apsp(
+            &g,
+            ClusterConfig {
+                nodes: 4,
+                hub_fraction: 0.1,
+                faults: FaultPlan::seeded(11).crash_node_after(2, 5),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(reference.first_difference(&out.dist), None);
+        assert_eq!(out.crashed_nodes(), 1);
+        assert!(out.node_stats[2].crashed);
+        assert_eq!(out.node_stats[2].sources, 5);
+        let taken_over: u64 = out.node_stats.iter().map(|s| s.reassigned_sources).sum();
+        // Node 2 owned ceil-ish 150/4 sources and finished 5 of them.
+        assert_eq!(taken_over, 37 - 5);
+        assert_eq!(
+            out.node_stats.iter().map(|s| s.sources).sum::<u64>(),
+            150,
+            "every source must be computed exactly once"
+        );
+    }
+
+    #[test]
+    fn immediate_crash_and_cascading_crashes_are_survivable() {
+        let g = barabasi_albert(120, 3, WeightSpec::Unit, 91).unwrap();
+        let reference = apsp_dijkstra(&g);
+        // Node 0 dies before computing anything; node 1 dies mid-recovery.
+        let out = dist_apsp(
+            &g,
+            ClusterConfig {
+                nodes: 3,
+                hub_fraction: 0.1,
+                faults: FaultPlan::seeded(5)
+                    .crash_node_after(0, 0)
+                    .crash_node_after(1, 10),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(reference.first_difference(&out.dist), None);
+        assert_eq!(out.crashed_nodes(), 2);
+        assert_eq!(out.node_stats[0].sources, 0);
+    }
+
+    #[test]
+    fn dropped_broadcasts_cost_reuse_not_correctness() {
+        let g = barabasi_albert(140, 3, WeightSpec::Unit, 92).unwrap();
+        let reference = apsp_dijkstra(&g);
+        let out = dist_apsp(
+            &g,
+            ClusterConfig {
+                nodes: 4,
+                hub_fraction: 0.3,
+                faults: FaultPlan::seeded(3).with_drop_probability(0.5),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(reference.first_difference(&out.dist), None);
+        // Senders paid for every broadcast; receivers saw only about half.
+        let sent = out.total_broadcast_bytes();
+        let received: u64 = out.node_stats.iter().map(|s| s.bytes_received).sum();
+        assert!(
+            received < sent,
+            "drops must shrink the received volume ({received} vs {sent})"
+        );
+    }
+
+    #[test]
+    fn corrupted_rows_are_rejected_and_retried_until_exact() {
+        let g = barabasi_albert(140, 3, WeightSpec::Unit, 93).unwrap();
+        let reference = apsp_dijkstra(&g);
+        let out = dist_apsp(
+            &g,
+            ClusterConfig {
+                nodes: 4,
+                hub_fraction: 0.3,
+                faults: FaultPlan::seeded(8).with_corrupt_probability(0.3),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(reference.first_difference(&out.dist), None);
+        assert!(
+            out.gather_rejected > 0,
+            "q=0.3 over 140 gather rows must reject some"
+        );
+        let retries: u64 = out.node_stats.iter().map(|s| s.retries).sum();
+        assert_eq!(retries, out.gather_rejected);
+    }
+
+    #[test]
+    fn combined_fault_storm_still_bit_identical() {
+        let g = erdos_renyi_gnm(
+            110,
+            600,
+            Direction::Directed,
+            WeightSpec::Uniform { lo: 1, hi: 20 },
+            94,
+        )
+        .unwrap();
+        let reference = apsp_dijkstra(&g);
+        let out = dist_apsp(
+            &g,
+            ClusterConfig {
+                nodes: 4,
+                hub_fraction: 0.2,
+                faults: FaultPlan::seeded(21)
+                    .crash_node_after(1, 3)
+                    .crash_node_after(3, 12)
+                    .with_drop_probability(0.25)
+                    .with_corrupt_probability(0.2),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(reference.first_difference(&out.dist), None);
+        assert_eq!(out.crashed_nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "all nodes crashed")]
+    fn crashing_every_node_is_fatal() {
+        let g = barabasi_albert(60, 2, WeightSpec::Unit, 95).unwrap();
+        let _ = dist_apsp(
+            &g,
+            ClusterConfig {
+                nodes: 2,
+                hub_fraction: 0.0,
+                faults: FaultPlan::seeded(1)
+                    .crash_node_after(0, 2)
+                    .crash_node_after(1, 2),
+                ..ClusterConfig::default()
+            },
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         let g = barabasi_albert(10, 2, WeightSpec::Unit, 1).unwrap();
@@ -404,7 +866,7 @@ mod tests {
             ClusterConfig {
                 nodes: 0,
                 hub_fraction: 0.0,
-                partition: Default::default(),
+                ..ClusterConfig::default()
             },
         );
     }
@@ -418,7 +880,7 @@ mod tests {
             ClusterConfig {
                 nodes: 2,
                 hub_fraction: 1.5,
-                partition: Default::default(),
+                ..ClusterConfig::default()
             },
         );
     }

@@ -1,0 +1,248 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] describes which faults a run should suffer: node
+//! crashes (a node stops dead after completing its k-th source), dropped
+//! hub broadcasts, and bit-flipped row payloads. Every decision is a pure
+//! function of the plan's seed and the message coordinates (sender,
+//! receiver, source, delivery attempt) — never of wall-clock time or
+//! thread interleaving — so a given plan injects exactly the same faults
+//! on every run. That is what makes the recovery invariant testable: the
+//! driver must produce a bit-identical [`DistanceMatrix`] under any plan
+//! that leaves at least one node alive.
+//!
+//! [`DistanceMatrix`]: parapsp_core::DistanceMatrix
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Address used for the driver in decision coordinates (the driver is not
+/// a node, so no node index can collide with it).
+pub(crate) const DRIVER: u64 = u64::MAX;
+
+/// A reproducible schedule of faults for one [`dist_apsp`] run.
+///
+/// The default plan injects nothing, so `FaultPlan::default()` preserves
+/// the fault-free behaviour exactly.
+///
+/// ```
+/// use parapsp_dist::FaultPlan;
+///
+/// let plan = FaultPlan::seeded(7)
+///     .crash_node_after(1, 3)        // node 1 dies after its 3rd source
+///     .with_drop_probability(0.2)    // 20% of hub broadcasts vanish
+///     .with_corrupt_probability(0.1); // 10% of row payloads get a bit flip
+/// assert!(!plan.is_inert());
+/// assert_eq!(FaultPlan::default(), FaultPlan::seeded(0));
+/// ```
+///
+/// [`dist_apsp`]: crate::dist_apsp
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    crashes: Vec<(usize, u64)>,
+    drop_probability: f64,
+    corrupt_probability: f64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults; the seed only matters once probabilities or
+    /// crashes are added.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Crashes `node` immediately after it has completed `k` sources
+    /// (`k = 0` crashes it before it computes anything). The crash is
+    /// simulated by the node thread returning: its channels disconnect and
+    /// it never speaks again.
+    pub fn crash_node_after(mut self, node: usize, k: u64) -> Self {
+        self.crashes.push((node, k));
+        self
+    }
+
+    /// Drops each hub broadcast independently with probability `p`.
+    /// Dropped rows only cost reuse opportunity — exactness is unaffected.
+    ///
+    /// # Panics
+    /// If `p` is outside `[0, 1]`.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} outside [0, 1]"
+        );
+        self.drop_probability = p;
+        self
+    }
+
+    /// Flips one bit of each row payload independently with probability
+    /// `q`, on hub broadcasts and gather rows alike. Corrupted rows fail
+    /// their checksum at the receiver and are rejected; gather rows are
+    /// then re-requested. `q` must stay below 1 or re-delivery could never
+    /// succeed.
+    ///
+    /// # Panics
+    /// If `q` is outside `[0, 1)`.
+    pub fn with_corrupt_probability(mut self, q: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&q),
+            "corrupt probability {q} outside [0, 1)"
+        );
+        self.corrupt_probability = q;
+        self
+    }
+
+    /// Whether this plan injects no faults at all.
+    pub fn is_inert(&self) -> bool {
+        self.crashes.is_empty() && self.drop_probability == 0.0 && self.corrupt_probability == 0.0
+    }
+
+    /// The source count after which `node` crashes, if it is scheduled to.
+    /// Multiple entries for one node collapse to the earliest crash.
+    pub(crate) fn crash_after(&self, node: usize) -> Option<u64> {
+        self.crashes
+            .iter()
+            .filter(|&&(who, _)| who == node)
+            .map(|&(_, k)| k)
+            .min()
+    }
+
+    /// Whether the broadcast of `source`'s row from `from` to `to` is lost.
+    pub(crate) fn drops_broadcast(&self, from: u64, to: u64, source: u32) -> bool {
+        self.drop_probability > 0.0
+            && self
+                .decision_rng(0x44524F50, from, to, u64::from(source))
+                .random_bool(self.drop_probability)
+    }
+
+    /// Whether delivery `attempt` of `source`'s row from `from` to `to`
+    /// arrives with a flipped bit.
+    pub(crate) fn corrupts_payload(&self, from: u64, to: u64, source: u32, attempt: u64) -> bool {
+        self.corrupt_probability > 0.0
+            && self
+                .decision_rng(0x464C4950, from, to, u64::from(source) ^ (attempt << 32))
+                .random_bool(self.corrupt_probability)
+    }
+
+    /// Flips one deterministically chosen bit of `row` (the simulated
+    /// transmission error behind [`corrupts_payload`](Self::corrupts_payload)).
+    pub(crate) fn corrupt_row(
+        &self,
+        from: u64,
+        to: u64,
+        source: u32,
+        attempt: u64,
+        row: &mut [u32],
+    ) {
+        if row.is_empty() {
+            return;
+        }
+        let mut rng = self.decision_rng(0x42495421, from, to, u64::from(source) ^ (attempt << 32));
+        let word = rng.random_range(0..row.len());
+        let bit = rng.random_range(0..32u32);
+        row[word] ^= 1 << bit;
+    }
+
+    /// A fresh generator keyed on the plan seed plus the decision
+    /// coordinates, mixed so that nearby coordinates do not correlate.
+    fn decision_rng(&self, salt: u64, a: u64, b: u64, c: u64) -> StdRng {
+        let mut key = self.seed ^ salt.rotate_left(32);
+        for word in [a, b, c] {
+            key ^= word.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            key = (key ^ (key >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            key = (key ^ (key >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            key ^= key >> 31;
+        }
+        StdRng::seed_from_u64(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_inert());
+        assert_eq!(plan.crash_after(0), None);
+        assert!(!plan.drops_broadcast(0, 1, 5));
+        assert!(!plan.corrupts_payload(0, DRIVER, 5, 0));
+    }
+
+    #[test]
+    fn decisions_are_reproducible_and_coordinate_sensitive() {
+        let plan = FaultPlan::seeded(42).with_drop_probability(0.5);
+        let again = FaultPlan::seeded(42).with_drop_probability(0.5);
+        let mut differs = false;
+        for source in 0..64u32 {
+            assert_eq!(
+                plan.drops_broadcast(0, 1, source),
+                again.drops_broadcast(0, 1, source),
+                "decision must be a pure function of plan + coordinates"
+            );
+            if plan.drops_broadcast(0, 1, source) != plan.drops_broadcast(1, 0, source) {
+                differs = true;
+            }
+        }
+        assert!(differs, "direction must enter the decision");
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::seeded(7).with_drop_probability(0.3);
+        let dropped = (0..2000u32)
+            .filter(|&s| plan.drops_broadcast(2, 3, s))
+            .count();
+        assert!(
+            (450..750).contains(&dropped),
+            "got {dropped} drops of 2000 at p=0.3"
+        );
+    }
+
+    #[test]
+    fn earliest_crash_wins() {
+        let plan = FaultPlan::seeded(1)
+            .crash_node_after(2, 9)
+            .crash_node_after(2, 4);
+        assert_eq!(plan.crash_after(2), Some(4));
+        assert_eq!(plan.crash_after(0), None);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_deterministically() {
+        let plan = FaultPlan::seeded(3).with_corrupt_probability(0.5);
+        let clean = vec![5u32, 6, 7, 8];
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        plan.corrupt_row(1, DRIVER, 9, 0, &mut a);
+        plan.corrupt_row(1, DRIVER, 9, 0, &mut b);
+        assert_eq!(a, b, "same coordinates must flip the same bit");
+        let flipped: u32 = clean
+            .iter()
+            .zip(&a)
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+        let mut c = clean.clone();
+        plan.corrupt_row(1, DRIVER, 9, 1, &mut c);
+        assert_ne!(
+            a, c,
+            "different attempts should usually flip different bits"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt probability")]
+    fn certain_corruption_is_rejected() {
+        let _ = FaultPlan::seeded(0).with_corrupt_probability(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn out_of_range_drop_probability_is_rejected() {
+        let _ = FaultPlan::seeded(0).with_drop_probability(1.5);
+    }
+}

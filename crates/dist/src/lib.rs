@@ -29,10 +29,23 @@
 //! Exactness is unconditional: row reuse is an optimization, not a
 //! correctness requirement, and only *final* rows are ever shared (same
 //! argument as the shared-memory publication protocol).
+//!
+//! # Fault tolerance
+//!
+//! Runs can be subjected to a deterministic [`FaultPlan`]: node crashes,
+//! dropped hub broadcasts, and bit-flipped row payloads. Rows are streamed
+//! to the driver with checksums as they complete, crashed nodes are
+//! detected through bounded-timeout heartbeats on their disconnected
+//! channels, and their unfinished sources are re-dealt to survivors — so
+//! any plan that leaves at least one node alive yields a distance matrix
+//! bit-identical to the fault-free run (see the `cluster` module docs for
+//! the protocol).
 
 #![warn(missing_docs)]
 
 mod cluster;
+mod fault;
 mod node;
 
 pub use cluster::{dist_apsp, ClusterConfig, DistApspOutput, NodeStats, SourcePartition};
+pub use fault::FaultPlan;

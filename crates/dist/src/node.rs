@@ -4,25 +4,65 @@
 //! Unlike the shared-memory kernel in `parapsp-core`, a node is
 //! single-threaded over its own memory, so everything here is safe code —
 //! the distributed setting trades the publication protocol for explicit
-//! messages.
+//! messages. Every row that crosses the simulated wire carries an FNV-1a
+//! checksum; receivers verify it and discard rows that fail, so a
+//! corrupted payload can never poison the reuse pools or the gathered
+//! matrix.
 
 use std::collections::VecDeque;
 
 use parapsp_graph::{CsrGraph, INF};
 
-/// A completed row received from another node.
+/// FNV-1a over the source id and the row payload (little-endian words).
+pub(crate) fn row_checksum(source: u32, row: &[u32]) -> u32 {
+    const OFFSET: u32 = 0x811C_9DC5;
+    const PRIME: u32 = 0x0100_0193;
+    let mut hash = OFFSET;
+    let mut eat = |word: u32| {
+        for byte in word.to_le_bytes() {
+            hash ^= u32::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    eat(source);
+    for &word in row {
+        eat(word);
+    }
+    hash
+}
+
+/// A completed row in transit between nodes (or to the driver).
 #[derive(Debug, Clone)]
 pub(crate) struct RowMessage {
     /// Global source vertex of the row.
     pub source: u32,
     /// The full, final distance row of that source.
     pub row: Vec<u32>,
+    /// FNV-1a checksum of `source` and `row`, computed by the sender
+    /// before the payload touches the wire.
+    pub checksum: u32,
 }
 
 impl RowMessage {
-    /// Bytes this message occupies on the simulated wire.
+    /// Seals a row for transmission, stamping its checksum.
+    pub(crate) fn new(source: u32, row: Vec<u32>) -> Self {
+        let checksum = row_checksum(source, &row);
+        RowMessage {
+            source,
+            row,
+            checksum,
+        }
+    }
+
+    /// Whether the payload still matches its checksum.
+    pub(crate) fn verify(&self) -> bool {
+        row_checksum(self.source, &self.row) == self.checksum
+    }
+
+    /// Bytes this message occupies on the simulated wire: source id,
+    /// checksum, payload.
     pub(crate) fn wire_bytes(&self) -> u64 {
-        4 + self.row.len() as u64 * 4
+        8 + self.row.len() as u64 * 4
     }
 }
 
@@ -30,6 +70,8 @@ impl RowMessage {
 /// hub rows have arrived.
 pub(crate) struct NodeState {
     n: usize,
+    /// Sources this node is responsible for, in assignment order.
+    owned: Vec<u32>,
     /// `local_rows[i]` is the row of the i-th *owned* source (dense local
     /// indexing); `None` until computed.
     local_rows: Vec<Option<Vec<u32>>>,
@@ -43,6 +85,8 @@ pub(crate) struct NodeState {
     /// Local reuse counters (reported through `NodeStats`).
     pub(crate) local_reuses: u64,
     pub(crate) remote_reuses: u64,
+    /// Received rows discarded for failing their checksum.
+    pub(crate) rows_rejected: u64,
 }
 
 impl NodeState {
@@ -53,6 +97,7 @@ impl NodeState {
         }
         NodeState {
             n,
+            owned: owned_sources.to_vec(),
             local_rows: vec![None; owned_sources.len()],
             local_slot,
             remote_rows: vec![None; n],
@@ -60,13 +105,41 @@ impl NodeState {
             in_queue: vec![false; n],
             local_reuses: 0,
             remote_reuses: 0,
+            rows_rejected: 0,
         }
     }
 
-    /// Stores a received remote row.
+    /// Takes ownership of an additional source at runtime (recovery: the
+    /// driver re-deals a crashed node's remaining work). No-op if the
+    /// source is already owned.
+    pub(crate) fn assign(&mut self, source: u32) {
+        if self.local_slot[source as usize] != u32::MAX {
+            return;
+        }
+        self.local_slot[source as usize] = self.local_rows.len() as u32;
+        self.local_rows.push(None);
+        self.owned.push(source);
+    }
+
+    /// Stores a received remote row after verifying its checksum; a
+    /// corrupted row is counted and dropped.
     pub(crate) fn accept(&mut self, message: RowMessage) {
         debug_assert_eq!(message.row.len(), self.n);
+        if !message.verify() {
+            self.rows_rejected += 1;
+            return;
+        }
         self.remote_rows[message.source as usize] = Some(message.row);
+    }
+
+    /// The stored row of owned source `s`, if already computed (used to
+    /// re-send a gather row the driver rejected).
+    pub(crate) fn row_for(&self, s: u32) -> Option<&[u32]> {
+        let slot = self.local_slot[s as usize];
+        if slot == u32::MAX {
+            return None;
+        }
+        self.local_rows[slot as usize].as_deref()
     }
 
     /// A completed row for `t`, if this node has one (own or remote).
@@ -134,12 +207,14 @@ impl NodeState {
     }
 
     /// Consumes the node, yielding `(global_source, row)` pairs for every
-    /// owned source (the gather phase).
-    pub(crate) fn into_rows(self, owned_sources: &[u32]) -> Vec<(u32, Vec<u32>)> {
-        owned_sources
+    /// *computed* owned source. The cluster driver streams rows instead;
+    /// this stays for direct inspection in tests.
+    #[cfg(test)]
+    pub(crate) fn into_rows(self) -> Vec<(u32, Vec<u32>)> {
+        self.owned
             .iter()
             .zip(self.local_rows)
-            .map(|(&s, row)| (s, row.expect("all owned sources were run")))
+            .filter_map(|(&s, row)| row.map(|row| (s, row)))
             .collect()
     }
 }
@@ -158,7 +233,8 @@ mod tests {
         for s in 0..5u32 {
             node.run_source(&g, s);
         }
-        let rows = node.into_rows(&owned);
+        let rows = node.into_rows();
+        assert_eq!(rows.len(), 5);
         for (s, row) in rows {
             for v in 0..5u32 {
                 assert_eq!(row[v as usize], s.abs_diff(v));
@@ -173,23 +249,68 @@ mod tests {
         let mut node = NodeState::new(6, &[3]);
         let mut remote = vec![1u32; 6];
         remote[0] = 0;
-        node.accept(RowMessage {
-            source: 0,
-            row: remote,
-        });
+        node.accept(RowMessage::new(0, remote));
         node.run_source(&g, 3);
         assert_eq!(node.remote_reuses, 1);
-        let rows = node.into_rows(&[3]);
+        let rows = node.into_rows();
         assert_eq!(rows[0].1[0], 1);
         assert_eq!(rows[0].1[3], 0);
     }
 
     #[test]
-    fn wire_bytes_counts_header_and_payload() {
-        let m = RowMessage {
-            source: 1,
-            row: vec![0; 10],
-        };
-        assert_eq!(m.wire_bytes(), 4 + 40);
+    fn corrupted_remote_row_is_rejected_not_reused() {
+        let g = parapsp_graph::generate::complete_graph(6);
+        let mut node = NodeState::new(6, &[3]);
+        let mut remote = vec![1u32; 6];
+        remote[0] = 0;
+        let mut message = RowMessage::new(0, remote);
+        message.row[2] ^= 1 << 7; // in-flight bit flip
+        node.accept(message);
+        assert_eq!(node.rows_rejected, 1);
+        node.run_source(&g, 3);
+        assert_eq!(node.remote_reuses, 0, "rejected row must not be reused");
+    }
+
+    #[test]
+    fn runtime_assignment_extends_ownership() {
+        let g = path_graph(4, Direction::Undirected);
+        let mut node = NodeState::new(4, &[0]);
+        node.assign(2);
+        node.assign(2); // idempotent
+        node.run_source(&g, 0);
+        node.run_source(&g, 2);
+        assert_eq!(node.row_for(2), Some(&[2u32, 1, 0, 1][..]));
+        let mut rows = node.into_rows();
+        rows.sort_by_key(|&(s, _)| s);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].0, 2);
+    }
+
+    #[test]
+    fn wire_bytes_counts_header_checksum_and_payload() {
+        let m = RowMessage::new(1, vec![0; 10]);
+        assert_eq!(m.wire_bytes(), 4 + 4 + 40);
+    }
+
+    #[test]
+    fn checksum_detects_any_single_bit_flip_in_a_sample() {
+        let row: Vec<u32> = (0..32u32)
+            .map(|i| i.wrapping_mul(2654435761) % 1000)
+            .collect();
+        let clean = RowMessage::new(9, row);
+        assert!(clean.verify());
+        for word in 0..clean.row.len() {
+            for bit in [0u32, 7, 13, 31] {
+                let mut tampered = clean.clone();
+                tampered.row[word] ^= 1 << bit;
+                assert!(
+                    !tampered.verify(),
+                    "flip at word {word} bit {bit} went undetected"
+                );
+            }
+        }
+        let mut wrong_source = clean.clone();
+        wrong_source.source = 10;
+        assert!(!wrong_source.verify());
     }
 }

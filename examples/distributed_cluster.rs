@@ -44,7 +44,7 @@ fn main() {
                 ClusterConfig {
                     nodes,
                     hub_fraction,
-                    partition: Default::default(),
+                    ..Default::default()
                 },
             );
             let remote: u64 = out.node_stats.iter().map(|s| s.remote_reuses).sum();

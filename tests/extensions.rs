@@ -35,7 +35,7 @@ fn all_extension_algorithms_agree_with_the_core_on_a_replica() {
         ClusterConfig {
             nodes: 3,
             hub_fraction: 0.05,
-            partition: Default::default(),
+            ..Default::default()
         },
     );
     assert_eq!(
@@ -88,7 +88,7 @@ fn distributed_hub_sharing_increases_reuse() {
         ClusterConfig {
             nodes: 4,
             hub_fraction: 0.0,
-            partition: Default::default(),
+            ..Default::default()
         },
     );
     let sharing = dist_apsp(
@@ -96,7 +96,7 @@ fn distributed_hub_sharing_increases_reuse() {
         ClusterConfig {
             nodes: 4,
             hub_fraction: 0.1,
-            partition: Default::default(),
+            ..Default::default()
         },
     );
     let remote_isolated: u64 = isolated.node_stats.iter().map(|s| s.remote_reuses).sum();

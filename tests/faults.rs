@@ -1,0 +1,200 @@
+//! Fault-injection and checkpoint/resume property tests.
+//!
+//! The two robustness invariants:
+//!
+//! * Under any seeded fault plan that leaves at least one cluster node
+//!   alive — crashes, dropped hub broadcasts, corrupted row payloads,
+//!   in any combination — the distributed run recovers and produces a
+//!   matrix *bit-identical* to the fault-free run. Recovery can only
+//!   reassign work and retry messages; it can never change a distance,
+//!   because every row is exact regardless of which node computes it.
+//! * A run killed midway leaves a version-2 checkpoint from which a
+//!   resumed run reaches the exact same matrix, computing only the
+//!   missing rows.
+
+use proptest::prelude::*;
+
+use parapsp::core::persist::{self, Checkpoint};
+use parapsp::core::ParApsp;
+use parapsp::dist::{dist_apsp, ClusterConfig, FaultPlan};
+use parapsp::graph::{CsrGraph, Direction, GraphBuilder};
+
+/// An arbitrary graph with up to `max_n` vertices and `max_m` edges,
+/// random directedness, weights in 1..=20.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n, any::<bool>()).prop_flat_map(move |(n, directed)| {
+        let edge = (0..n as u32, 0..n as u32, 1u32..=20);
+        proptest::collection::vec(edge, 0..max_m).prop_map(move |edges| {
+            let direction = if directed {
+                Direction::Directed
+            } else {
+                Direction::Undirected
+            };
+            let mut b = GraphBuilder::new(n, direction);
+            for (u, v, w) in edges {
+                b.add_edge(u, v, w).expect("endpoints in range");
+            }
+            b.build()
+        })
+    })
+}
+
+/// A cluster size together with a fault plan that never crashes *all*
+/// nodes: random seed, crash schedule, drop and corruption rates.
+fn arb_cluster_faults() -> impl Strategy<Value = (usize, FaultPlan)> {
+    (2usize..5).prop_flat_map(|nodes| {
+        (
+            Just(nodes),
+            any::<u64>(),
+            proptest::collection::vec((0..nodes, 0u64..6), 0..nodes * 2),
+            0.0f64..0.5,
+            0.0f64..0.4,
+        )
+            .prop_map(|(nodes, seed, crashes, drop_p, corrupt_p)| {
+                let mut plan = FaultPlan::seeded(seed)
+                    .with_drop_probability(drop_p)
+                    .with_corrupt_probability(corrupt_p);
+                // Admit crashes only while at least one node stays alive.
+                let mut crashed = vec![false; nodes];
+                for (node, after) in crashes {
+                    let would_crash =
+                        crashed.iter().filter(|&&c| c).count() + usize::from(!crashed[node]);
+                    if would_crash < nodes {
+                        crashed[node] = true;
+                        plan = plan.crash_node_after(node, after);
+                    }
+                }
+                (nodes, plan)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn recovered_matrix_is_bit_identical_to_fault_free_run(
+        graph in arb_graph(40, 180),
+        cluster in arb_cluster_faults(),
+        hub_fraction in 0.0f64..=0.3,
+    ) {
+        let (nodes, faults) = cluster;
+        let clean = dist_apsp(&graph, ClusterConfig {
+            nodes,
+            hub_fraction,
+            ..ClusterConfig::default()
+        });
+        let faulty = dist_apsp(&graph, ClusterConfig {
+            nodes,
+            hub_fraction,
+            faults,
+            ..ClusterConfig::default()
+        });
+        prop_assert_eq!(clean.dist.first_difference(&faulty.dist), None);
+        // Every source was computed somewhere, crashes or not. (A source
+        // can be computed twice: when a node's gather row is rejected as
+        // corrupt and the node crashes before re-sending, a survivor
+        // recomputes it — exactness makes the duplicate harmless.)
+        let sources: u64 = faulty.node_stats.iter().map(|s| s.sources).sum();
+        prop_assert!(sources >= graph.vertex_count() as u64, "sources {sources}");
+    }
+
+    #[test]
+    fn killed_midway_checkpoint_resumes_to_the_exact_matrix(
+        graph in arb_graph(45, 200),
+        keep in proptest::collection::vec(any::<bool>(), 45),
+        threads in 1usize..5,
+    ) {
+        let n = graph.vertex_count();
+        let full = ParApsp::par_apsp(threads).run(&graph);
+        // The on-disk artifact of a run killed midway: some rows final,
+        // the rest absent.
+        let completed: Vec<bool> = (0..n).map(|s| keep[s]).collect();
+        let cp = Checkpoint::new(full.dist.clone(), completed.clone());
+        let mut bytes = Vec::new();
+        persist::write_checkpoint(&cp, &mut bytes).expect("in-memory write");
+        let loaded = persist::read_checkpoint(bytes.as_slice()).expect("round trip");
+        prop_assert_eq!(&loaded, &cp);
+        let missing = completed.iter().filter(|&&done| !done).count() as u64;
+        let resumed = ParApsp::par_apsp(threads).run_resumed(&graph, loaded);
+        prop_assert_eq!(full.dist.first_difference(&resumed.dist), None);
+        prop_assert_eq!(resumed.counters.sources, missing);
+    }
+
+    #[test]
+    fn checkpoint_corruptions_never_load(
+        graph in arb_graph(30, 100),
+        keep in proptest::collection::vec(any::<bool>(), 30),
+        tweak in any::<u64>(),
+    ) {
+        let n = graph.vertex_count();
+        let full = ParApsp::par_apsp(2).run(&graph);
+        let completed: Vec<bool> = (0..n).map(|s| keep[s]).collect();
+        let cp = Checkpoint::new(full.dist, completed);
+        let mut bytes = Vec::new();
+        persist::write_checkpoint(&cp, &mut bytes).expect("in-memory write");
+
+        // Truncation anywhere inside the payload is rejected.
+        let cut = 14 + (tweak as usize % bytes.len().saturating_sub(14).max(1));
+        prop_assert!(persist::read_checkpoint(&bytes[..cut]).is_err());
+        // A flipped bitmap bit breaks the count/bitmap agreement.
+        if cp.completed_count() > 0 && cp.completed_count() < n {
+            let bitmap_start = 4 + 1 + 8 + 8;
+            let mut bad = bytes.clone();
+            let bit = tweak as usize % n;
+            bad[bitmap_start + bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(persist::read_checkpoint(bad.as_slice()).is_err());
+        }
+        // Trailing garbage is rejected.
+        let mut bad = bytes.clone();
+        bad.push(tweak as u8);
+        prop_assert!(persist::read_checkpoint(bad.as_slice()).is_err());
+    }
+}
+
+/// Version skew is one-directional: a v1 full matrix is a valid (complete)
+/// checkpoint, while the plain v1 reader refuses a v2 checkpoint.
+#[test]
+fn version_skew_between_matrix_and_checkpoint_formats() {
+    let mut b = GraphBuilder::new(6, Direction::Undirected);
+    for v in 1..6 {
+        b.add_edge(0, v, v).unwrap();
+    }
+    let graph = b.build();
+    let full = ParApsp::par_apsp(2).run(&graph);
+
+    let mut v1 = Vec::new();
+    persist::write_binary(&full.dist, &mut v1).unwrap();
+    let upgraded = persist::read_checkpoint(v1.as_slice()).unwrap();
+    assert!(upgraded.is_complete());
+    assert_eq!(upgraded.matrix().first_difference(&full.dist), None);
+
+    let mut v2 = Vec::new();
+    persist::write_checkpoint(&Checkpoint::complete(full.dist), &mut v2).unwrap();
+    assert!(persist::read_binary(v2.as_slice()).is_err());
+}
+
+/// End-to-end: a checkpointing run writes a loadable file after every
+/// chunk, and the final file alone reproduces the matrix.
+#[test]
+fn checkpoint_file_written_during_a_run_is_loadable_and_exact() {
+    let dir = std::env::temp_dir().join("parapsp-faults-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.ckpt");
+
+    let mut b = GraphBuilder::new(80, Direction::Undirected);
+    for v in 1..80u32 {
+        b.add_edge(v - 1, v, 1 + v % 7).unwrap();
+        b.add_edge(0, v, 3 + v % 5).unwrap();
+    }
+    let graph = b.build();
+
+    let reference = ParApsp::par_apsp(4).run(&graph);
+    let out = ParApsp::par_apsp(4).with_checkpoint(&path, 16).run(&graph);
+    assert_eq!(reference.dist.first_difference(&out.dist), None);
+
+    let cp = persist::load_checkpoint(&path).unwrap();
+    assert!(cp.is_complete());
+    assert_eq!(cp.matrix().first_difference(&reference.dist), None);
+    std::fs::remove_file(path).ok();
+}

@@ -233,7 +233,7 @@ proptest! {
     ) {
         use parapsp::dist::{dist_apsp, ClusterConfig};
         let reference = apsp_dijkstra(&graph);
-        let out = dist_apsp(&graph, ClusterConfig { nodes, hub_fraction, partition: Default::default() });
+        let out = dist_apsp(&graph, ClusterConfig { nodes, hub_fraction, ..Default::default() });
         prop_assert_eq!(reference.first_difference(&out.dist), None);
     }
 

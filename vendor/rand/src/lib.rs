@@ -1,0 +1,322 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build container cannot reach a crate registry, so the workspace
+//! vendors the thin slice of `rand` it actually uses: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], the [`Rng`] helpers
+//! `random`, `random_range` and `random_bool`, and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded by
+//! SplitMix64 — deterministic, fast and statistically strong enough for
+//! the seeded graph generators and fault plans in this repository. The
+//! streams differ from upstream `rand`'s ChaCha12-based `StdRng`; nothing
+//! in the workspace depends on the exact values, only on determinism.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a single `u64` (the only constructor the
+    /// workspace uses).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (see [`Fill`] for supported types).
+    fn random<T: Fill>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::fill(self)
+    }
+
+    /// A uniform sample from `range`, which must be non-empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (`p` clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::fill(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types [`Rng::random`] can produce.
+pub trait Fill {
+    /// Draws one uniform value.
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Fill for u64 {
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Fill for u32 {
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Fill for u8 {
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Fill for usize {
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Fill for bool {
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Fill for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Fill for f32 {
+    /// Uniform in `[0, 1)` using the top 24 bits.
+    fn fill<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value; panics on an empty range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Unbiased bounded sampling by rejection from the low bits' modulus zone
+// (Lemire-style threshold on the widening multiply is overkill here).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let raw = rng.next_u64();
+        if raw <= zone {
+            return raw % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::fill(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::fill(rng) * (hi - lo)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman &
+    /// Vigna), state-initialized with SplitMix64 exactly as its authors
+    /// recommend.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is a fixed point of xoshiro; fall back to
+            // the SplitMix64 expansion of zero.
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut state);
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Random slice operations (only `shuffle` is provided).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::bounded_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2_000 {
+            let x: u32 = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+            let z: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&z));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_sampling_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        assert!(counts.iter().all(|&c| (800..1200).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn bool_probability_is_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle left the identity (astronomically unlikely)");
+    }
+}

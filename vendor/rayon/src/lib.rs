@@ -1,0 +1,109 @@
+//! Offline stand-in for `rayon` (1.x API subset).
+//!
+//! The workspace uses rayon only as a *comparison baseline* in one
+//! ablation bench. This stub keeps that bench compiling by executing the
+//! "parallel" iterator sequentially on the calling thread — so any
+//! parfor-vs-rayon numbers produced against the stub measure the parfor
+//! side against a sequential loop, not against real work stealing.
+
+use std::fmt;
+
+/// Builds a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested thread count (advisory in the stub).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Creates the pool. Never fails in the stub.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                std::thread::available_parallelism().map_or(1, |p| p.get())
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// Error type kept for signature compatibility; never constructed here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _private: (),
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle scoping "parallel" work; the stub runs everything inline.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool current. Sequential in the stub.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Parallel-iterator traits (sequential fallback).
+pub mod prelude {
+    /// Conversion into a "parallel" iterator. The blanket impl hands back
+    /// the ordinary sequential iterator, whose `map`/`collect` chain then
+    /// matches rayon's surface for simple pipelines.
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter;
+
+        /// Converts `self`; sequential in the stub.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn pool_installs_and_runs() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let out = pool.install(|| {
+            (0..8u32).into_par_iter().map(|x| x * 2).collect::<Vec<_>>()
+        });
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+}
