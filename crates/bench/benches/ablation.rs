@@ -31,17 +31,15 @@ fn bench_kernel_switches(c: &mut Criterion) {
         (
             "row-reuse-only",
             KernelOptions {
-                row_reuse: true,
                 dedup_queue: false,
-                max_distance: None,
+                ..KernelOptions::default()
             },
         ),
         (
             "dedup-only",
             KernelOptions {
                 row_reuse: false,
-                dedup_queue: true,
-                max_distance: None,
+                ..KernelOptions::default()
             },
         ),
         (
@@ -49,7 +47,14 @@ fn bench_kernel_switches(c: &mut Criterion) {
             KernelOptions {
                 row_reuse: false,
                 dedup_queue: false,
-                max_distance: None,
+                ..KernelOptions::default()
+            },
+        ),
+        (
+            "scalar-relax",
+            KernelOptions {
+                relax: parapsp_core::RelaxImpl::Scalar,
+                ..KernelOptions::default()
             },
         ),
     ] {
@@ -108,9 +113,18 @@ fn bench_multilists_vs_std_sort(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 4] {
         let pool = ThreadPool::new(threads);
-        group.bench_function(BenchmarkId::new("multi-lists", format!("{threads}t")), |b| {
-            b.iter(|| black_box(sort_indices(black_box(&keys), SortDirection::Descending, &pool)))
-        });
+        group.bench_function(
+            BenchmarkId::new("multi-lists", format!("{threads}t")),
+            |b| {
+                b.iter(|| {
+                    black_box(sort_indices(
+                        black_box(&keys),
+                        SortDirection::Descending,
+                        &pool,
+                    ))
+                })
+            },
+        );
     }
     for threads in [1usize, 4] {
         let pool = ThreadPool::new(threads);

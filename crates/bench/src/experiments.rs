@@ -129,7 +129,12 @@ pub fn table2(config: &Config) -> Vec<Table> {
         let max_deg = degs.iter().copied().max().unwrap_or(0);
         table.push_row(vec![
             spec.name.to_string(),
-            if spec.directed { "Directed" } else { "Undirected" }.to_string(),
+            if spec.directed {
+                "Directed"
+            } else {
+                "Undirected"
+            }
+            .to_string(),
             spec.paper_vertices.to_string(),
             spec.paper_edges.to_string(),
             g.vertex_count().to_string(),
@@ -433,7 +438,7 @@ pub fn ablation(config: &Config) -> Vec<Table> {
             .with_kernel_options(KernelOptions {
                 row_reuse,
                 dedup_queue,
-                max_distance: None,
+                ..KernelOptions::default()
             })
             .run(&g);
         kernel_table.push_row(vec![
@@ -528,7 +533,10 @@ pub fn ablation(config: &Config) -> Vec<Table> {
     let top = (g.vertex_count() / 100).max(1);
     for (label, ordering) in [
         ("exact (seq-bucket)", OrderingProcedure::SeqBucket),
-        ("par-buckets(10)", OrderingProcedure::ParBuckets { ranges: 10 }),
+        (
+            "par-buckets(10)",
+            OrderingProcedure::ParBuckets { ranges: 10 },
+        ),
         ("par-buckets(100)", OrderingProcedure::par_buckets()),
         ("identity", OrderingProcedure::Identity),
     ] {
@@ -587,8 +595,11 @@ pub fn ablation(config: &Config) -> Vec<Table> {
         if chunk.is_empty() {
             break;
         }
-        let mean_degree =
-            chunk.iter().map(|&v| degrees[v as usize] as f64).sum::<f64>() / chunk.len() as f64;
+        let mean_degree = chunk
+            .iter()
+            .map(|&v| degrees[v as usize] as f64)
+            .sum::<f64>()
+            / chunk.len() as f64;
         let mean_cost = chunk
             .iter()
             .map(|&v| per_source[v as usize].as_secs_f64())
@@ -703,7 +714,10 @@ pub fn hypothesis(config: &Config) -> Vec<Table> {
     let edge_count = ba.edge_count();
     let er = erdos_renyi_gnm(n, edge_count, Direction::Undirected, WeightSpec::Unit, 0xE6)
         .expect("ER generation");
-    for (label, graph) in [("Barabási–Albert (scale-free)", &ba), ("Erdős–Rényi (flat)", &er)] {
+    for (label, graph) in [
+        ("Barabási–Albert (scale-free)", &ba),
+        ("Erdős–Rényi (flat)", &er),
+    ] {
         let basic = seq_basic(graph);
         let optimized = seq_optimized_bucket(graph);
         table.push_row(vec![
@@ -801,8 +815,7 @@ mod tests {
 
     #[test]
     fn log_log_slope_recovers_known_exponents() {
-        let quadratic: Vec<(f64, f64)> =
-            (1..6).map(|i| (i as f64, (i * i) as f64)).collect();
+        let quadratic: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, (i * i) as f64)).collect();
         assert!((log_log_slope(&quadratic) - 2.0).abs() < 1e-9);
         let linear: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, 3.0 * i as f64)).collect();
         assert!((log_log_slope(&linear) - 1.0).abs() < 1e-9);

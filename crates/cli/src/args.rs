@@ -30,6 +30,7 @@ const VALUED: &[&str] = &[
     "--hub-fraction",
     "--weights",
     "--cap",
+    "--relax",
     "--partition",
     "--checkpoint",
     "--checkpoint-every",

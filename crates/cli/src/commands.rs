@@ -48,6 +48,9 @@ apsp options:
                              block-degree | cyclic-id
   --cap <D>                  bounded horizon: leave pairs beyond distance D
                              at infinity (par-* algorithms only)
+  --relax <impl>             row-relaxation kernel: auto | avx2 | portable |
+                             scalar (par-apsp | par-alg1 | par-alg2;
+                             default auto — all variants are bit-identical)
   --out <file>               save the distance matrix (.tsv/.txt = text,
                              anything else = compact binary)
   --checkpoint <file>        write completed rows to <file> periodically
@@ -184,16 +187,31 @@ fn run_algorithm(
                 .map_err(|_| format!("--cap value `{raw}` is invalid"))?,
         ),
     };
-    let with_cap = |driver: ParApsp| match cap {
-        Some(c) => driver.with_max_distance(c),
-        None => driver,
+    // Row-relaxation implementation (the vectorized kernel ablation switch).
+    let relax = match args.get("relax") {
+        None => parapsp_core::RelaxImpl::Auto,
+        Some(raw) => parapsp_core::RelaxImpl::parse(raw).ok_or_else(|| {
+            format!("--relax value `{raw}` is invalid (auto, avx2, portable, scalar)")
+        })?,
     };
-    // Checkpoint/resume applies to the ParApsp drivers only.
+    let with_cap = |driver: ParApsp| {
+        let driver = driver.with_relax(relax);
+        match cap {
+            Some(c) => driver.with_max_distance(c),
+            None => driver,
+        }
+    };
+    // Checkpoint/resume and --relax apply to the ParApsp drivers only.
     if (args.get("checkpoint").is_some() || args.get("resume").is_some())
         && !matches!(name, "par-apsp" | "par-alg1" | "par-alg2")
     {
         return Err(format!(
             "--checkpoint/--resume work with par-apsp, par-alg1, or par-alg2 (got `{name}`)"
+        ));
+    }
+    if args.get("relax").is_some() && !matches!(name, "par-apsp" | "par-alg1" | "par-alg2") {
+        return Err(format!(
+            "--relax works with par-apsp, par-alg1, or par-alg2 (got `{name}`)"
         ));
     }
     let checkpoint_every = args.get_parsed("checkpoint-every", 64usize)?;
@@ -577,6 +595,26 @@ mod tests {
         let file = sample_file();
         apsp(&args(&["apsp", &file, "--cap", "1", "--threads", "2"])).unwrap();
         assert!(apsp(&args(&["apsp", &file, "--cap", "many"])).is_err());
+    }
+
+    #[test]
+    fn relax_impl_selection_via_cli() {
+        let file = sample_file();
+        for relax in ["auto", "avx2", "portable", "scalar"] {
+            apsp(&args(&["apsp", &file, "--relax", relax, "--threads", "2"]))
+                .unwrap_or_else(|e| panic!("--relax {relax}: {e}"));
+        }
+        assert!(apsp(&args(&["apsp", &file, "--relax", "sse9"])).is_err());
+        // --relax is a ParApsp-driver switch.
+        assert!(apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "seq-basic",
+            "--relax",
+            "scalar"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -244,12 +244,8 @@ mod tests {
     #[test]
     fn known_small_graph() {
         // Triangle with a shortcut: 0-1 (4), 1-2 (1), 0-2 (6) undirected.
-        let g = CsrGraph::from_edges(
-            3,
-            Direction::Undirected,
-            &[(0, 1, 4), (1, 2, 1), (0, 2, 6)],
-        )
-        .unwrap();
+        let g = CsrGraph::from_edges(3, Direction::Undirected, &[(0, 1, 4), (1, 2, 1), (0, 2, 6)])
+            .unwrap();
         let fw = floyd_warshall(&g);
         assert_eq!(fw.get(0, 2), 5); // via vertex 1
         assert_eq!(fw.get(0, 1), 4);

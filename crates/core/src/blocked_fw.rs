@@ -87,17 +87,23 @@ pub fn blocked_floyd_warshall(graph: &CsrGraph, block: usize, pool: &ThreadPool)
             if !others.is_empty() {
                 let others_ref = &others;
                 let view_ref = &view;
-                pool.parallel_for(others_ref.len() * 2, Schedule::dynamic_cyclic(), |_tid, idx| {
-                    let t = others_ref[idx / 2];
-                    // SAFETY: tiles are pairwise disjoint; reads touch only
-                    // the pivot tile (finalized in phase 1) and the tile
-                    // itself.
-                    if idx % 2 == 0 {
-                        unsafe { relax_tile(view_ref, n, block, bk, t, bk) }; // pivot row
-                    } else {
-                        unsafe { relax_tile(view_ref, n, block, t, bk, bk) }; // pivot column
-                    }
-                });
+                pool.parallel_for(
+                    others_ref.len() * 2,
+                    Schedule::dynamic_cyclic(),
+                    |_tid, idx| {
+                        let t = others_ref[idx / 2];
+                        // SAFETY: tiles are pairwise disjoint; reads touch only
+                        // the pivot tile (finalized in phase 1) and the tile
+                        // itself.
+                        if idx % 2 == 0 {
+                            unsafe { relax_tile(view_ref, n, block, bk, t, bk) };
+                        // pivot row
+                        } else {
+                            unsafe { relax_tile(view_ref, n, block, t, bk, bk) };
+                            // pivot column
+                        }
+                    },
+                );
 
                 // Phase 3: every remaining tile reads its pivot-row and
                 // pivot-column tiles (finalized in phase 2) and writes only

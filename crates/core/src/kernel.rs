@@ -16,7 +16,9 @@
 use std::collections::VecDeque;
 
 use parapsp_graph::CsrGraph;
+use parapsp_parfor::BitSet;
 
+use crate::relax::{relax_row, RelaxImpl};
 use crate::shared::SharedDistState;
 use crate::stats::Counters;
 
@@ -37,6 +39,10 @@ pub struct KernelOptions {
     /// total length ≤ cap decomposes into segments that are themselves
     /// ≤ cap, so capped rows compose correctly under reuse.
     pub max_distance: Option<u32>,
+    /// Which [`relax_row`] implementation performs the dense row-reuse
+    /// pass. All variants are bit-identical; the switch exists so the
+    /// benchmark harness can quantify the vectorization win.
+    pub relax: RelaxImpl,
 }
 
 impl Default for KernelOptions {
@@ -45,6 +51,7 @@ impl Default for KernelOptions {
             row_reuse: true,
             dedup_queue: true,
             max_distance: None,
+            relax: RelaxImpl::Auto,
         }
     }
 }
@@ -53,14 +60,16 @@ impl Default for KernelOptions {
 /// performs no allocation.
 pub(crate) struct Workspace {
     queue: VecDeque<u32>,
-    in_queue: Vec<bool>,
+    /// Packed "is queued" bitmap: `n/8` bytes instead of `n`, so frontier
+    /// bookkeeping stays cache-resident while rows stream through.
+    in_queue: BitSet,
 }
 
 impl Workspace {
     pub(crate) fn new(n: usize) -> Self {
         Workspace {
             queue: VecDeque::with_capacity(64),
-            in_queue: vec![false; n],
+            in_queue: BitSet::new(n),
         }
     }
 }
@@ -88,7 +97,7 @@ pub(crate) fn modified_dijkstra(
 ) {
     let n = state.n();
     debug_assert_eq!(graph.vertex_count(), n);
-    debug_assert!(ws.in_queue.iter().all(|&q| !q), "dirty workspace");
+    debug_assert!(ws.in_queue.none_set(), "dirty workspace");
 
     // SAFETY: the caller guarantees unique ownership of row `s` and that it
     // is unpublished; the borrow ends before `publish` below.
@@ -97,31 +106,33 @@ pub(crate) fn modified_dijkstra(
 
     ws.queue.push_back(s);
     if options.dedup_queue {
-        ws.in_queue[s as usize] = true;
+        ws.in_queue.set(s as usize);
     }
 
+    let cap = options.max_distance.unwrap_or(u32::MAX);
+    // Resolve the dispatch once per source, not once per dequeued row.
+    let relax_impl = options.relax.resolve();
+    // Counter updates are hoisted into locals and flushed once on return:
+    // a per-element write to a `&mut Counters` field inside the row-reuse
+    // loop is a loop-carried memory dependence that blocks vectorization.
+    let mut queue_pops = 0u64;
+    let mut relaxations = 0u64;
+    let mut row_reuses = 0u64;
+
     while let Some(t) = ws.queue.pop_front() {
-        counters.queue_pops += 1;
+        queue_pops += 1;
         if options.dedup_queue {
-            ws.in_queue[t as usize] = false;
+            ws.in_queue.clear(t as usize);
         }
         let dt = row[t as usize];
 
         // Alg. 1 lines 6–11: a flagged vertex contributes its whole row.
         // `t != s` always holds for published rows (row `s` is published
         // only after this function returns), so no aliasing with `row`.
-        let cap = options.max_distance.unwrap_or(u32::MAX);
         if options.row_reuse {
             if let Some(t_row) = state.published_row(t) {
-                counters.row_reuses += 1;
-                for (v, (&via_t, mine)) in t_row.iter().zip(row.iter_mut()).enumerate() {
-                    let alt = dt.saturating_add(via_t);
-                    if alt < *mine && alt <= cap {
-                        *mine = alt;
-                        counters.relaxations += 1;
-                        let _ = v;
-                    }
-                }
+                row_reuses += 1;
+                relaxations += relax_row(relax_impl, row, t_row, dt, cap);
                 continue;
             }
         }
@@ -132,12 +143,12 @@ pub(crate) fn modified_dijkstra(
             let alt = dt.saturating_add(w);
             if alt < row[v as usize] && alt <= cap {
                 row[v as usize] = alt;
-                counters.relaxations += 1;
+                relaxations += 1;
                 improved_someone = true;
-                if !options.dedup_queue || !ws.in_queue[v as usize] {
+                if !options.dedup_queue || !ws.in_queue.get(v as usize) {
                     ws.queue.push_back(v);
                     if options.dedup_queue {
-                        ws.in_queue[v as usize] = true;
+                        ws.in_queue.set(v as usize);
                     }
                 }
             }
@@ -149,13 +160,16 @@ pub(crate) fn modified_dijkstra(
         }
     }
 
+    counters.queue_pops += queue_pops;
+    counters.relaxations += relaxations;
+    counters.row_reuses += row_reuses;
     counters.sources += 1;
     // Alg. 1 line 21: flag[s] = 1 — i.e. publish the completed row.
     state.publish(s);
 
     if !options.dedup_queue {
         // Without the guard the bitmap was never written, nothing to clean.
-        debug_assert!(ws.in_queue.iter().all(|&q| !q));
+        debug_assert!(ws.in_queue.none_set());
     }
 }
 
@@ -267,8 +281,7 @@ mod tests {
             &g,
             KernelOptions {
                 row_reuse: false,
-                dedup_queue: true,
-                max_distance: None,
+                ..KernelOptions::default()
             },
         );
         assert_eq!(with_reuse.first_difference(&without), None);
@@ -287,9 +300,8 @@ mod tests {
         let b = run_all_sources(
             &g,
             KernelOptions {
-                row_reuse: true,
                 dedup_queue: false,
-                max_distance: None,
+                ..KernelOptions::default()
             },
         );
         assert_eq!(a.first_difference(&b), None);
@@ -320,6 +332,54 @@ mod tests {
     }
 
     #[test]
+    fn relax_impls_agree_bit_for_bit_including_counters() {
+        // Hoisting the counter updates and switching implementations must
+        // not change a single counter value: same graph, same visit order,
+        // same pops / reuses / relaxations for every RelaxImpl.
+        let g = parapsp_graph::generate::erdos_renyi_gnm(
+            90,
+            500,
+            Direction::Directed,
+            parapsp_graph::generate::WeightSpec::Uniform { lo: 1, hi: 9 },
+            29,
+        )
+        .unwrap();
+        let run = |options: KernelOptions| {
+            let state = SharedDistState::new(90);
+            let mut ws = Workspace::new(90);
+            let mut counters = Counters::default();
+            for s in 0..90u32 {
+                modified_dijkstra(&g, s, &state, &mut ws, options, &mut counters, None);
+            }
+            (state.into_matrix(), counters)
+        };
+        for max_distance in [None, Some(7)] {
+            let mut reference: Option<(crate::DistanceMatrix, Counters)> = None;
+            for relax in RelaxImpl::ALL {
+                let (dist, counters) = run(KernelOptions {
+                    relax,
+                    max_distance,
+                    ..KernelOptions::default()
+                });
+                match &reference {
+                    None => reference = Some((dist, counters)),
+                    Some((ref_dist, ref_counters)) => {
+                        assert_eq!(
+                            ref_dist.first_difference(&dist),
+                            None,
+                            "{relax:?} cap={max_distance:?} distances"
+                        );
+                        assert_eq!(
+                            *ref_counters, counters,
+                            "{relax:?} cap={max_distance:?} counters"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn disconnected_components_stay_infinite() {
         let g = CsrGraph::from_unit_edges(4, Direction::Undirected, &[(0, 1), (2, 3)]).unwrap();
         let d = run_all_sources(&g, KernelOptions::default());
@@ -340,11 +400,18 @@ mod tests {
         // Disable row reuse so edges are always expanded.
         let opts = KernelOptions {
             row_reuse: false,
-            dedup_queue: true,
-            max_distance: None,
+            ..KernelOptions::default()
         };
         for s in 0..8u32 {
-            modified_dijkstra(&g, s, &state, &mut ws, opts, &mut counters, Some(&mut credit));
+            modified_dijkstra(
+                &g,
+                s,
+                &state,
+                &mut ws,
+                opts,
+                &mut counters,
+                Some(&mut credit),
+            );
         }
         assert!(credit[0] > 0, "the hub must collect intermediate credit");
         assert!(credit[1..].iter().all(|&c| c == 0), "leaves never relay");

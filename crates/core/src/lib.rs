@@ -45,6 +45,7 @@ pub mod kernel;
 pub mod par;
 pub mod paths;
 pub mod persist;
+pub mod relax;
 pub mod seq;
 mod shared;
 pub mod stats;
@@ -52,6 +53,7 @@ pub mod subset;
 
 pub use dist::DistanceMatrix;
 pub use par::ParApsp;
+pub use relax::RelaxImpl;
 pub use stats::{ApspOutput, Counters, PhaseTimings};
 
 /// Infinite distance (no path); re-exported from the graph crate.

@@ -149,6 +149,16 @@ impl ParApsp {
         self
     }
 
+    /// Selects the row-relaxation implementation for the dense row-reuse
+    /// pass (see [`crate::relax`]). Every variant is bit-identical — this
+    /// switch exists for the scalar-vs-vector ablation and for forcing a
+    /// specific path on heterogeneous fleets. The default is
+    /// [`RelaxImpl::Auto`](crate::relax::RelaxImpl::Auto).
+    pub fn with_relax(mut self, relax: crate::relax::RelaxImpl) -> Self {
+        self.kernel.relax = relax;
+        self
+    }
+
     /// Periodically persists progress: after every `every` completed
     /// sources the driver writes a version-2 checkpoint (atomically —
     /// temp file + rename) to `path`. A run killed between writes loses
@@ -430,7 +440,7 @@ mod tests {
                 .with_kernel_options(KernelOptions {
                     row_reuse,
                     dedup_queue,
-                    max_distance: None,
+                    ..KernelOptions::default()
                 })
                 .run(&g);
             assert_eq!(
@@ -455,6 +465,7 @@ mod tests {
         let d = ParApsp::par_apsp(2)
             .with_label("custom")
             .with_ordering(OrderingProcedure::SeqBucket)
+            .with_relax(crate::relax::RelaxImpl::Portable)
             .with_schedule(Schedule::StaticCyclic);
         assert_eq!(d.threads(), 2);
         let g = barabasi_albert(60, 2, WeightSpec::Unit, 1).unwrap();

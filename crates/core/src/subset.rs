@@ -15,7 +15,9 @@ use std::time::Instant;
 
 use parapsp_graph::{degree, CsrGraph, INF};
 use parapsp_order::seq_bucket::seq_bucket_sort;
-use parapsp_parfor::{PerThread, Schedule, ThreadPool};
+use parapsp_parfor::{BitSet, PerThread, Schedule, ThreadPool};
+
+use crate::relax::{relax_row, RelaxImpl};
 
 /// Distance rows for a chosen set of sources, in O(k·n) memory.
 #[derive(Debug)]
@@ -46,7 +48,10 @@ impl SubsetRows {
 
     /// The distance row of source vertex `s`, if `s` was in the subset.
     pub fn row_of(&self, s: u32) -> Option<&[u32]> {
-        self.sources.iter().position(|&v| v == s).map(|i| self.row(i))
+        self.sources
+            .iter()
+            .position(|&v| v == s)
+            .map(|i| self.row(i))
     }
 }
 
@@ -134,8 +139,9 @@ pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> Sub
     let order: Vec<u32> = seq_bucket_sort(&subset_degrees); // indices into `sources`
 
     let pool = ThreadPool::new(threads);
-    let locals: PerThread<(VecDeque<u32>, Vec<bool>)> =
-        PerThread::from_fn(pool.num_threads(), |_| (VecDeque::new(), vec![false; n]));
+    let locals: PerThread<(VecDeque<u32>, BitSet)> =
+        PerThread::from_fn(pool.num_threads(), |_| (VecDeque::new(), BitSet::new(n)));
+    let relax_impl = RelaxImpl::Auto.resolve();
     let state_ref = &state;
     let order_ref = &order;
     pool.parallel_for(sources.len(), Schedule::dynamic_cyclic(), |tid, k| {
@@ -148,18 +154,13 @@ pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> Sub
         let row = unsafe { state_ref.row_mut(slot) };
         row[s as usize] = 0;
         queue.push_back(s);
-        in_queue[s as usize] = true;
+        in_queue.set(s as usize);
         while let Some(t) = queue.pop_front() {
-            in_queue[t as usize] = false;
+            in_queue.clear(t as usize);
             let dt = row[t as usize];
             if t != s {
                 if let Some(t_row) = state_ref.published_row_of_vertex(t) {
-                    for (mine, &via_t) in row.iter_mut().zip(t_row) {
-                        let alt = dt.saturating_add(via_t);
-                        if alt < *mine {
-                            *mine = alt;
-                        }
-                    }
+                    relax_row(relax_impl, row, t_row, dt, u32::MAX);
                     continue;
                 }
             }
@@ -167,9 +168,9 @@ pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> Sub
                 let alt = dt.saturating_add(w);
                 if alt < row[v as usize] {
                     row[v as usize] = alt;
-                    if !in_queue[v as usize] {
+                    if !in_queue.get(v as usize) {
                         queue.push_back(v);
-                        in_queue[v as usize] = true;
+                        in_queue.set(v as usize);
                     }
                 }
             }
@@ -178,8 +179,7 @@ pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> Sub
     });
 
     // SAFETY: all rows published; single ownership again.
-    let data: Box<[u32]> =
-        unsafe { Box::from_raw(Box::into_raw(state.cells) as *mut [u32]) };
+    let data: Box<[u32]> = unsafe { Box::from_raw(Box::into_raw(state.cells) as *mut [u32]) };
     SubsetRows {
         n,
         sources: sources.to_vec(),

@@ -11,7 +11,9 @@
 
 use std::collections::VecDeque;
 
+use parapsp_core::relax::{relax_row, RelaxImpl};
 use parapsp_graph::{CsrGraph, INF};
+use parapsp_parfor::BitSet;
 
 /// FNV-1a over the source id and the row payload (little-endian words).
 pub(crate) fn row_checksum(source: u32, row: &[u32]) -> u32 {
@@ -81,7 +83,7 @@ pub(crate) struct NodeState {
     remote_rows: Vec<Option<Vec<u32>>>,
     /// Scratch: SPFA queue and in-queue bitmap.
     queue: VecDeque<u32>,
-    in_queue: Vec<bool>,
+    in_queue: BitSet,
     /// Local reuse counters (reported through `NodeStats`).
     pub(crate) local_reuses: u64,
     pub(crate) remote_reuses: u64,
@@ -102,7 +104,7 @@ impl NodeState {
             local_slot,
             remote_rows: vec![None; n],
             queue: VecDeque::new(),
-            in_queue: vec![false; n],
+            in_queue: BitSet::new(n),
             local_reuses: 0,
             remote_reuses: 0,
             rows_rejected: 0,
@@ -165,10 +167,11 @@ impl NodeState {
         // `completed_row` inside the loop.
         let mut local_reuses = 0u64;
         let mut remote_reuses = 0u64;
+        let relax_impl = RelaxImpl::Auto.resolve();
         self.queue.push_back(s);
-        self.in_queue[s as usize] = true;
+        self.in_queue.set(s as usize);
         while let Some(t) = self.queue.pop_front() {
-            self.in_queue[t as usize] = false;
+            self.in_queue.clear(t as usize);
             let dt = row[t as usize];
             if t != s {
                 if let Some((t_row, local)) = self.completed_row(t) {
@@ -177,12 +180,7 @@ impl NodeState {
                     } else {
                         remote_reuses += 1;
                     }
-                    for (mine, &via_t) in row.iter_mut().zip(t_row) {
-                        let alt = dt.saturating_add(via_t);
-                        if alt < *mine {
-                            *mine = alt;
-                        }
-                    }
+                    relax_row(relax_impl, &mut row, t_row, dt, u32::MAX);
                     continue;
                 }
             }
@@ -190,9 +188,9 @@ impl NodeState {
                 let alt = dt.saturating_add(w);
                 if alt < row[v as usize] {
                     row[v as usize] = alt;
-                    if !self.in_queue[v as usize] {
+                    if !self.in_queue.get(v as usize) {
                         self.queue.push_back(v);
-                        self.in_queue[v as usize] = true;
+                        self.in_queue.set(v as usize);
                     }
                 }
             }

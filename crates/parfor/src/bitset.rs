@@ -1,0 +1,115 @@
+//! A fixed-capacity bitset over `u64` words — the compact replacement for
+//! `Vec<bool>` scratch bitmaps.
+//!
+//! The SPFA-style kernels keep one "is this vertex queued?" flag per vertex
+//! in thread-local scratch. As `Vec<bool>` that bitmap is `n` bytes and, on
+//! large graphs, evicts the very distance rows the inner loop is streaming
+//! over; packed into words it is `n / 8` bytes — a 64-vertex cache line —
+//! which keeps the frontier bookkeeping resident while rows flow through.
+
+/// A fixed-capacity set of bits, one per index in `0..len`.
+#[derive(Debug, Clone)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a bitset for indices `0..len`, all bits clear.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether bit `i` is set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of range for {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit {i} out of range for {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit {i} out of range for {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// True when no bit is set (used to assert scratch state is clean).
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut b = BitSet::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        assert!(b.none_set());
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert!(!b.none_set());
+        b.clear(64);
+        assert!(!b.get(64));
+        assert!(b.get(63) && b.get(65), "neighbors untouched");
+        b.clear_all();
+        assert!(b.none_set());
+    }
+
+    #[test]
+    fn word_boundary_independence() {
+        let mut b = BitSet::new(256);
+        b.set(63);
+        b.set(64);
+        assert!(b.get(63) && b.get(64));
+        b.clear(63);
+        assert!(!b.get(63) && b.get(64));
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert!(b.none_set());
+    }
+
+    #[test]
+    fn non_multiple_of_64_capacity() {
+        let mut b = BitSet::new(65);
+        b.set(64);
+        assert!(b.get(64));
+        assert!(!b.get(0));
+    }
+}

@@ -31,11 +31,13 @@
 
 #![warn(missing_docs)]
 
+mod bitset;
 mod per_thread;
 mod pool;
 mod schedule;
 mod shared_slice;
 
+pub use bitset::BitSet;
 pub use per_thread::PerThread;
 pub use pool::ThreadPool;
 pub use schedule::{block_range, Schedule};

@@ -424,7 +424,11 @@ mod tests {
             visits[i].fetch_add(1, Ordering::Relaxed);
         });
         for (i, v) in visits.iter().enumerate() {
-            assert_eq!(v.load(Ordering::Relaxed), 1, "index {i} visited wrong count");
+            assert_eq!(
+                v.load(Ordering::Relaxed),
+                1,
+                "index {i} visited wrong count"
+            );
         }
     }
 
@@ -592,15 +596,18 @@ mod tests {
             Schedule::dynamic_cyclic(),
             Schedule::Guided(1),
         ] {
-            let sum = pool.parallel_map_reduce(1000, schedule, 0u64, |_t, i| i as u64, |a, b| a + b);
+            let sum =
+                pool.parallel_map_reduce(1000, schedule, 0u64, |_t, i| i as u64, |a, b| a + b);
             assert_eq!(sum, 999 * 1000 / 2, "{schedule:?}");
         }
         // Empty range yields the identity.
-        let empty = pool.parallel_map_reduce(0, Schedule::Block, 42u64, |_t, i| i as u64, |a, b| a + b);
+        let empty =
+            pool.parallel_map_reduce(0, Schedule::Block, 42u64, |_t, i| i as u64, |a, b| a + b);
         assert_eq!(empty, 42);
         // Single-threaded pool takes the inline path.
         let single = ThreadPool::new(1);
-        let sum = single.parallel_map_reduce(10, Schedule::Block, 0u64, |_t, i| i as u64, |a, b| a + b);
+        let sum =
+            single.parallel_map_reduce(10, Schedule::Block, 0u64, |_t, i| i as u64, |a, b| a + b);
         assert_eq!(sum, 45);
     }
 

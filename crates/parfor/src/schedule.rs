@@ -73,7 +73,10 @@ impl Default for Schedule {
 #[inline]
 pub fn block_range(n: usize, parts: usize, idx: usize) -> std::ops::Range<usize> {
     assert!(parts > 0, "cannot split a range into zero parts");
-    assert!(idx < parts, "block index {idx} out of range for {parts} parts");
+    assert!(
+        idx < parts,
+        "block index {idx} out of range for {parts} parts"
+    );
     let base = n / parts;
     let extra = n % parts;
     let start = idx * base + idx.min(extra);

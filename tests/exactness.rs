@@ -151,7 +151,7 @@ fn every_schedule_and_kernel_combination_is_exact() {
                     .with_kernel_options(KernelOptions {
                         row_reuse,
                         dedup_queue,
-                        max_distance: None,
+                        ..KernelOptions::default()
                     })
                     .run(&g);
                 assert_eq!(
@@ -160,6 +160,52 @@ fn every_schedule_and_kernel_combination_is_exact() {
                     "{schedule:?} reuse={row_reuse} dedup={dedup_queue}"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn every_relax_impl_is_exact_on_generator_fixtures() {
+    use parapsp::core::relax::RelaxImpl;
+    let fixtures: Vec<(&str, CsrGraph)> = vec![
+        (
+            "ER directed weighted",
+            erdos_renyi_gnm(
+                110,
+                700,
+                Direction::Directed,
+                WeightSpec::Uniform { lo: 1, hi: 60 },
+                201,
+            )
+            .unwrap(),
+        ),
+        (
+            "ER undirected sparse",
+            erdos_renyi_gnm(100, 35, Direction::Undirected, WeightSpec::Unit, 202).unwrap(),
+        ),
+        (
+            "BA undirected weighted",
+            barabasi_albert(120, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 203).unwrap(),
+        ),
+        (
+            "watts-strogatz",
+            watts_strogatz(110, 6, 0.25, WeightSpec::Uniform { lo: 1, hi: 5 }, 204).unwrap(),
+        ),
+        (
+            "directed scale-free",
+            scale_free_directed(105, 3, 0.3, WeightSpec::Uniform { lo: 1, hi: 20 }, 205).unwrap(),
+        ),
+    ];
+    for (label, graph) in &fixtures {
+        let reference = apsp_dijkstra(graph);
+        for relax in RelaxImpl::ALL {
+            let out = ParApsp::par_apsp(4).with_relax(relax).run(graph);
+            assert_eq!(
+                reference.first_difference(&out.dist),
+                None,
+                "{label}: relax={}",
+                relax.name()
+            );
         }
     }
 }

@@ -1,0 +1,181 @@
+//! Differential tests for the vectorized min-plus row-relaxation kernel:
+//! every [`RelaxImpl`] must be bit-for-bit identical to the branchy scalar
+//! reference — same output row, same improved-lane count — on adversarial
+//! inputs: INF lanes, values near `u32::MAX`, `dt = 0`, tight caps, and
+//! row lengths that are not multiples of the 8-lane chunk width.
+
+use proptest::prelude::*;
+
+use parapsp::core::relax::{avx2_available, relax_row, RelaxImpl};
+use parapsp::graph::INF;
+
+/// The implementations under test on this machine. Scalar is the
+/// reference; Auto resolves to one of the others and is covered by the
+/// resolution test below.
+fn concrete_impls() -> Vec<RelaxImpl> {
+    let mut imps = vec![RelaxImpl::Portable];
+    if avx2_available() {
+        imps.push(RelaxImpl::Avx2);
+    }
+    imps
+}
+
+/// Run scalar as ground truth, then assert each other implementation
+/// produces the identical row and identical improved count.
+fn assert_bit_identical(row: &[u32], t_row: &[u32], dt: u32, cap: u32) {
+    let mut expect = row.to_vec();
+    let expect_hits = relax_row(RelaxImpl::Scalar, &mut expect, t_row, dt, cap);
+    for imp in concrete_impls() {
+        let mut got = row.to_vec();
+        let got_hits = relax_row(imp, &mut got, t_row, dt, cap);
+        assert_eq!(
+            expect,
+            got,
+            "{}: row mismatch (dt={dt}, cap={cap}, len={})",
+            imp.name(),
+            row.len()
+        );
+        assert_eq!(
+            expect_hits,
+            got_hits,
+            "{}: improved-count mismatch (dt={dt}, cap={cap})",
+            imp.name()
+        );
+    }
+}
+
+/// A distance-like lane: finite smallish values, values near the top of
+/// the u32 range (overflow bait), and INF, all weighted to co-occur.
+fn arb_lane() -> impl Strategy<Value = u32> {
+    (0u32..9, any::<u32>()).prop_map(|(sel, raw)| match sel {
+        0..=3 => raw % 20_000,
+        4 | 5 => u32::MAX - (raw % 65),
+        6 | 7 => INF,
+        _ => raw,
+    })
+}
+
+fn arb_dt() -> impl Strategy<Value = u32> {
+    (0u32..6, any::<u32>()).prop_map(|(sel, raw)| match sel {
+        0..=2 => raw % 10_000,
+        3 => 0,
+        4 => u32::MAX - (raw % 65),
+        _ => raw,
+    })
+}
+
+fn arb_cap() -> impl Strategy<Value = u32> {
+    (0u32..5, any::<u32>()).prop_map(|(sel, raw)| match sel {
+        0 | 1 => u32::MAX,
+        2 | 3 => raw % 30_000,
+        _ => raw,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_impls_match_scalar_bit_for_bit(
+        // 1..70 sweeps every tail residue mod 8 several times over.
+        pair in proptest::collection::vec((arb_lane(), arb_lane()), 1..70),
+        dt in arb_dt(),
+        cap in arb_cap(),
+    ) {
+        let row: Vec<u32> = pair.iter().map(|&(a, _)| a).collect();
+        let t_row: Vec<u32> = pair.iter().map(|&(_, b)| b).collect();
+        assert_bit_identical(&row, &t_row, dt, cap);
+    }
+
+    #[test]
+    fn improved_count_equals_observed_row_changes(
+        pair in proptest::collection::vec((arb_lane(), arb_lane()), 1..70),
+        dt in arb_dt(),
+        cap in arb_cap(),
+    ) {
+        let row: Vec<u32> = pair.iter().map(|&(a, _)| a).collect();
+        let t_row: Vec<u32> = pair.iter().map(|&(_, b)| b).collect();
+        for imp in std::iter::once(RelaxImpl::Scalar).chain(concrete_impls()) {
+            let mut after = row.clone();
+            let hits = relax_row(imp, &mut after, &t_row, dt, cap);
+            let changed = row.iter().zip(&after).filter(|(a, b)| a != b).count();
+            prop_assert_eq!(hits as usize, changed, "{}", imp.name());
+            // Relaxation only ever lowers distances, and never below what
+            // dt ⊕ t_row admits under the cap.
+            for (i, (&before, &now)) in row.iter().zip(&after).enumerate() {
+                prop_assert!(now <= before, "{}: lane {i} rose", imp.name());
+                if now != before {
+                    prop_assert_eq!(now, dt.saturating_add(t_row[i]), "lane {i}");
+                    prop_assert!(now <= cap, "lane {i} above cap");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_edge_cases() {
+    // dt = 0 is the self-row reuse case: row = min(row, t_row) under cap.
+    assert_bit_identical(
+        &[5, INF, 0, 7, 9, 2, INF, 1, 4],
+        &[3, 1, INF, 7, 0, 8, 2, INF, 3],
+        0,
+        u32::MAX,
+    );
+    // Every addition overflows: all candidates saturate to INF, no change.
+    let near_max = [u32::MAX - 1, u32::MAX - 2, INF, u32::MAX - 7];
+    assert_bit_identical(&[10, 20, 30, 40], &near_max, u32::MAX - 3, u32::MAX);
+    // dt itself is INF (unreachable intermediate): nothing may improve.
+    let row = [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+    let mut copy = row;
+    for imp in std::iter::once(RelaxImpl::Scalar).chain(concrete_impls()) {
+        let hits = relax_row(imp, &mut copy, &[0; 10], INF, u32::MAX);
+        assert_eq!(hits, 0, "{}", imp.name());
+        assert_eq!(copy, row, "{}", imp.name());
+    }
+    // cap = 0 admits only exact zeros.
+    assert_bit_identical(&[4, 0, 9, INF, 2, 8, 1, 3], &[0, 0, 0, 0, 0, 0, 0, 0], 0, 0);
+    // Tight cap between candidate values: some improvements discarded.
+    assert_bit_identical(
+        &[50, 60, 70, 80, 90, 100, 110, 120, 130],
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9],
+        40,
+        45,
+    );
+    // Lengths around the 8-lane boundary, hostile values at the tail.
+    for len in [1usize, 7, 8, 9, 15, 16, 17, 31] {
+        let row: Vec<u32> = (0..len)
+            .map(|i| if i == len - 1 { INF } else { 1000 + i as u32 })
+            .collect();
+        let t_row: Vec<u32> = (0..len)
+            .map(|i| {
+                if i % 3 == 0 {
+                    u32::MAX - i as u32
+                } else {
+                    i as u32
+                }
+            })
+            .collect();
+        assert_bit_identical(&row, &t_row, 7, 2000);
+    }
+}
+
+#[test]
+fn auto_resolution_is_concrete_and_consistent() {
+    let resolved = RelaxImpl::Auto.resolve();
+    assert_ne!(resolved, RelaxImpl::Auto);
+    if avx2_available() {
+        assert_eq!(resolved, RelaxImpl::Avx2);
+    } else {
+        assert_eq!(resolved, RelaxImpl::Portable);
+    }
+    // Auto must behave exactly like whatever it resolves to.
+    let row = [9u32, INF, 3, 14, 8, 2, INF, 6, 11];
+    let t_row = [1u32, 4, INF, 2, 0, 9, 5, INF, 3];
+    let mut via_auto = row;
+    let mut via_resolved = row;
+    let a = relax_row(RelaxImpl::Auto, &mut via_auto, &t_row, 3, 15);
+    let b = relax_row(resolved, &mut via_resolved, &t_row, 3, 15);
+    assert_eq!(via_auto, via_resolved);
+    assert_eq!(a, b);
+}
