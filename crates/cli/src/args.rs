@@ -39,6 +39,8 @@ const VALUED: &[&str] = &[
     "--crash",
     "--drop-prob",
     "--corrupt-prob",
+    "--deadline",
+    "--on-interrupt",
 ];
 
 impl Args {

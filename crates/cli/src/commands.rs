@@ -9,14 +9,15 @@ use parapsp_analysis::{
 use parapsp_core::adaptive::{par_adaptive, AdaptiveConfig};
 use parapsp_core::baselines;
 use parapsp_core::paths::par_apsp_with_paths;
-use parapsp_core::seq::{seq_basic, seq_optimized};
-use parapsp_core::{DistanceMatrix, ParApsp};
-use parapsp_dist::{dist_apsp, ClusterConfig, FaultPlan};
+use parapsp_core::seq::{seq_basic, seq_basic_with_token, seq_optimized, seq_optimized_with_token};
+use parapsp_core::{DistanceMatrix, ParApsp, RunOutcome};
+use parapsp_dist::{dist_apsp, dist_apsp_cancellable, ClusterConfig, FaultPlan};
 use parapsp_graph::io::{read_edge_list_file, LoadedGraph, ParseOptions};
 use parapsp_graph::{degree, transform, CsrGraph, Direction};
-use parapsp_parfor::ThreadPool;
+use parapsp_parfor::{CancelToken, ThreadPool};
 
 use crate::args::Args;
+use crate::interrupt;
 
 /// Help text shared with `main`.
 pub const USAGE: &str = "\
@@ -27,6 +28,7 @@ usage: parapsp <command> [options]
 commands:
   stats <file>               degree / component / clustering summary
   apsp <file>                run an APSP algorithm, report timings
+                             (alias: run)
   analyze <file>             APSP + centralities + path statistics
   path <file> <src> <dst>    print one shortest route
   estimate <file> <s> <d>    landmark distance bounds (O(k·n) memory)
@@ -58,6 +60,15 @@ apsp options:
   --checkpoint-every <K>     rows between checkpoint writes (default: 64)
   --resume <file>            load a checkpoint and compute only the
                              missing rows
+  --deadline <secs>          stop once the wall-clock budget expires,
+                             write a checkpoint, exit 124
+  --on-interrupt <mode>      checkpoint (default): SIGINT/SIGTERM stop at
+                             a row boundary, write a checkpoint, exit 130;
+                             abort: die immediately (OS default)
+                             (cancellable: par-apsp | par-alg1 | par-alg2 |
+                             seq-basic | seq-optimized | dist; the stop
+                             checkpoint goes to --checkpoint's path or
+                             <file>.interrupt.ckpt)
 
 dist fault injection (deterministic, seeded):
   --fault-seed <S>           seed for the fault plan (default: 0)
@@ -173,12 +184,104 @@ fn parse_fault_plan(args: &Args) -> Result<FaultPlan, String> {
         .with_corrupt_probability(corrupt_prob))
 }
 
+/// What an `apsp` run produced.
+enum RunStatus {
+    /// Finished: the distance matrix plus a one-line summary.
+    Done(DistanceMatrix, String),
+    /// Stopped early (interrupt or deadline); the checkpoint is already on
+    /// disk and the process should exit with `code`.
+    Stopped { code: i32 },
+}
+
+/// Algorithms that support cooperative cancellation (checkpoint-on-stop).
+const CANCELLABLE: &[&str] = &[
+    "par-apsp",
+    "par-alg1",
+    "par-alg2",
+    "seq-basic",
+    "seq-optimized",
+    "dist",
+];
+
+/// Builds the run's cancel token from `--deadline`/`--on-interrupt`.
+/// Returns the token plus whether the SIGINT/SIGTERM bridge should be
+/// installed; `None` when the run should take the plain, token-free path.
+fn cancellation_setup(args: &Args, name: &str) -> Result<Option<(CancelToken, bool)>, String> {
+    let deadline: Option<f64> = match args.get("deadline") {
+        None => None,
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| format!("--deadline value `{raw}` is invalid"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!(
+                    "--deadline must be a non-negative number of seconds (got {raw})"
+                ));
+            }
+            Some(secs)
+        }
+    };
+    let checkpoint_on_interrupt = match args.get("on-interrupt").unwrap_or("checkpoint") {
+        "checkpoint" => true,
+        "abort" => false,
+        other => {
+            return Err(format!(
+                "unknown --on-interrupt mode `{other}` (checkpoint or abort)"
+            ))
+        }
+    };
+    if !CANCELLABLE.contains(&name) {
+        // Only explicit flags are an error — the default interrupt mode
+        // must not break non-cancellable algorithms.
+        if args.get("deadline").is_some() || args.get("on-interrupt").is_some() {
+            return Err(format!(
+                "--deadline/--on-interrupt work with {} (got `{name}`)",
+                CANCELLABLE.join(", ")
+            ));
+        }
+        return Ok(None);
+    }
+    if deadline.is_none() && !checkpoint_on_interrupt {
+        return Ok(None); // no deadline, abort-on-signal: the legacy path
+    }
+    let token = match deadline {
+        Some(secs) => CancelToken::with_deadline(std::time::Duration::from_secs_f64(secs)),
+        None => CancelToken::new(),
+    };
+    Ok(Some((token, checkpoint_on_interrupt)))
+}
+
+/// Writes the stop checkpoint and reports how to resume. The checkpoint
+/// lands on `--checkpoint`'s path when given (the periodic and final
+/// checkpoints are the same format) or `<graph-file>.interrupt.ckpt`.
+fn write_stop_checkpoint(
+    args: &Args,
+    checkpoint: &parapsp_core::persist::Checkpoint,
+    why: &str,
+    code: i32,
+) -> Result<RunStatus, String> {
+    let path = match args.get("checkpoint") {
+        Some(p) => p.to_string(),
+        None => format!("{}.interrupt.ckpt", args.positional(0).unwrap_or("apsp")),
+    };
+    parapsp_core::persist::save_checkpoint(checkpoint, &path)
+        .map_err(|e| format!("writing stop checkpoint {path}: {e}"))?;
+    eprintln!(
+        "{why}: {} of {} rows complete; checkpoint written to {path} \
+         (resume with --resume {path})",
+        checkpoint.completed_count(),
+        checkpoint.n()
+    );
+    Ok(RunStatus::Stopped { code })
+}
+
 fn run_algorithm(
     name: &str,
     graph: &CsrGraph,
     threads: usize,
     args: &Args,
-) -> Result<(DistanceMatrix, String), String> {
+    token: Option<&CancelToken>,
+) -> Result<RunStatus, String> {
     // Optional bounded horizon (exact within the cap, INF beyond it).
     let cap: Option<u32> = match args.get("cap") {
         None => None,
@@ -218,7 +321,7 @@ fn run_algorithm(
     if checkpoint_every == 0 {
         return Err("--checkpoint-every must be at least 1".into());
     }
-    let run_par = |driver: ParApsp| -> Result<parapsp_core::ApspOutput, String> {
+    let run_par = |driver: ParApsp| -> Result<RunOutcome<parapsp_core::ApspOutput>, String> {
         let driver = match args.get("checkpoint") {
             Some(path) => with_cap(driver).with_checkpoint(path, checkpoint_every),
             None => with_cap(driver),
@@ -240,28 +343,45 @@ fn run_algorithm(
                     cp.completed_count(),
                     cp.n()
                 );
-                Ok(driver.run_resumed(graph, cp))
+                Ok(match token {
+                    Some(token) => driver.run_resumed_with_token(graph, cp, token),
+                    None => RunOutcome::Complete(driver.run_resumed(graph, cp)),
+                })
             }
-            None => Ok(driver.run(graph)),
+            None => Ok(match token {
+                Some(token) => driver.run_with_token(graph, token),
+                None => RunOutcome::Complete(driver.run(graph)),
+            }),
         }
     };
-    let out = match name {
+    let outcome = match name {
         "par-apsp" => run_par(ParApsp::par_apsp(threads))?,
         "par-alg1" => run_par(ParApsp::par_alg1(threads))?,
         "par-alg2" => run_par(ParApsp::par_alg2(threads))?,
-        "par-adaptive" => par_adaptive(graph, threads, AdaptiveConfig::default()),
-        "seq-basic" => seq_basic(graph),
-        "seq-optimized" => seq_optimized(graph, 1.0),
+        "par-adaptive" => {
+            RunOutcome::Complete(par_adaptive(graph, threads, AdaptiveConfig::default()))
+        }
+        "seq-basic" => match token {
+            Some(token) => seq_basic_with_token(graph, token),
+            None => RunOutcome::Complete(seq_basic(graph)),
+        },
+        "seq-optimized" => match token {
+            Some(token) => seq_optimized_with_token(graph, 1.0, token),
+            None => RunOutcome::Complete(seq_optimized(graph, 1.0)),
+        },
         "floyd-warshall" => {
             let start = std::time::Instant::now();
             let dist = baselines::floyd_warshall(graph);
-            return Ok((dist, format!("floyd-warshall: {:?}", start.elapsed())));
+            return Ok(RunStatus::Done(
+                dist,
+                format!("floyd-warshall: {:?}", start.elapsed()),
+            ));
         }
         "dijkstra" => {
             let pool = ThreadPool::new(threads);
             let start = std::time::Instant::now();
             let dist = baselines::par_apsp_dijkstra(graph, &pool);
-            return Ok((
+            return Ok(RunStatus::Done(
                 dist,
                 format!("parallel heap-dijkstra: {:?}", start.elapsed()),
             ));
@@ -281,16 +401,25 @@ fn run_algorithm(
                 }
             };
             let faults = parse_fault_plan(args)?;
-            let out = dist_apsp(
-                graph,
-                ClusterConfig {
-                    nodes,
-                    hub_fraction,
-                    partition,
-                    faults,
-                    ..ClusterConfig::default()
+            let config = ClusterConfig {
+                nodes,
+                hub_fraction,
+                partition,
+                faults,
+                ..ClusterConfig::default()
+            };
+            let out = match token {
+                Some(token) => match dist_apsp_cancellable(graph, config, token) {
+                    RunOutcome::Complete(out) => out,
+                    RunOutcome::Cancelled { checkpoint } => {
+                        return write_stop_checkpoint(args, &checkpoint, "interrupted", 130)
+                    }
+                    RunOutcome::DeadlineExceeded { checkpoint } => {
+                        return write_stop_checkpoint(args, &checkpoint, "deadline exceeded", 124)
+                    }
                 },
-            );
+                None => dist_apsp(graph, config),
+            };
             let sum = |field: fn(&parapsp_dist::NodeStats) -> u64| {
                 out.node_stats.iter().map(field).sum::<u64>()
             };
@@ -308,9 +437,18 @@ fn run_algorithm(
                 sum(|s| s.retries),
                 sum(|s| s.reassigned_sources),
             );
-            return Ok((out.dist, summary));
+            return Ok(RunStatus::Done(out.dist, summary));
         }
         other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let out = match outcome {
+        RunOutcome::Complete(out) => out,
+        RunOutcome::Cancelled { checkpoint } => {
+            return write_stop_checkpoint(args, &checkpoint, "interrupted", 130)
+        }
+        RunOutcome::DeadlineExceeded { checkpoint } => {
+            return write_stop_checkpoint(args, &checkpoint, "deadline exceeded", 124)
+        }
     };
     let summary = format!(
         "{} ({} threads): ordering {:?}, sssp {:?}, total {:?}; {} relaxations, {} row reuses",
@@ -322,16 +460,29 @@ fn run_algorithm(
         out.counters.relaxations,
         out.counters.row_reuses
     );
-    Ok((out.dist, summary))
+    Ok(RunStatus::Done(out.dist, summary))
 }
 
-/// `parapsp apsp <file>` — run one algorithm and report.
-pub fn apsp(args: &Args) -> Result<(), String> {
+/// `parapsp apsp <file>` (alias `run`) — run one algorithm and report.
+/// Returns the process exit code: 0 on success, 130 when interrupted with
+/// a checkpoint, 124 when a `--deadline` expired with a checkpoint.
+pub fn apsp(args: &Args) -> Result<i32, String> {
     let loaded = load(args)?;
     check_matrix_budget(loaded.graph.vertex_count())?;
     let threads = args.get_parsed("threads", 4usize)?;
     let algorithm = args.get("algorithm").unwrap_or("par-apsp");
-    let (dist, summary) = run_algorithm(algorithm, &loaded.graph, threads, args)?;
+    let setup = cancellation_setup(args, algorithm)?;
+    // The guard keeps a watcher thread that trips the token on
+    // SIGINT/SIGTERM; dropping it (any exit path) stops the watcher.
+    let _guard = match &setup {
+        Some((token, true)) => Some(interrupt::guard(token)),
+        _ => None,
+    };
+    let token = setup.as_ref().map(|(token, _)| token);
+    let (dist, summary) = match run_algorithm(algorithm, &loaded.graph, threads, args, token)? {
+        RunStatus::Done(dist, summary) => (dist, summary),
+        RunStatus::Stopped { code } => return Ok(code),
+    };
     println!("{summary}");
     let stats = path_stats(&dist);
     println!(
@@ -352,7 +503,7 @@ pub fn apsp(args: &Args) -> Result<(), String> {
         }
         println!("distance matrix written to {out_path}");
     }
-    Ok(())
+    Ok(0)
 }
 
 /// `parapsp analyze <file>` — APSP plus the full analysis report.
@@ -723,6 +874,108 @@ mod tests {
         let loaded = read_edge_list_file(&out, ParseOptions::snap(Direction::Undirected)).unwrap();
         assert_eq!(loaded.graph.vertex_count(), 200);
         stats(&args(&["stats", &out])).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_exits_124_with_a_loadable_checkpoint() {
+        let dir = std::env::temp_dir().join("parapsp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = sample_file();
+        let ckpt = dir.join("deadline.ckpt").to_string_lossy().into_owned();
+        // A zero deadline expires before the first row; the stop checkpoint
+        // must land on the --checkpoint path and load back.
+        let code = apsp(&args(&[
+            "apsp",
+            &file,
+            "--deadline",
+            "0",
+            "--checkpoint",
+            &ckpt,
+        ]))
+        .unwrap();
+        assert_eq!(code, 124);
+        let cp = parapsp_core::persist::load_checkpoint(&ckpt).unwrap();
+        assert_eq!(cp.n(), 5);
+        // The checkpoint resumes to a normal, complete run.
+        let code = apsp(&args(&["apsp", &file, "--resume", &ckpt])).unwrap();
+        assert_eq!(code, 0);
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn deadline_works_for_every_cancellable_algorithm() {
+        let dir = std::env::temp_dir().join("parapsp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = sample_file();
+        for (i, algorithm) in ["par-alg1", "par-alg2", "seq-basic", "seq-optimized", "dist"]
+            .into_iter()
+            .enumerate()
+        {
+            let ckpt = dir
+                .join(format!("deadline-{i}.ckpt"))
+                .to_string_lossy()
+                .into_owned();
+            let tokens: [&str; 8] = [
+                "apsp",
+                file.as_str(),
+                "--algorithm",
+                algorithm,
+                "--deadline",
+                "0",
+                "--checkpoint",
+                ckpt.as_str(),
+            ];
+            // --checkpoint only applies to the ParApsp drivers; the others
+            // fall back to the derived <file>.interrupt.ckpt path.
+            let code = if algorithm.starts_with("par-alg") {
+                apsp(&args(&tokens)).unwrap()
+            } else {
+                apsp(&args(&tokens[..6])).unwrap()
+            };
+            assert_eq!(code, 124, "{algorithm}");
+            std::fs::remove_file(&ckpt).ok();
+        }
+        std::fs::remove_file(format!("{file}.interrupt.ckpt")).ok();
+        // A generous deadline completes normally.
+        let code = apsp(&args(&["apsp", &file, "--deadline", "3600"])).unwrap();
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn cancellation_flags_are_validated() {
+        let file = sample_file();
+        // Non-cancellable algorithms reject explicit flags...
+        assert!(apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "floyd-warshall",
+            "--deadline",
+            "5"
+        ]))
+        .is_err());
+        assert!(apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "dijkstra",
+            "--on-interrupt",
+            "checkpoint"
+        ]))
+        .is_err());
+        // ...but still run fine with the default interrupt mode.
+        assert_eq!(
+            apsp(&args(&["apsp", &file, "--algorithm", "floyd-warshall"])).unwrap(),
+            0
+        );
+        assert!(apsp(&args(&["apsp", &file, "--deadline", "-1"])).is_err());
+        assert!(apsp(&args(&["apsp", &file, "--deadline", "soon"])).is_err());
+        assert!(apsp(&args(&["apsp", &file, "--on-interrupt", "panic"])).is_err());
+        // Abort mode takes the plain path and completes.
+        assert_eq!(
+            apsp(&args(&["apsp", &file, "--on-interrupt", "abort"])).unwrap(),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! SIGINT/SIGTERM → [`CancelToken`] bridge for graceful shutdown.
+//!
+//! The signal handler itself does the only thing that is async-signal-safe:
+//! a relaxed store into a process-global flag. A per-run watcher thread
+//! polls that flag every few milliseconds and trips the run's
+//! [`CancelToken`], which the compute kernels observe at their next chunk
+//! boundary — so an interrupted run stops at a row boundary and can write
+//! a consistent checkpoint instead of dying mid-matrix.
+//!
+//! The watcher (not the handler) owns the token, so every run gets a fresh
+//! token while the handler stays installed once for the process lifetime.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parapsp_parfor::CancelToken;
+
+/// Set by the signal handler; read by every watcher thread.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// How often the watcher checks the interrupt flag — the added latency on
+/// top of the kernels' own poll granularity.
+const WATCH_INTERVAL: Duration = Duration::from_millis(10);
+
+#[cfg(unix)]
+fn install_handler() {
+    use std::sync::OnceLock;
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        extern "C" fn on_signal(_signum: i32) {
+            INTERRUPTED.store(true, Ordering::Relaxed);
+        }
+        // Raw libc binding (the workspace deliberately has no libc crate
+        // dependency); the numbers are POSIX-mandated on Linux.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: the handler only performs a relaxed atomic store, which
+        // is async-signal-safe; `signal` is called once, before any run.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    });
+}
+
+#[cfg(not(unix))]
+fn install_handler() {
+    // No signal bridge off Unix; deadline cancellation still works.
+}
+
+/// Keeps a watcher thread alive that trips `token` when a signal arrives;
+/// dropping the guard stops the watcher (joining it, so no thread leaks
+/// past the run it served).
+pub struct InterruptGuard {
+    done: Arc<AtomicBool>,
+    watcher: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Installs the process signal handler (first call only) and spawns a
+/// watcher that cancels `token` when SIGINT or SIGTERM is received.
+pub fn guard(token: &CancelToken) -> InterruptGuard {
+    install_handler();
+    let done = Arc::new(AtomicBool::new(false));
+    let thread_done = Arc::clone(&done);
+    let token = token.clone();
+    let watcher = std::thread::spawn(move || {
+        while !thread_done.load(Ordering::Relaxed) {
+            if INTERRUPTED.load(Ordering::Relaxed) {
+                token.cancel();
+                break;
+            }
+            std::thread::sleep(WATCH_INTERVAL);
+        }
+    });
+    InterruptGuard {
+        done,
+        watcher: Some(watcher),
+    }
+}
+
+impl Drop for InterruptGuard {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_trips_token_when_flag_is_set() {
+        let token = CancelToken::new();
+        let _guard = guard(&token);
+        assert!(token.status().is_continue());
+        // Simulate the signal (in-process tests cannot safely raise one).
+        INTERRUPTED.store(true, Ordering::Relaxed);
+        let start = std::time::Instant::now();
+        while token.status().is_continue() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "watcher must trip the token"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        INTERRUPTED.store(false, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn dropping_the_guard_stops_the_watcher() {
+        // Only checks that the drop joins promptly; the token's state is
+        // racy here because the sibling test toggles the global flag.
+        let token = CancelToken::new();
+        let guard = guard(&token);
+        drop(guard);
+    }
+}

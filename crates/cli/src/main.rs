@@ -6,11 +6,16 @@
 //!
 //! Commands:
 //!   stats <file>                  degree / component / clustering summary
-//!   apsp <file>                   run an APSP algorithm, report timings
+//!   apsp <file> (alias: run)      run an APSP algorithm, report timings
 //!       --algorithm <name>        par-apsp (default) | par-alg1 | par-alg2 |
 //!                                 par-adaptive | seq-basic | seq-optimized |
 //!                                 floyd-warshall | dijkstra | dist
 //!       --threads <N>             threads (default 4)
+//!       --deadline <secs>         stop with a checkpoint when the wall-clock
+//!                                 budget expires (exit code 124)
+//!       --on-interrupt <mode>     checkpoint (default) | abort: SIGINT and
+//!                                 SIGTERM write a resumable checkpoint and
+//!                                 exit 130, or kill the process immediately
 //!       --nodes <P>               simulated nodes for --algorithm dist
 //!       --hub-fraction <F>        hub broadcast fraction for dist (0.05)
 //!   analyze <file>                APSP + full analysis report
@@ -28,6 +33,7 @@
 
 mod args;
 mod commands;
+mod interrupt;
 
 use args::Args;
 
@@ -39,21 +45,26 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `apsp`/`run` report an exit code so interruption (130) and deadline
+    // expiry (124) are distinguishable from success and from errors (1).
     let result = match parsed.command.as_str() {
-        "stats" => commands::stats(&parsed),
-        "apsp" => commands::apsp(&parsed),
-        "analyze" => commands::analyze(&parsed),
-        "path" => commands::path(&parsed),
-        "estimate" => commands::estimate(&parsed),
-        "generate" => commands::generate(&parsed),
+        "stats" => commands::stats(&parsed).map(|()| 0),
+        "apsp" | "run" => commands::apsp(&parsed),
+        "analyze" => commands::analyze(&parsed).map(|()| 0),
+        "path" => commands::path(&parsed).map(|()| 0),
+        "estimate" => commands::estimate(&parsed).map(|()| 0),
+        "generate" => commands::generate(&parsed).map(|()| 0),
         "" | "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown command `{other}` (try `parapsp help`)")),
     };
-    if let Err(message) = result {
-        eprintln!("error: {message}");
-        std::process::exit(1);
+    match result {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
     }
 }

@@ -1,0 +1,167 @@
+//! End-to-end interruption tests: drive the real `parapsp` binary as a
+//! child process, stop it with a deadline or a SIGINT, and verify the
+//! promised exit codes (124 / 130) and a loadable, resumable checkpoint.
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use parapsp_core::persist;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_parapsp")
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join("parapsp-interrupt-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Generates (once) a BA graph big enough that a full APSP takes seconds —
+/// room for a deadline or a signal to land mid-run.
+fn big_graph(n: usize) -> String {
+    let path = workdir().join(format!("ba-{n}.txt"));
+    if !path.exists() {
+        let status = Command::new(bin())
+            .args([
+                "generate",
+                "--model",
+                "ba",
+                "--n",
+                &n.to_string(),
+                "--m",
+                "3",
+                "--seed",
+                "7",
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .status()
+            .expect("spawn parapsp generate");
+        assert!(status.success());
+    }
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn deadline_exits_124_with_resumable_checkpoint() {
+    let graph = big_graph(4000);
+    let ckpt = workdir().join("deadline.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    // The `run` alias is part of the contract.
+    let output = Command::new(bin())
+        .args([
+            "run",
+            &graph,
+            "--deadline",
+            "0.3",
+            "--threads",
+            "2",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn parapsp run");
+    assert_eq!(
+        output.status.code(),
+        Some(124),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("deadline exceeded"),
+        "stderr must say why: {stderr}"
+    );
+    let cp = persist::load_checkpoint(ckpt.to_str().unwrap()).expect("checkpoint must load");
+    assert_eq!(cp.n(), 4000);
+    assert!(!cp.is_complete(), "a 0.3 s deadline cannot finish n=4000");
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn sigint_exits_130_with_loadable_checkpoint() {
+    let graph = big_graph(4000);
+    let ckpt = workdir().join("sigint.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let mut child = Command::new(bin())
+        .args([
+            "run",
+            &graph,
+            "--threads",
+            "2",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn parapsp run");
+    // Let it load the graph and start sweeping, then interrupt it.
+    std::thread::sleep(Duration::from_millis(700));
+    let status = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(status.success());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("wait on child") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child must exit promptly after SIGINT"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(130), "graceful interrupt exit code");
+    let cp = persist::load_checkpoint(ckpt.to_str().unwrap()).expect("checkpoint must load");
+    assert_eq!(cp.n(), 4000);
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn interrupt_checkpoint_resumes_to_completion() {
+    // Small enough to finish the resume quickly, big enough that a 50 ms
+    // deadline leaves work undone.
+    let graph = big_graph(1200);
+    let ckpt = workdir().join("resume.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let output = Command::new(bin())
+        .args([
+            "run",
+            &graph,
+            "--deadline",
+            "0.05",
+            "--threads",
+            "2",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn parapsp run");
+    assert_eq!(output.status.code(), Some(124));
+    let resumed = Command::new(bin())
+        .args([
+            "run",
+            &graph,
+            "--threads",
+            "2",
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn parapsp resume");
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(stdout.contains("resuming:"), "stdout: {stdout}");
+    std::fs::remove_file(&ckpt).ok();
+}

@@ -9,9 +9,11 @@
 //! dense graphs, the O(n^2.4)-empirical ParAPSP takes over quickly.
 
 use parapsp_graph::{CsrGraph, INF};
-use parapsp_parfor::{ParSlice, Schedule, ThreadPool};
+use parapsp_parfor::{CancelToken, ParSlice, Schedule, ThreadPool};
 
 use crate::dist::DistanceMatrix;
+use crate::outcome::RunOutcome;
+use crate::persist::Checkpoint;
 
 /// Relaxes tile `(bi, bj)` through pivot block `bk` on the flat matrix.
 ///
@@ -58,9 +60,38 @@ unsafe fn relax_tile(
 /// Exact for any non-negative weights; O(n³) work, O(n²) memory. `block`
 /// is clamped to `[8, n]`; 64 is a good default for `u32` cells.
 pub fn blocked_floyd_warshall(graph: &CsrGraph, block: usize, pool: &ThreadPool) -> DistanceMatrix {
+    // No token, so the computation cannot stop early.
+    run_blocked_fw(graph, block, pool, None).unwrap_complete()
+}
+
+/// Cancellable [`blocked_floyd_warshall`]: polls `token` between pivot
+/// iterations (the coarsest safe boundary — within one pivot step the
+/// three phases form a dependency chain).
+///
+/// Unlike the per-source algorithms, Floyd–Warshall has no row-granular
+/// final results mid-run: until the last pivot finishes, *every* cell may
+/// still shrink. An interrupted run therefore returns a checkpoint with
+/// **zero** completed rows — marking intermediate rows complete would
+/// poison a resume with non-final distances. The checkpoint is still a
+/// valid v2 file; resuming it simply recomputes everything.
+pub fn blocked_floyd_warshall_cancellable(
+    graph: &CsrGraph,
+    block: usize,
+    pool: &ThreadPool,
+    token: &CancelToken,
+) -> RunOutcome<DistanceMatrix> {
+    run_blocked_fw(graph, block, pool, Some(token))
+}
+
+fn run_blocked_fw(
+    graph: &CsrGraph,
+    block: usize,
+    pool: &ThreadPool,
+    token: Option<&CancelToken>,
+) -> RunOutcome<DistanceMatrix> {
     let n = graph.vertex_count();
     if n == 0 {
-        return DistanceMatrix::new_infinite(0);
+        return RunOutcome::Complete(DistanceMatrix::new_infinite(0));
     }
     let mut data: Box<[u32]> = vec![INF; n * n].into_boxed_slice();
     for v in 0..n {
@@ -76,6 +107,16 @@ pub fn blocked_floyd_warshall(graph: &CsrGraph, block: usize, pool: &ThreadPool)
     {
         let view = ParSlice::new(&mut data[..]);
         for bk in 0..tiles {
+            if let Some(token) = token {
+                let status = token.poll();
+                if status.is_stop() {
+                    // No final rows exist mid-FW; see the doc comment on
+                    // `blocked_floyd_warshall_cancellable`.
+                    let checkpoint =
+                        Checkpoint::new(DistanceMatrix::new_infinite(n), vec![false; n]);
+                    return RunOutcome::from_stop(status, checkpoint);
+                }
+            }
             // Phase 1: the pivot tile, sequential (self-dependent).
             // SAFETY: single thread touches the matrix in this phase.
             unsafe { relax_tile(&view, n, block, bk, bk, bk) };
@@ -123,7 +164,7 @@ pub fn blocked_floyd_warshall(graph: &CsrGraph, block: usize, pool: &ThreadPool)
             }
         }
     }
-    DistanceMatrix::from_raw(n, data)
+    RunOutcome::Complete(DistanceMatrix::from_raw(n, data))
 }
 
 #[cfg(test)]
@@ -180,6 +221,26 @@ mod tests {
         let single = CsrGraph::from_unit_edges(1, Direction::Directed, &[]).unwrap();
         let d = blocked_floyd_warshall(&single, 64, &pool);
         assert_eq!(d.get(0, 0), 0);
+    }
+
+    #[test]
+    fn cancellable_fw_completes_and_cancels() {
+        let g = barabasi_albert(100, 3, WeightSpec::Unit, 47).unwrap();
+        let pool = ThreadPool::new(4);
+        // Untripped token: identical result.
+        let token = parapsp_parfor::CancelToken::new();
+        let out = blocked_floyd_warshall_cancellable(&g, 32, &pool, &token).unwrap_complete();
+        let plain = blocked_floyd_warshall(&g, 32, &pool);
+        assert_eq!(plain.first_difference(&out), None);
+        // Cancelled mid-run (n=100, block=32 → 4 pivots; budget 2 stops at
+        // the third): the checkpoint has zero completed rows by design.
+        let token = parapsp_parfor::CancelToken::with_poll_budget(2);
+        let outcome = blocked_floyd_warshall_cancellable(&g, 32, &pool, &token);
+        let cp = outcome.into_checkpoint().expect("2 polls < 4 pivots");
+        assert_eq!(cp.completed_count(), 0);
+        let mut buf = Vec::new();
+        crate::persist::write_checkpoint(&cp, &mut buf).unwrap();
+        assert!(crate::persist::read_checkpoint(buf.as_slice()).is_ok());
     }
 
     use parapsp_graph::CsrGraph;

@@ -42,6 +42,7 @@ pub mod blocked_fw;
 pub mod dist;
 pub mod dynamic;
 pub mod kernel;
+pub mod outcome;
 pub mod par;
 pub mod paths;
 pub mod persist;
@@ -52,6 +53,7 @@ pub mod stats;
 pub mod subset;
 
 pub use dist::DistanceMatrix;
+pub use outcome::RunOutcome;
 pub use par::ParApsp;
 pub use relax::RelaxImpl;
 pub use stats::{ApspOutput, Counters, PhaseTimings};

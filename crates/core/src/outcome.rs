@@ -1,0 +1,149 @@
+//! Structured results for cancellable APSP runs.
+//!
+//! A run driven with a [`CancelToken`](parapsp_parfor::CancelToken) has
+//! three exits: it finishes, it is cancelled (Ctrl-C, an operator, a test),
+//! or its deadline fires. The two early exits are not errors — they carry a
+//! valid version-2 [`Checkpoint`] of every row that finished, so the caller
+//! can persist it and later continue with
+//! [`ParApsp::run_resumed`](crate::ParApsp::run_resumed) to the bit-identical
+//! final matrix.
+
+use parapsp_parfor::CancelStatus;
+
+use crate::persist::Checkpoint;
+
+/// How a cancellable run ended.
+#[derive(Debug)]
+pub enum RunOutcome<T> {
+    /// The run finished normally.
+    Complete(T),
+    /// The token was cancelled; `checkpoint` holds every completed row.
+    Cancelled {
+        /// Consistent snapshot of all rows completed before the stop.
+        checkpoint: Checkpoint,
+    },
+    /// The deadline elapsed; `checkpoint` holds every completed row.
+    DeadlineExceeded {
+        /// Consistent snapshot of all rows completed before the stop.
+        checkpoint: Checkpoint,
+    },
+}
+
+impl<T> RunOutcome<T> {
+    /// Wraps a checkpoint according to the stop status a loop reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`CancelStatus::Continue`] — a run that continued to the
+    /// end must produce [`RunOutcome::Complete`] with its real output.
+    pub fn from_stop(status: CancelStatus, checkpoint: Checkpoint) -> Self {
+        match status {
+            CancelStatus::Cancelled => RunOutcome::Cancelled { checkpoint },
+            CancelStatus::DeadlineExceeded => RunOutcome::DeadlineExceeded { checkpoint },
+            CancelStatus::Continue => {
+                panic!("RunOutcome::from_stop called with CancelStatus::Continue")
+            }
+        }
+    }
+
+    /// `true` for [`RunOutcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Complete(_))
+    }
+
+    /// The checkpoint of an interrupted run, `None` when complete.
+    pub fn checkpoint(&self) -> Option<&Checkpoint> {
+        match self {
+            RunOutcome::Complete(_) => None,
+            RunOutcome::Cancelled { checkpoint } | RunOutcome::DeadlineExceeded { checkpoint } => {
+                Some(checkpoint)
+            }
+        }
+    }
+
+    /// Consumes the outcome, yielding the interrupted run's checkpoint.
+    pub fn into_checkpoint(self) -> Option<Checkpoint> {
+        match self {
+            RunOutcome::Complete(_) => None,
+            RunOutcome::Cancelled { checkpoint } | RunOutcome::DeadlineExceeded { checkpoint } => {
+                Some(checkpoint)
+            }
+        }
+    }
+
+    /// Unwraps the completed output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run was interrupted.
+    pub fn unwrap_complete(self) -> T {
+        match self {
+            RunOutcome::Complete(out) => out,
+            RunOutcome::Cancelled { .. } => {
+                panic!("run was cancelled, not complete")
+            }
+            RunOutcome::DeadlineExceeded { .. } => {
+                panic!("run hit its deadline, not complete")
+            }
+        }
+    }
+
+    /// Maps the `Complete` payload, leaving interruptions untouched.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> RunOutcome<U> {
+        match self {
+            RunOutcome::Complete(out) => RunOutcome::Complete(f(out)),
+            RunOutcome::Cancelled { checkpoint } => RunOutcome::Cancelled { checkpoint },
+            RunOutcome::DeadlineExceeded { checkpoint } => {
+                RunOutcome::DeadlineExceeded { checkpoint }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DistanceMatrix;
+
+    fn cp() -> Checkpoint {
+        Checkpoint::new(DistanceMatrix::new_infinite(3), vec![true, false, false])
+    }
+
+    #[test]
+    fn accessors_distinguish_the_three_exits() {
+        let complete: RunOutcome<u32> = RunOutcome::Complete(7);
+        assert!(complete.is_complete());
+        assert!(complete.checkpoint().is_none());
+        assert_eq!(complete.unwrap_complete(), 7);
+
+        let cancelled: RunOutcome<u32> = RunOutcome::from_stop(CancelStatus::Cancelled, cp());
+        assert!(!cancelled.is_complete());
+        assert_eq!(cancelled.checkpoint().unwrap().completed_count(), 1);
+        assert!(matches!(cancelled, RunOutcome::Cancelled { .. }));
+
+        let deadline: RunOutcome<u32> = RunOutcome::from_stop(CancelStatus::DeadlineExceeded, cp());
+        assert!(matches!(deadline, RunOutcome::DeadlineExceeded { .. }));
+        assert_eq!(deadline.into_checkpoint().unwrap().n(), 3);
+    }
+
+    #[test]
+    fn map_transforms_only_complete() {
+        let doubled = RunOutcome::Complete(21).map(|v| v * 2);
+        assert_eq!(doubled.unwrap_complete(), 42);
+        let still_cancelled =
+            RunOutcome::<u32>::from_stop(CancelStatus::Cancelled, cp()).map(|v| v * 2);
+        assert!(matches!(still_cancelled, RunOutcome::Cancelled { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "cancelled")]
+    fn unwrap_complete_panics_on_cancel() {
+        let _ = RunOutcome::<u32>::from_stop(CancelStatus::Cancelled, cp()).unwrap_complete();
+    }
+
+    #[test]
+    #[should_panic(expected = "Continue")]
+    fn from_stop_rejects_continue() {
+        let _ = RunOutcome::<u32>::from_stop(CancelStatus::Continue, cp());
+    }
+}

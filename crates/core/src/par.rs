@@ -22,9 +22,10 @@ use std::time::Instant;
 
 use parapsp_graph::{degree, CsrGraph};
 use parapsp_order::OrderingProcedure;
-use parapsp_parfor::{PerThread, Schedule, ThreadPool};
+use parapsp_parfor::{CancelStatus, CancelToken, PerThread, Schedule, ThreadPool};
 
 use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
+use crate::outcome::RunOutcome;
 use crate::persist::{self, Checkpoint};
 use crate::shared::SharedDistState;
 use crate::stats::{ApspOutput, Counters, PhaseTimings};
@@ -200,6 +201,40 @@ impl ParApsp {
         self.run_with_pool(graph, &pool)
     }
 
+    /// Cancellable [`ParApsp::run`]: the sweep polls `token` at every chunk
+    /// boundary (for dynamic-cyclic, before every source). On a stop the
+    /// workers drain — each finishes the source it is on — and the outcome
+    /// carries a consistent checkpoint of every completed row, valid as
+    /// input to [`ParApsp::run_resumed`] (which lands on the bit-identical
+    /// final matrix).
+    pub fn run_with_token(&self, graph: &CsrGraph, token: &CancelToken) -> RunOutcome<ApspOutput> {
+        let pool = ThreadPool::new(self.threads);
+        self.run_inner(graph, &pool, None, None, Some(token))
+    }
+
+    /// Cancellable [`ParApsp::run_resumed`]: continues from `checkpoint`
+    /// and may itself be interrupted again, yielding a newer checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint's matrix size does not match `graph`.
+    pub fn run_resumed_with_token(
+        &self,
+        graph: &CsrGraph,
+        checkpoint: Checkpoint,
+        token: &CancelToken,
+    ) -> RunOutcome<ApspOutput> {
+        assert_eq!(
+            checkpoint.n(),
+            graph.vertex_count(),
+            "checkpoint is for a {}-vertex matrix but the graph has {} vertices",
+            checkpoint.n(),
+            graph.vertex_count()
+        );
+        let pool = ThreadPool::new(self.threads);
+        self.run_inner(graph, &pool, None, Some(checkpoint), Some(token))
+    }
+
     /// Continues an interrupted run from a checkpoint: rows the
     /// checkpoint marks complete are pre-published (and immediately
     /// reusable by the kernel), and only the missing sources are
@@ -222,7 +257,8 @@ impl ParApsp {
             graph.vertex_count()
         );
         let pool = ThreadPool::new(self.threads);
-        self.run_inner(graph, &pool, None, Some(checkpoint))
+        self.run_inner(graph, &pool, None, Some(checkpoint), None)
+            .unwrap_complete()
     }
 
     /// Like [`ParApsp::run`], additionally returning the wall time each
@@ -238,7 +274,8 @@ impl ParApsp {
         let mut nanos: Vec<u64> = vec![0; n];
         let out = {
             let view = parapsp_parfor::ParSlice::new(&mut nanos[..]);
-            self.run_inner(graph, &pool, Some(&view), None)
+            self.run_inner(graph, &pool, Some(&view), None, None)
+                .unwrap_complete()
         };
         (
             out,
@@ -252,7 +289,10 @@ impl ParApsp {
     /// Runs the driver on `graph` using an existing pool (the pool's thread
     /// count wins over the configured one).
     pub fn run_with_pool(&self, graph: &CsrGraph, pool: &ThreadPool) -> ApspOutput {
-        self.run_inner(graph, pool, None, None)
+        // Without a token the sweep cannot stop early, so the outcome is
+        // always `Complete`.
+        self.run_inner(graph, pool, None, None, None)
+            .unwrap_complete()
     }
 
     fn run_inner(
@@ -261,7 +301,8 @@ impl ParApsp {
         pool: &ThreadPool,
         trace: Option<&parapsp_parfor::ParSlice<'_, u64>>,
         resume: Option<Checkpoint>,
-    ) -> ApspOutput {
+        token: Option<&CancelToken>,
+    ) -> RunOutcome<ApspOutput> {
         let n = graph.vertex_count();
         let start = Instant::now();
 
@@ -298,8 +339,8 @@ impl ParApsp {
         let kernel = self.kernel;
         let state_ref = &state;
         let t_sssp = Instant::now();
-        let sweep = |chunk: &[u32]| {
-            pool.parallel_for(chunk.len(), self.schedule, |tid, k| {
+        let sweep = |chunk: &[u32]| -> CancelStatus {
+            let body = |tid: usize, k: usize| {
                 let s = chunk[k];
                 // SAFETY: each pool thread touches only its own scratch slot.
                 let (ws, counters, busy) = unsafe { locals.get_mut(tid) };
@@ -316,24 +357,45 @@ impl ParApsp {
                     // exclusively to this iteration.
                     unsafe { view.write(s as usize, elapsed.as_nanos() as u64) };
                 }
-            });
+            };
+            match token {
+                Some(token) => {
+                    pool.parallel_for_cancellable(chunk.len(), self.schedule, token, body)
+                }
+                None => {
+                    pool.parallel_for(chunk.len(), self.schedule, body);
+                    CancelStatus::Continue
+                }
+            }
         };
-        match &self.checkpoint {
+        let status = match &self.checkpoint {
             Some(policy) => {
                 // Between chunks no row owner is active, so a snapshot of
                 // the published rows is a consistent checkpoint.
+                let mut status = CancelStatus::Continue;
                 for chunk in todo.chunks(policy.every) {
-                    sweep(chunk);
+                    status = sweep(chunk);
                     let (dist, completed) = state.snapshot();
                     let cp = Checkpoint::new(dist, completed);
                     persist::save_checkpoint(&cp, &policy.path).unwrap_or_else(|err| {
                         panic!("writing checkpoint {}: {err}", policy.path.display())
                     });
+                    if status.is_stop() {
+                        break;
+                    }
                 }
+                status
             }
             None => sweep(&todo),
-        }
+        };
         let sssp = t_sssp.elapsed();
+
+        if status.is_stop() {
+            // The cancellable loop has drained: no row owner is active, so
+            // the published rows form a consistent partial matrix.
+            let (dist, completed) = state.snapshot();
+            return RunOutcome::from_stop(status, Checkpoint::new(dist, completed));
+        }
 
         debug_assert_eq!(state.published_count(), n);
         let mut counters = Counters::default();
@@ -342,7 +404,7 @@ impl ParApsp {
             counters.merge(&c);
             thread_busy.push(busy);
         }
-        ApspOutput {
+        RunOutcome::Complete(ApspOutput {
             dist: state.into_matrix(),
             timings: PhaseTimings {
                 ordering,
@@ -353,7 +415,7 @@ impl ParApsp {
             threads: pool.num_threads(),
             algorithm: self.label.clone(),
             thread_busy,
-        }
+        })
     }
 }
 
@@ -543,6 +605,118 @@ mod tests {
         let g = barabasi_albert(50, 2, WeightSpec::Unit, 3).unwrap();
         let cp = crate::persist::Checkpoint::complete(crate::DistanceMatrix::new_infinite(10));
         ParApsp::par_apsp(2).run_resumed(&g, cp);
+    }
+
+    #[test]
+    fn untripped_token_completes_identically() {
+        let g = barabasi_albert(150, 3, WeightSpec::Unit, 19).unwrap();
+        let plain = ParApsp::par_apsp(4).run(&g);
+        let token = parapsp_parfor::CancelToken::new();
+        let out = ParApsp::par_apsp(4)
+            .run_with_token(&g, &token)
+            .unwrap_complete();
+        assert_eq!(plain.dist.first_difference(&out.dist), None);
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_empty_checkpoint() {
+        let g = barabasi_albert(100, 2, WeightSpec::Unit, 5).unwrap();
+        let token = parapsp_parfor::CancelToken::new();
+        token.cancel();
+        let outcome = ParApsp::par_apsp(4).run_with_token(&g, &token);
+        let cp = match outcome {
+            crate::RunOutcome::Cancelled { checkpoint } => checkpoint,
+            other => panic!("expected Cancelled, got {other:?}"),
+        };
+        assert_eq!(cp.completed_count(), 0);
+        assert_eq!(cp.n(), 100);
+    }
+
+    #[test]
+    fn cancel_then_resume_is_bit_identical() {
+        let g = barabasi_albert(220, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 91).unwrap();
+        let full = ParApsp::par_apsp(4).run(&g);
+        for budget in [0u64, 1, 17, 80, 150] {
+            let token = parapsp_parfor::CancelToken::with_poll_budget(budget);
+            let outcome = ParApsp::par_apsp(4).run_with_token(&g, &token);
+            let cp = match outcome {
+                crate::RunOutcome::Complete(out) => {
+                    // Budget outlasted the run: still must be exact.
+                    assert_eq!(full.dist.first_difference(&out.dist), None);
+                    continue;
+                }
+                crate::RunOutcome::Cancelled { checkpoint } => checkpoint,
+                other => panic!("unexpected outcome {other:?}"),
+            };
+            // The checkpoint round-trips through the v2 format...
+            let mut buf = Vec::new();
+            crate::persist::write_checkpoint(&cp, &mut buf).unwrap();
+            let loaded = crate::persist::read_checkpoint(buf.as_slice()).unwrap();
+            assert_eq!(loaded, cp);
+            // ...and resuming lands on the uninterrupted matrix.
+            let resumed = ParApsp::par_apsp(4).run_resumed(&g, loaded);
+            assert_eq!(
+                full.dist.first_difference(&resumed.dist),
+                None,
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_zero_stops_before_any_work() {
+        let g = barabasi_albert(80, 2, WeightSpec::Unit, 13).unwrap();
+        let token = parapsp_parfor::CancelToken::with_deadline(std::time::Duration::ZERO);
+        let outcome = ParApsp::par_apsp(2).run_with_token(&g, &token);
+        assert!(matches!(
+            outcome,
+            crate::RunOutcome::DeadlineExceeded { .. }
+        ));
+        let cp = outcome.into_checkpoint().unwrap();
+        assert_eq!(cp.completed_count(), 0);
+    }
+
+    #[test]
+    fn cancelled_checkpointed_run_persists_partial_state() {
+        let dir = std::env::temp_dir().join("parapsp-par-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cancelled.ckpt");
+        let g = barabasi_albert(160, 3, WeightSpec::Unit, 55).unwrap();
+        let token = parapsp_parfor::CancelToken::with_poll_budget(40);
+        let outcome = ParApsp::par_apsp(4)
+            .with_checkpoint(&path, 16)
+            .run_with_token(&g, &token);
+        let cp = outcome.into_checkpoint().expect("budget 40 < 160 sources");
+        // The on-disk checkpoint (written at the last chunk boundary) loads
+        // and is resumable; the in-memory one may be newer but both resume
+        // to the same matrix.
+        let on_disk = crate::persist::load_checkpoint(&path).unwrap();
+        let full = ParApsp::par_apsp(4).run(&g);
+        for checkpoint in [on_disk, cp] {
+            let resumed = ParApsp::par_apsp(4).run_resumed(&g, checkpoint);
+            assert_eq!(full.dist.first_difference(&resumed.dist), None);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn resumed_run_can_be_cancelled_again() {
+        let g = barabasi_albert(180, 3, WeightSpec::Unit, 77).unwrap();
+        let full = ParApsp::par_apsp(3).run(&g);
+        // First interruption.
+        let token = parapsp_parfor::CancelToken::with_poll_budget(30);
+        let cp1 = ParApsp::par_apsp(3)
+            .run_with_token(&g, &token)
+            .into_checkpoint()
+            .expect("30 < 180");
+        // Second interruption, resuming from the first checkpoint.
+        let token = parapsp_parfor::CancelToken::with_poll_budget(30);
+        let outcome = ParApsp::par_apsp(3).run_resumed_with_token(&g, cp1.clone(), &token);
+        let cp2 = outcome.into_checkpoint().expect("30 < remaining sources");
+        assert!(cp2.completed_count() >= cp1.completed_count());
+        // Final resume completes the matrix.
+        let resumed = ParApsp::par_apsp(3).run_resumed(&g, cp2);
+        assert_eq!(full.dist.first_difference(&resumed.dist), None);
     }
 
     #[test]

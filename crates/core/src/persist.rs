@@ -346,15 +346,30 @@ pub fn read_checkpoint<R: Read>(reader: R) -> Result<Checkpoint, PersistError> {
 }
 
 /// Atomically writes a checkpoint to `path`: the bytes land in a `.tmp`
-/// sibling first and are renamed into place, so a crash mid-write leaves
-/// the previous checkpoint intact instead of a truncated file.
+/// sibling first, are fsynced, and only then renamed into place, so a
+/// crash at any moment leaves either the previous checkpoint or the new
+/// one — never a torn file. The parent directory is fsynced too (best
+/// effort) so the rename itself survives a power cut.
 pub fn save_checkpoint(cp: &Checkpoint, path: impl AsRef<Path>) -> Result<(), PersistError> {
     let path = path.as_ref();
     let mut tmp_name = path.as_os_str().to_owned();
     tmp_name.push(".tmp");
     let tmp = PathBuf::from(tmp_name);
-    write_checkpoint(cp, std::fs::File::create(&tmp)?)?;
+    let file = std::fs::File::create(&tmp)?;
+    // write_checkpoint buffers internally and flushes before returning,
+    // so by the time it returns every byte has reached the file object.
+    write_checkpoint(cp, &file)?;
+    file.sync_all()?;
+    drop(file);
     std::fs::rename(&tmp, path)?;
+    // Persist the directory entry. Directories can't always be opened for
+    // reading (platform-dependent), so failures here are not fatal: the
+    // data itself is already durable.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
     Ok(())
 }
 

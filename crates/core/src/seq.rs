@@ -9,9 +9,11 @@ use std::time::Instant;
 
 use parapsp_graph::{degree, CsrGraph};
 use parapsp_order::OrderingProcedure;
-use parapsp_parfor::ThreadPool;
+use parapsp_parfor::{CancelToken, ThreadPool};
 
 use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
+use crate::outcome::RunOutcome;
+use crate::persist::Checkpoint;
 use crate::shared::SharedDistState;
 use crate::stats::{ApspOutput, Counters, PhaseTimings};
 
@@ -22,16 +24,37 @@ fn run_in_order(
     ordering_time: std::time::Duration,
     label: &str,
 ) -> ApspOutput {
+    // No token, so the sweep cannot stop early.
+    run_in_order_cancellable(graph, order, options, ordering_time, label, None).unwrap_complete()
+}
+
+fn run_in_order_cancellable(
+    graph: &CsrGraph,
+    order: &[u32],
+    options: KernelOptions,
+    ordering_time: std::time::Duration,
+    label: &str,
+    token: Option<&CancelToken>,
+) -> RunOutcome<ApspOutput> {
     let n = graph.vertex_count();
     let state = SharedDistState::new(n);
     let mut ws = Workspace::new(n);
     let mut counters = Counters::default();
     let sssp_start = Instant::now();
     for &s in order {
+        if let Some(token) = token {
+            let status = token.poll();
+            if status.is_stop() {
+                // Between sources every started row is published, so the
+                // snapshot is a consistent resumable checkpoint.
+                let (dist, completed) = state.snapshot();
+                return RunOutcome::from_stop(status, Checkpoint::new(dist, completed));
+            }
+        }
         modified_dijkstra(graph, s, &state, &mut ws, options, &mut counters, None);
     }
     let sssp = sssp_start.elapsed();
-    ApspOutput {
+    RunOutcome::Complete(ApspOutput {
         dist: state.into_matrix(),
         timings: PhaseTimings {
             ordering: ordering_time,
@@ -42,7 +65,7 @@ fn run_in_order(
         threads: 1,
         algorithm: label.to_owned(),
         thread_busy: vec![sssp],
-    }
+    })
 }
 
 /// Peng's **basic** APSP (Alg. 2): the modified Dijkstra from every source
@@ -55,6 +78,22 @@ pub fn seq_basic(graph: &CsrGraph) -> ApspOutput {
         KernelOptions::default(),
         std::time::Duration::ZERO,
         "SeqBasic",
+    )
+}
+
+/// Cancellable [`seq_basic`]: polls `token` between sources and, on a
+/// stop, returns a checkpoint of every completed row — resume it with
+/// [`crate::ParApsp::run_resumed`] (the resumed matrix is bit-identical to
+/// an uninterrupted run's).
+pub fn seq_basic_with_token(graph: &CsrGraph, token: &CancelToken) -> RunOutcome<ApspOutput> {
+    let order: Vec<u32> = (0..graph.vertex_count() as u32).collect();
+    run_in_order_cancellable(
+        graph,
+        &order,
+        KernelOptions::default(),
+        std::time::Duration::ZERO,
+        "SeqBasic",
+        Some(token),
     )
 }
 
@@ -72,6 +111,27 @@ pub fn seq_optimized(graph: &CsrGraph, ratio: f64) -> ApspOutput {
         KernelOptions::default(),
         ordering_time,
         "SeqOptimized",
+    )
+}
+
+/// Cancellable [`seq_optimized`]: polls `token` between sources; see
+/// [`seq_basic_with_token`] for the checkpoint semantics.
+pub fn seq_optimized_with_token(
+    graph: &CsrGraph,
+    ratio: f64,
+    token: &CancelToken,
+) -> RunOutcome<ApspOutput> {
+    let degrees = degree::out_degrees(graph);
+    let t0 = Instant::now();
+    let order = parapsp_order::selection::partial_selection_sort(&degrees, ratio);
+    let ordering_time = t0.elapsed();
+    run_in_order_cancellable(
+        graph,
+        &order,
+        KernelOptions::default(),
+        ordering_time,
+        "SeqOptimized",
+        Some(token),
     )
 }
 
@@ -218,6 +278,49 @@ mod tests {
             optimized.counters.queue_pops,
             basic.counters.queue_pops
         );
+    }
+
+    #[test]
+    fn cancelled_seq_runs_resume_bit_identically() {
+        let g = barabasi_albert(120, 3, WeightSpec::Uniform { lo: 1, hi: 5 }, 41).unwrap();
+        let full = seq_basic(&g);
+        for budget in [0u64, 1, 40, 100] {
+            let token = parapsp_parfor::CancelToken::with_poll_budget(budget);
+            let outcome = seq_basic_with_token(&g, &token);
+            let cp = match outcome {
+                crate::RunOutcome::Cancelled { checkpoint } => checkpoint,
+                other => panic!("budget {budget} must cancel, got {other:?}"),
+            };
+            assert_eq!(cp.completed_count() as u64, budget.min(120));
+            let resumed = crate::ParApsp::par_apsp(2).run_resumed(&g, cp);
+            assert_eq!(
+                full.dist.first_difference(&resumed.dist),
+                None,
+                "budget {budget}"
+            );
+        }
+        // A budget larger than n completes normally.
+        let token = parapsp_parfor::CancelToken::with_poll_budget(1000);
+        let out = seq_basic_with_token(&g, &token).unwrap_complete();
+        assert_eq!(full.dist.first_difference(&out.dist), None);
+    }
+
+    #[test]
+    fn cancellable_optimized_variant_matches_when_uncancelled() {
+        let g = barabasi_albert(100, 2, WeightSpec::Unit, 51).unwrap();
+        let token = parapsp_parfor::CancelToken::new();
+        let out = seq_optimized_with_token(&g, 1.0, &token).unwrap_complete();
+        assert_eq!(seq_basic(&g).dist.first_difference(&out.dist), None);
+        // Pre-cancelled: nothing computed, checkpoint empty but valid.
+        let token = parapsp_parfor::CancelToken::new();
+        token.cancel();
+        let cp = seq_optimized_with_token(&g, 1.0, &token)
+            .into_checkpoint()
+            .unwrap();
+        assert_eq!(cp.completed_count(), 0);
+        let mut buf = Vec::new();
+        crate::persist::write_checkpoint(&cp, &mut buf).unwrap();
+        assert!(crate::persist::read_checkpoint(buf.as_slice()).is_ok());
     }
 
     #[test]

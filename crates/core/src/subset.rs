@@ -15,8 +15,11 @@ use std::time::Instant;
 
 use parapsp_graph::{degree, CsrGraph, INF};
 use parapsp_order::seq_bucket::seq_bucket_sort;
-use parapsp_parfor::{BitSet, PerThread, Schedule, ThreadPool};
+use parapsp_parfor::{BitSet, CancelStatus, CancelToken, PerThread, Schedule, ThreadPool};
 
+use crate::dist::DistanceMatrix;
+use crate::outcome::RunOutcome;
+use crate::persist::Checkpoint;
 use crate::relax::{relax_row, RelaxImpl};
 
 /// Distance rows for a chosen set of sources, in O(k·n) memory.
@@ -129,6 +132,30 @@ impl SubsetState {
 /// rejected), visiting them in descending degree order and reusing rows
 /// completed within the subset. Memory: O(k·n).
 pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> SubsetRows {
+    // No token, so the sweep cannot stop early.
+    run_subset(graph, sources, threads, None).unwrap_complete()
+}
+
+/// Cancellable [`par_apsp_subset`]: polls `token` before every source. On
+/// a stop the outcome carries an `n × n` checkpoint in which exactly the
+/// *finished subset rows* are marked complete — loadable with
+/// [`crate::persist::read_checkpoint`] and resumable (to the full matrix)
+/// with [`crate::ParApsp::run_resumed`], or re-run the remaining subset.
+pub fn par_apsp_subset_cancellable(
+    graph: &CsrGraph,
+    sources: &[u32],
+    threads: usize,
+    token: &CancelToken,
+) -> RunOutcome<SubsetRows> {
+    run_subset(graph, sources, threads, Some(token))
+}
+
+fn run_subset(
+    graph: &CsrGraph,
+    sources: &[u32],
+    threads: usize,
+    token: Option<&CancelToken>,
+) -> RunOutcome<SubsetRows> {
     let n = graph.vertex_count();
     let start = Instant::now();
     let state = SubsetState::new(n, sources);
@@ -144,7 +171,7 @@ pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> Sub
     let relax_impl = RelaxImpl::Auto.resolve();
     let state_ref = &state;
     let order_ref = &order;
-    pool.parallel_for(sources.len(), Schedule::dynamic_cyclic(), |tid, k| {
+    let body = |tid: usize, k: usize| {
         let slot = order_ref[k];
         let s = sources[slot as usize];
         // SAFETY: one scratch slot per pool thread.
@@ -176,16 +203,40 @@ pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> Sub
             }
         }
         state_ref.publish(slot);
-    });
+    };
+    let status = match token {
+        Some(token) => {
+            pool.parallel_for_cancellable(sources.len(), Schedule::dynamic_cyclic(), token, body)
+        }
+        None => {
+            pool.parallel_for(sources.len(), Schedule::dynamic_cyclic(), body);
+            CancelStatus::Continue
+        }
+    };
+
+    if status.is_stop() {
+        // The loop has drained, so every published subset row is final.
+        // Place them in an n × n checkpoint keyed by *vertex* id (the
+        // persistent format has no notion of subset slots).
+        let mut dist = DistanceMatrix::new_infinite(n);
+        let mut completed = vec![false; n];
+        for &s in sources {
+            if let Some(row) = state.published_row_of_vertex(s) {
+                dist.copy_row_from(s, row);
+                completed[s as usize] = true;
+            }
+        }
+        return RunOutcome::from_stop(status, Checkpoint::new(dist, completed));
+    }
 
     // SAFETY: all rows published; single ownership again.
     let data: Box<[u32]> = unsafe { Box::from_raw(Box::into_raw(state.cells) as *mut [u32]) };
-    SubsetRows {
+    RunOutcome::Complete(SubsetRows {
         n,
         sources: sources.to_vec(),
         data,
         elapsed: start.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -261,6 +312,42 @@ mod tests {
     fn out_of_range_source_rejected() {
         let g = barabasi_albert(20, 2, WeightSpec::Unit, 36).unwrap();
         let _ = par_apsp_subset(&g, &[25], 1);
+    }
+
+    #[test]
+    fn cancellable_subset_completes_when_untripped() {
+        let g = barabasi_albert(150, 3, WeightSpec::Unit, 61).unwrap();
+        let sources: Vec<u32> = vec![0, 7, 50, 149];
+        let token = parapsp_parfor::CancelToken::new();
+        let rows = par_apsp_subset_cancellable(&g, &sources, 3, &token).unwrap_complete();
+        let plain = par_apsp_subset(&g, &sources, 3);
+        for (i, _) in sources.iter().enumerate() {
+            assert_eq!(rows.row(i), plain.row(i));
+        }
+    }
+
+    #[test]
+    fn cancelled_subset_checkpoints_finished_rows_exactly() {
+        let g = barabasi_albert(200, 3, WeightSpec::Uniform { lo: 1, hi: 7 }, 62).unwrap();
+        let sources: Vec<u32> = (0..200).step_by(5).collect(); // 40 sources
+        let token = parapsp_parfor::CancelToken::with_poll_budget(12);
+        let outcome = par_apsp_subset_cancellable(&g, &sources, 2, &token);
+        let cp = outcome.into_checkpoint().expect("12 < 40 sources");
+        assert!(cp.completed_count() < sources.len());
+        // Completed rows only ever belong to the subset, and each one is
+        // the exact per-source Dijkstra row.
+        let mut expected = vec![0u32; 200];
+        for (s, &done) in cp.completed().iter().enumerate() {
+            if done {
+                assert!(sources.contains(&(s as u32)), "row {s} not in subset");
+                dijkstra_sssp(&g, s as u32, &mut expected);
+                assert_eq!(cp.matrix().row(s as u32), &expected[..]);
+            }
+        }
+        // The checkpoint survives the v2 format round trip.
+        let mut buf = Vec::new();
+        crate::persist::write_checkpoint(&cp, &mut buf).unwrap();
+        assert_eq!(crate::persist::read_checkpoint(buf.as_slice()).unwrap(), cp);
     }
 
     #[test]

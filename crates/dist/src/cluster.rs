@@ -26,10 +26,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
-use parapsp_core::DistanceMatrix;
+use parapsp_core::persist::Checkpoint;
+use parapsp_core::{DistanceMatrix, RunOutcome};
 use parapsp_graph::{degree, CsrGraph};
 use parapsp_order::OrderingProcedure;
-use parapsp_parfor::ThreadPool;
+use parapsp_parfor::{CancelToken, ThreadPool};
 
 use crate::fault::{FaultPlan, DRIVER};
 use crate::node::{NodeState, RowMessage};
@@ -51,6 +52,71 @@ pub enum SourcePartition {
     CyclicById,
 }
 
+/// Bounds and pacing for gather-row re-delivery after a checksum failure.
+///
+/// Each rejected delivery of a source's row triggers a re-send from the
+/// node that holds it, but only up to [`max_resends`](Self::max_resends)
+/// times; after that the driver stops trusting the path and re-deals the
+/// source to a *different* survivor instead. Before each re-send the node
+/// backs off exponentially — `min(cap_ms, base_ms << (attempt - 1))` plus
+/// a deterministic seeded jitter of up to `base_ms` — so a flaky path is
+/// not hammered at full rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-sends allowed per source before the driver reassigns it to
+    /// another node (`0` means reassign on the first rejection). When only
+    /// one node is alive there is nobody else to deal to, so re-sends
+    /// continue past the bound rather than deadlocking.
+    pub max_resends: u64,
+    /// Backoff before the first re-send, in milliseconds; doubles per
+    /// attempt. Also the span of the added jitter.
+    pub base_ms: u64,
+    /// Upper bound on a single backoff sleep, in milliseconds (jitter
+    /// excluded).
+    pub cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_resends: 6,
+            base_ms: 1,
+            cap_ms: 8,
+        }
+    }
+}
+
+/// Driver-side stall detection for nodes that go silent without crashing.
+///
+/// The driver records the gap between consecutive gather rows from each
+/// node. A node that still owes rows but has been silent for more than
+/// `stall_factor ×` its rolling median gap (never less than `floor`) is
+/// declared stalled: its ungathered sources are re-dealt to the other
+/// survivors. The stalled node is *not* killed — if it wakes up its
+/// deliveries are deduplicated by the driver, so a false positive costs
+/// only duplicate work, never correctness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Multiple of the rolling median inter-row gap that counts as stalled.
+    pub stall_factor: f64,
+    /// Minimum recorded gaps before the median is trusted; below this the
+    /// node is never declared stalled.
+    pub min_samples: usize,
+    /// Absolute lower bound on the stall threshold, so fast nodes with
+    /// sub-millisecond medians are not flagged by scheduling noise.
+    pub floor: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_factor: 8.0,
+            min_samples: 2,
+            floor: Duration::from_millis(25),
+        }
+    }
+}
+
 /// Configuration of the simulated cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -68,6 +134,11 @@ pub struct ClusterConfig {
     /// Upper bound on how long the driver blocks on any one node's mailbox
     /// before re-polling the cluster — the detection latency for crashes.
     pub heartbeat: Duration,
+    /// Re-delivery bounds and backoff pacing for rejected gather rows.
+    pub retry: RetryPolicy,
+    /// Stall detection; `None` (the default) disables the watchdog, so a
+    /// silent-but-alive node is simply waited on.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -78,6 +149,8 @@ impl Default for ClusterConfig {
             partition: SourcePartition::CyclicByDegree,
             faults: FaultPlan::default(),
             heartbeat: Duration::from_millis(10),
+            retry: RetryPolicy::default(),
+            watchdog: None,
         }
     }
 }
@@ -100,7 +173,10 @@ pub struct NodeStats {
     pub rows_rejected: u64,
     /// Gather rows re-sent after the driver rejected a corrupted copy.
     pub retries: u64,
-    /// Sources taken over from crashed nodes.
+    /// Total milliseconds this node slept in retry backoff (exponential
+    /// delay plus seeded jitter) before re-sending rejected rows.
+    pub retry_backoff_ms: u64,
+    /// Sources taken over from crashed or stalled nodes.
     pub reassigned_sources: u64,
     /// Whether this node crashed (by fault injection) before finishing.
     pub crashed: bool,
@@ -119,6 +195,8 @@ pub struct DistApspOutput {
     pub gather_bytes: u64,
     /// Gather rows the driver rejected for failing their checksum.
     pub gather_rejected: u64,
+    /// Sources the watchdog re-dealt away from silent-but-alive nodes.
+    pub watchdog_reassigned: u64,
     /// End-to-end wall time of the simulated run.
     pub elapsed: std::time::Duration,
 }
@@ -172,6 +250,30 @@ enum NodeInbox {
 /// assert_eq!(out.node_stats.len(), 3);
 /// ```
 pub fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
+    // No token, so the run cannot stop early.
+    run_cluster(graph, config, None).unwrap_complete()
+}
+
+/// Cancellable [`dist_apsp`]: the driver polls `token` on every scheduling
+/// round and each node checks it between sources (an in-flight SSSP always
+/// finishes, so no torn rows exist). On a stop the driver shuts the
+/// cluster down, drains every row that was already on the wire, and
+/// returns a checkpoint of all gathered rows — resume it on any engine
+/// (e.g. [`parapsp_core::ParApsp::run_resumed`]) for a matrix
+/// bit-identical to an uninterrupted run's.
+pub fn dist_apsp_cancellable(
+    graph: &CsrGraph,
+    config: ClusterConfig,
+    token: &CancelToken,
+) -> RunOutcome<DistApspOutput> {
+    run_cluster(graph, config, Some(token))
+}
+
+fn run_cluster(
+    graph: &CsrGraph,
+    config: ClusterConfig,
+    token: Option<&CancelToken>,
+) -> RunOutcome<DistApspOutput> {
     assert!(config.nodes > 0, "a cluster needs at least one node");
     assert!(
         (0.0..=1.0).contains(&config.hub_fraction),
@@ -232,6 +334,7 @@ pub fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
     let owned_ref = &owned;
     let inbox_senders_ref = &inbox_senders;
     let plan = &config.faults;
+    let retry = &config.retry;
     let mut node_stats = vec![NodeStats::default(); nodes];
     let mut driver = Driver {
         nodes,
@@ -243,8 +346,14 @@ pub fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
         gather_bytes: 0,
         gather_rejected: 0,
         reassign_cursor: 0,
+        retry: config.retry,
+        reject_count: vec![0; n],
+        watchdog_reassigned: 0,
+        last_seen: vec![Instant::now(); nodes],
+        gaps: vec![Vec::new(); nodes],
         dist: DistanceMatrix::new_infinite(n),
     };
+    let mut stop = None;
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..nodes)
@@ -261,6 +370,8 @@ pub fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
                             &owned_ref[k],
                             is_hub,
                             plan,
+                            retry,
+                            token,
                             inbox,
                             inbox_senders_ref,
                             gather,
@@ -271,6 +382,16 @@ pub fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
             .collect();
 
         while driver.gathered < n {
+            // Cooperative stop: the driver is the only poll()-er (nodes use
+            // the non-consuming status()), so poll-budget cancellation in
+            // tests trips after a deterministic number of driver rounds.
+            if let Some(token) = token {
+                let status = token.poll();
+                if status.is_stop() {
+                    stop = Some(status);
+                    break;
+                }
+            }
             // Drain every alive node's gather stream; a disconnect here is
             // the crash signal (mpsc reports it only after the buffered
             // rows are consumed, so no finished work is lost).
@@ -293,6 +414,9 @@ pub fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
                         }
                     }
                 }
+            }
+            if let Some(watchdog) = &config.watchdog {
+                driver.check_watchdog(watchdog);
             }
             if driver.gathered >= n || progressed {
                 continue;
@@ -320,12 +444,29 @@ pub fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
         }
     });
 
-    DistApspOutput {
+    if stop.is_some() {
+        // Rows already on the wire when the stop hit are still sitting in
+        // the (now disconnected) gather buffers; fold them in so the
+        // checkpoint loses nothing that was finished.
+        for (k, gather) in gather_receivers.iter().enumerate() {
+            while let Ok(message) = gather.try_recv() {
+                driver.on_row(k, message);
+            }
+        }
+    }
+
+    let got = driver.got;
+    let output = DistApspOutput {
         dist: driver.dist,
         node_stats,
         gather_bytes: driver.gather_bytes,
         gather_rejected: driver.gather_rejected,
+        watchdog_reassigned: driver.watchdog_reassigned,
         elapsed: start.elapsed(),
+    };
+    match stop {
+        None => RunOutcome::Complete(output),
+        Some(status) => RunOutcome::from_stop(status, Checkpoint::new(output.dist, got)),
     }
 }
 
@@ -343,17 +484,45 @@ struct Driver<'a> {
     gather_rejected: u64,
     /// Round-robin cursor for dealing crashed nodes' work to survivors.
     reassign_cursor: usize,
+    retry: RetryPolicy,
+    /// Rejected deliveries per source, for bounding re-sends.
+    reject_count: Vec<u64>,
+    watchdog_reassigned: u64,
+    /// When each node last put anything on its gather wire (its liveness
+    /// signal for the watchdog).
+    last_seen: Vec<Instant>,
+    /// Recent inter-row gaps per node, newest last, bounded window.
+    gaps: Vec<Vec<Duration>>,
     dist: DistanceMatrix,
 }
+
+/// How many inter-row gaps the watchdog's rolling median looks back over.
+const GAP_WINDOW: usize = 32;
 
 impl Driver<'_> {
     /// Handles one gather message from node `k`.
     fn on_row(&mut self, k: usize, message: RowMessage) {
+        let now = Instant::now();
+        let gap = now.duration_since(self.last_seen[k]);
+        self.last_seen[k] = now;
+        if self.gaps[k].len() == GAP_WINDOW {
+            self.gaps[k].remove(0);
+        }
+        self.gaps[k].push(gap);
         self.gather_bytes += message.wire_bytes();
         if !message.verify() {
             self.gather_rejected += 1;
-            if !self.got[message.source as usize] {
-                let _ = self.inbox_tx[k].send(NodeInbox::Resend(message.source));
+            let s = message.source as usize;
+            if !self.got[s] {
+                self.reject_count[s] += 1;
+                if self.reject_count[s] <= self.retry.max_resends
+                    || !self.redeal_away_from(k, message.source)
+                {
+                    // Within the retry budget — or past it with nobody else
+                    // alive to deal to, where re-sending (each attempt draws
+                    // fresh fault coordinates) is the only road to progress.
+                    let _ = self.inbox_tx[k].send(NodeInbox::Resend(message.source));
+                }
             }
             return;
         }
@@ -364,6 +533,68 @@ impl Driver<'_> {
         self.got[s] = true;
         self.gathered += 1;
         self.dist.copy_row_from(message.source, &message.row);
+    }
+
+    /// Re-deals source `s` to an alive node other than `k` (the path that
+    /// exhausted its retry budget). Returns `false` when `k` is the only
+    /// survivor.
+    fn redeal_away_from(&mut self, k: usize, s: u32) -> bool {
+        let survivors: Vec<usize> = (0..self.nodes)
+            .filter(|&j| self.alive[j] && j != k)
+            .collect();
+        if survivors.is_empty() {
+            return false;
+        }
+        let j = survivors[self.reassign_cursor % survivors.len()];
+        self.reassign_cursor += 1;
+        self.outstanding[k].retain(|&x| x != s);
+        self.outstanding[j].push(s);
+        let _ = self.inbox_tx[j].send(NodeInbox::Assign(s));
+        true
+    }
+
+    /// Declares nodes stalled when they owe rows but have been silent
+    /// longer than `stall_factor ×` their rolling median inter-row gap
+    /// (never less than `floor`), and re-deals their ungathered sources to
+    /// the other survivors. A stalled node is left alive: late deliveries
+    /// are deduplicated, so waking up costs nothing but duplicate work.
+    fn check_watchdog(&mut self, watchdog: &WatchdogConfig) {
+        for k in 0..self.nodes {
+            if !self.alive[k] || self.gaps[k].len() < watchdog.min_samples {
+                continue;
+            }
+            let owes: Vec<u32> = self.outstanding[k]
+                .iter()
+                .copied()
+                .filter(|&s| !self.got[s as usize])
+                .collect();
+            if owes.is_empty() {
+                continue;
+            }
+            let mut sorted = self.gaps[k].clone();
+            sorted.sort();
+            let median = sorted[sorted.len() / 2];
+            let threshold = median.mul_f64(watchdog.stall_factor).max(watchdog.floor);
+            if self.last_seen[k].elapsed() <= threshold {
+                continue;
+            }
+            let survivors: Vec<usize> = (0..self.nodes)
+                .filter(|&j| self.alive[j] && j != k)
+                .collect();
+            if survivors.is_empty() {
+                continue; // nobody to take over; keep waiting
+            }
+            self.outstanding[k].clear();
+            // Give the node a fresh full threshold before a second strike.
+            self.last_seen[k] = Instant::now();
+            for s in owes {
+                let j = survivors[self.reassign_cursor % survivors.len()];
+                self.reassign_cursor += 1;
+                self.outstanding[j].push(s);
+                self.watchdog_reassigned += 1;
+                let _ = self.inbox_tx[j].send(NodeInbox::Assign(s));
+            }
+        }
     }
 
     /// Handles node `k`'s disconnect: re-deal its unfinished sources
@@ -409,11 +640,15 @@ fn run_node(
     initial: &[u32],
     is_hub: &[bool],
     plan: &FaultPlan,
+    retry: &RetryPolicy,
+    token: Option<&CancelToken>,
     inbox: Receiver<NodeInbox>,
     peers: &[Sender<NodeInbox>],
     gather: Sender<RowMessage>,
 ) -> NodeStats {
     let crash_after = plan.crash_after(k);
+    let stall = plan.stall_after(k);
+    let mut stalled = false;
     let mut state = NodeState::new(n, initial);
     let mut pending: VecDeque<u32> = initial.iter().copied().collect();
     let mut stats = NodeStats::default();
@@ -431,6 +666,7 @@ fn run_node(
                         message,
                         k,
                         plan,
+                        retry,
                         &mut state,
                         &mut pending,
                         &mut stats,
@@ -449,7 +685,19 @@ fn run_node(
             stats.crashed = true;
             break;
         }
-        let Some(s) = pending.pop_front() else {
+        // Injected stall: go silent without dying, then resume.
+        if let Some((after, millis)) = stall {
+            if !stalled && completed >= after {
+                stalled = true;
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+        }
+        // A tripped token parks the node: it stops starting sources (the
+        // in-flight one, if any, already finished) and waits for the
+        // driver's Shutdown instead of exiting — a unilateral exit would
+        // look like a crash and trigger pointless reassignment.
+        let parked = token.is_some_and(|t| t.status().is_stop());
+        let Some(s) = (if parked { None } else { pending.pop_front() }) else {
             // Idle: wait for more work, a hub row, or shutdown.
             match inbox.recv() {
                 Ok(message) => {
@@ -457,6 +705,7 @@ fn run_node(
                         message,
                         k,
                         plan,
+                        retry,
                         &mut state,
                         &mut pending,
                         &mut stats,
@@ -511,6 +760,7 @@ fn handle_inbox(
     message: NodeInbox,
     k: usize,
     plan: &FaultPlan,
+    retry: &RetryPolicy,
     state: &mut NodeState,
     pending: &mut VecDeque<u32>,
     stats: &mut NodeStats,
@@ -524,6 +774,20 @@ fn handle_inbox(
             false
         }
         NodeInbox::Assign(s) => {
+            // A re-deal can cycle back to a node that already finished the
+            // source (watchdog false positive, or a rejected delivery being
+            // routed away and back). Re-deliver the finished row — dropping
+            // the assignment instead would leave the driver waiting on a
+            // row nobody intends to send.
+            if let Some(row) = state.row_for(s) {
+                let row = row.to_vec();
+                attempts[s as usize] += 1;
+                send_gather(k, s, &row, attempts[s as usize], plan, gather);
+                return false;
+            }
+            if pending.contains(&s) {
+                return false;
+            }
             state.assign(s);
             pending.push_back(s);
             stats.reassigned_sources += 1;
@@ -532,11 +796,23 @@ fn handle_inbox(
         NodeInbox::Resend(s) => {
             stats.retries += 1;
             attempts[s as usize] += 1;
+            let attempt = attempts[s as usize];
+            // Exponential backoff with deterministic jitter before the
+            // re-send, so a flaky path is not hammered at full rate.
+            let exponential = retry
+                .cap_ms
+                .min(retry.base_ms.saturating_mul(1u64 << (attempt - 1).min(62)));
+            let sleep_ms =
+                exponential + plan.backoff_jitter_ms(k as u64, s, attempt, retry.base_ms);
+            if sleep_ms > 0 {
+                std::thread::sleep(Duration::from_millis(sleep_ms));
+                stats.retry_backoff_ms += sleep_ms;
+            }
             let row = state
                 .row_for(s)
                 .expect("driver requested a re-send of a row this node never sent")
                 .to_vec();
-            send_gather(k, s, &row, attempts[s as usize], plan, gather);
+            send_gather(k, s, &row, attempt, plan, gather);
             false
         }
         NodeInbox::Shutdown => true,
@@ -838,6 +1114,154 @@ mod tests {
         );
         assert_eq!(reference.first_difference(&out.dist), None);
         assert_eq!(out.crashed_nodes(), 2);
+    }
+
+    #[test]
+    fn retry_backoff_is_slept_and_accounted() {
+        let g = barabasi_albert(140, 3, WeightSpec::Unit, 93).unwrap();
+        let out = dist_apsp(
+            &g,
+            ClusterConfig {
+                nodes: 4,
+                hub_fraction: 0.3,
+                faults: FaultPlan::seeded(8).with_corrupt_probability(0.3),
+                ..ClusterConfig::default()
+            },
+        );
+        let retries: u64 = out.node_stats.iter().map(|s| s.retries).sum();
+        let backoff: u64 = out.node_stats.iter().map(|s| s.retry_backoff_ms).sum();
+        assert!(retries > 0);
+        // Every re-send sleeps at least base_ms = 1 (plus jitter), and no
+        // single sleep exceeds cap_ms + base_ms.
+        assert!(backoff >= retries, "{backoff}ms over {retries} retries");
+        let policy = RetryPolicy::default();
+        assert!(backoff <= retries * (policy.cap_ms + policy.base_ms));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_redeals_to_another_node() {
+        let g = barabasi_albert(140, 3, WeightSpec::Unit, 93).unwrap();
+        let reference = apsp_dijkstra(&g);
+        // max_resends = 0: the first rejection of any source immediately
+        // re-deals it to a different node instead of asking for a re-send.
+        let out = dist_apsp(
+            &g,
+            ClusterConfig {
+                nodes: 4,
+                hub_fraction: 0.0,
+                faults: FaultPlan::seeded(8).with_corrupt_probability(0.3),
+                retry: RetryPolicy {
+                    max_resends: 0,
+                    base_ms: 0,
+                    cap_ms: 0,
+                },
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(reference.first_difference(&out.dist), None);
+        assert!(out.gather_rejected > 0, "q=0.3 must reject some rows");
+        let retries: u64 = out.node_stats.iter().map(|s| s.retries).sum();
+        assert_eq!(retries, 0, "no re-sends allowed under max_resends = 0");
+        let redealt: u64 = out.node_stats.iter().map(|s| s.reassigned_sources).sum();
+        assert!(redealt > 0, "rejected sources must move to other nodes");
+    }
+
+    #[test]
+    fn watchdog_redeals_a_stalled_nodes_sources() {
+        let g = barabasi_albert(150, 3, WeightSpec::Unit, 96).unwrap();
+        let reference = apsp_dijkstra(&g);
+        // Node 1 goes silent for 2 s after 2 sources — without a watchdog
+        // the run would wait the stall out; with one it must finish long
+        // before, on rows recomputed by the other nodes.
+        let out = dist_apsp(
+            &g,
+            ClusterConfig {
+                nodes: 3,
+                hub_fraction: 0.1,
+                faults: FaultPlan::seeded(4).stall_node_after(1, 2, 2_000),
+                watchdog: Some(WatchdogConfig {
+                    floor: Duration::from_millis(20),
+                    ..WatchdogConfig::default()
+                }),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(reference.first_difference(&out.dist), None);
+        assert!(
+            out.watchdog_reassigned > 0,
+            "the stalled node's sources must be re-dealt"
+        );
+        assert_eq!(out.crashed_nodes(), 0, "a stall is not a crash");
+        // The run must not have waited out the 2 s stall to gather rows
+        // (join at shutdown still waits for the sleeping thread, so allow
+        // the stall itself plus scheduling slack but not a serial wait).
+        assert!(
+            out.elapsed < Duration::from_secs(4),
+            "took {:?}",
+            out.elapsed
+        );
+        let computed: u64 = out.node_stats.iter().map(|s| s.sources).sum();
+        assert!(computed >= 150, "every source is computed at least once");
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_a_healthy_cluster() {
+        let g = barabasi_albert(140, 3, WeightSpec::Unit, 97).unwrap();
+        let out = dist_apsp(
+            &g,
+            ClusterConfig {
+                nodes: 4,
+                hub_fraction: 0.1,
+                watchdog: Some(WatchdogConfig::default()),
+                ..ClusterConfig::default()
+            },
+        );
+        assert_eq!(out.watchdog_reassigned, 0, "no stalls, no re-deals");
+        assert_eq!(out.node_stats.iter().map(|s| s.sources).sum::<u64>(), 140);
+    }
+
+    #[test]
+    fn untripped_token_completes_and_matches() {
+        let g = barabasi_albert(120, 3, WeightSpec::Unit, 98).unwrap();
+        let token = parapsp_parfor::CancelToken::new();
+        let out = dist_apsp_cancellable(&g, ClusterConfig::default(), &token).unwrap_complete();
+        assert_eq!(apsp_dijkstra(&g).first_difference(&out.dist), None);
+    }
+
+    #[test]
+    fn cancelled_dist_run_checkpoints_and_resumes_bit_identically() {
+        let g = barabasi_albert(150, 3, WeightSpec::Unit, 99).unwrap();
+        let reference = apsp_dijkstra(&g);
+        for budget in [0u64, 3, 25] {
+            let token = parapsp_parfor::CancelToken::with_poll_budget(budget);
+            let outcome = dist_apsp_cancellable(&g, ClusterConfig::default(), &token);
+            let cp = match outcome {
+                RunOutcome::Cancelled { checkpoint } => checkpoint,
+                RunOutcome::Complete(_) if budget >= 25 => continue, // fast box
+                other => panic!("budget {budget} should cancel, got {other:?}"),
+            };
+            assert!((cp.completed_count() as usize) < 150, "budget {budget}");
+            // Resume on the shared-memory engine: bit-identical finish.
+            let resumed = parapsp_core::ParApsp::par_apsp(2).run_resumed(&g, cp);
+            assert_eq!(
+                reference.first_difference(&resumed.dist),
+                None,
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_stops_a_distributed_run() {
+        let g = barabasi_albert(200, 3, WeightSpec::Unit, 100).unwrap();
+        let token = parapsp_parfor::CancelToken::with_deadline(Duration::ZERO);
+        let outcome = dist_apsp_cancellable(&g, ClusterConfig::default(), &token);
+        match outcome {
+            RunOutcome::DeadlineExceeded { checkpoint } => {
+                assert_eq!(checkpoint.completed_count(), 0, "deadline hit on round 1");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
     }
 
     #[test]

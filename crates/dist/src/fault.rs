@@ -40,6 +40,7 @@ pub(crate) const DRIVER: u64 = u64::MAX;
 pub struct FaultPlan {
     seed: u64,
     crashes: Vec<(usize, u64)>,
+    stalls: Vec<(usize, u64, u64)>,
     drop_probability: f64,
     corrupt_probability: f64,
 }
@@ -60,6 +61,15 @@ impl FaultPlan {
     /// it never speaks again.
     pub fn crash_node_after(mut self, node: usize, k: u64) -> Self {
         self.crashes.push((node, k));
+        self
+    }
+
+    /// Stalls `node` for `millis` milliseconds once it has completed `k`
+    /// sources: the node goes silent (no rows, no heartbeats) but does not
+    /// die — the scenario a watchdog must distinguish from a crash. The
+    /// node resumes normally after the stall.
+    pub fn stall_node_after(mut self, node: usize, k: u64, millis: u64) -> Self {
+        self.stalls.push((node, k, millis));
         self
     }
 
@@ -96,7 +106,10 @@ impl FaultPlan {
 
     /// Whether this plan injects no faults at all.
     pub fn is_inert(&self) -> bool {
-        self.crashes.is_empty() && self.drop_probability == 0.0 && self.corrupt_probability == 0.0
+        self.crashes.is_empty()
+            && self.stalls.is_empty()
+            && self.drop_probability == 0.0
+            && self.corrupt_probability == 0.0
     }
 
     /// The source count after which `node` crashes, if it is scheduled to.
@@ -107,6 +120,26 @@ impl FaultPlan {
             .filter(|&&(who, _)| who == node)
             .map(|&(_, k)| k)
             .min()
+    }
+
+    /// The `(after_k_sources, millis)` stall scheduled for `node`, if any.
+    /// Multiple entries for one node collapse to the earliest stall.
+    pub(crate) fn stall_after(&self, node: usize) -> Option<(u64, u64)> {
+        self.stalls
+            .iter()
+            .filter(|&&(who, _, _)| who == node)
+            .map(|&(_, k, ms)| (k, ms))
+            .min()
+    }
+
+    /// Deterministic jitter in `[0, span]` milliseconds for retry backoff,
+    /// keyed like every other decision so re-runs sleep identically.
+    pub(crate) fn backoff_jitter_ms(&self, node: u64, source: u32, attempt: u64, span: u64) -> u64 {
+        if span == 0 {
+            return 0;
+        }
+        self.decision_rng(0x4241434B, node, u64::from(source), attempt)
+            .random_range(0..=span)
     }
 
     /// Whether the broadcast of `source`'s row from `from` to `to` is lost.
@@ -200,6 +233,23 @@ mod tests {
             (450..750).contains(&dropped),
             "got {dropped} drops of 2000 at p=0.3"
         );
+    }
+
+    #[test]
+    fn stalls_and_backoff_jitter_are_deterministic() {
+        let plan = FaultPlan::seeded(9)
+            .stall_node_after(1, 5, 200)
+            .stall_node_after(1, 2, 100);
+        assert!(!plan.is_inert());
+        assert_eq!(plan.stall_after(1), Some((2, 100)), "earliest stall wins");
+        assert_eq!(plan.stall_after(0), None);
+        let again = FaultPlan::seeded(9);
+        for attempt in 0..8u64 {
+            let j = plan.backoff_jitter_ms(3, 17, attempt, 6);
+            assert!(j <= 6);
+            assert_eq!(j, again.backoff_jitter_ms(3, 17, attempt, 6));
+        }
+        assert_eq!(plan.backoff_jitter_ms(3, 17, 0, 0), 0);
     }
 
     #[test]

@@ -47,5 +47,8 @@ mod cluster;
 mod fault;
 mod node;
 
-pub use cluster::{dist_apsp, ClusterConfig, DistApspOutput, NodeStats, SourcePartition};
+pub use cluster::{
+    dist_apsp, dist_apsp_cancellable, ClusterConfig, DistApspOutput, NodeStats, RetryPolicy,
+    SourcePartition, WatchdogConfig,
+};
 pub use fault::FaultPlan;

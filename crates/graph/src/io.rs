@@ -75,18 +75,35 @@ impl ParseOptions {
 }
 
 /// Parses an edge list from any reader.
-pub fn read_edge_list<R: Read>(reader: R, options: ParseOptions) -> Result<LoadedGraph, GraphError> {
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    options: ParseOptions,
+) -> Result<LoadedGraph, GraphError> {
     let reader = BufReader::new(reader);
     let mut ids: HashMap<u64, u32> = HashMap::new();
     let mut original_ids: Vec<u64> = Vec::new();
     let mut edges: Vec<(u32, u32, u32)> = Vec::new();
 
-    let intern = |raw: u64, ids: &mut HashMap<u64, u32>, originals: &mut Vec<u64>| -> u32 {
-        *ids.entry(raw).or_insert_with(|| {
-            let dense = originals.len() as u32;
-            originals.push(raw);
-            dense
-        })
+    let intern = |raw: u64,
+                  line_no: usize,
+                  ids: &mut HashMap<u64, u32>,
+                  originals: &mut Vec<u64>|
+     -> Result<u32, GraphError> {
+        if let Some(&dense) = ids.get(&raw) {
+            return Ok(dense);
+        }
+        // Dense ids are u32; a file introducing a 2^32-th distinct vertex
+        // must fail instead of silently wrapping the id space.
+        let dense = u32::try_from(originals.len()).map_err(|_| GraphError::Parse {
+            line: line_no + 1,
+            message: format!(
+                "vertex id `{raw}` is the {}th distinct id; only 2^32 vertices are supported",
+                originals.len() + 1
+            ),
+        })?;
+        ids.insert(raw, dense);
+        originals.push(raw);
+        Ok(dense)
     };
 
     for (line_no, line) in reader.lines().enumerate() {
@@ -117,18 +134,32 @@ pub fn read_edge_list<R: Read>(reader: R, options: ParseOptions) -> Result<Loade
         let to = parse_field(fields.next(), "target")?;
         let weight = match fields.next() {
             // Third column may be a weight or (in KONECT temporal files) a
-            // timestamp; treat any integer as a weight, clamped to >= 1.
-            Some(s) => s
-                .parse::<f64>()
-                .map_err(|_| GraphError::Parse {
+            // timestamp; treat any number as a weight, clamped to >= 1.
+            // Values a u32 cannot hold (or non-finite ones) are errors —
+            // silently saturating would corrupt shortest-path results.
+            Some(s) => {
+                let w = s.parse::<f64>().map_err(|_| GraphError::Parse {
                     line: line_no + 1,
                     message: format!("weight column `{s}` is not numeric"),
-                })?
-                .max(1.0) as u32,
+                })?;
+                if !w.is_finite() {
+                    return Err(GraphError::Parse {
+                        line: line_no + 1,
+                        message: format!("weight column `{s}` is not a finite number"),
+                    });
+                }
+                if w > u32::MAX as f64 {
+                    return Err(GraphError::Parse {
+                        line: line_no + 1,
+                        message: format!("weight column `{s}` overflows u32 (max {})", u32::MAX),
+                    });
+                }
+                w.max(1.0) as u32
+            }
             None => options.default_weight,
         };
-        let u = intern(from, &mut ids, &mut original_ids);
-        let v = intern(to, &mut ids, &mut original_ids);
+        let u = intern(from, line_no, &mut ids, &mut original_ids)?;
+        let v = intern(to, line_no, &mut ids, &mut original_ids)?;
         edges.push((u, v, weight));
     }
 
@@ -216,9 +247,11 @@ mod tests {
 
     #[test]
     fn snap_sample_parses_and_densifies() {
-        let loaded =
-            read_edge_list(SNAP_SAMPLE.as_bytes(), ParseOptions::snap(Direction::Directed))
-                .unwrap();
+        let loaded = read_edge_list(
+            SNAP_SAMPLE.as_bytes(),
+            ParseOptions::snap(Direction::Directed),
+        )
+        .unwrap();
         assert_eq!(loaded.graph.vertex_count(), 3);
         assert_eq!(loaded.graph.edge_count(), 4);
         assert_eq!(loaded.original_ids, vec![10, 20, 30]);
@@ -268,6 +301,64 @@ mod tests {
     }
 
     #[test]
+    fn truncated_line_is_an_error_with_its_line_number() {
+        // A line with a source but no target (e.g. a download cut short).
+        let text = "1 2\n2 3\n4\n";
+        let err =
+            read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Directed)).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 3, "line numbers are 1-based");
+                assert!(message.contains("target"), "got: {message}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn negative_id_is_rejected() {
+        let text = "1 2\n-5 3\n";
+        let err =
+            read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Directed)).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("-5"), "got: {message}");
+                assert!(message.contains("non-negative"), "got: {message}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn oversized_and_non_finite_weights_are_rejected() {
+        // 2^32 does not fit in u32: must be an error, not a saturation.
+        let text = "1 2 4294967296\n";
+        let err =
+            read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Directed)).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("overflows"), "got: {message}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        for bad in ["1 2 inf", "1 2 nan", "1 2 -inf"] {
+            let err = read_edge_list(bad.as_bytes(), ParseOptions::snap(Direction::Directed))
+                .unwrap_err();
+            assert!(
+                matches!(err, GraphError::Parse { line: 1, .. }),
+                "{bad}: {err}"
+            );
+        }
+        // The largest representable weight still parses.
+        let text = format!("1 2 {}\n", u32::MAX);
+        let loaded =
+            read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Directed)).unwrap();
+        assert_eq!(loaded.graph.weights(0), &[u32::MAX]);
+    }
+
+    #[test]
     fn blank_lines_are_skipped() {
         let text = "\n1 2\n\n   \n2 3\n";
         let loaded =
@@ -311,8 +402,8 @@ mod tests {
 
     #[test]
     fn dot_output_shapes() {
-        let directed = CsrGraph::from_edges(3, Direction::Directed, &[(0, 1, 1), (1, 2, 5)])
-            .unwrap();
+        let directed =
+            CsrGraph::from_edges(3, Direction::Directed, &[(0, 1, 1), (1, 2, 5)]).unwrap();
         let mut buf = Vec::new();
         write_dot(&directed, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
@@ -320,8 +411,7 @@ mod tests {
         assert!(text.contains("0 -> 1;"));
         assert!(text.contains("1 -> 2 [label=5];"));
 
-        let undirected =
-            CsrGraph::from_unit_edges(2, Direction::Undirected, &[(0, 1)]).unwrap();
+        let undirected = CsrGraph::from_unit_edges(2, Direction::Undirected, &[(0, 1)]).unwrap();
         let mut buf = Vec::new();
         write_dot(&undirected, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();

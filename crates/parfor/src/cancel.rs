@@ -1,0 +1,269 @@
+//! Cooperative cancellation and deadlines for parallel regions.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle to a shared cancellation
+//! state: an atomic flag (tripped by [`CancelToken::cancel`], e.g. from a
+//! signal handler), an optional wall-clock deadline, and an optional *poll
+//! budget* used by property tests to stop a computation after an exact
+//! number of progress checks. Loops poll the token at chunk boundaries and
+//! drain cleanly instead of being killed mid-iteration.
+//!
+//! ```
+//! use parapsp_parfor::{CancelStatus, CancelToken};
+//!
+//! let token = CancelToken::new();
+//! assert_eq!(token.poll(), CancelStatus::Continue);
+//! token.cancel();
+//! assert_eq!(token.poll(), CancelStatus::Cancelled);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The answer to "may I keep working?", returned by [`CancelToken::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelStatus {
+    /// Not cancelled: keep going.
+    Continue,
+    /// [`CancelToken::cancel`] was called (or a poll budget ran out).
+    Cancelled,
+    /// The wall-clock deadline passed before anyone called `cancel`.
+    DeadlineExceeded,
+}
+
+impl CancelStatus {
+    /// `true` when work may continue.
+    #[inline]
+    pub fn is_continue(self) -> bool {
+        matches!(self, CancelStatus::Continue)
+    }
+
+    /// `true` when work must stop (cancelled or deadline exceeded).
+    #[inline]
+    pub fn is_stop(self) -> bool {
+        !self.is_continue()
+    }
+}
+
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    /// Remaining polls that may answer `Continue`; when it reaches zero the
+    /// token trips itself. `None` means unlimited.
+    poll_budget: Option<AtomicU64>,
+}
+
+/// Shared cancellation state polled cooperatively at chunk boundaries.
+///
+/// Clones share the same state: cancelling any clone cancels them all.
+/// Polling is two relaxed atomic loads on the hot path (plus one clock read
+/// when a deadline is set), cheap enough for per-source granularity.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("status", &self.status())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token that never cancels on its own; trip it with [`cancel`].
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                poll_budget: None,
+            }),
+        }
+    }
+
+    /// A token whose polls report [`CancelStatus::DeadlineExceeded`] once
+    /// `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// Like [`with_deadline`](CancelToken::with_deadline) with an absolute
+    /// instant.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+                poll_budget: None,
+            }),
+        }
+    }
+
+    /// A token that self-cancels after exactly `budget` polls have answered
+    /// [`CancelStatus::Continue`] (across all clones and threads).
+    ///
+    /// This exists for deterministic tests: "cancel at an arbitrary point"
+    /// becomes "cancel after the N-th progress check", with N drawn by a
+    /// property-test strategy.
+    pub fn with_poll_budget(budget: u64) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                poll_budget: Some(AtomicU64::new(budget)),
+            }),
+        }
+    }
+
+    /// Trips the token: every subsequent poll answers
+    /// [`CancelStatus::Cancelled`].
+    ///
+    /// This is a single atomic store — async-signal-safe, so it may be
+    /// called from a signal handler.
+    #[inline]
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Current status without consuming poll budget.
+    ///
+    /// Explicit cancellation takes precedence over an elapsed deadline.
+    #[inline]
+    pub fn status(&self) -> CancelStatus {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return CancelStatus::Cancelled;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return CancelStatus::DeadlineExceeded;
+            }
+        }
+        CancelStatus::Continue
+    }
+
+    /// Checks the token at a chunk boundary. Consumes one unit of poll
+    /// budget when one is set; once the budget is exhausted the token trips
+    /// itself and all further polls answer [`CancelStatus::Cancelled`].
+    #[inline]
+    pub fn poll(&self) -> CancelStatus {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return CancelStatus::Cancelled;
+        }
+        if let Some(budget) = &self.inner.poll_budget {
+            if budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_err()
+            {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                return CancelStatus::Cancelled;
+            }
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return CancelStatus::DeadlineExceeded;
+            }
+        }
+        CancelStatus::Continue
+    }
+
+    /// The deadline instant, when one was set.
+    #[inline]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_continues() {
+        let t = CancelToken::new();
+        assert_eq!(t.status(), CancelStatus::Continue);
+        for _ in 0..1000 {
+            assert_eq!(t.poll(), CancelStatus::Continue);
+        }
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_shared_between_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert_eq!(t.poll(), CancelStatus::Cancelled);
+        assert_eq!(t.status(), CancelStatus::Cancelled);
+        assert_eq!(c.poll(), CancelStatus::Cancelled);
+    }
+
+    #[test]
+    fn deadline_in_the_past_fires_immediately() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(t.poll(), CancelStatus::DeadlineExceeded);
+        assert_eq!(t.status(), CancelStatus::DeadlineExceeded);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert_eq!(t.poll(), CancelStatus::Continue);
+    }
+
+    #[test]
+    fn explicit_cancel_beats_elapsed_deadline() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        t.cancel();
+        assert_eq!(t.poll(), CancelStatus::Cancelled);
+    }
+
+    #[test]
+    fn poll_budget_allows_exactly_n_continues() {
+        let t = CancelToken::with_poll_budget(3);
+        assert_eq!(t.poll(), CancelStatus::Continue);
+        assert_eq!(t.poll(), CancelStatus::Continue);
+        assert_eq!(t.poll(), CancelStatus::Continue);
+        assert_eq!(t.poll(), CancelStatus::Cancelled);
+        assert_eq!(t.poll(), CancelStatus::Cancelled);
+    }
+
+    #[test]
+    fn zero_budget_cancels_on_first_poll() {
+        let t = CancelToken::with_poll_budget(0);
+        assert_eq!(t.status(), CancelStatus::Continue); // status is free
+        assert_eq!(t.poll(), CancelStatus::Cancelled);
+    }
+
+    #[test]
+    fn budget_is_shared_across_clones_and_threads() {
+        let t = CancelToken::with_poll_budget(1000);
+        let continues: u64 = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let t = t.clone();
+                    s.spawn(move || {
+                        let mut mine = 0u64;
+                        while t.poll().is_continue() {
+                            mine += 1;
+                        }
+                        mine
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(continues, 1000);
+    }
+}

@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod cancel;
 mod per_thread;
 mod pool;
 mod schedule;
 mod shared_slice;
 
 pub use bitset::BitSet;
+pub use cancel::{CancelStatus, CancelToken};
 pub use per_thread::PerThread;
 pub use pool::ThreadPool;
 pub use schedule::{block_range, Schedule};

@@ -12,13 +12,33 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::cancel::{CancelStatus, CancelToken};
 use crate::schedule::{block_range, Schedule};
+
+/// Store-once slot recording the first stop status any thread observed.
+/// Encoding: 0 = continue, 1 = cancelled, 2 = deadline exceeded.
+fn record_stop(slot: &AtomicU8, status: CancelStatus) {
+    let code = match status {
+        CancelStatus::Continue => return,
+        CancelStatus::Cancelled => 1,
+        CancelStatus::DeadlineExceeded => 2,
+    };
+    let _ = slot.compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+}
+
+fn decode_stop(slot: &AtomicU8) -> CancelStatus {
+    match slot.load(Ordering::Relaxed) {
+        0 => CancelStatus::Continue,
+        1 => CancelStatus::Cancelled,
+        _ => CancelStatus::DeadlineExceeded,
+    }
+}
 
 /// A broadcast job: invoked once per pool thread with that thread's id.
 ///
@@ -295,6 +315,130 @@ impl ThreadPool {
         }
     }
 
+    /// Like [`parallel_for`](ThreadPool::parallel_for), but polls `token` at
+    /// every chunk boundary so the loop can stop cooperatively: each thread
+    /// finishes the iteration it is on, claims no further work, and the call
+    /// returns the first stop status any thread observed
+    /// ([`CancelStatus::Continue`] when the loop ran to completion).
+    ///
+    /// Polling granularity per schedule: `Block` and `StaticCyclic` poll
+    /// before every iteration (their chunks are fixed up front, so the chunk
+    /// boundary is the iteration); `DynamicChunked` and `Guided` poll before
+    /// claiming each chunk. Iterations that already started always run to
+    /// completion — cancellation never tears a row in half.
+    pub fn parallel_for_cancellable<F>(
+        &self,
+        n: usize,
+        schedule: Schedule,
+        token: &CancelToken,
+        f: F,
+    ) -> CancelStatus
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n == 0 {
+            return token.status();
+        }
+        if self.num_threads == 1 {
+            INSIDE_REGION.with(|flag| {
+                assert!(
+                    !flag.get(),
+                    "nested parallel regions are not supported by parapsp-parfor"
+                );
+            });
+            for i in 0..n {
+                let status = token.poll();
+                if status.is_stop() {
+                    return status;
+                }
+                f(0, i);
+            }
+            return CancelStatus::Continue;
+        }
+        let stopped = AtomicU8::new(0);
+        match schedule {
+            Schedule::Block => {
+                let threads = self.num_threads;
+                self.run(|tid| {
+                    for i in block_range(n, threads, tid) {
+                        let status = token.poll();
+                        if status.is_stop() {
+                            record_stop(&stopped, status);
+                            return;
+                        }
+                        f(tid, i);
+                    }
+                });
+            }
+            Schedule::StaticCyclic => {
+                let threads = self.num_threads;
+                self.run(|tid| {
+                    let mut i = tid;
+                    while i < n {
+                        let status = token.poll();
+                        if status.is_stop() {
+                            record_stop(&stopped, status);
+                            return;
+                        }
+                        f(tid, i);
+                        i += threads;
+                    }
+                });
+            }
+            Schedule::DynamicChunked(chunk) => {
+                let chunk = chunk.max(1);
+                let next = AtomicUsize::new(0);
+                self.run(|tid| loop {
+                    let status = token.poll();
+                    if status.is_stop() {
+                        record_stop(&stopped, status);
+                        break;
+                    }
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        f(tid, i);
+                    }
+                });
+            }
+            Schedule::Guided(min_chunk) => {
+                let min_chunk = min_chunk.max(1);
+                let threads = self.num_threads;
+                let next = AtomicUsize::new(0);
+                self.run(|tid| {
+                    let mut observed = next.load(Ordering::Relaxed);
+                    while observed < n {
+                        let status = token.poll();
+                        if status.is_stop() {
+                            record_stop(&stopped, status);
+                            return;
+                        }
+                        let remaining = n - observed;
+                        let chunk = (remaining / (2 * threads)).max(min_chunk).min(remaining);
+                        match next.compare_exchange_weak(
+                            observed,
+                            observed + chunk,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(start) => {
+                                for i in start..start + chunk {
+                                    f(tid, i);
+                                }
+                                observed = next.load(Ordering::Relaxed);
+                            }
+                            Err(current) => observed = current,
+                        }
+                    }
+                });
+            }
+        }
+        decode_stop(&stopped)
+    }
+
     /// Parallel map-reduce over `0..n`: `map(tid, i)` produces a value per
     /// iteration, values are folded per thread with `reduce`, and the
     /// per-thread partials (plus `identity`) are folded on the caller.
@@ -342,6 +486,41 @@ impl ThreadPool {
             .into_iter()
             .flatten()
             .fold(identity, reduce)
+    }
+
+    /// Cancellable [`parallel_map_reduce`](ThreadPool::parallel_map_reduce):
+    /// on a stop, the returned value folds exactly the iterations that ran
+    /// (a valid partial aggregate), paired with the stop status.
+    pub fn parallel_map_reduce_cancellable<T, M, R>(
+        &self,
+        n: usize,
+        schedule: Schedule,
+        token: &CancelToken,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> (T, CancelStatus)
+    where
+        T: Send + Clone,
+        M: Fn(usize, usize) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+    {
+        let locals: crate::PerThread<Option<T>> = crate::PerThread::new(self.num_threads);
+        let status = self.parallel_for_cancellable(n, schedule, token, |tid, i| {
+            let value = map(tid, i);
+            // SAFETY: each pool thread folds into its own slot.
+            let slot = unsafe { locals.get_mut(tid) };
+            *slot = Some(match slot.take() {
+                Some(acc) => reduce(acc, value),
+                None => value,
+            });
+        });
+        let folded = locals
+            .into_inner()
+            .into_iter()
+            .flatten()
+            .fold(identity, reduce);
+        (folded, status)
     }
 }
 
@@ -609,6 +788,114 @@ mod tests {
         let sum =
             single.parallel_map_reduce(10, Schedule::Block, 0u64, |_t, i| i as u64, |a, b| a + b);
         assert_eq!(sum, 45);
+    }
+
+    const ALL_SCHEDULES: [Schedule; 4] = [
+        Schedule::Block,
+        Schedule::StaticCyclic,
+        Schedule::DynamicChunked(1),
+        Schedule::Guided(2),
+    ];
+
+    #[test]
+    fn cancellable_loop_without_cancel_covers_everything() {
+        for threads in [1usize, 4] {
+            let pool = ThreadPool::new(threads);
+            for schedule in ALL_SCHEDULES {
+                let token = CancelToken::new();
+                let visits: Vec<AtomicUsize> = (0..300).map(|_| AtomicUsize::new(0)).collect();
+                let status = pool.parallel_for_cancellable(300, schedule, &token, |_tid, i| {
+                    visits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(status, CancelStatus::Continue, "{schedule:?}");
+                for v in &visits {
+                    assert_eq!(v.load(Ordering::Relaxed), 1, "{schedule:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_runs_zero_iterations() {
+        for threads in [1usize, 4] {
+            let pool = ThreadPool::new(threads);
+            for schedule in ALL_SCHEDULES {
+                let token = CancelToken::new();
+                token.cancel();
+                let ran = AtomicUsize::new(0);
+                let status = pool.parallel_for_cancellable(100, schedule, &token, |_tid, _i| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(status, CancelStatus::Cancelled, "{schedule:?}");
+                assert_eq!(ran.load(Ordering::Relaxed), 0, "{schedule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn poll_budget_stops_partway_without_duplicates() {
+        for threads in [1usize, 3] {
+            let pool = ThreadPool::new(threads);
+            for schedule in ALL_SCHEDULES {
+                let token = crate::CancelToken::with_poll_budget(25);
+                let visits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+                let status = pool.parallel_for_cancellable(500, schedule, &token, |_tid, i| {
+                    visits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(status, CancelStatus::Cancelled, "{schedule:?}");
+                let ran: usize = visits.iter().map(|v| v.load(Ordering::Relaxed)).sum();
+                assert!(ran < 500, "{schedule:?}: too much work after cancel");
+                for (i, v) in visits.iter().enumerate() {
+                    assert!(
+                        v.load(Ordering::Relaxed) <= 1,
+                        "{schedule:?}: {i} ran twice"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elapsed_deadline_reports_deadline_exceeded() {
+        let pool = ThreadPool::new(4);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let ran = AtomicUsize::new(0);
+        let status =
+            pool.parallel_for_cancellable(64, Schedule::dynamic_cyclic(), &token, |_tid, _i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(status, CancelStatus::DeadlineExceeded);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn cancellable_map_reduce_returns_partial_fold() {
+        let pool = ThreadPool::new(4);
+        // No cancel: matches the plain version.
+        let token = CancelToken::new();
+        let (sum, status) = pool.parallel_map_reduce_cancellable(
+            1000,
+            Schedule::Block,
+            &token,
+            0u64,
+            |_t, i| i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(status, CancelStatus::Continue);
+        assert_eq!(sum, 999 * 1000 / 2);
+        // Cancelled up front: identity comes back untouched.
+        let token = CancelToken::new();
+        token.cancel();
+        let (sum, status) = pool.parallel_map_reduce_cancellable(
+            1000,
+            Schedule::Block,
+            &token,
+            7u64,
+            |_t, i| i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(status, CancelStatus::Cancelled);
+        assert_eq!(sum, 7);
     }
 
     #[test]

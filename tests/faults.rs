@@ -11,13 +11,17 @@
 //! * A run killed midway leaves a version-2 checkpoint from which a
 //!   resumed run reaches the exact same matrix, computing only the
 //!   missing rows.
+//! * A run cancelled cooperatively — at *any* poll boundary — hands back
+//!   a checkpoint that resumes to a bit-identical matrix. Cancellation
+//!   may cost recomputation of in-flight rows, never correctness.
 
 use proptest::prelude::*;
 
 use parapsp::core::persist::{self, Checkpoint};
-use parapsp::core::ParApsp;
+use parapsp::core::{ParApsp, RunOutcome};
 use parapsp::dist::{dist_apsp, ClusterConfig, FaultPlan};
 use parapsp::graph::{CsrGraph, Direction, GraphBuilder};
+use parapsp::parfor::CancelToken;
 
 /// An arbitrary graph with up to `max_n` vertices and `max_m` edges,
 /// random directedness, weights in 1..=20.
@@ -121,6 +125,38 @@ proptest! {
         prop_assert_eq!(resumed.counters.sources, missing);
     }
 
+    // Cancel at an arbitrary poll boundary (a poll budget makes the stop
+    // point deterministic per input), round-trip the checkpoint through
+    // the v2 wire format, resume, and demand the exact matrix.
+    #[test]
+    fn cancelled_run_resumes_bit_identically(
+        graph in arb_graph(40, 180),
+        budget in 0u64..300,
+        threads in 1usize..5,
+    ) {
+        let full = ParApsp::par_apsp(threads).run(&graph);
+        let token = CancelToken::with_poll_budget(budget);
+        match ParApsp::par_apsp(threads).run_with_token(&graph, &token) {
+            RunOutcome::Complete(out) => {
+                // Budget never ran out; the cancellable path must agree
+                // with the plain one.
+                prop_assert_eq!(full.dist.first_difference(&out.dist), None);
+            }
+            RunOutcome::Cancelled { checkpoint } => {
+                prop_assert!(!checkpoint.is_complete());
+                let mut bytes = Vec::new();
+                persist::write_checkpoint(&checkpoint, &mut bytes).expect("in-memory write");
+                let loaded = persist::read_checkpoint(bytes.as_slice()).expect("round trip");
+                prop_assert_eq!(&loaded, &checkpoint);
+                let resumed = ParApsp::par_apsp(threads).run_resumed(&graph, loaded);
+                prop_assert_eq!(full.dist.first_difference(&resumed.dist), None);
+            }
+            RunOutcome::DeadlineExceeded { .. } => {
+                prop_assert!(false, "budget exhaustion must report Cancelled");
+            }
+        }
+    }
+
     #[test]
     fn checkpoint_corruptions_never_load(
         graph in arb_graph(30, 100),
@@ -197,4 +233,64 @@ fn checkpoint_file_written_during_a_run_is_loadable_and_exact() {
     assert!(cp.is_complete());
     assert_eq!(cp.matrix().first_difference(&reference.dist), None);
     std::fs::remove_file(path).ok();
+}
+
+/// An already-expired deadline stops the run before any row completes,
+/// and the (empty) checkpoint still resumes to the exact matrix.
+#[test]
+fn expired_deadline_stops_immediately_with_a_resumable_checkpoint() {
+    let mut b = GraphBuilder::new(60, Direction::Undirected);
+    for v in 1..60u32 {
+        b.add_edge(v - 1, v, 1 + v % 9).unwrap();
+    }
+    let graph = b.build();
+    let reference = ParApsp::par_apsp(2).run(&graph);
+
+    let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+    let RunOutcome::DeadlineExceeded { checkpoint } =
+        ParApsp::par_apsp(2).run_with_token(&graph, &token)
+    else {
+        panic!("an expired deadline must stop the run");
+    };
+    assert_eq!(checkpoint.n(), 60);
+    assert!(!checkpoint.is_complete());
+    let resumed = ParApsp::par_apsp(2).run_resumed(&graph, checkpoint);
+    assert_eq!(reference.dist.first_difference(&resumed.dist), None);
+}
+
+/// The distributed engine honors cancellation too: a cancelled cluster
+/// run yields a checkpoint the shared-memory engine can finish exactly.
+#[test]
+fn cancelled_dist_run_resumes_on_the_shared_memory_engine() {
+    use parapsp::dist::dist_apsp_cancellable;
+
+    let mut b = GraphBuilder::new(50, Direction::Undirected);
+    for v in 1..50u32 {
+        b.add_edge(v - 1, v, 2 + v % 5).unwrap();
+        b.add_edge(0, v, 7).unwrap();
+    }
+    let graph = b.build();
+    let reference = ParApsp::par_apsp(2).run(&graph);
+
+    let token = CancelToken::with_poll_budget(3);
+    let outcome = dist_apsp_cancellable(
+        &graph,
+        ClusterConfig {
+            nodes: 3,
+            ..ClusterConfig::default()
+        },
+        &token,
+    );
+    match outcome {
+        RunOutcome::Complete(out) => {
+            assert_eq!(reference.dist.first_difference(&out.dist), None);
+        }
+        RunOutcome::Cancelled { checkpoint } => {
+            let resumed = ParApsp::par_apsp(2).run_resumed(&graph, checkpoint);
+            assert_eq!(reference.dist.first_difference(&resumed.dist), None);
+        }
+        RunOutcome::DeadlineExceeded { .. } => {
+            panic!("budget exhaustion must report Cancelled");
+        }
+    }
 }
