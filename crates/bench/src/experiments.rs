@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use parapsp_core::baselines;
 use parapsp_core::kernel::KernelOptions;
-use parapsp_core::ParApsp;
+use parapsp_core::{ApspEngine, ApspOutput, RunConfig, Runner, SeqEngine};
 use parapsp_datasets::{ca_hepph, find, ordering_datasets, paper_datasets, DatasetSpec, Scale};
 use parapsp_graph::{degree, CsrGraph};
 use parapsp_order::OrderingProcedure;
@@ -65,8 +65,21 @@ fn dataset(name: &str) -> DatasetSpec {
     find(name).unwrap_or_else(|| panic!("dataset {name} missing from registry"))
 }
 
-/// A display label paired with a thread-count → driver constructor.
-type LabeledDriver = (&'static str, fn(usize) -> ParApsp);
+/// A display label paired with a thread-count → run-configuration
+/// constructor; every sweep feeds the configuration to the same
+/// [`Runner`]/[`ApspEngine`] pair.
+type LabeledDriver = (&'static str, fn(usize) -> RunConfig);
+
+/// Runs the shared-memory engine once under `config`.
+fn run_apsp(config: RunConfig, graph: &CsrGraph) -> ApspOutput {
+    Runner::new(config).run(ApspEngine::new(), graph)
+}
+
+/// Runs the sequential engine once (the source order is whatever
+/// `config`'s ordering procedure produces).
+fn run_seq(config: RunConfig, graph: &CsrGraph) -> ApspOutput {
+    Runner::new(config).run(SeqEngine::ordered(), graph)
+}
 
 /// Times one ordering procedure at one thread count.
 fn time_ordering(
@@ -167,8 +180,7 @@ pub fn fig1(config: &Config) -> Vec<Table> {
         Schedule::dynamic_cyclic(),
     ] {
         for &threads in &config.threads {
-            let driver = ParApsp::par_alg2(threads).with_schedule(schedule);
-            let out = driver.run(&g);
+            let out = run_apsp(RunConfig::par_alg2(threads).with_schedule(schedule), &g);
             table.push_row(vec![
                 schedule.label(),
                 threads.to_string(),
@@ -267,10 +279,12 @@ pub fn fig5(config: &Config) -> Vec<Table> {
         ("ParMax", OrderingProcedure::par_max()),
     ] {
         for &threads in &config.threads {
-            let out = ParApsp::par_apsp(threads)
-                .with_ordering(ordering)
-                .with_label(label)
-                .run(&g);
+            let out = run_apsp(
+                RunConfig::par_apsp(threads)
+                    .with_ordering(ordering)
+                    .with_label(label),
+                &g,
+            );
             table.push_row(vec![
                 label.to_string(),
                 threads.to_string(),
@@ -338,7 +352,7 @@ fn driver_sweep(
         let mut speedup_cells = vec![label.to_string()];
         let mut t1: Option<Duration> = None;
         for &threads in &config.threads {
-            let out = make(threads).run(graph);
+            let out = run_apsp(make(threads), graph);
             let total = out.timings.total;
             if threads == 1 || t1.is_none() {
                 t1 = Some(total);
@@ -363,8 +377,8 @@ pub fn fig7(config: &Config) -> Vec<Table> {
         ),
         &g,
         &[
-            ("ParAlg1", ParApsp::par_alg1 as fn(usize) -> ParApsp),
-            ("ParAlg2", ParApsp::par_alg2),
+            ("ParAlg1", RunConfig::par_alg1 as fn(usize) -> RunConfig),
+            ("ParAlg2", RunConfig::par_alg2),
         ],
         config,
     );
@@ -384,9 +398,9 @@ pub fn fig8_fig9(config: &Config) -> Vec<Table> {
         ),
         &g,
         &[
-            ("ParAlg1", ParApsp::par_alg1 as fn(usize) -> ParApsp),
-            ("ParAlg2", ParApsp::par_alg2),
-            ("ParAPSP", ParApsp::par_apsp),
+            ("ParAlg1", RunConfig::par_alg1 as fn(usize) -> RunConfig),
+            ("ParAlg2", RunConfig::par_alg2),
+            ("ParAPSP", RunConfig::par_apsp),
         ],
         config,
     );
@@ -407,7 +421,7 @@ pub fn fig10(config: &Config) -> Vec<Table> {
         let mut speedup_cells = vec![spec.name.to_string()];
         let mut t1: Option<Duration> = None;
         for &threads in &config.threads {
-            let out = ParApsp::par_apsp(threads).run(&g);
+            let out = run_apsp(RunConfig::par_apsp(threads), &g);
             if t1.is_none() {
                 t1 = Some(out.timings.total);
             }
@@ -434,13 +448,14 @@ pub fn ablation(config: &Config) -> Vec<Table> {
         &["row reuse", "dedup", "elapsed", "queue pops", "row reuses"],
     );
     for (row_reuse, dedup_queue) in [(true, true), (true, false), (false, true), (false, false)] {
-        let out = ParApsp::par_apsp(threads)
-            .with_kernel_options(KernelOptions {
+        let out = run_apsp(
+            RunConfig::par_apsp(threads).with_kernel_options(KernelOptions {
                 row_reuse,
                 dedup_queue,
                 ..KernelOptions::default()
-            })
-            .run(&g);
+            }),
+            &g,
+        );
         kernel_table.push_row(vec![
             row_reuse.to_string(),
             dedup_queue.to_string(),
@@ -457,7 +472,7 @@ pub fn ablation(config: &Config) -> Vec<Table> {
         format!("Ablation B: ParAPSP vs parallel heap-Dijkstra, {threads} threads"),
         &["algorithm", "elapsed"],
     );
-    let out = ParApsp::par_apsp(threads).run(&g);
+    let out = run_apsp(RunConfig::par_apsp(threads), &g);
     baseline_table.push_row(vec!["ParAPSP".into(), fmt_duration(out.timings.total)]);
     let pool = ThreadPool::new(threads);
     let d = time_median(config.runs, || {
@@ -472,9 +487,10 @@ pub fn ablation(config: &Config) -> Vec<Table> {
         &["r", "ordering", "sssp"],
     );
     for r in [0.01, 0.1, 0.5, 1.0] {
-        let out = ParApsp::par_alg2(1)
-            .with_ordering(OrderingProcedure::SelectionSort { ratio: r })
-            .run(&g);
+        let out = run_apsp(
+            RunConfig::par_alg2(1).with_ordering(OrderingProcedure::SelectionSort { ratio: r }),
+            &g,
+        );
         ratio_table.push_row(vec![
             format!("{r}"),
             fmt_duration(out.timings.ordering),
@@ -491,9 +507,10 @@ pub fn ablation(config: &Config) -> Vec<Table> {
         &["ranges", "ordering", "sssp"],
     );
     for ranges in [10usize, 100, 1000, max_deg.max(1)] {
-        let out = ParApsp::par_apsp(threads)
-            .with_ordering(OrderingProcedure::ParBuckets { ranges })
-            .run(&g);
+        let out = run_apsp(
+            RunConfig::par_apsp(threads).with_ordering(OrderingProcedure::ParBuckets { ranges }),
+            &g,
+        );
         buckets_table.push_row(vec![
             ranges.to_string(),
             fmt_duration(out.timings.ordering),
@@ -543,7 +560,7 @@ pub fn ablation(config: &Config) -> Vec<Table> {
         let order = ordering.compute(&degrees, &pool);
         let kendall = parapsp_order::quality::normalized_kendall_distance(&degrees, &order);
         let displacement = parapsp_order::quality::hub_displacement(&degrees, &order, top);
-        let out = ParApsp::par_apsp(threads).with_ordering(ordering).run(&g);
+        let out = run_apsp(RunConfig::par_apsp(threads).with_ordering(ordering), &g);
         quality_table.push_row(vec![
             label.to_string(),
             format!("{kendall:.4}"),
@@ -565,7 +582,7 @@ pub fn ablation(config: &Config) -> Vec<Table> {
         Schedule::dynamic_cyclic(),
         Schedule::Guided(1),
     ] {
-        let out = ParApsp::par_apsp(threads).with_schedule(schedule).run(&g);
+        let out = run_apsp(RunConfig::par_apsp(threads).with_schedule(schedule), &g);
         balance_table.push_row(vec![
             schedule.label(),
             fmt_duration(out.timings.total),
@@ -577,7 +594,8 @@ pub fn ablation(config: &Config) -> Vec<Table> {
     // (h) Per-source cost by degree decile: why hub sources dominate the
     // work and why putting them first (and scheduling them cyclically)
     // matters.
-    let (_, per_source) = ParApsp::par_apsp(threads).run_traced(&g);
+    let (_, per_source) =
+        Runner::new(RunConfig::par_apsp(threads)).run_traced(ApspEngine::new(), &g);
     let mut by_degree: Vec<u32> = (0..g.vertex_count() as u32).collect();
     by_degree.sort_by_key(|&v| std::cmp::Reverse(degrees[v as usize]));
     let mut decile_table = Table::new(
@@ -636,7 +654,6 @@ pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
 /// scale-free graphs): run the sequential basic and optimized algorithms
 /// on growing Barabási–Albert graphs and fit the runtime exponent.
 pub fn complexity(config: &Config) -> Vec<Table> {
-    use parapsp_core::seq::{seq_basic, seq_optimized_bucket};
     let sizes = [400usize, 800, 1600, 3200];
     let mut table = Table::new(
         "Empirical complexity: elapsed time vs n on BA(m = 4) graphs",
@@ -653,10 +670,10 @@ pub fn complexity(config: &Config) -> Vec<Table> {
         )
         .expect("generation");
         let t_basic = time_median(config.runs, || {
-            std::hint::black_box(seq_basic(&g));
+            std::hint::black_box(run_seq(RunConfig::seq_basic(), &g));
         });
         let t_optimized = time_median(config.runs, || {
-            std::hint::black_box(seq_optimized_bucket(&g));
+            std::hint::black_box(run_seq(RunConfig::seq_optimized_bucket(), &g));
         });
         // Floyd–Warshall only at the smallest sizes (O(n³) gets painful).
         let fw_cell = if n <= 800 {
@@ -690,7 +707,6 @@ pub fn complexity(config: &Config) -> Vec<Table> {
 /// graph of identical size the degree distribution is flat, so the
 /// optimized algorithm's advantage should largely vanish.
 pub fn hypothesis(config: &Config) -> Vec<Table> {
-    use parapsp_core::seq::{seq_basic, seq_optimized_bucket};
     use parapsp_graph::generate::{erdos_renyi_gnm, WeightSpec};
     use parapsp_graph::Direction;
 
@@ -718,8 +734,8 @@ pub fn hypothesis(config: &Config) -> Vec<Table> {
         ("Barabási–Albert (scale-free)", &ba),
         ("Erdős–Rényi (flat)", &er),
     ] {
-        let basic = seq_basic(graph);
-        let optimized = seq_optimized_bucket(graph);
+        let basic = run_seq(RunConfig::seq_basic(), graph);
+        let optimized = run_seq(RunConfig::seq_optimized_bucket(), graph);
         table.push_row(vec![
             label.to_string(),
             fmt_duration(basic.timings.total),
@@ -757,14 +773,12 @@ pub fn dist(config: &Config) -> Vec<Table> {
     );
     for &nodes in &config.threads {
         for hub_fraction in [0.0, 0.02, 0.1] {
-            let out = parapsp_dist::dist_apsp(
-                &g,
-                parapsp_dist::ClusterConfig {
-                    nodes,
-                    hub_fraction,
-                    ..Default::default()
-                },
-            );
+            let engine = parapsp_dist::DistEngine::new(parapsp_dist::ClusterConfig {
+                nodes,
+                hub_fraction,
+                ..Default::default()
+            });
+            let out = Runner::new(RunConfig::new(1)).run(engine, &g);
             let remote: u64 = out.node_stats.iter().map(|s| s.remote_reuses).sum();
             table.push_row(vec![
                 nodes.to_string(),

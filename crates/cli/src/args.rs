@@ -41,6 +41,8 @@ const VALUED: &[&str] = &[
     "--corrupt-prob",
     "--deadline",
     "--on-interrupt",
+    "--credit-weight",
+    "--block",
 ];
 
 impl Args {
@@ -79,6 +81,20 @@ impl Args {
             Some(raw) => raw
                 .parse()
                 .map_err(|_| format!("--{name} value `{raw}` is invalid")),
+        }
+    }
+
+    /// A closed-set `--name` value parsed through
+    /// [`ValueEnum`](parapsp_core::ValueEnum), or a default. The error
+    /// names the option and enumerates every accepted value.
+    pub fn get_enum<T: parapsp_core::ValueEnum>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => T::parse_value(raw).map_err(|e| format!("--{name} {e}")),
         }
     }
 
@@ -140,5 +156,37 @@ mod tests {
     fn missing_value_is_an_error() {
         let err = Args::parse(["x".to_string(), "--threads".to_string()]).unwrap_err();
         assert!(err.contains("--threads"));
+    }
+
+    #[test]
+    fn enum_values_parse_with_defaults_and_self_describing_rejection() {
+        use parapsp_core::{EngineKind, RelaxImpl};
+        let args = parse(&["apsp", "--algorithm", "seq-adaptive", "--relax", "avx2"]);
+        assert_eq!(
+            args.get_enum("algorithm", EngineKind::ParApsp).unwrap(),
+            EngineKind::SeqAdaptive
+        );
+        assert_eq!(
+            args.get_enum("relax", RelaxImpl::Auto).unwrap(),
+            RelaxImpl::Avx2
+        );
+        // Absent option: the default wins.
+        assert_eq!(
+            args.get_enum("partition", parapsp_dist::SourcePartition::default())
+                .unwrap(),
+            parapsp_dist::SourcePartition::CyclicByDegree
+        );
+        // Rejection names the option and lists every accepted value.
+        let args = parse(&["apsp", "--algorithm", "par-warp"]);
+        let err = args.get_enum("algorithm", EngineKind::ParApsp).unwrap_err();
+        assert!(err.starts_with("--algorithm"), "{err}");
+        assert!(
+            err.contains("par-warp") && err.contains("possible values"),
+            "{err}"
+        );
+        assert!(
+            err.contains("par-apsp") && err.contains("blocked-fw"),
+            "{err}"
+        );
     }
 }

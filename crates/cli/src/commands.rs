@@ -8,10 +8,12 @@ use parapsp_analysis::{
 };
 use parapsp_core::adaptive::{par_adaptive, AdaptiveConfig};
 use parapsp_core::baselines;
+use parapsp_core::engine::{
+    ApspEngine, BlockedFwEngine, Engine, EngineKind, RunConfig, Runner, SeqEngine, ValueEnum,
+};
 use parapsp_core::paths::par_apsp_with_paths;
-use parapsp_core::seq::{seq_basic, seq_basic_with_token, seq_optimized, seq_optimized_with_token};
-use parapsp_core::{DistanceMatrix, ParApsp, RunOutcome};
-use parapsp_dist::{dist_apsp, dist_apsp_cancellable, ClusterConfig, FaultPlan};
+use parapsp_core::{ApspOutput, DistanceMatrix, RelaxImpl, RunOutcome};
+use parapsp_dist::{ClusterConfig, DistEngine, FaultPlan, SourcePartition};
 use parapsp_graph::io::{read_edge_list_file, LoadedGraph, ParseOptions};
 use parapsp_graph::{degree, transform, CsrGraph, Direction};
 use parapsp_parfor::{CancelToken, ThreadPool};
@@ -42,21 +44,26 @@ common options:
 
 apsp options:
   --algorithm <name>         par-apsp | par-alg1 | par-alg2 | par-adaptive |
-                             seq-basic | seq-optimized | floyd-warshall |
-                             dijkstra | dist
+                             seq-basic | seq-optimized | seq-adaptive |
+                             blocked-fw | floyd-warshall | dijkstra | dist
   --nodes <P>                simulated cluster size for `dist`
   --hub-fraction <F>         hub broadcast fraction for `dist`
   --partition <name>         dist source partition: cyclic-degree |
                              block-degree | cyclic-id
+  --credit-weight <W>        intermediate-credit weight for seq-adaptive
+                             (default: 10)
+  --block <B>                tile side for blocked-fw (default: 64)
   --cap <D>                  bounded horizon: leave pairs beyond distance D
-                             at infinity (par-* algorithms only)
+                             at infinity (every algorithm except
+                             par-adaptive and the baselines)
   --relax <impl>             row-relaxation kernel: auto | avx2 | portable |
-                             scalar (par-apsp | par-alg1 | par-alg2;
+                             scalar (par-* and seq-* kernel algorithms;
                              default auto — all variants are bit-identical)
   --out <file>               save the distance matrix (.tsv/.txt = text,
                              anything else = compact binary)
   --checkpoint <file>        write completed rows to <file> periodically
-                             (par-apsp | par-alg1 | par-alg2)
+                             (par-apsp | par-alg1 | par-alg2 | seq-basic |
+                             seq-optimized | seq-adaptive)
   --checkpoint-every <K>     rows between checkpoint writes (default: 64)
   --resume <file>            load a checkpoint and compute only the
                              missing rows
@@ -65,9 +72,9 @@ apsp options:
   --on-interrupt <mode>      checkpoint (default): SIGINT/SIGTERM stop at
                              a row boundary, write a checkpoint, exit 130;
                              abort: die immediately (OS default)
-                             (cancellable: par-apsp | par-alg1 | par-alg2 |
-                             seq-basic | seq-optimized | dist; the stop
-                             checkpoint goes to --checkpoint's path or
+                             (cancellable: everything except par-adaptive,
+                             floyd-warshall, dijkstra; the stop checkpoint
+                             goes to --checkpoint's path or
                              <file>.interrupt.ckpt)
 
 dist fault injection (deterministic, seeded):
@@ -193,20 +200,47 @@ enum RunStatus {
     Stopped { code: i32 },
 }
 
-/// Algorithms that support cooperative cancellation (checkpoint-on-stop).
-const CANCELLABLE: &[&str] = &[
-    "par-apsp",
-    "par-alg1",
-    "par-alg2",
-    "seq-basic",
-    "seq-optimized",
-    "dist",
-];
+/// What a SIGINT/SIGTERM does to a cancellable run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OnInterrupt {
+    /// Stop at a row boundary, write a checkpoint, exit 130.
+    Checkpoint,
+    /// Die immediately (the OS default disposition).
+    Abort,
+}
+
+impl ValueEnum for OnInterrupt {
+    fn value_variants() -> &'static [Self] {
+        &[OnInterrupt::Checkpoint, OnInterrupt::Abort]
+    }
+
+    fn value_name(&self) -> &'static str {
+        match self {
+            OnInterrupt::Checkpoint => "checkpoint",
+            OnInterrupt::Abort => "abort",
+        }
+    }
+}
+
+/// The stable names of every [`EngineKind`] passing `select`, for error
+/// messages that enumerate what a flag applies to.
+fn kinds_where(select: fn(EngineKind) -> bool) -> String {
+    let names: Vec<&str> = EngineKind::value_variants()
+        .iter()
+        .copied()
+        .filter(|&kind| select(kind))
+        .map(|kind| kind.value_name())
+        .collect();
+    names.join(", ")
+}
 
 /// Builds the run's cancel token from `--deadline`/`--on-interrupt`.
 /// Returns the token plus whether the SIGINT/SIGTERM bridge should be
 /// installed; `None` when the run should take the plain, token-free path.
-fn cancellation_setup(args: &Args, name: &str) -> Result<Option<(CancelToken, bool)>, String> {
+fn cancellation_setup(
+    args: &Args,
+    kind: EngineKind,
+) -> Result<Option<(CancelToken, bool)>, String> {
     let deadline: Option<f64> = match args.get("deadline") {
         None => None,
         Some(raw) => {
@@ -221,22 +255,16 @@ fn cancellation_setup(args: &Args, name: &str) -> Result<Option<(CancelToken, bo
             Some(secs)
         }
     };
-    let checkpoint_on_interrupt = match args.get("on-interrupt").unwrap_or("checkpoint") {
-        "checkpoint" => true,
-        "abort" => false,
-        other => {
-            return Err(format!(
-                "unknown --on-interrupt mode `{other}` (checkpoint or abort)"
-            ))
-        }
-    };
-    if !CANCELLABLE.contains(&name) {
+    let checkpoint_on_interrupt =
+        args.get_enum("on-interrupt", OnInterrupt::Checkpoint)? == OnInterrupt::Checkpoint;
+    if !kind.cancellable() {
         // Only explicit flags are an error — the default interrupt mode
         // must not break non-cancellable algorithms.
         if args.get("deadline").is_some() || args.get("on-interrupt").is_some() {
             return Err(format!(
-                "--deadline/--on-interrupt work with {} (got `{name}`)",
-                CANCELLABLE.join(", ")
+                "--deadline/--on-interrupt work with {} (got `{}`)",
+                kinds_where(EngineKind::cancellable),
+                kind.value_name()
             ));
         }
         return Ok(None);
@@ -275,8 +303,47 @@ fn write_stop_checkpoint(
     Ok(RunStatus::Stopped { code })
 }
 
+/// Loads `--resume`'s checkpoint (validated against the graph) and drives
+/// `engine` through the [`Runner`], with or without a cancel token. All
+/// six row-engine algorithms (`par-*`, `seq-*`) funnel through here.
+fn drive_row_engine<E: Engine<Output = ApspOutput>>(
+    runner: &Runner,
+    engine: E,
+    graph: &CsrGraph,
+    args: &Args,
+    token: Option<&CancelToken>,
+) -> Result<RunOutcome<ApspOutput>, String> {
+    match args.get("resume") {
+        Some(path) => {
+            use parapsp_core::persist;
+            let cp = persist::load_checkpoint(path)
+                .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+            if cp.n() != graph.vertex_count() {
+                return Err(format!(
+                    "checkpoint {path} is for {} vertices but the graph has {}",
+                    cp.n(),
+                    graph.vertex_count()
+                ));
+            }
+            println!(
+                "resuming: {} of {} rows already complete",
+                cp.completed_count(),
+                cp.n()
+            );
+            Ok(match token {
+                Some(token) => runner.run_resumed_with_token(engine, graph, cp, token),
+                None => RunOutcome::Complete(runner.run_resumed(engine, graph, cp)),
+            })
+        }
+        None => Ok(match token {
+            Some(token) => runner.run_with_token(engine, graph, token),
+            None => RunOutcome::Complete(runner.run(engine, graph)),
+        }),
+    }
+}
+
 fn run_algorithm(
-    name: &str,
+    kind: EngineKind,
     graph: &CsrGraph,
     threads: usize,
     args: &Args,
@@ -291,85 +358,90 @@ fn run_algorithm(
         ),
     };
     // Row-relaxation implementation (the vectorized kernel ablation switch).
-    let relax = match args.get("relax") {
-        None => parapsp_core::RelaxImpl::Auto,
-        Some(raw) => parapsp_core::RelaxImpl::parse(raw).ok_or_else(|| {
-            format!("--relax value `{raw}` is invalid (auto, avx2, portable, scalar)")
-        })?,
-    };
-    let with_cap = |driver: ParApsp| {
-        let driver = driver.with_relax(relax);
-        match cap {
-            Some(c) => driver.with_max_distance(c),
-            None => driver,
-        }
-    };
-    // Checkpoint/resume and --relax apply to the ParApsp drivers only.
-    if (args.get("checkpoint").is_some() || args.get("resume").is_some())
-        && !matches!(name, "par-apsp" | "par-alg1" | "par-alg2")
+    let relax = args.get_enum("relax", RelaxImpl::Auto)?;
+    // Periodic checkpoints and --resume need rows that are final mid-run;
+    // --relax needs the modified-Dijkstra kernel.
+    if (args.get("checkpoint").is_some() || args.get("resume").is_some()) && !kind.row_checkpoints()
     {
         return Err(format!(
-            "--checkpoint/--resume work with par-apsp, par-alg1, or par-alg2 (got `{name}`)"
+            "--checkpoint/--resume work with {} (got `{}`)",
+            kinds_where(EngineKind::row_checkpoints),
+            kind.value_name()
         ));
     }
-    if args.get("relax").is_some() && !matches!(name, "par-apsp" | "par-alg1" | "par-alg2") {
+    if args.get("relax").is_some() && !kind.uses_kernel() {
         return Err(format!(
-            "--relax works with par-apsp, par-alg1, or par-alg2 (got `{name}`)"
+            "--relax works with {} (got `{}`)",
+            kinds_where(EngineKind::uses_kernel),
+            kind.value_name()
         ));
     }
     let checkpoint_every = args.get_parsed("checkpoint-every", 64usize)?;
     if checkpoint_every == 0 {
         return Err("--checkpoint-every must be at least 1".into());
     }
-    let run_par = |driver: ParApsp| -> Result<RunOutcome<parapsp_core::ApspOutput>, String> {
-        let driver = match args.get("checkpoint") {
-            Some(path) => with_cap(driver).with_checkpoint(path, checkpoint_every),
-            None => with_cap(driver),
-        };
-        match args.get("resume") {
-            Some(path) => {
-                use parapsp_core::persist;
-                let cp = persist::load_checkpoint(path)
-                    .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
-                if cp.n() != graph.vertex_count() {
-                    return Err(format!(
-                        "checkpoint {path} is for {} vertices but the graph has {}",
-                        cp.n(),
-                        graph.vertex_count()
-                    ));
-                }
-                println!(
-                    "resuming: {} of {} rows already complete",
-                    cp.completed_count(),
-                    cp.n()
-                );
-                Ok(match token {
-                    Some(token) => driver.run_resumed_with_token(graph, cp, token),
-                    None => RunOutcome::Complete(driver.run_resumed(graph, cp)),
-                })
-            }
-            None => Ok(match token {
-                Some(token) => driver.run_with_token(graph, token),
-                None => RunOutcome::Complete(driver.run(graph)),
-            }),
+    // Every Runner-driven algorithm shares the same config plumbing: cap,
+    // relax implementation, and checkpoint policy land in one RunConfig.
+    let configure = |mut config: RunConfig| -> RunConfig {
+        if let Some(cap) = cap {
+            config = config.with_max_distance(cap);
         }
+        config = config.with_relax(relax);
+        if let Some(path) = args.get("checkpoint") {
+            config = config.with_checkpoint(path, checkpoint_every);
+        }
+        config
     };
-    let outcome = match name {
-        "par-apsp" => run_par(ParApsp::par_apsp(threads))?,
-        "par-alg1" => run_par(ParApsp::par_alg1(threads))?,
-        "par-alg2" => run_par(ParApsp::par_alg2(threads))?,
-        "par-adaptive" => {
+    let outcome = match kind {
+        EngineKind::ParApsp => drive_row_engine(
+            &Runner::new(configure(RunConfig::par_apsp(threads))),
+            ApspEngine::new(),
+            graph,
+            args,
+            token,
+        )?,
+        EngineKind::ParAlg1 => drive_row_engine(
+            &Runner::new(configure(RunConfig::par_alg1(threads))),
+            ApspEngine::new(),
+            graph,
+            args,
+            token,
+        )?,
+        EngineKind::ParAlg2 => drive_row_engine(
+            &Runner::new(configure(RunConfig::par_alg2(threads))),
+            ApspEngine::new(),
+            graph,
+            args,
+            token,
+        )?,
+        EngineKind::SeqBasic => drive_row_engine(
+            &Runner::new(configure(RunConfig::seq_basic())),
+            SeqEngine::ordered(),
+            graph,
+            args,
+            token,
+        )?,
+        EngineKind::SeqOptimized => drive_row_engine(
+            &Runner::new(configure(RunConfig::seq_optimized(1.0))),
+            SeqEngine::ordered(),
+            graph,
+            args,
+            token,
+        )?,
+        EngineKind::SeqAdaptive => {
+            let weight = args.get_parsed("credit-weight", 10u64)?;
+            drive_row_engine(
+                &Runner::new(configure(RunConfig::seq_adaptive(weight))),
+                SeqEngine::adaptive(weight),
+                graph,
+                args,
+                token,
+            )?
+        }
+        EngineKind::ParAdaptive => {
             RunOutcome::Complete(par_adaptive(graph, threads, AdaptiveConfig::default()))
         }
-        "seq-basic" => match token {
-            Some(token) => seq_basic_with_token(graph, token),
-            None => RunOutcome::Complete(seq_basic(graph)),
-        },
-        "seq-optimized" => match token {
-            Some(token) => seq_optimized_with_token(graph, 1.0, token),
-            None => RunOutcome::Complete(seq_optimized(graph, 1.0)),
-        },
-        "floyd-warshall" => {
+        EngineKind::FloydWarshall => {
             let start = std::time::Instant::now();
             let dist = baselines::floyd_warshall(graph);
             return Ok(RunStatus::Done(
@@ -377,7 +449,7 @@ fn run_algorithm(
                 format!("floyd-warshall: {:?}", start.elapsed()),
             ));
         }
-        "dijkstra" => {
+        EngineKind::Dijkstra => {
             let pool = ThreadPool::new(threads);
             let start = std::time::Instant::now();
             let dist = baselines::par_apsp_dijkstra(graph, &pool);
@@ -386,39 +458,68 @@ fn run_algorithm(
                 format!("parallel heap-dijkstra: {:?}", start.elapsed()),
             ));
         }
-        "dist" => {
-            use parapsp_dist::SourcePartition;
+        EngineKind::BlockedFw => {
+            let block = args.get_parsed("block", 64usize)?;
+            let runner = Runner::new(configure(RunConfig::new(threads)));
+            let start = std::time::Instant::now();
+            let dist = match token {
+                Some(token) => {
+                    match runner.run_with_token(BlockedFwEngine::new(block), graph, token) {
+                        RunOutcome::Complete(dist) => dist,
+                        RunOutcome::Cancelled { checkpoint } => {
+                            return write_stop_checkpoint(args, &checkpoint, "interrupted", 130)
+                        }
+                        RunOutcome::DeadlineExceeded { checkpoint } => {
+                            return write_stop_checkpoint(
+                                args,
+                                &checkpoint,
+                                "deadline exceeded",
+                                124,
+                            )
+                        }
+                    }
+                }
+                None => runner.run(BlockedFwEngine::new(block), graph),
+            };
+            return Ok(RunStatus::Done(
+                dist,
+                format!(
+                    "blocked floyd-warshall ({threads} threads, {block}-tile): {:?}",
+                    start.elapsed()
+                ),
+            ));
+        }
+        EngineKind::Dist => {
             let nodes = args.get_parsed("nodes", 4usize)?;
             let hub_fraction = args.get_parsed("hub-fraction", 0.05f64)?;
-            let partition = match args.get("partition").unwrap_or("cyclic-degree") {
-                "cyclic-degree" => SourcePartition::CyclicByDegree,
-                "block-degree" => SourcePartition::BlockByDegree,
-                "cyclic-id" => SourcePartition::CyclicById,
-                other => {
-                    return Err(format!(
-                        "unknown partition `{other}` (cyclic-degree, block-degree, cyclic-id)"
-                    ))
-                }
-            };
+            let partition = args.get_enum("partition", SourcePartition::default())?;
             let faults = parse_fault_plan(args)?;
-            let config = ClusterConfig {
+            let cluster = ClusterConfig {
                 nodes,
                 hub_fraction,
                 partition,
                 faults,
                 ..ClusterConfig::default()
             };
+            let runner = Runner::new(configure(RunConfig::new(1)));
             let out = match token {
-                Some(token) => match dist_apsp_cancellable(graph, config, token) {
-                    RunOutcome::Complete(out) => out,
-                    RunOutcome::Cancelled { checkpoint } => {
-                        return write_stop_checkpoint(args, &checkpoint, "interrupted", 130)
+                Some(token) => {
+                    match runner.run_with_token(DistEngine::new(cluster), graph, token) {
+                        RunOutcome::Complete(out) => out,
+                        RunOutcome::Cancelled { checkpoint } => {
+                            return write_stop_checkpoint(args, &checkpoint, "interrupted", 130)
+                        }
+                        RunOutcome::DeadlineExceeded { checkpoint } => {
+                            return write_stop_checkpoint(
+                                args,
+                                &checkpoint,
+                                "deadline exceeded",
+                                124,
+                            )
+                        }
                     }
-                    RunOutcome::DeadlineExceeded { checkpoint } => {
-                        return write_stop_checkpoint(args, &checkpoint, "deadline exceeded", 124)
-                    }
-                },
-                None => dist_apsp(graph, config),
+                }
+                None => runner.run(DistEngine::new(cluster), graph),
             };
             let sum = |field: fn(&parapsp_dist::NodeStats) -> u64| {
                 out.node_stats.iter().map(field).sum::<u64>()
@@ -439,7 +540,6 @@ fn run_algorithm(
             );
             return Ok(RunStatus::Done(out.dist, summary));
         }
-        other => return Err(format!("unknown algorithm `{other}`")),
     };
     let out = match outcome {
         RunOutcome::Complete(out) => out,
@@ -470,7 +570,7 @@ pub fn apsp(args: &Args) -> Result<i32, String> {
     let loaded = load(args)?;
     check_matrix_budget(loaded.graph.vertex_count())?;
     let threads = args.get_parsed("threads", 4usize)?;
-    let algorithm = args.get("algorithm").unwrap_or("par-apsp");
+    let algorithm = args.get_enum("algorithm", EngineKind::ParApsp)?;
     let setup = cancellation_setup(args, algorithm)?;
     // The guard keeps a watcher thread that trips the token on
     // SIGINT/SIGTERM; dropping it (any exit path) stops the watcher.
@@ -514,7 +614,7 @@ pub fn analyze(args: &Args) -> Result<(), String> {
     let threads = args.get_parsed("threads", 4usize)?;
     let top = args.get_parsed("top", 5usize)?;
 
-    let out = ParApsp::par_apsp(threads).run(g);
+    let out = Runner::new(RunConfig::par_apsp(threads)).run(ApspEngine::new(), g);
     println!(
         "ParAPSP: {:?} on {} threads\n",
         out.timings.total, out.threads
@@ -716,6 +816,8 @@ mod tests {
             "par-adaptive",
             "seq-basic",
             "seq-optimized",
+            "seq-adaptive",
+            "blocked-fw",
             "floyd-warshall",
             "dijkstra",
             "dist",
@@ -756,16 +858,32 @@ mod tests {
                 .unwrap_or_else(|e| panic!("--relax {relax}: {e}"));
         }
         assert!(apsp(&args(&["apsp", &file, "--relax", "sse9"])).is_err());
-        // --relax is a ParApsp-driver switch.
-        assert!(apsp(&args(&[
+        // The collapsed SeqEngine runs the same kernel, so --relax now
+        // applies to the sequential family too...
+        apsp(&args(&[
             "apsp",
             &file,
             "--algorithm",
             "seq-basic",
             "--relax",
-            "scalar"
+            "scalar",
         ]))
-        .is_err());
+        .unwrap();
+        // ...but not to algorithms that never touch the modified Dijkstra.
+        for algorithm in ["dist", "floyd-warshall", "blocked-fw"] {
+            assert!(
+                apsp(&args(&[
+                    "apsp",
+                    &file,
+                    "--algorithm",
+                    algorithm,
+                    "--relax",
+                    "scalar"
+                ]))
+                .is_err(),
+                "{algorithm} must reject --relax"
+            );
+        }
     }
 
     #[test]
@@ -804,16 +922,43 @@ mod tests {
         assert!(cp.is_complete());
         // Resuming from a complete checkpoint recomputes nothing and succeeds.
         apsp(&args(&["apsp", &file, "--resume", &ckpt])).unwrap();
-        // Checkpointing is a ParApsp-driver feature.
-        assert!(apsp(&args(&[
+        // The sequential engines are row engines too: checkpoint one and
+        // resume on it (checkpoints are engine-agnostic).
+        apsp(&args(&[
             "apsp",
             &file,
             "--algorithm",
             "seq-basic",
             "--checkpoint",
-            &ckpt
+            &ckpt,
+            "--checkpoint-every",
+            "2",
         ]))
-        .is_err());
+        .unwrap();
+        apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "seq-optimized",
+            "--resume",
+            &ckpt,
+        ]))
+        .unwrap();
+        // Engines whose rows are not final mid-run reject the flags.
+        for algorithm in ["dist", "blocked-fw", "floyd-warshall"] {
+            assert!(
+                apsp(&args(&[
+                    "apsp",
+                    &file,
+                    "--algorithm",
+                    algorithm,
+                    "--checkpoint",
+                    &ckpt
+                ]))
+                .is_err(),
+                "{algorithm} must reject --checkpoint"
+            );
+        }
         assert!(apsp(&args(&[
             "apsp",
             &file,
@@ -850,6 +995,49 @@ mod tests {
             "dist",
             "--partition",
             "nope"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn new_engine_knobs_parse_and_reject() {
+        let file = sample_file();
+        apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "seq-adaptive",
+            "--credit-weight",
+            "100",
+        ]))
+        .unwrap();
+        apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "blocked-fw",
+            "--block",
+            "16",
+            "--cap",
+            "1",
+        ]))
+        .unwrap();
+        assert!(apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "seq-adaptive",
+            "--credit-weight",
+            "heavy"
+        ]))
+        .is_err());
+        assert!(apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "blocked-fw",
+            "--block",
+            "-3"
         ]))
         .is_err());
     }
@@ -907,9 +1095,17 @@ mod tests {
         let dir = std::env::temp_dir().join("parapsp-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let file = sample_file();
-        for (i, algorithm) in ["par-alg1", "par-alg2", "seq-basic", "seq-optimized", "dist"]
-            .into_iter()
-            .enumerate()
+        for (i, algorithm) in [
+            "par-alg1",
+            "par-alg2",
+            "seq-basic",
+            "seq-optimized",
+            "seq-adaptive",
+            "blocked-fw",
+            "dist",
+        ]
+        .into_iter()
+        .enumerate()
         {
             let ckpt = dir
                 .join(format!("deadline-{i}.ckpt"))
@@ -925,9 +1121,10 @@ mod tests {
                 "--checkpoint",
                 ckpt.as_str(),
             ];
-            // --checkpoint only applies to the ParApsp drivers; the others
-            // fall back to the derived <file>.interrupt.ckpt path.
-            let code = if algorithm.starts_with("par-alg") {
+            // --checkpoint applies to the row engines; the others fall back
+            // to the derived <file>.interrupt.ckpt path.
+            let row_engine = algorithm.starts_with("par-alg") || algorithm.starts_with("seq-");
+            let code = if row_engine {
                 apsp(&args(&tokens)).unwrap()
             } else {
                 apsp(&args(&tokens[..6])).unwrap()

@@ -9,6 +9,7 @@
 //!   apsp <file> (alias: run)      run an APSP algorithm, report timings
 //!       --algorithm <name>        par-apsp (default) | par-alg1 | par-alg2 |
 //!                                 par-adaptive | seq-basic | seq-optimized |
+//!                                 seq-adaptive | blocked-fw |
 //!                                 floyd-warshall | dijkstra | dist
 //!       --threads <N>             threads (default 4)
 //!       --deadline <secs>         stop with a checkpoint when the wall-clock

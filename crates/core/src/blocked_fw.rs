@@ -7,11 +7,22 @@
 //! over independent tiles on the workspace thread pool. It lets the
 //! benches reproduce the related-work shape — blocked FW wins on tiny
 //! dense graphs, the O(n^2.4)-empirical ParAPSP takes over quickly.
+//!
+//! The algorithm lives in [`BlockedFwEngine`], driven by the unified
+//! [`Runner`] pipeline with *pivot iterations* as its work units; it is
+//! not a row-checkpointing engine (see [`Engine::row_checkpoints`]) —
+//! until the last pivot finishes every cell may still shrink, so periodic
+//! checkpoints are skipped and an interrupted run's checkpoint has zero
+//! completed rows. [`blocked_floyd_warshall`] and the `_cancellable`
+//! variant remain as thin shims (to be removed after one release).
+
+use std::time::Instant;
 
 use parapsp_graph::{CsrGraph, INF};
-use parapsp_parfor::{CancelToken, ParSlice, Schedule, ThreadPool};
+use parapsp_parfor::{CancelStatus, CancelToken, ParSlice, Schedule, ThreadPool};
 
 use crate::dist::DistanceMatrix;
+use crate::engine::{Engine, Plan, RowsCtx, RowsOutcome, RunConfig, RunSummary, Runner};
 use crate::outcome::RunOutcome;
 use crate::persist::Checkpoint;
 
@@ -55,66 +66,90 @@ unsafe fn relax_tile(
     }
 }
 
-/// Parallel blocked Floyd–Warshall with `block × block` tiles.
+/// The blocked Floyd–Warshall engine: `block × block` tiles, one work unit
+/// per pivot iteration, phases 2 and 3 of each pivot parallelized over
+/// independent tiles.
 ///
 /// Exact for any non-negative weights; O(n³) work, O(n²) memory. `block`
-/// is clamped to `[8, n]`; 64 is a good default for `u32` cells.
-pub fn blocked_floyd_warshall(graph: &CsrGraph, block: usize, pool: &ThreadPool) -> DistanceMatrix {
-    // No token, so the computation cannot stop early.
-    run_blocked_fw(graph, block, pool, None).unwrap_complete()
+/// is clamped to `[8, n]`; 64 is a good default for `u32` cells. A
+/// [`RunConfig::with_max_distance`] cap is applied as a post-filter (the
+/// capped matrix equals the post-filtered exact one, since distances
+/// compose). Resume input is accepted but ignored — FW checkpoints carry
+/// no partial rows, so a resumed run recomputes from scratch.
+#[derive(Debug)]
+pub struct BlockedFwEngine {
+    block: usize,
+    n: usize,
+    data: Option<Box<[u32]>>,
+    cap: Option<u32>,
 }
 
-/// Cancellable [`blocked_floyd_warshall`]: polls `token` between pivot
-/// iterations (the coarsest safe boundary — within one pivot step the
-/// three phases form a dependency chain).
-///
-/// Unlike the per-source algorithms, Floyd–Warshall has no row-granular
-/// final results mid-run: until the last pivot finishes, *every* cell may
-/// still shrink. An interrupted run therefore returns a checkpoint with
-/// **zero** completed rows — marking intermediate rows complete would
-/// poison a resume with non-final distances. The checkpoint is still a
-/// valid v2 file; resuming it simply recomputes everything.
-pub fn blocked_floyd_warshall_cancellable(
-    graph: &CsrGraph,
-    block: usize,
-    pool: &ThreadPool,
-    token: &CancelToken,
-) -> RunOutcome<DistanceMatrix> {
-    run_blocked_fw(graph, block, pool, Some(token))
+impl BlockedFwEngine {
+    /// An engine with the given tile size (clamped to `[8, n]` at run
+    /// time).
+    pub fn new(block: usize) -> Self {
+        BlockedFwEngine {
+            block,
+            n: 0,
+            data: None,
+            cap: None,
+        }
+    }
 }
 
-fn run_blocked_fw(
-    graph: &CsrGraph,
-    block: usize,
-    pool: &ThreadPool,
-    token: Option<&CancelToken>,
-) -> RunOutcome<DistanceMatrix> {
-    let n = graph.vertex_count();
-    if n == 0 {
-        return RunOutcome::Complete(DistanceMatrix::new_infinite(0));
-    }
-    let mut data: Box<[u32]> = vec![INF; n * n].into_boxed_slice();
-    for v in 0..n {
-        data[v * n + v] = 0;
-    }
-    for (u, v, w) in graph.arcs() {
-        let cell = &mut data[u as usize * n + v as usize];
-        *cell = (*cell).min(w);
+impl Engine for BlockedFwEngine {
+    type Output = DistanceMatrix;
+
+    fn name(&self) -> &str {
+        "BlockedFW"
     }
 
-    let block = block.max(8).min(n.max(1));
-    let tiles = n.div_ceil(block);
-    {
+    fn row_checkpoints(&self) -> bool {
+        false
+    }
+
+    fn prepare(
+        &mut self,
+        graph: &CsrGraph,
+        config: &RunConfig,
+        _pool: &ThreadPool,
+        _resume: Option<Checkpoint>,
+    ) -> Plan {
+        let t0 = Instant::now();
+        let n = graph.vertex_count();
+        let mut data: Box<[u32]> = vec![INF; n * n].into_boxed_slice();
+        for v in 0..n {
+            data[v * n + v] = 0;
+        }
+        for (u, v, w) in graph.arcs() {
+            let cell = &mut data[u as usize * n + v as usize];
+            *cell = (*cell).min(w);
+        }
+        self.block = self.block.max(8).min(n.max(1));
+        self.n = n;
+        self.data = Some(data);
+        self.cap = config.kernel().max_distance;
+        let tiles = if n == 0 { 0 } else { n.div_ceil(self.block) };
+        Plan {
+            units: (0..tiles as u32).collect(),
+            ordering: t0.elapsed(),
+        }
+    }
+
+    fn run_rows(&mut self, _graph: &CsrGraph, units: &[u32], ctx: &RowsCtx<'_>) -> RowsOutcome {
+        let n = self.n;
+        let block = self.block;
+        let tiles = if n == 0 { 0 } else { n.div_ceil(block) };
+        let data = self.data.as_mut().expect("prepare() not called");
         let view = ParSlice::new(&mut data[..]);
-        for bk in 0..tiles {
-            if let Some(token) = token {
+        for &unit in units {
+            let bk = unit as usize;
+            // The coarsest safe cancellation boundary — within one pivot
+            // step the three phases form a dependency chain.
+            if let Some(token) = ctx.token {
                 let status = token.poll();
                 if status.is_stop() {
-                    // No final rows exist mid-FW; see the doc comment on
-                    // `blocked_floyd_warshall_cancellable`.
-                    let checkpoint =
-                        Checkpoint::new(DistanceMatrix::new_infinite(n), vec![false; n]);
-                    return RunOutcome::from_stop(status, checkpoint);
+                    return status;
                 }
             }
             // Phase 1: the pivot tile, sequential (self-dependent).
@@ -128,7 +163,7 @@ fn run_blocked_fw(
             if !others.is_empty() {
                 let others_ref = &others;
                 let view_ref = &view;
-                pool.parallel_for(
+                ctx.pool.parallel_for(
                     others_ref.len() * 2,
                     Schedule::dynamic_cyclic(),
                     |_tid, idx| {
@@ -149,7 +184,7 @@ fn run_blocked_fw(
                 // Phase 3: every remaining tile reads its pivot-row and
                 // pivot-column tiles (finalized in phase 2) and writes only
                 // itself — (tiles − 1)² independent tiles.
-                pool.parallel_for(
+                ctx.pool.parallel_for(
                     others_ref.len() * others_ref.len(),
                     Schedule::dynamic_cyclic(),
                     |_tid, idx| {
@@ -163,8 +198,70 @@ fn run_blocked_fw(
                 );
             }
         }
+        CancelStatus::Continue
     }
-    RunOutcome::Complete(DistanceMatrix::from_raw(n, data))
+
+    fn snapshot(&self) -> Checkpoint {
+        // No final rows exist mid-FW; see the module docs. The checkpoint
+        // is still a valid v2 file; resuming it recomputes everything.
+        Checkpoint::new(DistanceMatrix::new_infinite(self.n), vec![false; self.n])
+    }
+
+    fn finish(self, _graph: &CsrGraph, _summary: RunSummary) -> DistanceMatrix {
+        let n = self.n;
+        let mut data = self.data.expect("prepare() not called");
+        if let Some(cap) = self.cap {
+            // Capped distances compose, so post-filtering the exact matrix
+            // equals running a capped kernel.
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && data[i * n + j] > cap {
+                        data[i * n + j] = INF;
+                    }
+                }
+            }
+        }
+        DistanceMatrix::from_raw(n, data)
+    }
+}
+
+/// Parallel blocked Floyd–Warshall with `block × block` tiles.
+///
+/// Exact for any non-negative weights; O(n³) work, O(n²) memory. `block`
+/// is clamped to `[8, n]`; 64 is a good default for `u32` cells.
+///
+/// Deprecated shim over [`Runner`] + [`BlockedFwEngine`].
+pub fn blocked_floyd_warshall(graph: &CsrGraph, block: usize, pool: &ThreadPool) -> DistanceMatrix {
+    Runner::new(RunConfig::new(pool.num_threads())).run_with_pool(
+        BlockedFwEngine::new(block),
+        graph,
+        pool,
+    )
+}
+
+/// Cancellable [`blocked_floyd_warshall`]: polls `token` between pivot
+/// iterations (the coarsest safe boundary — within one pivot step the
+/// three phases form a dependency chain).
+///
+/// Unlike the per-source algorithms, Floyd–Warshall has no row-granular
+/// final results mid-run: until the last pivot finishes, *every* cell may
+/// still shrink. An interrupted run therefore returns a checkpoint with
+/// **zero** completed rows — marking intermediate rows complete would
+/// poison a resume with non-final distances. The checkpoint is still a
+/// valid v2 file; resuming it simply recomputes everything.
+///
+/// Deprecated shim over [`Runner`] + [`BlockedFwEngine`].
+pub fn blocked_floyd_warshall_cancellable(
+    graph: &CsrGraph,
+    block: usize,
+    pool: &ThreadPool,
+    token: &CancelToken,
+) -> RunOutcome<DistanceMatrix> {
+    Runner::new(RunConfig::new(pool.num_threads())).run_with_token(
+        BlockedFwEngine::new(block),
+        graph,
+        token,
+    )
 }
 
 #[cfg(test)]
@@ -221,6 +318,29 @@ mod tests {
         let single = CsrGraph::from_unit_edges(1, Direction::Directed, &[]).unwrap();
         let d = blocked_floyd_warshall(&single, 64, &pool);
         assert_eq!(d.get(0, 0), 0);
+    }
+
+    #[test]
+    fn capped_run_equals_post_filtered_exact_matrix() {
+        let g = erdos_renyi_gnm(
+            80,
+            500,
+            Direction::Directed,
+            WeightSpec::Uniform { lo: 1, hi: 9 },
+            48,
+        )
+        .unwrap();
+        let cap = 11u32;
+        let exact = floyd_warshall(&g);
+        let capped =
+            Runner::new(RunConfig::new(3).with_max_distance(cap)).run(BlockedFwEngine::new(16), &g);
+        for u in 0..80u32 {
+            for v in 0..80u32 {
+                let d = exact.get(u, v);
+                let expected = if u != v && d > cap { INF } else { d };
+                assert_eq!(capped.get(u, v), expected, "({u}, {v})");
+            }
+        }
     }
 
     #[test]

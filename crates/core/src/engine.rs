@@ -1,0 +1,1241 @@
+//! The unified execution pipeline: one [`Engine`] trait, one [`Runner`].
+//!
+//! PRs 1–3 threaded checkpointing, vectorized relaxation, and cancellation
+//! through five separate engines, so every cross-cutting feature was an
+//! O(engines) change. This module factors the shared lifecycle out once:
+//!
+//! * [`RunConfig`] — every knob (threads, schedule, ordering, kernel
+//!   options, relax implementation, distance cap, checkpoint policy,
+//!   label) in a single builder-style value.
+//! * [`Engine`] — what is *specific* to an algorithm: how to plan its work
+//!   units ([`Engine::prepare`]), how to execute a batch of units
+//!   ([`Engine::run_rows`]), how to snapshot partial progress
+//!   ([`Engine::snapshot`]), and how to assemble its output
+//!   ([`Engine::finish`]).
+//! * [`Runner`] — owns everything else, exactly once: thread-pool
+//!   acquisition, resume validation, the periodic [`CheckpointSink`]
+//!   flush, cancellation plumbing, per-row trace collection, phase
+//!   timing, and [`RunOutcome`] assembly.
+//!
+//! The five engine families all implement the trait: [`ApspEngine`] (the
+//! shared-memory parallel drivers), [`SeqEngine`] (Peng's sequential
+//! family, including the adaptive variant), [`SubsetEngine`]
+//! (memory-bounded subset rows), [`BlockedFwEngine`] (the blocked
+//! Floyd–Warshall comparator), and `DistEngine` in the `parapsp-dist`
+//! crate (the simulated cluster driver).
+//!
+//! The pre-existing entry points (`ParApsp::run*`, `seq_basic`,
+//! `par_apsp_subset`, `blocked_floyd_warshall`, `dist_apsp`, …) survive as
+//! thin shims over this module and will be removed after one release; new
+//! code should construct a [`Runner`]:
+//!
+//! ```
+//! use parapsp_core::engine::{ApspEngine, RunConfig, Runner};
+//! use parapsp_graph::generate::{barabasi_albert, WeightSpec};
+//!
+//! let g = barabasi_albert(200, 3, WeightSpec::Unit, 42).unwrap();
+//! let out = Runner::new(RunConfig::par_apsp(4)).run(ApspEngine::new(), &g);
+//! assert_eq!(out.dist.get(0, 0), 0);
+//! assert_eq!(out.algorithm, "ParAPSP");
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use parapsp_graph::{degree, CsrGraph};
+use parapsp_order::OrderingProcedure;
+use parapsp_parfor::{CancelStatus, CancelToken, ParSlice, PerThread, Schedule, ThreadPool};
+
+use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
+use crate::outcome::RunOutcome;
+use crate::persist::{self, Checkpoint};
+use crate::relax::RelaxImpl;
+use crate::shared::SharedDistState;
+use crate::stats::{ApspOutput, Counters, PhaseTimings};
+
+pub use crate::blocked_fw::BlockedFwEngine;
+pub use crate::subset::SubsetEngine;
+
+// ---------------------------------------------------------------------------
+// Value enums (CLI-facing)
+// ---------------------------------------------------------------------------
+
+/// A closed set of named values, parseable from their stable CLI names.
+///
+/// This is the hand-rolled equivalent of clap's `ValueEnum` derive (this
+/// workspace is dependency-free): a type lists its variants once, names
+/// each one, and gets parsing **and** self-describing rejection messages
+/// for free. Implemented by [`EngineKind`], [`RelaxImpl`], the `dist`
+/// crate's `SourcePartition`, and the CLI's interrupt mode.
+pub trait ValueEnum: Sized + Copy + 'static {
+    /// Every selectable variant, in display order.
+    fn value_variants() -> &'static [Self];
+
+    /// The stable lowercase CLI name of this variant.
+    fn value_name(&self) -> &'static str;
+
+    /// Parses a [`ValueEnum::value_name`] back into its variant; the error
+    /// enumerates every accepted value.
+    fn parse_value(raw: &str) -> Result<Self, String> {
+        Self::value_variants()
+            .iter()
+            .copied()
+            .find(|v| v.value_name() == raw)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Self::value_variants()
+                    .iter()
+                    .map(|v| v.value_name())
+                    .collect();
+                format!(
+                    "invalid value `{raw}` (possible values: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+impl ValueEnum for RelaxImpl {
+    fn value_variants() -> &'static [Self] {
+        &RelaxImpl::ALL
+    }
+
+    fn value_name(&self) -> &'static str {
+        self.name()
+    }
+}
+
+/// Every APSP algorithm selectable from the CLI, by its stable name.
+///
+/// The first eight run through the [`Runner`] pipeline; the last three
+/// (`par-adaptive` and the two baselines) are direct calls kept for
+/// comparison and are not cancellable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// **ParAPSP** (paper Alg. 8): MultiLists ordering + dynamic-cyclic.
+    ParApsp,
+    /// **ParAlg1** (§3.1): no ordering, block partitioning.
+    ParAlg1,
+    /// **ParAlg2** (Alg. 4): selection-sort ordering + dynamic-cyclic.
+    ParAlg2,
+    /// Peng's sequential basic algorithm (Alg. 2).
+    SeqBasic,
+    /// Peng's sequential optimized algorithm (Alg. 3).
+    SeqOptimized,
+    /// Peng's adaptive sequential variant (intermediate-credit ordering).
+    SeqAdaptive,
+    /// Cache-blocked parallel Floyd–Warshall (related-work comparator).
+    BlockedFw,
+    /// The simulated distributed-memory cluster driver.
+    Dist,
+    /// The adaptive parallel extension (separate subsystem, not `Runner`-driven).
+    ParAdaptive,
+    /// Plain Floyd–Warshall baseline.
+    FloydWarshall,
+    /// Parallel binary-heap Dijkstra baseline.
+    Dijkstra,
+}
+
+impl EngineKind {
+    /// Whether the algorithm supports cooperative cancellation
+    /// (`--deadline` / checkpoint-on-interrupt).
+    pub fn cancellable(self) -> bool {
+        !matches!(
+            self,
+            EngineKind::ParAdaptive | EngineKind::FloydWarshall | EngineKind::Dijkstra
+        )
+    }
+
+    /// Whether completed rows are final mid-run, i.e. the engine supports
+    /// periodic row checkpoints and `--resume`.
+    pub fn row_checkpoints(self) -> bool {
+        matches!(
+            self,
+            EngineKind::ParApsp
+                | EngineKind::ParAlg1
+                | EngineKind::ParAlg2
+                | EngineKind::SeqBasic
+                | EngineKind::SeqOptimized
+                | EngineKind::SeqAdaptive
+        )
+    }
+
+    /// Whether the algorithm runs the modified-Dijkstra kernel, i.e.
+    /// honours `--relax` and `--cap` natively.
+    pub fn uses_kernel(self) -> bool {
+        self.row_checkpoints()
+    }
+}
+
+impl ValueEnum for EngineKind {
+    fn value_variants() -> &'static [Self] {
+        &[
+            EngineKind::ParApsp,
+            EngineKind::ParAlg1,
+            EngineKind::ParAlg2,
+            EngineKind::SeqBasic,
+            EngineKind::SeqOptimized,
+            EngineKind::SeqAdaptive,
+            EngineKind::BlockedFw,
+            EngineKind::Dist,
+            EngineKind::ParAdaptive,
+            EngineKind::FloydWarshall,
+            EngineKind::Dijkstra,
+        ]
+    }
+
+    fn value_name(&self) -> &'static str {
+        match self {
+            EngineKind::ParApsp => "par-apsp",
+            EngineKind::ParAlg1 => "par-alg1",
+            EngineKind::ParAlg2 => "par-alg2",
+            EngineKind::SeqBasic => "seq-basic",
+            EngineKind::SeqOptimized => "seq-optimized",
+            EngineKind::SeqAdaptive => "seq-adaptive",
+            EngineKind::BlockedFw => "blocked-fw",
+            EngineKind::Dist => "dist",
+            EngineKind::ParAdaptive => "par-adaptive",
+            EngineKind::FloydWarshall => "floyd-warshall",
+            EngineKind::Dijkstra => "dijkstra",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunConfig
+// ---------------------------------------------------------------------------
+
+/// Where and how often a run writes its partial-progress checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Destination file of the periodic version-2 checkpoint.
+    pub path: PathBuf,
+    /// Completed work units between checkpoint writes (must be ≥ 1).
+    pub every: usize,
+}
+
+/// Every knob of an APSP run in one builder-style value: thread count,
+/// loop schedule, source ordering, kernel ablation switches (row reuse,
+/// queue dedup, distance cap, relax implementation), checkpoint policy,
+/// and report label.
+///
+/// Named constructors pin the paper's algorithm configurations; `with_*`
+/// methods override any piece. The config is engine-agnostic — the same
+/// value drives any [`Engine`] through a [`Runner`] (engines ignore knobs
+/// that don't apply to them, e.g. the blocked Floyd–Warshall ignores the
+/// ordering procedure).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    threads: usize,
+    schedule: Schedule,
+    ordering: OrderingProcedure,
+    kernel: KernelOptions,
+    checkpoint: Option<CheckpointPolicy>,
+    label: Option<String>,
+}
+
+impl RunConfig {
+    /// A bare config: identity ordering, block schedule, default kernel,
+    /// no checkpoint, engine-chosen label.
+    pub fn new(threads: usize) -> Self {
+        RunConfig {
+            threads,
+            schedule: Schedule::Block,
+            ordering: OrderingProcedure::Identity,
+            kernel: KernelOptions::default(),
+            checkpoint: None,
+            label: None,
+        }
+    }
+
+    /// **ParAPSP** (Alg. 8): MultiLists ordering + dynamic-cyclic schedule.
+    pub fn par_apsp(threads: usize) -> Self {
+        RunConfig::new(threads)
+            .with_schedule(Schedule::dynamic_cyclic())
+            .with_ordering(OrderingProcedure::multi_lists())
+            .with_label("ParAPSP")
+    }
+
+    /// **ParAlg1** (§3.1): no ordering, block partitioning.
+    pub fn par_alg1(threads: usize) -> Self {
+        RunConfig::new(threads).with_label("ParAlg1")
+    }
+
+    /// **ParAlg2** (Alg. 4): selection ordering + dynamic-cyclic schedule.
+    pub fn par_alg2(threads: usize) -> Self {
+        RunConfig::new(threads)
+            .with_schedule(Schedule::dynamic_cyclic())
+            .with_ordering(OrderingProcedure::selection())
+            .with_label("ParAlg2")
+    }
+
+    /// The ParBuckets variant (§4.1): approximate parallel bucket ordering.
+    pub fn par_buckets(threads: usize) -> Self {
+        RunConfig::new(threads)
+            .with_schedule(Schedule::dynamic_cyclic())
+            .with_ordering(OrderingProcedure::par_buckets())
+            .with_label("ParBuckets")
+    }
+
+    /// The ParMax variant (§4.2): exact max+1-bucket ordering.
+    pub fn par_max(threads: usize) -> Self {
+        RunConfig::new(threads)
+            .with_schedule(Schedule::dynamic_cyclic())
+            .with_ordering(OrderingProcedure::par_max())
+            .with_label("ParMax")
+    }
+
+    /// Peng's sequential basic algorithm (Alg. 2): index order, 1 thread.
+    pub fn seq_basic() -> Self {
+        RunConfig::new(1).with_label("SeqBasic")
+    }
+
+    /// Peng's sequential optimized algorithm (Alg. 3): partial selection
+    /// sort with ratio `r`, 1 thread.
+    pub fn seq_optimized(ratio: f64) -> Self {
+        RunConfig::new(1)
+            .with_ordering(OrderingProcedure::SelectionSort { ratio })
+            .with_label("SeqOptimized")
+    }
+
+    /// [`RunConfig::seq_optimized`] with the O(n) exact bucket ordering.
+    pub fn seq_optimized_bucket() -> Self {
+        RunConfig::new(1)
+            .with_ordering(OrderingProcedure::SeqBucket)
+            .with_label("SeqOptimizedBucket")
+    }
+
+    /// Peng's adaptive sequential variant (pair with
+    /// [`SeqEngine::adaptive`]; the order is chosen at run time).
+    pub fn seq_adaptive(credit_weight: u64) -> Self {
+        RunConfig::new(1).with_label(format!("SeqAdaptive(w={credit_weight})"))
+    }
+
+    /// Subset-of-sources runs: degree-ordered, dynamic-cyclic.
+    pub fn subset(threads: usize) -> Self {
+        RunConfig::new(threads)
+            .with_schedule(Schedule::dynamic_cyclic())
+            .with_ordering(OrderingProcedure::SeqBucket)
+    }
+
+    /// Overrides the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the loop schedule (for the Fig. 1 scheduling study).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the source ordering procedure.
+    pub fn with_ordering(mut self, ordering: OrderingProcedure) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Overrides the kernel ablation switches.
+    pub fn with_kernel_options(mut self, kernel: KernelOptions) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Caps computed distances: pairs farther apart than `cap` are left at
+    /// `INF`. Exact within the cap.
+    pub fn with_max_distance(mut self, cap: u32) -> Self {
+        self.kernel.max_distance = Some(cap);
+        self
+    }
+
+    /// Selects the row-relaxation implementation (see [`crate::relax`]).
+    pub fn with_relax(mut self, relax: RelaxImpl) -> Self {
+        self.kernel.relax = relax;
+        self
+    }
+
+    /// Periodically persists progress: after every `every` completed work
+    /// units the [`Runner`] writes a version-2 checkpoint (atomically —
+    /// temp file + rename + fsync) to `path`. A run killed between writes
+    /// loses at most `every` rows of work.
+    ///
+    /// Checkpointing inserts a barrier every `every` units, so small
+    /// values trade sweep parallelism for durability. Engines whose rows
+    /// are not final mid-run ([`Engine::row_checkpoints`] is `false`)
+    /// skip the periodic writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every` is zero, and later — during the run — if a
+    /// checkpoint write fails (durability was explicitly requested; a
+    /// silently unwritable checkpoint would defeat it).
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be at least 1 source");
+        self.checkpoint = Some(CheckpointPolicy {
+            path: path.into(),
+            every,
+        });
+        self
+    }
+
+    /// Overrides the report label (defaults to the engine's name).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured loop schedule.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Configured source ordering procedure.
+    pub fn ordering(&self) -> OrderingProcedure {
+        self.ordering
+    }
+
+    /// Configured kernel switches.
+    pub fn kernel(&self) -> KernelOptions {
+        self.kernel
+    }
+
+    /// Configured checkpoint policy, if any.
+    pub fn checkpoint(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Configured label override, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Engine trait
+// ---------------------------------------------------------------------------
+
+/// What [`Engine::prepare`] hands back to the [`Runner`]: the ordered work
+/// units plus how long the ordering phase took.
+#[derive(Debug)]
+pub struct Plan {
+    /// Work units in execution order. For the row engines these are source
+    /// vertices (resume-filtered); for [`SubsetEngine`] they are slot
+    /// indices into its source list; for [`BlockedFwEngine`] pivot-tile
+    /// indices; adaptive engines may treat them as opaque step counters.
+    pub units: Vec<u32>,
+    /// Wall time spent computing the source ordering.
+    pub ordering: Duration,
+}
+
+/// Everything [`Engine::run_rows`] may need, borrowed from the [`Runner`].
+pub struct RowsCtx<'a> {
+    /// The pool executing this run.
+    pub pool: &'a ThreadPool,
+    /// The run's configuration.
+    pub config: &'a RunConfig,
+    /// Cooperative cancellation token; engines poll it at unit boundaries.
+    pub token: Option<&'a CancelToken>,
+    /// Per-unit timing sink ([`Runner::run_traced`]), indexed by unit id.
+    pub trace: Option<&'a ParSlice<'a, u64>>,
+}
+
+/// How a batch of work units ended — [`CancelStatus::Continue`] when every
+/// unit ran, a stop status when the engine drained early.
+pub type RowsOutcome = CancelStatus;
+
+/// Timings and identity the [`Runner`] assembled for [`Engine::finish`].
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Ordering / sweep / total phase wall times.
+    pub timings: PhaseTimings,
+    /// Worker threads the pool actually ran.
+    pub threads: usize,
+    /// Report label: the config override or the engine's name.
+    pub label: String,
+}
+
+/// One APSP algorithm, expressed as the four phase hooks the [`Runner`]
+/// drives: plan, execute, snapshot, assemble.
+///
+/// Implementations own their mutable state (distance matrix, scratch
+/// space, counters) across the hook calls; the `Runner` owns the
+/// lifecycle — it validates resume checkpoints, chunks units for periodic
+/// checkpointing, persists through the [`CheckpointSink`], and wraps
+/// early stops into [`RunOutcome`]s.
+pub trait Engine {
+    /// What a completed run yields.
+    type Output;
+
+    /// The engine's display name, used as the report label when the
+    /// [`RunConfig`] does not override it.
+    fn name(&self) -> &str;
+
+    /// Whether rows completed mid-run are final, making periodic
+    /// checkpoints and resume meaningful. Engines like Floyd–Warshall —
+    /// where every cell may still shrink until the last pivot — return
+    /// `false`, and the [`Runner`] skips periodic checkpointing for them.
+    fn row_checkpoints(&self) -> bool {
+        true
+    }
+
+    /// Computes the source ordering, applies a resume checkpoint (already
+    /// size-validated by the [`Runner`]), and allocates run state.
+    /// Returns the remaining work units.
+    fn prepare(
+        &mut self,
+        graph: &CsrGraph,
+        config: &RunConfig,
+        pool: &ThreadPool,
+        resume: Option<Checkpoint>,
+    ) -> Plan;
+
+    /// Executes a batch of work units, polling `ctx.token` at unit
+    /// boundaries. Returns [`CancelStatus::Continue`] when the batch
+    /// completed, or the stop status after draining (every started unit
+    /// finished — partial state must be consistent for
+    /// [`Engine::snapshot`]).
+    fn run_rows(&mut self, graph: &CsrGraph, units: &[u32], ctx: &RowsCtx<'_>) -> RowsOutcome;
+
+    /// A consistent version-2 checkpoint of all completed work. Called by
+    /// the [`Runner`] between batches (periodic persistence) and after an
+    /// early stop.
+    fn snapshot(&self) -> Checkpoint;
+
+    /// Assembles the completed run's output.
+    fn finish(self, graph: &CsrGraph, summary: RunSummary) -> Self::Output
+    where
+        Self: Sized;
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointSink
+// ---------------------------------------------------------------------------
+
+/// The one place progress checkpoints are written from.
+///
+/// Before the unification every engine carried its own copy of the
+/// flush-and-panic block; the [`Runner`] now owns a single sink. Writes
+/// are atomic (temp file + rename + fsync) via
+/// [`persist::save_checkpoint`].
+#[derive(Debug, Clone)]
+pub struct CheckpointSink {
+    path: PathBuf,
+}
+
+impl CheckpointSink {
+    /// A sink writing to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointSink { path: path.into() }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persists `checkpoint`, replacing any previous file atomically.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the write fails: durability was explicitly requested,
+    /// and a silently unwritable checkpoint would defeat it.
+    pub fn flush(&self, checkpoint: &Checkpoint) {
+        persist::save_checkpoint(checkpoint, &self.path)
+            .unwrap_or_else(|err| panic!("writing checkpoint {}: {err}", self.path.display()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// The execution driver: pairs a [`RunConfig`] with any [`Engine`] and
+/// owns the full run lifecycle exactly once.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    config: RunConfig,
+}
+
+impl Runner {
+    /// A runner for `config`.
+    pub fn new(config: RunConfig) -> Self {
+        Runner { config }
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Runs `engine` to completion on a fresh thread pool.
+    pub fn run<E: Engine>(&self, engine: E, graph: &CsrGraph) -> E::Output {
+        let pool = ThreadPool::new(self.config.threads);
+        // Without a token the sweep cannot stop early.
+        self.drive(engine, graph, &pool, None, None, None)
+            .unwrap_complete()
+    }
+
+    /// Runs `engine` on an existing pool (the pool's thread count wins
+    /// over the configured one).
+    pub fn run_with_pool<E: Engine>(
+        &self,
+        engine: E,
+        graph: &CsrGraph,
+        pool: &ThreadPool,
+    ) -> E::Output {
+        self.drive(engine, graph, pool, None, None, None)
+            .unwrap_complete()
+    }
+
+    /// Cancellable [`Runner::run`]: the engine polls `token` at unit
+    /// boundaries; on a stop the workers drain and the outcome carries a
+    /// consistent checkpoint of every completed row, valid as input to
+    /// [`Runner::run_resumed`] (which lands on the bit-identical final
+    /// result).
+    pub fn run_with_token<E: Engine>(
+        &self,
+        engine: E,
+        graph: &CsrGraph,
+        token: &CancelToken,
+    ) -> RunOutcome<E::Output> {
+        let pool = ThreadPool::new(self.config.threads);
+        self.drive(engine, graph, &pool, None, Some(token), None)
+    }
+
+    /// Continues an interrupted run from a checkpoint: rows the checkpoint
+    /// marks complete are pre-published, and only the missing units are
+    /// executed. Because published rows are final, the output is
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint's matrix size does not match `graph`.
+    pub fn run_resumed<E: Engine>(
+        &self,
+        engine: E,
+        graph: &CsrGraph,
+        checkpoint: Checkpoint,
+    ) -> E::Output {
+        let pool = ThreadPool::new(self.config.threads);
+        self.drive(engine, graph, &pool, Some(checkpoint), None, None)
+            .unwrap_complete()
+    }
+
+    /// Cancellable [`Runner::run_resumed`]: continues from `checkpoint`
+    /// and may itself be interrupted again, yielding a newer checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint's matrix size does not match `graph`.
+    pub fn run_resumed_with_token<E: Engine>(
+        &self,
+        engine: E,
+        graph: &CsrGraph,
+        checkpoint: Checkpoint,
+        token: &CancelToken,
+    ) -> RunOutcome<E::Output> {
+        let pool = ThreadPool::new(self.config.threads);
+        self.drive(engine, graph, &pool, Some(checkpoint), Some(token), None)
+    }
+
+    /// Like [`Runner::run`], additionally returning the wall time each
+    /// work *unit* spent executing (indexed by unit id — source vertex for
+    /// the row engines). This is the per-row timing hook that used to be
+    /// `ParApsp::run_traced`'s separate code path.
+    pub fn run_traced<E: Engine>(&self, engine: E, graph: &CsrGraph) -> (E::Output, Vec<Duration>) {
+        let pool = ThreadPool::new(self.config.threads);
+        let n = graph.vertex_count();
+        let mut nanos: Vec<u64> = vec![0; n];
+        let out = {
+            let view = ParSlice::new(&mut nanos[..]);
+            self.drive(engine, graph, &pool, None, None, Some(&view))
+                .unwrap_complete()
+        };
+        (out, nanos.into_iter().map(Duration::from_nanos).collect())
+    }
+
+    /// The single lifecycle implementation every entry point funnels into.
+    fn drive<E: Engine>(
+        &self,
+        mut engine: E,
+        graph: &CsrGraph,
+        pool: &ThreadPool,
+        resume: Option<Checkpoint>,
+        token: Option<&CancelToken>,
+        trace: Option<&ParSlice<'_, u64>>,
+    ) -> RunOutcome<E::Output> {
+        if let Some(cp) = &resume {
+            assert_eq!(
+                cp.n(),
+                graph.vertex_count(),
+                "checkpoint is for a {}-vertex matrix but the graph has {} vertices",
+                cp.n(),
+                graph.vertex_count()
+            );
+        }
+        let start = Instant::now();
+        let plan = engine.prepare(graph, &self.config, pool, resume);
+        let ctx = RowsCtx {
+            pool,
+            config: &self.config,
+            token,
+            trace,
+        };
+        let t_sssp = Instant::now();
+        let status = match &self.config.checkpoint {
+            Some(policy) if engine.row_checkpoints() => {
+                // Between batches no row owner is active, so a snapshot of
+                // the published rows is a consistent checkpoint.
+                let sink = CheckpointSink::new(&policy.path);
+                let mut status = CancelStatus::Continue;
+                for chunk in plan.units.chunks(policy.every) {
+                    status = engine.run_rows(graph, chunk, &ctx);
+                    sink.flush(&engine.snapshot());
+                    if status.is_stop() {
+                        break;
+                    }
+                }
+                status
+            }
+            _ => engine.run_rows(graph, &plan.units, &ctx),
+        };
+        let sssp = t_sssp.elapsed();
+
+        if status.is_stop() {
+            // The cancellable loop has drained: no unit is mid-flight, so
+            // the published rows form a consistent partial result.
+            return RunOutcome::from_stop(status, engine.snapshot());
+        }
+
+        let label = match &self.config.label {
+            Some(label) => label.clone(),
+            None => engine.name().to_owned(),
+        };
+        let summary = RunSummary {
+            timings: PhaseTimings {
+                ordering: plan.ordering,
+                sssp,
+                total: start.elapsed(),
+            },
+            threads: pool.num_threads(),
+            label,
+        };
+        RunOutcome::Complete(engine.finish(graph, summary))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ApspEngine — the shared-memory parallel row engine
+// ---------------------------------------------------------------------------
+
+/// The shared-memory parallel APSP engine: the modified Dijkstra from
+/// every source, sources as independent tasks over the configured
+/// ordering and schedule, rows shared through the Release/Acquire
+/// publication protocol.
+///
+/// Pair with the `RunConfig::par_*` constructors to reproduce the paper's
+/// drivers (ParAlg1, ParAlg2, ParBuckets, ParMax, ParAPSP).
+#[derive(Default)]
+pub struct ApspEngine {
+    state: Option<SharedDistState>,
+    locals: Option<PerThread<(Workspace, Counters, Duration)>>,
+}
+
+impl ApspEngine {
+    /// A fresh engine; all behaviour comes from the [`RunConfig`].
+    pub fn new() -> Self {
+        ApspEngine::default()
+    }
+}
+
+impl Engine for ApspEngine {
+    type Output = ApspOutput;
+
+    fn name(&self) -> &str {
+        "ParApsp"
+    }
+
+    fn prepare(
+        &mut self,
+        graph: &CsrGraph,
+        config: &RunConfig,
+        pool: &ThreadPool,
+        resume: Option<Checkpoint>,
+    ) -> Plan {
+        let n = graph.vertex_count();
+        let degrees = degree::out_degrees(graph);
+        let t_order = Instant::now();
+        let order = config.ordering().compute(&degrees, pool);
+        let ordering = t_order.elapsed();
+        debug_assert_eq!(order.len(), n);
+
+        // A resumed run pre-publishes the checkpoint's completed rows and
+        // sweeps only the rest, in the same order a fresh run would visit
+        // them.
+        let (state, units) = match resume {
+            Some(checkpoint) => {
+                let (dist, completed) = checkpoint.into_parts();
+                let units: Vec<u32> = order
+                    .iter()
+                    .copied()
+                    .filter(|&s| !completed[s as usize])
+                    .collect();
+                (SharedDistState::from_parts(dist, &completed), units)
+            }
+            None => (SharedDistState::new(n), order),
+        };
+        self.state = Some(state);
+        self.locals = Some(PerThread::from_fn(pool.num_threads(), |_| {
+            (Workspace::new(n), Counters::default(), Duration::ZERO)
+        }));
+        Plan { units, ordering }
+    }
+
+    fn run_rows(&mut self, graph: &CsrGraph, units: &[u32], ctx: &RowsCtx<'_>) -> RowsOutcome {
+        let state = self.state.as_ref().expect("prepare() not called");
+        let locals = self.locals.as_ref().expect("prepare() not called");
+        let kernel = ctx.config.kernel();
+        let trace = ctx.trace;
+        let body = |tid: usize, k: usize| {
+            let s = units[k];
+            // SAFETY: each pool thread touches only its own scratch slot.
+            let (ws, counters, busy) = unsafe { locals.get_mut(tid) };
+            let t0 = Instant::now();
+            // `units` is drawn from a permutation, so source `s` belongs to
+            // exactly this iteration — satisfying the unique-row-owner
+            // contract of the kernel (and of `SharedDistState::row_mut`).
+            modified_dijkstra(graph, s, state, ws, kernel, counters, None);
+            let elapsed = t0.elapsed();
+            *busy += elapsed;
+            if let Some(view) = trace {
+                // SAFETY: as above, the trace slot of `s` belongs
+                // exclusively to this iteration.
+                unsafe { view.write(s as usize, elapsed.as_nanos() as u64) };
+            }
+        };
+        match ctx.token {
+            Some(token) => {
+                ctx.pool
+                    .parallel_for_cancellable(units.len(), ctx.config.schedule(), token, body)
+            }
+            None => {
+                ctx.pool
+                    .parallel_for(units.len(), ctx.config.schedule(), body);
+                CancelStatus::Continue
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Checkpoint {
+        let (dist, completed) = self
+            .state
+            .as_ref()
+            .expect("prepare() not called")
+            .snapshot();
+        Checkpoint::new(dist, completed)
+    }
+
+    fn finish(self, _graph: &CsrGraph, summary: RunSummary) -> ApspOutput {
+        let state = self.state.expect("prepare() not called");
+        debug_assert_eq!(state.published_count(), state.n());
+        let mut counters = Counters::default();
+        let mut thread_busy = Vec::with_capacity(summary.threads);
+        for (_, c, busy) in self.locals.expect("prepare() not called").into_inner() {
+            counters.merge(&c);
+            thread_busy.push(busy);
+        }
+        ApspOutput {
+            dist: state.into_matrix(),
+            timings: summary.timings,
+            counters,
+            threads: summary.threads,
+            algorithm: summary.label,
+            thread_busy,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SeqEngine — Peng's sequential family, collapsed
+// ---------------------------------------------------------------------------
+
+/// How a [`SeqEngine`] picks its next source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqMode {
+    /// Follow the [`RunConfig`]'s ordering procedure (basic = identity,
+    /// optimized = selection sort, bucket = exact counting sort).
+    Ordered,
+    /// Peng's adaptive variant: after each SSSP run, vertices that relayed
+    /// shortest paths accumulate *intermediate credit*; the next source is
+    /// the unprocessed vertex maximizing `credit * credit_weight + degree`.
+    Adaptive {
+        /// Weight of accumulated credit against raw degree (0 degenerates
+        /// to the plain optimized algorithm).
+        credit_weight: u64,
+    },
+}
+
+/// The sequential engine: the whole `seq_*` family in one implementation,
+/// configured by [`SeqMode`] plus the [`RunConfig`] ordering. Always runs
+/// single-threaded (it ignores the pool for the sweep) and polls the
+/// cancel token before every source, so a poll budget of `K` completes
+/// exactly `K` rows.
+pub struct SeqEngine {
+    mode: SeqMode,
+    state: Option<SharedDistState>,
+    ws: Option<Workspace>,
+    counters: Counters,
+    busy: Duration,
+    /// Adaptive state: out-degrees, accumulated credit, processed flags.
+    degrees: Vec<u32>,
+    credit: Vec<u64>,
+    done: Vec<bool>,
+}
+
+impl SeqEngine {
+    /// An engine following the config's ordering procedure.
+    pub fn ordered() -> Self {
+        SeqEngine {
+            mode: SeqMode::Ordered,
+            state: None,
+            ws: None,
+            counters: Counters::default(),
+            busy: Duration::ZERO,
+            degrees: Vec::new(),
+            credit: Vec::new(),
+            done: Vec::new(),
+        }
+    }
+
+    /// Peng's adaptive variant with the given credit weight.
+    pub fn adaptive(credit_weight: u64) -> Self {
+        SeqEngine {
+            mode: SeqMode::Adaptive { credit_weight },
+            ..SeqEngine::ordered()
+        }
+    }
+
+    /// The engine's source-selection mode.
+    pub fn mode(&self) -> SeqMode {
+        self.mode
+    }
+}
+
+impl Engine for SeqEngine {
+    type Output = ApspOutput;
+
+    fn name(&self) -> &str {
+        match self.mode {
+            SeqMode::Ordered => "SeqEngine",
+            SeqMode::Adaptive { .. } => "SeqAdaptive",
+        }
+    }
+
+    fn prepare(
+        &mut self,
+        graph: &CsrGraph,
+        config: &RunConfig,
+        pool: &ThreadPool,
+        resume: Option<Checkpoint>,
+    ) -> Plan {
+        let n = graph.vertex_count();
+        let degrees = degree::out_degrees(graph);
+        let t_order = Instant::now();
+        let order = match self.mode {
+            SeqMode::Ordered => config.ordering().compute(&degrees, pool),
+            // Adaptive picks sources at run time; the plan only fixes how
+            // many remain.
+            SeqMode::Adaptive { .. } => (0..n as u32).collect(),
+        };
+        let ordering = t_order.elapsed();
+        let (state, units, done) = match resume {
+            Some(checkpoint) => {
+                let (dist, completed) = checkpoint.into_parts();
+                let units: Vec<u32> = order
+                    .iter()
+                    .copied()
+                    .filter(|&s| !completed[s as usize])
+                    .collect();
+                (
+                    SharedDistState::from_parts(dist, &completed),
+                    units,
+                    completed,
+                )
+            }
+            None => (SharedDistState::new(n), order, vec![false; n]),
+        };
+        self.state = Some(state);
+        self.ws = Some(Workspace::new(n));
+        self.degrees = degrees;
+        self.credit = vec![0; n];
+        self.done = done;
+        Plan { units, ordering }
+    }
+
+    fn run_rows(&mut self, graph: &CsrGraph, units: &[u32], ctx: &RowsCtx<'_>) -> RowsOutcome {
+        let SeqEngine {
+            mode,
+            state,
+            ws,
+            counters,
+            busy,
+            degrees,
+            credit,
+            done,
+        } = self;
+        let mode = *mode;
+        let state = state.as_ref().expect("prepare() not called");
+        let ws = ws.as_mut().expect("prepare() not called");
+        let kernel = ctx.config.kernel();
+        for &unit in units {
+            if let Some(token) = ctx.token {
+                let status = token.poll();
+                if status.is_stop() {
+                    return status;
+                }
+            }
+            let (s, feedback) = match mode {
+                SeqMode::Ordered => (unit, None),
+                SeqMode::Adaptive { credit_weight } => {
+                    // Argmax over unprocessed vertices; O(n) per pick,
+                    // dwarfed by the SSSP work it orders.
+                    let mut best: Option<(u64, u32)> = None;
+                    for v in 0..state.n() as u32 {
+                        if done[v as usize] {
+                            continue;
+                        }
+                        let score = credit[v as usize]
+                            .saturating_mul(credit_weight)
+                            .saturating_add(degrees[v as usize] as u64);
+                        if best.map(|(b, _)| score > b).unwrap_or(true) {
+                            best = Some((score, v));
+                        }
+                    }
+                    let (_, s) = best.expect("unprocessed vertex must exist");
+                    done[s as usize] = true;
+                    (s, Some(&mut credit[..]))
+                }
+            };
+            let t0 = Instant::now();
+            modified_dijkstra(graph, s, state, ws, kernel, counters, feedback);
+            let elapsed = t0.elapsed();
+            *busy += elapsed;
+            if let Some(view) = ctx.trace {
+                // SAFETY: this engine is single-threaded and `s` is
+                // processed exactly once.
+                unsafe { view.write(s as usize, elapsed.as_nanos() as u64) };
+            }
+        }
+        CancelStatus::Continue
+    }
+
+    fn snapshot(&self) -> Checkpoint {
+        let (dist, completed) = self
+            .state
+            .as_ref()
+            .expect("prepare() not called")
+            .snapshot();
+        Checkpoint::new(dist, completed)
+    }
+
+    fn finish(self, _graph: &CsrGraph, summary: RunSummary) -> ApspOutput {
+        let state = self.state.expect("prepare() not called");
+        debug_assert_eq!(state.published_count(), state.n());
+        ApspOutput {
+            dist: state.into_matrix(),
+            timings: summary.timings,
+            counters: self.counters,
+            threads: 1,
+            algorithm: summary.label,
+            thread_busy: vec![self.busy],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::seq_basic;
+    use parapsp_graph::generate::{barabasi_albert, WeightSpec};
+
+    #[test]
+    fn value_enum_parses_and_rejects_with_full_listing() {
+        assert_eq!(
+            EngineKind::parse_value("par-apsp").unwrap(),
+            EngineKind::ParApsp
+        );
+        assert_eq!(
+            EngineKind::parse_value("blocked-fw").unwrap(),
+            EngineKind::BlockedFw
+        );
+        let err = EngineKind::parse_value("par-warp").unwrap_err();
+        assert!(err.contains("par-warp"));
+        assert!(err.contains("par-apsp"));
+        assert!(err.contains("dist"));
+
+        assert_eq!(RelaxImpl::parse_value("avx2").unwrap(), RelaxImpl::Avx2);
+        let err = RelaxImpl::parse_value("sse9").unwrap_err();
+        assert!(err.contains("scalar") && err.contains("auto"));
+        // The trait names agree with the pre-existing inherent names.
+        for relax in RelaxImpl::ALL {
+            assert_eq!(relax.value_name(), relax.name());
+            assert_eq!(RelaxImpl::parse_value(relax.name()).unwrap(), relax);
+        }
+        // Round trip for every engine kind.
+        for kind in EngineKind::value_variants() {
+            assert_eq!(EngineKind::parse_value(kind.value_name()).unwrap(), *kind);
+        }
+    }
+
+    #[test]
+    fn engine_kind_capability_tables_are_consistent() {
+        for kind in EngineKind::value_variants() {
+            // Anything resumable must also be cancellable (resume exists to
+            // continue interrupted runs).
+            if kind.row_checkpoints() {
+                assert!(kind.cancellable(), "{}", kind.value_name());
+            }
+        }
+        assert!(!EngineKind::FloydWarshall.cancellable());
+        assert!(EngineKind::BlockedFw.cancellable());
+        assert!(!EngineKind::BlockedFw.row_checkpoints());
+        assert!(EngineKind::SeqBasic.row_checkpoints());
+    }
+
+    #[test]
+    fn runner_drives_apsp_and_seq_engines_to_identical_matrices() {
+        let g = barabasi_albert(180, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 7).unwrap();
+        let reference = seq_basic(&g);
+        let par = Runner::new(RunConfig::par_apsp(4)).run(ApspEngine::new(), &g);
+        assert_eq!(reference.dist.first_difference(&par.dist), None);
+        assert_eq!(par.algorithm, "ParAPSP");
+        assert_eq!(par.threads, 4);
+        let seq = Runner::new(RunConfig::seq_optimized(1.0)).run(SeqEngine::ordered(), &g);
+        assert_eq!(reference.dist.first_difference(&seq.dist), None);
+        assert_eq!(seq.algorithm, "SeqOptimized");
+        assert_eq!(seq.threads, 1);
+        let adaptive = Runner::new(RunConfig::seq_adaptive(10)).run(SeqEngine::adaptive(10), &g);
+        assert_eq!(reference.dist.first_difference(&adaptive.dist), None);
+        assert_eq!(adaptive.algorithm, "SeqAdaptive(w=10)");
+    }
+
+    #[test]
+    fn adaptive_engine_supports_cancel_and_resume() {
+        let g = barabasi_albert(120, 3, WeightSpec::Uniform { lo: 1, hi: 5 }, 13).unwrap();
+        let full = Runner::new(RunConfig::seq_adaptive(10)).run(SeqEngine::adaptive(10), &g);
+        let token = CancelToken::with_poll_budget(35);
+        let outcome = Runner::new(RunConfig::seq_adaptive(10)).run_with_token(
+            SeqEngine::adaptive(10),
+            &g,
+            &token,
+        );
+        let cp = outcome.into_checkpoint().expect("35 < 120 sources");
+        assert_eq!(cp.completed_count(), 35);
+        let resumed =
+            Runner::new(RunConfig::seq_adaptive(10)).run_resumed(SeqEngine::adaptive(10), &g, cp);
+        assert_eq!(full.dist.first_difference(&resumed.dist), None);
+    }
+
+    /// Satellite: `--checkpoint-every` boundaries must produce identical
+    /// version-2 files across engines. With one thread, identity order,
+    /// and a poll budget of `BUDGET`, every row engine completes exactly
+    /// rows `0..BUDGET` — and since published rows are exact, the final
+    /// flushed checkpoint must be byte-identical across par, seq, and
+    /// subset.
+    #[test]
+    fn checkpoint_every_boundaries_produce_identical_v2_files_across_engines() {
+        const BUDGET: u64 = 20;
+        const EVERY: usize = 8; // not a divisor of BUDGET: exercises a mid-chunk stop
+        let dir = std::env::temp_dir().join("parapsp-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = barabasi_albert(90, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 5).unwrap();
+
+        let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+        let mut record = |name: &str, run: &mut dyn FnMut(&std::path::Path, &CancelToken)| {
+            let path = dir.join(format!("{name}.ckpt"));
+            let token = CancelToken::with_poll_budget(BUDGET);
+            run(&path, &token);
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            files.push((name.to_owned(), bytes));
+        };
+
+        record("par", &mut |path, token| {
+            let config = RunConfig::par_apsp(1)
+                .with_ordering(OrderingProcedure::Identity)
+                .with_checkpoint(path, EVERY);
+            let outcome = Runner::new(config).run_with_token(ApspEngine::new(), &g, token);
+            assert!(!outcome.is_complete());
+        });
+        record("seq", &mut |path, token| {
+            let config = RunConfig::seq_basic().with_checkpoint(path, EVERY);
+            let outcome = Runner::new(config).run_with_token(SeqEngine::ordered(), &g, token);
+            assert!(!outcome.is_complete());
+        });
+        record("subset", &mut |path, token| {
+            let sources: Vec<u32> = (0..90).collect();
+            let config = RunConfig::subset(1)
+                .with_ordering(OrderingProcedure::Identity)
+                .with_checkpoint(path, EVERY);
+            let outcome = Runner::new(config).run_with_token(SubsetEngine::new(sources), &g, token);
+            assert!(!outcome.is_complete());
+        });
+
+        let (first_name, first) = &files[0];
+        for (name, bytes) in &files[1..] {
+            assert_eq!(bytes, first, "{name} vs {first_name}");
+        }
+        // The shared file holds exactly the budgeted rows.
+        let cp = persist::read_checkpoint(first.as_slice()).unwrap();
+        assert_eq!(cp.completed_count() as u64, BUDGET);
+        assert!(cp.completed()[..BUDGET as usize].iter().all(|&done| done));
+
+        // Blocked FW is not a row-checkpointing engine: a run with a
+        // checkpoint policy must not write periodic files, and its stop
+        // checkpoint has zero completed rows by design.
+        let fw_path = dir.join("fw.ckpt");
+        let config = RunConfig::new(2).with_checkpoint(&fw_path, EVERY);
+        let out = Runner::new(config.clone()).run(BlockedFwEngine::new(32), &g);
+        assert_eq!(out.n(), 90);
+        assert!(
+            !fw_path.exists(),
+            "non-row engine must skip periodic writes"
+        );
+        let token = CancelToken::with_poll_budget(1);
+        let stopped = Runner::new(config).run_with_token(BlockedFwEngine::new(32), &g, &token);
+        assert_eq!(stopped.checkpoint().unwrap().completed_count(), 0);
+    }
+
+    #[test]
+    fn checkpoint_sink_reports_its_path_and_flushes() {
+        let dir = std::env::temp_dir().join("parapsp-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sink.ckpt");
+        let sink = CheckpointSink::new(&path);
+        assert_eq!(sink.path(), path.as_path());
+        let cp = Checkpoint::new(crate::DistanceMatrix::new_infinite(3), vec![false; 3]);
+        sink.flush(&cp);
+        assert_eq!(persist::load_checkpoint(&path).unwrap(), cp);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn config_accessors_round_trip() {
+        let config = RunConfig::par_alg2(3)
+            .with_threads(5)
+            .with_max_distance(9)
+            .with_relax(RelaxImpl::Portable)
+            .with_label("custom");
+        assert_eq!(config.threads(), 5);
+        assert_eq!(config.ordering(), OrderingProcedure::selection());
+        assert_eq!(config.kernel().max_distance, Some(9));
+        assert_eq!(config.kernel().relax, RelaxImpl::Portable);
+        assert_eq!(config.label(), Some("custom"));
+        assert!(config.checkpoint().is_none());
+    }
+}

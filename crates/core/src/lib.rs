@@ -41,6 +41,7 @@ pub mod baselines;
 pub mod blocked_fw;
 pub mod dist;
 pub mod dynamic;
+pub mod engine;
 pub mod kernel;
 pub mod outcome;
 pub mod par;
@@ -53,6 +54,10 @@ pub mod stats;
 pub mod subset;
 
 pub use dist::DistanceMatrix;
+pub use engine::{
+    ApspEngine, BlockedFwEngine, Engine, EngineKind, RunConfig, Runner, SeqEngine, SubsetEngine,
+    ValueEnum,
+};
 pub use outcome::RunOutcome;
 pub use par::ParApsp;
 pub use relax::RelaxImpl;

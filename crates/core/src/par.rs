@@ -16,29 +16,31 @@
 //! shared through the publication protocol, so more parallelism means more
 //! reusable rows *sooner* — the effect the paper credits for hyper-linear
 //! speedup.
+//!
+//! **Deprecation notice.** [`ParApsp`] is now a thin shim over the unified
+//! execution pipeline — [`crate::engine::Runner`] driving an
+//! [`crate::engine::ApspEngine`] with a [`crate::engine::RunConfig`] — and
+//! will be removed after one release. New code should construct the
+//! `Runner` directly; every `ParApsp::par_*` constructor has a same-named
+//! `RunConfig` counterpart.
 
 use std::path::PathBuf;
-use std::time::Instant;
 
-use parapsp_graph::{degree, CsrGraph};
+use parapsp_graph::CsrGraph;
 use parapsp_order::OrderingProcedure;
-use parapsp_parfor::{CancelStatus, CancelToken, PerThread, Schedule, ThreadPool};
+use parapsp_parfor::{CancelToken, Schedule, ThreadPool};
 
-use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
+use crate::engine::{ApspEngine, RunConfig, Runner};
+use crate::kernel::KernelOptions;
 use crate::outcome::RunOutcome;
-use crate::persist::{self, Checkpoint};
-use crate::shared::SharedDistState;
-use crate::stats::{ApspOutput, Counters, PhaseTimings};
-
-/// Where and how often a run writes its partial-progress checkpoint.
-#[derive(Debug, Clone)]
-struct CheckpointPolicy {
-    path: PathBuf,
-    every: usize,
-}
+use crate::persist::Checkpoint;
+use crate::stats::ApspOutput;
 
 /// Configurable parallel APSP driver. Build with a named constructor (the
 /// paper's algorithms) or customize any piece with the `with_*` methods.
+///
+/// Deprecated shim: delegates to [`Runner`] + [`ApspEngine`]; prefer those
+/// in new code (this type will be removed after one release).
 ///
 /// ```
 /// use parapsp_core::ParApsp;
@@ -51,12 +53,7 @@ struct CheckpointPolicy {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ParApsp {
-    threads: usize,
-    schedule: Schedule,
-    ordering: OrderingProcedure,
-    kernel: KernelOptions,
-    checkpoint: Option<CheckpointPolicy>,
-    label: String,
+    config: RunConfig,
 }
 
 impl ParApsp {
@@ -64,12 +61,7 @@ impl ParApsp {
     /// default block partitioning.
     pub fn par_alg1(threads: usize) -> Self {
         ParApsp {
-            threads,
-            schedule: Schedule::Block,
-            ordering: OrderingProcedure::Identity,
-            kernel: KernelOptions::default(),
-            checkpoint: None,
-            label: "ParAlg1".into(),
+            config: RunConfig::par_alg1(threads),
         }
     }
 
@@ -77,36 +69,21 @@ impl ParApsp {
     /// dynamic-cyclic scheduled SSSP sweep.
     pub fn par_alg2(threads: usize) -> Self {
         ParApsp {
-            threads,
-            schedule: Schedule::dynamic_cyclic(),
-            ordering: OrderingProcedure::selection(),
-            kernel: KernelOptions::default(),
-            checkpoint: None,
-            label: "ParAlg2".into(),
+            config: RunConfig::par_alg2(threads),
         }
     }
 
     /// The ParBuckets variant (§4.1): approximate parallel bucket ordering.
     pub fn with_par_buckets(threads: usize) -> Self {
         ParApsp {
-            threads,
-            schedule: Schedule::dynamic_cyclic(),
-            ordering: OrderingProcedure::par_buckets(),
-            kernel: KernelOptions::default(),
-            checkpoint: None,
-            label: "ParBuckets".into(),
+            config: RunConfig::par_buckets(threads),
         }
     }
 
     /// The ParMax variant (§4.2): exact max+1-bucket ordering.
     pub fn with_par_max(threads: usize) -> Self {
         ParApsp {
-            threads,
-            schedule: Schedule::dynamic_cyclic(),
-            ordering: OrderingProcedure::par_max(),
-            kernel: KernelOptions::default(),
-            checkpoint: None,
-            label: "ParMax".into(),
+            config: RunConfig::par_max(threads),
         }
     }
 
@@ -115,30 +92,25 @@ impl ParApsp {
     #[allow(clippy::self_named_constructors)] // named after the paper's algorithm
     pub fn par_apsp(threads: usize) -> Self {
         ParApsp {
-            threads,
-            schedule: Schedule::dynamic_cyclic(),
-            ordering: OrderingProcedure::multi_lists(),
-            kernel: KernelOptions::default(),
-            checkpoint: None,
-            label: "ParAPSP".into(),
+            config: RunConfig::par_apsp(threads),
         }
     }
 
     /// Overrides the loop schedule (for the Fig. 1 scheduling study).
     pub fn with_schedule(mut self, schedule: Schedule) -> Self {
-        self.schedule = schedule;
+        self.config = self.config.with_schedule(schedule);
         self
     }
 
     /// Overrides the ordering procedure.
     pub fn with_ordering(mut self, ordering: OrderingProcedure) -> Self {
-        self.ordering = ordering;
+        self.config = self.config.with_ordering(ordering);
         self
     }
 
     /// Overrides the kernel ablation switches.
     pub fn with_kernel_options(mut self, kernel: KernelOptions) -> Self {
-        self.kernel = kernel;
+        self.config = self.config.with_kernel_options(kernel);
         self
     }
 
@@ -146,7 +118,7 @@ impl ParApsp {
     /// `INF`. Exact within the cap; large work savings on small-world
     /// graphs when only near neighborhoods matter.
     pub fn with_max_distance(mut self, cap: u32) -> Self {
-        self.kernel.max_distance = Some(cap);
+        self.config = self.config.with_max_distance(cap);
         self
     }
 
@@ -156,7 +128,7 @@ impl ParApsp {
     /// specific path on heterogeneous fleets. The default is
     /// [`RelaxImpl::Auto`](crate::relax::RelaxImpl::Auto).
     pub fn with_relax(mut self, relax: crate::relax::RelaxImpl) -> Self {
-        self.kernel.relax = relax;
+        self.config = self.config.with_relax(relax);
         self
     }
 
@@ -164,7 +136,7 @@ impl ParApsp {
     /// sources the driver writes a version-2 checkpoint (atomically —
     /// temp file + rename) to `path`. A run killed between writes loses
     /// at most `every` rows of work; reload the file with
-    /// [`persist::load_checkpoint`] and continue via
+    /// [`crate::persist::load_checkpoint`] and continue via
     /// [`ParApsp::run_resumed`].
     ///
     /// Checkpointing inserts a barrier every `every` sources, so small
@@ -176,29 +148,29 @@ impl ParApsp {
     /// checkpoint write fails (durability was explicitly requested; a
     /// silently unwritable checkpoint would defeat it).
     pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
-        assert!(every > 0, "checkpoint interval must be at least 1 source");
-        self.checkpoint = Some(CheckpointPolicy {
-            path: path.into(),
-            every,
-        });
+        self.config = self.config.with_checkpoint(path, every);
         self
     }
 
     /// Overrides the report label.
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
-        self.label = label.into();
+        self.config = self.config.with_label(label);
         self
     }
 
     /// Configured thread count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.config.threads()
+    }
+
+    /// The driver's full configuration (the value a [`Runner`] consumes).
+    pub fn config(&self) -> &RunConfig {
+        &self.config
     }
 
     /// Runs the driver on `graph`, creating a fresh thread pool.
     pub fn run(&self, graph: &CsrGraph) -> ApspOutput {
-        let pool = ThreadPool::new(self.threads);
-        self.run_with_pool(graph, &pool)
+        Runner::new(self.config.clone()).run(ApspEngine::new(), graph)
     }
 
     /// Cancellable [`ParApsp::run`]: the sweep polls `token` at every chunk
@@ -208,12 +180,12 @@ impl ParApsp {
     /// input to [`ParApsp::run_resumed`] (which lands on the bit-identical
     /// final matrix).
     pub fn run_with_token(&self, graph: &CsrGraph, token: &CancelToken) -> RunOutcome<ApspOutput> {
-        let pool = ThreadPool::new(self.threads);
-        self.run_inner(graph, &pool, None, None, Some(token))
+        Runner::new(self.config.clone()).run_with_token(ApspEngine::new(), graph, token)
     }
 
     /// Cancellable [`ParApsp::run_resumed`]: continues from `checkpoint`
     /// and may itself be interrupted again, yielding a newer checkpoint.
+    /// (Deprecated shim for `Runner::run_resumed_with_token`.)
     ///
     /// # Panics
     ///
@@ -224,15 +196,12 @@ impl ParApsp {
         checkpoint: Checkpoint,
         token: &CancelToken,
     ) -> RunOutcome<ApspOutput> {
-        assert_eq!(
-            checkpoint.n(),
-            graph.vertex_count(),
-            "checkpoint is for a {}-vertex matrix but the graph has {} vertices",
-            checkpoint.n(),
-            graph.vertex_count()
-        );
-        let pool = ThreadPool::new(self.threads);
-        self.run_inner(graph, &pool, None, Some(checkpoint), Some(token))
+        Runner::new(self.config.clone()).run_resumed_with_token(
+            ApspEngine::new(),
+            graph,
+            checkpoint,
+            token,
+        )
     }
 
     /// Continues an interrupted run from a checkpoint: rows the
@@ -249,16 +218,7 @@ impl ParApsp {
     ///
     /// Panics when the checkpoint's matrix size does not match `graph`.
     pub fn run_resumed(&self, graph: &CsrGraph, checkpoint: Checkpoint) -> ApspOutput {
-        assert_eq!(
-            checkpoint.n(),
-            graph.vertex_count(),
-            "checkpoint is for a {}-vertex matrix but the graph has {} vertices",
-            checkpoint.n(),
-            graph.vertex_count()
-        );
-        let pool = ThreadPool::new(self.threads);
-        self.run_inner(graph, &pool, None, Some(checkpoint), None)
-            .unwrap_complete()
+        Runner::new(self.config.clone()).run_resumed(ApspEngine::new(), graph, checkpoint)
     }
 
     /// Like [`ParApsp::run`], additionally returning the wall time each
@@ -269,153 +229,13 @@ impl ParApsp {
     /// block partition of a degree-sorted loop is maximally imbalanced,
     /// Fig. 1), and sources processed *later* get cheaper (row reuse).
     pub fn run_traced(&self, graph: &CsrGraph) -> (ApspOutput, Vec<std::time::Duration>) {
-        let pool = ThreadPool::new(self.threads);
-        let n = graph.vertex_count();
-        let mut nanos: Vec<u64> = vec![0; n];
-        let out = {
-            let view = parapsp_parfor::ParSlice::new(&mut nanos[..]);
-            self.run_inner(graph, &pool, Some(&view), None, None)
-                .unwrap_complete()
-        };
-        (
-            out,
-            nanos
-                .into_iter()
-                .map(std::time::Duration::from_nanos)
-                .collect(),
-        )
+        Runner::new(self.config.clone()).run_traced(ApspEngine::new(), graph)
     }
 
     /// Runs the driver on `graph` using an existing pool (the pool's thread
     /// count wins over the configured one).
     pub fn run_with_pool(&self, graph: &CsrGraph, pool: &ThreadPool) -> ApspOutput {
-        // Without a token the sweep cannot stop early, so the outcome is
-        // always `Complete`.
-        self.run_inner(graph, pool, None, None, None)
-            .unwrap_complete()
-    }
-
-    fn run_inner(
-        &self,
-        graph: &CsrGraph,
-        pool: &ThreadPool,
-        trace: Option<&parapsp_parfor::ParSlice<'_, u64>>,
-        resume: Option<Checkpoint>,
-        token: Option<&CancelToken>,
-    ) -> RunOutcome<ApspOutput> {
-        let n = graph.vertex_count();
-        let start = Instant::now();
-
-        // Phase 1: source ordering.
-        let degrees = degree::out_degrees(graph);
-        let t_order = Instant::now();
-        let order = self.ordering.compute(&degrees, pool);
-        let ordering = t_order.elapsed();
-        debug_assert_eq!(order.len(), n);
-
-        // Phase 2: the parallel SSSP sweep. A resumed run pre-publishes
-        // the checkpoint's completed rows and sweeps only the rest, in
-        // the same (degree) order a fresh run would visit them.
-        let (state, todo) = match resume {
-            Some(checkpoint) => {
-                let (dist, completed) = checkpoint.into_parts();
-                let todo: Vec<u32> = order
-                    .iter()
-                    .copied()
-                    .filter(|&s| !completed[s as usize])
-                    .collect();
-                (SharedDistState::from_parts(dist, &completed), todo)
-            }
-            None => (SharedDistState::new(n), order.clone()),
-        };
-        let locals: PerThread<(Workspace, Counters, std::time::Duration)> =
-            PerThread::from_fn(pool.num_threads(), |_| {
-                (
-                    Workspace::new(n),
-                    Counters::default(),
-                    std::time::Duration::ZERO,
-                )
-            });
-        let kernel = self.kernel;
-        let state_ref = &state;
-        let t_sssp = Instant::now();
-        let sweep = |chunk: &[u32]| -> CancelStatus {
-            let body = |tid: usize, k: usize| {
-                let s = chunk[k];
-                // SAFETY: each pool thread touches only its own scratch slot.
-                let (ws, counters, busy) = unsafe { locals.get_mut(tid) };
-                let t0 = Instant::now();
-                // `todo` is drawn from a permutation, so source `s` belongs
-                // to exactly this iteration — satisfying the
-                // unique-row-owner contract of the kernel (and of
-                // `SharedDistState::row_mut`).
-                modified_dijkstra(graph, s, state_ref, ws, kernel, counters, None);
-                let elapsed = t0.elapsed();
-                *busy += elapsed;
-                if let Some(view) = trace {
-                    // SAFETY: as above, the trace slot of `s` belongs
-                    // exclusively to this iteration.
-                    unsafe { view.write(s as usize, elapsed.as_nanos() as u64) };
-                }
-            };
-            match token {
-                Some(token) => {
-                    pool.parallel_for_cancellable(chunk.len(), self.schedule, token, body)
-                }
-                None => {
-                    pool.parallel_for(chunk.len(), self.schedule, body);
-                    CancelStatus::Continue
-                }
-            }
-        };
-        let status = match &self.checkpoint {
-            Some(policy) => {
-                // Between chunks no row owner is active, so a snapshot of
-                // the published rows is a consistent checkpoint.
-                let mut status = CancelStatus::Continue;
-                for chunk in todo.chunks(policy.every) {
-                    status = sweep(chunk);
-                    let (dist, completed) = state.snapshot();
-                    let cp = Checkpoint::new(dist, completed);
-                    persist::save_checkpoint(&cp, &policy.path).unwrap_or_else(|err| {
-                        panic!("writing checkpoint {}: {err}", policy.path.display())
-                    });
-                    if status.is_stop() {
-                        break;
-                    }
-                }
-                status
-            }
-            None => sweep(&todo),
-        };
-        let sssp = t_sssp.elapsed();
-
-        if status.is_stop() {
-            // The cancellable loop has drained: no row owner is active, so
-            // the published rows form a consistent partial matrix.
-            let (dist, completed) = state.snapshot();
-            return RunOutcome::from_stop(status, Checkpoint::new(dist, completed));
-        }
-
-        debug_assert_eq!(state.published_count(), n);
-        let mut counters = Counters::default();
-        let mut thread_busy = Vec::with_capacity(pool.num_threads());
-        for (_, c, busy) in locals.into_inner() {
-            counters.merge(&c);
-            thread_busy.push(busy);
-        }
-        RunOutcome::Complete(ApspOutput {
-            dist: state.into_matrix(),
-            timings: PhaseTimings {
-                ordering,
-                sssp,
-                total: start.elapsed(),
-            },
-            counters,
-            threads: pool.num_threads(),
-            algorithm: self.label.clone(),
-            thread_busy,
-        })
+        Runner::new(self.config.clone()).run_with_pool(ApspEngine::new(), graph, pool)
     }
 }
 
@@ -530,6 +350,7 @@ mod tests {
             .with_relax(crate::relax::RelaxImpl::Portable)
             .with_schedule(Schedule::StaticCyclic);
         assert_eq!(d.threads(), 2);
+        assert_eq!(d.config().label(), Some("custom"));
         let g = barabasi_albert(60, 2, WeightSpec::Unit, 1).unwrap();
         let out = d.run(&g);
         assert_eq!(out.algorithm, "custom");

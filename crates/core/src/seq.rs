@@ -4,81 +4,25 @@
 //! against in the evaluation and the reference implementations the test
 //! suite validates parallel output against (the paper stresses that the
 //! parallel solution returns "the exact same outputs").
+//!
+//! **Deprecation notice.** The whole `seq_*` family is now a set of thin
+//! shims over one configurable engine — [`crate::engine::SeqEngine`]
+//! driven by a [`crate::engine::Runner`] — and will be removed after one
+//! release. The basic/optimized/bucket variants differ only in the
+//! [`RunConfig`]'s ordering procedure; the adaptive variant is
+//! [`SeqEngine::adaptive`].
 
-use std::time::Instant;
+use parapsp_graph::CsrGraph;
+use parapsp_parfor::CancelToken;
 
-use parapsp_graph::{degree, CsrGraph};
-use parapsp_order::OrderingProcedure;
-use parapsp_parfor::{CancelToken, ThreadPool};
-
-use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
+use crate::engine::{RunConfig, Runner, SeqEngine};
 use crate::outcome::RunOutcome;
-use crate::persist::Checkpoint;
-use crate::shared::SharedDistState;
-use crate::stats::{ApspOutput, Counters, PhaseTimings};
-
-fn run_in_order(
-    graph: &CsrGraph,
-    order: &[u32],
-    options: KernelOptions,
-    ordering_time: std::time::Duration,
-    label: &str,
-) -> ApspOutput {
-    // No token, so the sweep cannot stop early.
-    run_in_order_cancellable(graph, order, options, ordering_time, label, None).unwrap_complete()
-}
-
-fn run_in_order_cancellable(
-    graph: &CsrGraph,
-    order: &[u32],
-    options: KernelOptions,
-    ordering_time: std::time::Duration,
-    label: &str,
-    token: Option<&CancelToken>,
-) -> RunOutcome<ApspOutput> {
-    let n = graph.vertex_count();
-    let state = SharedDistState::new(n);
-    let mut ws = Workspace::new(n);
-    let mut counters = Counters::default();
-    let sssp_start = Instant::now();
-    for &s in order {
-        if let Some(token) = token {
-            let status = token.poll();
-            if status.is_stop() {
-                // Between sources every started row is published, so the
-                // snapshot is a consistent resumable checkpoint.
-                let (dist, completed) = state.snapshot();
-                return RunOutcome::from_stop(status, Checkpoint::new(dist, completed));
-            }
-        }
-        modified_dijkstra(graph, s, &state, &mut ws, options, &mut counters, None);
-    }
-    let sssp = sssp_start.elapsed();
-    RunOutcome::Complete(ApspOutput {
-        dist: state.into_matrix(),
-        timings: PhaseTimings {
-            ordering: ordering_time,
-            sssp,
-            total: ordering_time + sssp,
-        },
-        counters,
-        threads: 1,
-        algorithm: label.to_owned(),
-        thread_busy: vec![sssp],
-    })
-}
+use crate::stats::ApspOutput;
 
 /// Peng's **basic** APSP (Alg. 2): the modified Dijkstra from every source
 /// in index order.
 pub fn seq_basic(graph: &CsrGraph) -> ApspOutput {
-    let order: Vec<u32> = (0..graph.vertex_count() as u32).collect();
-    run_in_order(
-        graph,
-        &order,
-        KernelOptions::default(),
-        std::time::Duration::ZERO,
-        "SeqBasic",
-    )
+    Runner::new(RunConfig::seq_basic()).run(SeqEngine::ordered(), graph)
 }
 
 /// Cancellable [`seq_basic`]: polls `token` between sources and, on a
@@ -86,32 +30,14 @@ pub fn seq_basic(graph: &CsrGraph) -> ApspOutput {
 /// [`crate::ParApsp::run_resumed`] (the resumed matrix is bit-identical to
 /// an uninterrupted run's).
 pub fn seq_basic_with_token(graph: &CsrGraph, token: &CancelToken) -> RunOutcome<ApspOutput> {
-    let order: Vec<u32> = (0..graph.vertex_count() as u32).collect();
-    run_in_order_cancellable(
-        graph,
-        &order,
-        KernelOptions::default(),
-        std::time::Duration::ZERO,
-        "SeqBasic",
-        Some(token),
-    )
+    Runner::new(RunConfig::seq_basic()).run_with_token(SeqEngine::ordered(), graph, token)
 }
 
 /// Peng's **optimized** APSP (Alg. 3): sources in descending degree order,
 /// established by the original O(n²) partial selection sort with ratio `r`
 /// (`0 < r <= 1`; the evaluation uses 1.0).
 pub fn seq_optimized(graph: &CsrGraph, ratio: f64) -> ApspOutput {
-    let degrees = degree::out_degrees(graph);
-    let t0 = Instant::now();
-    let order = parapsp_order::selection::partial_selection_sort(&degrees, ratio);
-    let ordering_time = t0.elapsed();
-    run_in_order(
-        graph,
-        &order,
-        KernelOptions::default(),
-        ordering_time,
-        "SeqOptimized",
-    )
+    Runner::new(RunConfig::seq_optimized(ratio)).run(SeqEngine::ordered(), graph)
 }
 
 /// Cancellable [`seq_optimized`]: polls `token` between sources; see
@@ -121,35 +47,13 @@ pub fn seq_optimized_with_token(
     ratio: f64,
     token: &CancelToken,
 ) -> RunOutcome<ApspOutput> {
-    let degrees = degree::out_degrees(graph);
-    let t0 = Instant::now();
-    let order = parapsp_order::selection::partial_selection_sort(&degrees, ratio);
-    let ordering_time = t0.elapsed();
-    run_in_order_cancellable(
-        graph,
-        &order,
-        KernelOptions::default(),
-        ordering_time,
-        "SeqOptimized",
-        Some(token),
-    )
+    Runner::new(RunConfig::seq_optimized(ratio)).run_with_token(SeqEngine::ordered(), graph, token)
 }
 
 /// Like [`seq_optimized`] but with an O(n) exact bucket ordering — used by
 /// tests and benches to isolate the ordering cost from the SSSP cost.
 pub fn seq_optimized_bucket(graph: &CsrGraph) -> ApspOutput {
-    let degrees = degree::out_degrees(graph);
-    let t0 = Instant::now();
-    let pool = ThreadPool::new(1);
-    let order = OrderingProcedure::SeqBucket.compute(&degrees, &pool);
-    let ordering_time = t0.elapsed();
-    run_in_order(
-        graph,
-        &order,
-        KernelOptions::default(),
-        ordering_time,
-        "SeqOptimizedBucket",
-    )
+    Runner::new(RunConfig::seq_optimized_bucket()).run(SeqEngine::ordered(), graph)
 }
 
 /// Peng's **adaptive** optimized APSP (described in §2.2 of the ICPP paper;
@@ -163,56 +67,8 @@ pub fn seq_optimized_bucket(graph: &CsrGraph) -> ApspOutput {
 /// the highest `credit * credit_weight + degree` score. With
 /// `credit_weight = 0` this degenerates to the plain optimized algorithm.
 pub fn seq_adaptive(graph: &CsrGraph, credit_weight: u64) -> ApspOutput {
-    let n = graph.vertex_count();
-    let degrees = degree::out_degrees(graph);
-    let state = SharedDistState::new(n);
-    let mut ws = Workspace::new(n);
-    let mut counters = Counters::default();
-    let mut credit = vec![0u64; n];
-    let mut done = vec![false; n];
-    let options = KernelOptions::default();
-
-    let start = Instant::now();
-    for _ in 0..n {
-        // Argmax over unprocessed vertices; O(n) per pick, O(n²) total —
-        // dwarfed by the O(n^2.4) SSSP work it orders.
-        let mut best: Option<(u64, u32)> = None;
-        for v in 0..n as u32 {
-            if done[v as usize] {
-                continue;
-            }
-            let score = credit[v as usize]
-                .saturating_mul(credit_weight)
-                .saturating_add(degrees[v as usize] as u64);
-            if best.map(|(b, _)| score > b).unwrap_or(true) {
-                best = Some((score, v));
-            }
-        }
-        let (_, s) = best.expect("unprocessed vertex must exist");
-        done[s as usize] = true;
-        modified_dijkstra(
-            graph,
-            s,
-            &state,
-            &mut ws,
-            options,
-            &mut counters,
-            Some(&mut credit),
-        );
-    }
-    let total = start.elapsed();
-    ApspOutput {
-        dist: state.into_matrix(),
-        timings: PhaseTimings {
-            ordering: std::time::Duration::ZERO,
-            sssp: total,
-            total,
-        },
-        counters,
-        threads: 1,
-        algorithm: format!("SeqAdaptive(w={credit_weight})"),
-        thread_busy: vec![total],
-    }
+    Runner::new(RunConfig::seq_adaptive(credit_weight))
+        .run(SeqEngine::adaptive(credit_weight), graph)
 }
 
 #[cfg(test)]
@@ -229,6 +85,8 @@ mod tests {
         assert_eq!(basic.dist.first_difference(&optimized.dist), None);
         assert_eq!(basic.counters.sources, 200);
         assert!(basic.dist.is_symmetric());
+        assert_eq!(basic.algorithm, "SeqBasic");
+        assert_eq!(optimized.algorithm, "SeqOptimized");
     }
 
     #[test]
@@ -257,6 +115,7 @@ mod tests {
                 None,
                 "credit weight {w}"
             );
+            assert_eq!(adaptive.algorithm, format!("SeqAdaptive(w={w})"));
         }
     }
 
@@ -321,6 +180,21 @@ mod tests {
         let mut buf = Vec::new();
         crate::persist::write_checkpoint(&cp, &mut buf).unwrap();
         assert!(crate::persist::read_checkpoint(buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn seq_engine_resumes_from_a_seq_checkpoint() {
+        // The collapsed engine resumes its own checkpoints (previously only
+        // ParApsp could resume a seq checkpoint).
+        let g = barabasi_albert(110, 3, WeightSpec::Uniform { lo: 1, hi: 7 }, 29).unwrap();
+        let full = seq_basic(&g);
+        let token = parapsp_parfor::CancelToken::with_poll_budget(30);
+        let cp = seq_basic_with_token(&g, &token)
+            .into_checkpoint()
+            .expect("30 < 110 sources");
+        let resumed = Runner::new(RunConfig::seq_basic()).run_resumed(SeqEngine::ordered(), &g, cp);
+        assert_eq!(full.dist.first_difference(&resumed.dist), None);
+        assert_eq!(resumed.counters.sources, 110 - 30);
     }
 
     #[test]

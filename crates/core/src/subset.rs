@@ -7,6 +7,12 @@
 //! those sources, with row reuse **among the subset** (a completed subset
 //! row accelerates the remaining subset runs exactly as in full ParAPSP),
 //! in O(k·n) memory.
+//!
+//! The algorithm-specific parts live in [`SubsetEngine`], driven by the
+//! unified [`Runner`] pipeline — which is how the subset path gained
+//! resume, periodic checkpoints, `max_distance` caps, and relax selection
+//! for free. [`par_apsp_subset`] / [`par_apsp_subset_cancellable`] remain
+//! as thin shims (to be removed after one release).
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
@@ -15,12 +21,14 @@ use std::time::Instant;
 
 use parapsp_graph::{degree, CsrGraph, INF};
 use parapsp_order::seq_bucket::seq_bucket_sort;
-use parapsp_parfor::{BitSet, CancelStatus, CancelToken, PerThread, Schedule, ThreadPool};
+use parapsp_order::OrderingProcedure;
+use parapsp_parfor::{BitSet, CancelStatus, CancelToken, PerThread, ThreadPool};
 
 use crate::dist::DistanceMatrix;
+use crate::engine::{Engine, Plan, RowsCtx, RowsOutcome, RunConfig, RunSummary, Runner};
 use crate::outcome::RunOutcome;
 use crate::persist::Checkpoint;
-use crate::relax::{relax_row, RelaxImpl};
+use crate::relax::relax_row;
 
 /// Distance rows for a chosen set of sources, in O(k·n) memory.
 #[derive(Debug)]
@@ -128,12 +136,194 @@ impl SubsetState {
     }
 }
 
+/// The subset-of-sources engine: modified Dijkstra (SPFA form) from `k`
+/// chosen sources into a k × n row store, with row reuse among the subset.
+///
+/// Work units are *slot indices* into the source list. Through the
+/// [`Runner`] it supports everything the full-matrix engines do — resume
+/// from a vertex-keyed checkpoint, periodic checkpointing, distance caps,
+/// and relax-implementation selection via the [`RunConfig`] kernel
+/// options. With [`OrderingProcedure::Identity`] slots run in list order;
+/// any other ordering visits subset sources in descending degree order.
+pub struct SubsetEngine {
+    sources: Vec<u32>,
+    state: Option<SubsetState>,
+    locals: Option<PerThread<(VecDeque<u32>, BitSet)>>,
+}
+
+impl SubsetEngine {
+    /// An engine computing the rows of `sources` (duplicates rejected at
+    /// [`Engine::prepare`] time).
+    pub fn new(sources: Vec<u32>) -> Self {
+        SubsetEngine {
+            sources,
+            state: None,
+            locals: None,
+        }
+    }
+
+    /// The configured sources, in slot order.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+}
+
+impl Engine for SubsetEngine {
+    type Output = SubsetRows;
+
+    fn name(&self) -> &str {
+        "SubsetRows"
+    }
+
+    fn prepare(
+        &mut self,
+        graph: &CsrGraph,
+        config: &RunConfig,
+        pool: &ThreadPool,
+        resume: Option<Checkpoint>,
+    ) -> Plan {
+        let n = graph.vertex_count();
+        let state = SubsetState::new(n, &self.sources);
+
+        let t_order = Instant::now();
+        let order: Vec<u32> = match config.ordering() {
+            // Identity keeps the caller's slot order.
+            OrderingProcedure::Identity => (0..self.sources.len() as u32).collect(),
+            // Anything else: visit subset sources hub-first (same
+            // rationale as Alg. 3), via the exact O(k) bucket sort.
+            _ => {
+                let degrees = degree::out_degrees(graph);
+                let subset_degrees: Vec<u32> =
+                    self.sources.iter().map(|&s| degrees[s as usize]).collect();
+                seq_bucket_sort(&subset_degrees) // indices into `sources`
+            }
+        };
+        let ordering = t_order.elapsed();
+
+        // A resumed run pre-publishes the checkpoint's finished subset
+        // rows (the checkpoint is keyed by vertex id) and sweeps the rest.
+        let units = match resume {
+            Some(checkpoint) => {
+                let (dist, completed) = checkpoint.into_parts();
+                for (slot, &s) in self.sources.iter().enumerate() {
+                    if completed[s as usize] {
+                        // SAFETY: pre-sweep, this thread is the unique owner
+                        // of every unpublished slot.
+                        unsafe { state.row_mut(slot as u32) }.copy_from_slice(dist.row(s));
+                        state.publish(slot as u32);
+                    }
+                }
+                order
+                    .iter()
+                    .copied()
+                    .filter(|&slot| !completed[self.sources[slot as usize] as usize])
+                    .collect()
+            }
+            None => order,
+        };
+        self.state = Some(state);
+        self.locals = Some(PerThread::from_fn(pool.num_threads(), |_| {
+            (VecDeque::new(), BitSet::new(n))
+        }));
+        Plan { units, ordering }
+    }
+
+    fn run_rows(&mut self, graph: &CsrGraph, units: &[u32], ctx: &RowsCtx<'_>) -> RowsOutcome {
+        let state = self.state.as_ref().expect("prepare() not called");
+        let locals = self.locals.as_ref().expect("prepare() not called");
+        let sources = &self.sources;
+        let kernel = ctx.config.kernel();
+        let cap = kernel.max_distance.unwrap_or(u32::MAX);
+        let relax_impl = kernel.relax.resolve();
+        let trace = ctx.trace;
+        let body = |tid: usize, k: usize| {
+            let slot = units[k];
+            let s = sources[slot as usize];
+            // SAFETY: one scratch slot per pool thread.
+            let (queue, in_queue) = unsafe { locals.get_mut(tid) };
+            let t0 = Instant::now();
+            // SAFETY: `units` is drawn from a permutation of slots, so this
+            // task is the unique owner of `slot`.
+            let row = unsafe { state.row_mut(slot) };
+            row[s as usize] = 0;
+            queue.push_back(s);
+            in_queue.set(s as usize);
+            while let Some(t) = queue.pop_front() {
+                in_queue.clear(t as usize);
+                let dt = row[t as usize];
+                if t != s {
+                    if let Some(t_row) = state.published_row_of_vertex(t) {
+                        relax_row(relax_impl, row, t_row, dt, cap);
+                        continue;
+                    }
+                }
+                for (v, w) in graph.out_edges(t) {
+                    let alt = dt.saturating_add(w);
+                    if alt < row[v as usize] && alt <= cap {
+                        row[v as usize] = alt;
+                        if !in_queue.get(v as usize) {
+                            queue.push_back(v);
+                            in_queue.set(v as usize);
+                        }
+                    }
+                }
+            }
+            state.publish(slot);
+            if let Some(view) = trace {
+                // SAFETY: as above, the trace slot of `s` belongs
+                // exclusively to this iteration.
+                unsafe { view.write(s as usize, t0.elapsed().as_nanos() as u64) };
+            }
+        };
+        match ctx.token {
+            Some(token) => {
+                ctx.pool
+                    .parallel_for_cancellable(units.len(), ctx.config.schedule(), token, body)
+            }
+            None => {
+                ctx.pool
+                    .parallel_for(units.len(), ctx.config.schedule(), body);
+                CancelStatus::Continue
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Checkpoint {
+        // Published subset rows are final. Place them in an n × n
+        // checkpoint keyed by *vertex* id (the persistent format has no
+        // notion of subset slots).
+        let state = self.state.as_ref().expect("prepare() not called");
+        let mut dist = DistanceMatrix::new_infinite(state.n);
+        let mut completed = vec![false; state.n];
+        for &s in &self.sources {
+            if let Some(row) = state.published_row_of_vertex(s) {
+                dist.copy_row_from(s, row);
+                completed[s as usize] = true;
+            }
+        }
+        Checkpoint::new(dist, completed)
+    }
+
+    fn finish(self, _graph: &CsrGraph, summary: RunSummary) -> SubsetRows {
+        let state = self.state.expect("prepare() not called");
+        // SAFETY: all rows published; single ownership again.
+        let data: Box<[u32]> = unsafe { Box::from_raw(Box::into_raw(state.cells) as *mut [u32]) };
+        SubsetRows {
+            n: state.n,
+            sources: self.sources,
+            data,
+            elapsed: summary.timings.total,
+        }
+    }
+}
+
 /// Runs the modified Dijkstra from every vertex in `sources` (duplicates
 /// rejected), visiting them in descending degree order and reusing rows
 /// completed within the subset. Memory: O(k·n).
+///
+/// Deprecated shim over [`Runner`] + [`SubsetEngine`].
 pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> SubsetRows {
-    // No token, so the sweep cannot stop early.
-    run_subset(graph, sources, threads, None).unwrap_complete()
+    Runner::new(RunConfig::subset(threads)).run(SubsetEngine::new(sources.to_vec()), graph)
 }
 
 /// Cancellable [`par_apsp_subset`]: polls `token` before every source. On
@@ -141,102 +331,19 @@ pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> Sub
 /// *finished subset rows* are marked complete — loadable with
 /// [`crate::persist::read_checkpoint`] and resumable (to the full matrix)
 /// with [`crate::ParApsp::run_resumed`], or re-run the remaining subset.
+///
+/// Deprecated shim over [`Runner`] + [`SubsetEngine`].
 pub fn par_apsp_subset_cancellable(
     graph: &CsrGraph,
     sources: &[u32],
     threads: usize,
     token: &CancelToken,
 ) -> RunOutcome<SubsetRows> {
-    run_subset(graph, sources, threads, Some(token))
-}
-
-fn run_subset(
-    graph: &CsrGraph,
-    sources: &[u32],
-    threads: usize,
-    token: Option<&CancelToken>,
-) -> RunOutcome<SubsetRows> {
-    let n = graph.vertex_count();
-    let start = Instant::now();
-    let state = SubsetState::new(n, sources);
-
-    // Visit subset sources hub-first (same rationale as Alg. 3).
-    let degrees = degree::out_degrees(graph);
-    let subset_degrees: Vec<u32> = sources.iter().map(|&s| degrees[s as usize]).collect();
-    let order: Vec<u32> = seq_bucket_sort(&subset_degrees); // indices into `sources`
-
-    let pool = ThreadPool::new(threads);
-    let locals: PerThread<(VecDeque<u32>, BitSet)> =
-        PerThread::from_fn(pool.num_threads(), |_| (VecDeque::new(), BitSet::new(n)));
-    let relax_impl = RelaxImpl::Auto.resolve();
-    let state_ref = &state;
-    let order_ref = &order;
-    let body = |tid: usize, k: usize| {
-        let slot = order_ref[k];
-        let s = sources[slot as usize];
-        // SAFETY: one scratch slot per pool thread.
-        let (queue, in_queue) = unsafe { locals.get_mut(tid) };
-        // SAFETY: `order` is a permutation of slots, so this task is the
-        // unique owner of `slot`.
-        let row = unsafe { state_ref.row_mut(slot) };
-        row[s as usize] = 0;
-        queue.push_back(s);
-        in_queue.set(s as usize);
-        while let Some(t) = queue.pop_front() {
-            in_queue.clear(t as usize);
-            let dt = row[t as usize];
-            if t != s {
-                if let Some(t_row) = state_ref.published_row_of_vertex(t) {
-                    relax_row(relax_impl, row, t_row, dt, u32::MAX);
-                    continue;
-                }
-            }
-            for (v, w) in graph.out_edges(t) {
-                let alt = dt.saturating_add(w);
-                if alt < row[v as usize] {
-                    row[v as usize] = alt;
-                    if !in_queue.get(v as usize) {
-                        queue.push_back(v);
-                        in_queue.set(v as usize);
-                    }
-                }
-            }
-        }
-        state_ref.publish(slot);
-    };
-    let status = match token {
-        Some(token) => {
-            pool.parallel_for_cancellable(sources.len(), Schedule::dynamic_cyclic(), token, body)
-        }
-        None => {
-            pool.parallel_for(sources.len(), Schedule::dynamic_cyclic(), body);
-            CancelStatus::Continue
-        }
-    };
-
-    if status.is_stop() {
-        // The loop has drained, so every published subset row is final.
-        // Place them in an n × n checkpoint keyed by *vertex* id (the
-        // persistent format has no notion of subset slots).
-        let mut dist = DistanceMatrix::new_infinite(n);
-        let mut completed = vec![false; n];
-        for &s in sources {
-            if let Some(row) = state.published_row_of_vertex(s) {
-                dist.copy_row_from(s, row);
-                completed[s as usize] = true;
-            }
-        }
-        return RunOutcome::from_stop(status, Checkpoint::new(dist, completed));
-    }
-
-    // SAFETY: all rows published; single ownership again.
-    let data: Box<[u32]> = unsafe { Box::from_raw(Box::into_raw(state.cells) as *mut [u32]) };
-    RunOutcome::Complete(SubsetRows {
-        n,
-        sources: sources.to_vec(),
-        data,
-        elapsed: start.elapsed(),
-    })
+    Runner::new(RunConfig::subset(threads)).run_with_token(
+        SubsetEngine::new(sources.to_vec()),
+        graph,
+        token,
+    )
 }
 
 #[cfg(test)]
@@ -290,6 +397,25 @@ mod tests {
         let full = crate::par::ParApsp::par_apsp(4).run(&g);
         for s in 0..120u32 {
             assert_eq!(rows.row_of(s).unwrap(), full.dist.row(s));
+        }
+    }
+
+    #[test]
+    fn capped_subset_matches_post_filtered_rows() {
+        let g = barabasi_albert(150, 2, WeightSpec::Uniform { lo: 1, hi: 9 }, 71).unwrap();
+        let sources: Vec<u32> = vec![0, 9, 80, 149];
+        let cap = 12u32;
+        let exact = par_apsp_subset(&g, &sources, 2);
+        let capped = Runner::new(RunConfig::subset(2).with_max_distance(cap))
+            .run(SubsetEngine::new(sources.clone()), &g);
+        for (i, &s) in sources.iter().enumerate() {
+            let expected: Vec<u32> = exact
+                .row(i)
+                .iter()
+                .enumerate()
+                .map(|(v, &d)| if v as u32 != s && d > cap { INF } else { d })
+                .collect();
+            assert_eq!(capped.row(i), &expected[..], "source {s}");
         }
     }
 
@@ -348,6 +474,25 @@ mod tests {
         let mut buf = Vec::new();
         crate::persist::write_checkpoint(&cp, &mut buf).unwrap();
         assert_eq!(crate::persist::read_checkpoint(buf.as_slice()).unwrap(), cp);
+    }
+
+    #[test]
+    fn subset_resumes_its_own_checkpoint() {
+        let g = barabasi_albert(160, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 63).unwrap();
+        let sources: Vec<u32> = (0..160).step_by(4).collect(); // 40 sources
+        let full = par_apsp_subset(&g, &sources, 2);
+        let token = parapsp_parfor::CancelToken::with_poll_budget(15);
+        let cp = par_apsp_subset_cancellable(&g, &sources, 2, &token)
+            .into_checkpoint()
+            .expect("15 < 40 sources");
+        let resumed = Runner::new(RunConfig::subset(2)).run_resumed(
+            SubsetEngine::new(sources.clone()),
+            &g,
+            cp,
+        );
+        for (i, _) in sources.iter().enumerate() {
+            assert_eq!(resumed.row(i), full.row(i), "slot {i}");
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod fault;
 mod node;
 
 pub use cluster::{
-    dist_apsp, dist_apsp_cancellable, ClusterConfig, DistApspOutput, NodeStats, RetryPolicy,
-    SourcePartition, WatchdogConfig,
+    dist_apsp, dist_apsp_cancellable, ClusterConfig, DistApspOutput, DistEngine, NodeStats,
+    RetryPolicy, SourcePartition, WatchdogConfig,
 };
 pub use fault::FaultPlan;

@@ -12,8 +12,9 @@
 //! cargo run --release --example distributed_cluster
 //! ```
 
+use parapsp::core::{RunConfig, Runner};
 use parapsp::datasets::{find, Scale};
-use parapsp::dist::{dist_apsp, ClusterConfig};
+use parapsp::dist::{ClusterConfig, DistEngine};
 
 fn main() {
     let graph = find("WordNet")
@@ -39,14 +40,12 @@ fn main() {
     let mut reference = None;
     for nodes in [1usize, 2, 4] {
         for hub_fraction in [0.0, 0.02, 0.10] {
-            let out = dist_apsp(
-                &graph,
-                ClusterConfig {
-                    nodes,
-                    hub_fraction,
-                    ..Default::default()
-                },
-            );
+            let engine = DistEngine::new(ClusterConfig {
+                nodes,
+                hub_fraction,
+                ..Default::default()
+            });
+            let out = Runner::new(RunConfig::new(1)).run(engine, &graph);
             let remote: u64 = out.node_stats.iter().map(|s| s.remote_reuses).sum();
             let exact = match &reference {
                 None => {

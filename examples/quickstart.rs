@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use parapsp::core::ParApsp;
+use parapsp::core::{ApspEngine, RunConfig, Runner};
 use parapsp::graph::{Direction, GraphBuilder, INF};
 
 fn main() {
@@ -33,8 +33,9 @@ fn main() {
     let graph = builder.build();
 
     // Run the paper's ParAPSP (MultiLists ordering + dynamic-cyclic
-    // scheduling) on 4 threads.
-    let out = ParApsp::par_apsp(4).run(&graph);
+    // scheduling) on 4 threads: a `Runner` drives any engine under a
+    // `RunConfig`.
+    let out = Runner::new(RunConfig::par_apsp(4)).run(ApspEngine::new(), &graph);
 
     println!("algorithm: {}  threads: {}", out.algorithm, out.threads);
     println!(
@@ -69,5 +70,8 @@ fn main() {
     assert_eq!(out.dist.get(0, 5), 9); // 0 -> 3 -> 4 -> 5 = 2 + 4 + 3
     assert_eq!(out.dist.get(0, 2), 7); // 0 -> 3 -> 4 -> 1 -> 2 = 2+4+1+2 = 9? no: 0->1->2 = 5+2 = 7
     assert_eq!(out.dist.get(5, 0), INF); // no way back
-    println!("\nfastest 0 -> 5 route takes {} minutes", out.dist.get(0, 5));
+    println!(
+        "\nfastest 0 -> 5 route takes {} minutes",
+        out.dist.get(0, 5)
+    );
 }

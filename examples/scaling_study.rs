@@ -10,7 +10,7 @@
 //! still demonstrates the *algorithmic* gaps (ParAlg2 and ParAPSP beating
 //! ParAlg1, and ParAPSP eliminating ParAlg2's ordering overhead).
 
-use parapsp::core::ParApsp;
+use parapsp::core::{ApspEngine, RunConfig, Runner};
 use parapsp::datasets::{find, Scale};
 
 fn main() {
@@ -34,18 +34,20 @@ fn main() {
         "algorithm", "threads", "ordering", "sssp", "total", "speedup"
     );
     for (label, make) in [
-        ("ParAlg1", ParApsp::par_alg1 as fn(usize) -> ParApsp),
-        ("ParAlg2", ParApsp::par_alg2),
-        ("ParAPSP", ParApsp::par_apsp),
+        ("ParAlg1", RunConfig::par_alg1 as fn(usize) -> RunConfig),
+        ("ParAlg2", RunConfig::par_alg2),
+        ("ParAPSP", RunConfig::par_apsp),
     ] {
         let mut t1 = None;
         for &t in &threads {
-            let out = make(t).run(&graph);
+            let out = Runner::new(make(t)).run(ApspEngine::new(), &graph);
             let total = out.timings.total.as_secs_f64();
             let t1 = *t1.get_or_insert(total);
             println!(
                 "{label:<10} {t:>8} {:>12.2?} {:>12.2?} {:>12.2?} {:>8.2}x",
-                out.timings.ordering, out.timings.sssp, out.timings.total,
+                out.timings.ordering,
+                out.timings.sssp,
+                out.timings.total,
                 t1 / total
             );
         }

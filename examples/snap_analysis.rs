@@ -13,7 +13,7 @@ use parapsp::analysis::{
     centrality::{closeness_centrality, top_k, Normalization},
     paths::path_stats,
 };
-use parapsp::core::ParApsp;
+use parapsp::core::{ApspEngine, RunConfig, Runner};
 use parapsp::graph::degree;
 use parapsp::graph::io::{read_edge_list_file, ParseOptions};
 use parapsp::graph::Direction;
@@ -50,7 +50,7 @@ fn main() {
         std::process::exit(1);
     }
 
-    let out = ParApsp::par_apsp(4).run(graph);
+    let out = Runner::new(RunConfig::par_apsp(4)).run(ApspEngine::new(), graph);
     println!("\nParAPSP finished in {:?}", out.timings.total);
 
     let ps = path_stats(&out.dist);

@@ -15,7 +15,7 @@ use parapsp::analysis::{
     centrality::{closeness_centrality, harmonic_centrality, top_k, Normalization},
     paths::{distance_distribution, path_stats},
 };
-use parapsp::core::ParApsp;
+use parapsp::core::{ApspEngine, RunConfig, Runner};
 use parapsp::graph::degree;
 use parapsp::graph::generate::{barabasi_albert, WeightSpec};
 
@@ -30,7 +30,7 @@ fn main() {
         degrees.iter().max().unwrap()
     );
 
-    let out = ParApsp::par_apsp(4).run(&graph);
+    let out = Runner::new(RunConfig::par_apsp(4)).run(ApspEngine::new(), &graph);
     println!(
         "APSP solved in {:?} ({} row reuses did the work of full searches)\n",
         out.timings.total, out.counters.row_reuses
@@ -48,7 +48,10 @@ fn main() {
     for (d, count) in hist.iter().enumerate().skip(1) {
         if *count > 0 {
             let share = *count as f64 / stats.reachable_pairs as f64 * 100.0;
-            println!("  {d} hops: {share:5.1}%  {}", "#".repeat((share / 2.0) as usize));
+            println!(
+                "  {d} hops: {share:5.1}%  {}",
+                "#".repeat((share / 2.0) as usize)
+            );
         }
     }
 

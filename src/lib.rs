@@ -8,7 +8,7 @@
 //! use parapsp::prelude::*;
 //!
 //! let graph = barabasi_albert(500, 3, WeightSpec::Unit, 42).unwrap();
-//! let out = ParApsp::par_apsp(4).run(&graph);
+//! let out = Runner::new(RunConfig::par_apsp(4)).run(ApspEngine::new(), &graph);
 //! assert_eq!(out.dist.get(0, 0), 0);
 //! ```
 //!
@@ -32,7 +32,10 @@ pub use parapsp_parfor as parfor;
 /// The items most programs need, importable in one line.
 pub mod prelude {
     pub use parapsp_core::baselines;
-    pub use parapsp_core::{ApspOutput, DistanceMatrix, ParApsp, INF};
+    pub use parapsp_core::{
+        ApspEngine, ApspOutput, DistanceMatrix, Engine, EngineKind, ParApsp, RunConfig, Runner,
+        SeqEngine, SubsetEngine, INF,
+    };
     pub use parapsp_datasets::{find as find_dataset, paper_datasets, Scale};
     pub use parapsp_graph::generate::{
         barabasi_albert, erdos_renyi_gnm, erdos_renyi_gnp, scale_free_directed, watts_strogatz,
@@ -50,12 +53,15 @@ mod tests {
     #[test]
     fn prelude_covers_the_quickstart_path() {
         let graph = barabasi_albert(120, 2, WeightSpec::Unit, 7).unwrap();
-        let out = ParApsp::par_apsp(2)
+        let config = RunConfig::par_apsp(2)
             .with_schedule(Schedule::dynamic_cyclic())
-            .with_ordering(OrderingProcedure::multi_lists())
-            .run(&graph);
+            .with_ordering(OrderingProcedure::multi_lists());
+        let out = Runner::new(config).run(ApspEngine::new(), &graph);
         let reference = baselines::apsp_dijkstra(&graph);
         assert_eq!(reference.first_difference(&out.dist), None);
+        // The deprecated driver facade still works while callers migrate.
+        let shim = ParApsp::par_apsp(2).run(&graph);
+        assert_eq!(reference.first_difference(&shim.dist), None);
         let pool = ThreadPool::new(2);
         let _ = pool; // re-exported and constructible
         assert!(find_dataset("WordNet").is_some());

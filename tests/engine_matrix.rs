@@ -1,0 +1,146 @@
+//! Cross-engine equivalence matrix: every [`parapsp::core::Engine`] must
+//! reproduce the sequential basic algorithm's distances bit-for-bit on
+//! every generator fixture, with and without a `max_distance` cap.
+//!
+//! Capped runs are compared against the *post-filtered* exact matrix:
+//! because every capped entry is either the exact distance (≤ cap) or
+//! unreachable, applying the cap inside the kernel, as a finish-time
+//! post-filter (BlockedFW, Dist), or to the finished exact matrix all
+//! produce identical bits.
+
+use parapsp::core::{
+    ApspEngine, BlockedFwEngine, DistanceMatrix, RunConfig, Runner, SeqEngine, SubsetEngine, INF,
+};
+use parapsp::dist::{ClusterConfig, DistEngine};
+use parapsp::graph::generate::{
+    barabasi_albert, erdos_renyi_gnm, grid_graph, path_graph, star_graph, watts_strogatz,
+    WeightSpec,
+};
+use parapsp::graph::{CsrGraph, Direction};
+
+const WEIGHTS: WeightSpec = WeightSpec::Uniform { lo: 1, hi: 9 };
+
+fn fixtures() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        (
+            "erdos-renyi",
+            erdos_renyi_gnm(60, 240, Direction::Directed, WEIGHTS, 11).unwrap(),
+        ),
+        (
+            "barabasi-albert",
+            barabasi_albert(70, 3, WEIGHTS, 22).unwrap(),
+        ),
+        (
+            "watts-strogatz",
+            watts_strogatz(64, 4, 0.2, WEIGHTS, 33).unwrap(),
+        ),
+        ("star", star_graph(50)),
+        ("path", path_graph(55, Direction::Directed)),
+        ("grid", grid_graph(7, 8)),
+    ]
+}
+
+/// The expected value of cell `(u, v)` under `cap`: the exact distance,
+/// or unreachable when an off-diagonal entry exceeds the cap.
+fn expected(full: &DistanceMatrix, u: u32, v: u32, cap: Option<u32>) -> u32 {
+    let exact = full.get(u, v);
+    match cap {
+        Some(c) if u != v && exact > c => INF,
+        _ => exact,
+    }
+}
+
+fn assert_matrix(
+    engine: &str,
+    fixture: &str,
+    cap: Option<u32>,
+    full: &DistanceMatrix,
+    got: &DistanceMatrix,
+) {
+    assert_eq!(full.n(), got.n(), "{engine} on {fixture}: size mismatch");
+    for u in 0..full.n() as u32 {
+        for v in 0..full.n() as u32 {
+            assert_eq!(
+                got.get(u, v),
+                expected(full, u, v, cap),
+                "{engine} on {fixture} (cap {cap:?}) differs at ({u}, {v})"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_engine_matches_seq_basic_on_every_fixture() {
+    for (fixture, graph) in fixtures() {
+        let full = Runner::new(RunConfig::seq_basic())
+            .run(SeqEngine::ordered(), &graph)
+            .dist;
+        for cap in [None, Some(6u32)] {
+            let with_cap = |config: RunConfig| match cap {
+                Some(c) => config.with_max_distance(c),
+                None => config,
+            };
+
+            // Shared-memory parallel family: one engine, three configs.
+            for (label, config) in [
+                ("par-apsp", RunConfig::par_apsp(4)),
+                ("par-alg1", RunConfig::par_alg1(2)),
+                ("par-alg2", RunConfig::par_alg2(3)),
+            ] {
+                let out = Runner::new(with_cap(config)).run(ApspEngine::new(), &graph);
+                assert_matrix(label, fixture, cap, &full, &out.dist);
+            }
+
+            // Sequential family (the order differs per config; the
+            // distances must not).
+            for (label, config, engine) in [
+                (
+                    "seq-optimized",
+                    RunConfig::seq_optimized(1.0),
+                    SeqEngine::ordered(),
+                ),
+                (
+                    "seq-optimized-bucket",
+                    RunConfig::seq_optimized_bucket(),
+                    SeqEngine::ordered(),
+                ),
+                (
+                    "seq-adaptive",
+                    RunConfig::seq_adaptive(10),
+                    SeqEngine::adaptive(10),
+                ),
+            ] {
+                let out = Runner::new(with_cap(config)).run(engine, &graph);
+                assert_matrix(label, fixture, cap, &full, &out.dist);
+            }
+
+            // Blocked Floyd–Warshall (returns the matrix directly).
+            let fw = Runner::new(with_cap(RunConfig::new(3))).run(BlockedFwEngine::new(16), &graph);
+            assert_matrix("blocked-fw", fixture, cap, &full, &fw);
+
+            // Distributed cluster simulation, 2 nodes.
+            let cluster = DistEngine::new(ClusterConfig {
+                nodes: 2,
+                ..Default::default()
+            });
+            let out = Runner::new(with_cap(RunConfig::new(1))).run(cluster, &graph);
+            assert_matrix("dist", fixture, cap, &full, &out.dist);
+
+            // Subset engine over every source: each row must equal the
+            // corresponding full-matrix row.
+            let sources: Vec<u32> = (0..graph.vertex_count() as u32).collect();
+            let rows =
+                Runner::new(with_cap(RunConfig::subset(3))).run(SubsetEngine::new(sources), &graph);
+            for u in 0..graph.vertex_count() as u32 {
+                let row = rows.row_of(u).expect("every source requested");
+                for v in 0..graph.vertex_count() as u32 {
+                    assert_eq!(
+                        row[v as usize],
+                        expected(&full, u, v, cap),
+                        "subset on {fixture} (cap {cap:?}) differs at ({u}, {v})"
+                    );
+                }
+            }
+        }
+    }
+}
