@@ -31,6 +31,7 @@ const VALUED: &[&str] = &[
     "--weights",
     "--cap",
     "--relax",
+    "--schedule",
     "--partition",
     "--checkpoint",
     "--checkpoint-every",

@@ -16,7 +16,7 @@ use parapsp_core::{ApspOutput, DistanceMatrix, RelaxImpl, RunOutcome};
 use parapsp_dist::{ClusterConfig, DistEngine, FaultPlan, SourcePartition};
 use parapsp_graph::io::{read_edge_list_file, LoadedGraph, ParseOptions};
 use parapsp_graph::{degree, transform, CsrGraph, Direction};
-use parapsp_parfor::{CancelToken, ThreadPool};
+use parapsp_parfor::{CancelToken, Schedule, ThreadPool};
 
 use crate::args::Args;
 use crate::interrupt;
@@ -59,6 +59,12 @@ apsp options:
   --relax <impl>             row-relaxation kernel: auto | avx2 | portable |
                              scalar (par-* and seq-* kernel algorithms;
                              default auto — all variants are bit-identical)
+  --schedule <s>             source-sweep loop schedule for par-apsp |
+                             par-alg1 | par-alg2: block | static-cyclic |
+                             dynamic-cyclic | dynamic:<chunk> |
+                             guided:<min-chunk> | work-stealing[:<chunk>]
+                             (default: each algorithm's paper schedule;
+                             the distances are identical under all of them)
   --out <file>               save the distance matrix (.tsv/.txt = text,
                              anything else = compact binary)
   --checkpoint <file>        write completed rows to <file> periodically
@@ -376,6 +382,22 @@ fn run_algorithm(
             kind.value_name()
         ));
     }
+    // Source-sweep loop schedule (only the Runner-driven parallel engines
+    // hand their source loop to the parfor pool).
+    let schedule: Option<Schedule> = match args.get("schedule") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|e| format!("--schedule value `{raw}` is invalid: {e}"))?,
+        ),
+    };
+    if schedule.is_some() && !kind.honours_schedule() {
+        return Err(format!(
+            "--schedule works with {} (got `{}`)",
+            kinds_where(EngineKind::honours_schedule),
+            kind.value_name()
+        ));
+    }
     let checkpoint_every = args.get_parsed("checkpoint-every", 64usize)?;
     if checkpoint_every == 0 {
         return Err("--checkpoint-every must be at least 1".into());
@@ -387,6 +409,9 @@ fn run_algorithm(
             config = config.with_max_distance(cap);
         }
         config = config.with_relax(relax);
+        if let Some(schedule) = schedule {
+            config = config.with_schedule(schedule);
+        }
         if let Some(path) = args.get("checkpoint") {
             config = config.with_checkpoint(path, checkpoint_every);
         }
@@ -882,6 +907,64 @@ mod tests {
                 ]))
                 .is_err(),
                 "{algorithm} must reject --relax"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_selection_via_cli() {
+        let file = sample_file();
+        // Every spelling the parser accepts, on every engine that hands its
+        // source loop to the parfor pool.
+        for schedule in [
+            "block",
+            "static-cyclic",
+            "dynamic-cyclic",
+            "dynamic:4",
+            "guided:2",
+            "work-stealing",
+            "work-stealing:4",
+        ] {
+            for algorithm in ["par-apsp", "par-alg1", "par-alg2"] {
+                apsp(&args(&[
+                    "apsp",
+                    &file,
+                    "--algorithm",
+                    algorithm,
+                    "--schedule",
+                    schedule,
+                    "--threads",
+                    "2",
+                ]))
+                .unwrap_or_else(|e| panic!("{algorithm} --schedule {schedule}: {e}"));
+            }
+        }
+        // Malformed specs are rejected with the parser's explanation.
+        for bad in ["warp", "dynamic:0", "work-stealing:x", "block:4"] {
+            let err = apsp(&args(&["apsp", &file, "--schedule", bad])).unwrap_err();
+            assert!(err.contains("--schedule"), "{bad}: {err}");
+        }
+        // Engines that run their own loops (or no parfor loop at all)
+        // reject the flag rather than silently ignoring it.
+        for algorithm in [
+            "seq-basic",
+            "seq-adaptive",
+            "blocked-fw",
+            "floyd-warshall",
+            "dist",
+        ] {
+            let err = apsp(&args(&[
+                "apsp",
+                &file,
+                "--algorithm",
+                algorithm,
+                "--schedule",
+                "work-stealing",
+            ]))
+            .unwrap_err();
+            assert!(
+                err.contains("--schedule works with"),
+                "{algorithm} must reject --schedule: {err}"
             );
         }
     }

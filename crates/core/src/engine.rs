@@ -164,6 +164,18 @@ impl EngineKind {
     pub fn uses_kernel(self) -> bool {
         self.row_checkpoints()
     }
+
+    /// Whether the algorithm sweeps its sources through the configured
+    /// loop [`Schedule`], i.e. honours `--schedule`. The sequential
+    /// family runs one thread (every schedule degenerates to index
+    /// order) and the remaining algorithms pick their internal schedules
+    /// themselves, so overriding theirs would be silently ignored.
+    pub fn honours_schedule(self) -> bool {
+        matches!(
+            self,
+            EngineKind::ParApsp | EngineKind::ParAlg1 | EngineKind::ParAlg2
+        )
+    }
 }
 
 impl ValueEnum for EngineKind {
@@ -1105,6 +1117,17 @@ mod tests {
         assert!(EngineKind::BlockedFw.cancellable());
         assert!(!EngineKind::BlockedFw.row_checkpoints());
         assert!(EngineKind::SeqBasic.row_checkpoints());
+        // Schedule-honouring engines are exactly the Runner-driven
+        // parallel sweeps, which must also run the kernel.
+        for kind in EngineKind::value_variants() {
+            if kind.honours_schedule() {
+                assert!(kind.uses_kernel(), "{}", kind.value_name());
+            }
+        }
+        assert!(EngineKind::ParApsp.honours_schedule());
+        assert!(EngineKind::ParAlg1.honours_schedule());
+        assert!(!EngineKind::SeqBasic.honours_schedule());
+        assert!(!EngineKind::BlockedFw.honours_schedule());
     }
 
     #[test]

@@ -130,6 +130,13 @@ pub(crate) fn modified_dijkstra(
         // `t != s` always holds for published rows (row `s` is published
         // only after this function returns), so no aliasing with `row`.
         if options.row_reuse {
+            // Overlap the memory latency of the *next* reuse candidate
+            // with the work on `t`: its row head starts travelling toward
+            // the cache now, and relax_row's streaming pass keeps the
+            // hardware prefetcher ahead for the rest of the row.
+            if let Some(&next) = ws.queue.front() {
+                state.prefetch_row(next);
+            }
             if let Some(t_row) = state.published_row(t) {
                 row_reuses += 1;
                 relaxations += relax_row(relax_impl, row, t_row, dt, cap);

@@ -90,6 +90,28 @@ impl RelaxImpl {
     }
 }
 
+/// Best-effort software prefetch of the cache line holding `*ptr` into
+/// all cache levels (`prefetcht0`).
+///
+/// A pure hint for the row-reuse fast path: the kernel calls it on the
+/// head of the next reuse-candidate row so the line is (ideally) already
+/// in cache when [`relax_row`] starts streaming it, and the hardware
+/// prefetcher takes over from there. Compiles to nothing off x86_64, and
+/// is always sound to issue — architecturally a prefetch performs no
+/// memory access, so even a dangling address cannot fault.
+#[inline(always)]
+pub fn prefetch_read(ptr: *const u32) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a hint with no architectural memory
+    // access; it is defined for arbitrary addresses.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(ptr as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
 /// Whether the running CPU supports the AVX2 path.
 pub fn avx2_available() -> bool {
     #[cfg(target_arch = "x86_64")]

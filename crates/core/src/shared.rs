@@ -118,6 +118,16 @@ impl SharedDistState {
         unsafe { std::slice::from_raw_parts_mut(self.cells[start].get(), self.n) }
     }
 
+    /// Issues a software prefetch for the head of row `t`'s storage (see
+    /// [`crate::relax::prefetch_read`]). A pure performance hint: valid
+    /// for any in-range row, published or not, because a prefetch
+    /// performs no architectural memory access.
+    #[inline]
+    pub(crate) fn prefetch_row(&self, t: u32) {
+        let start = t as usize * self.n;
+        crate::relax::prefetch_read(self.cells[start].get() as *const u32);
+    }
+
     /// Marks row `s` complete and visible to all threads (Alg. 1 line 21).
     #[inline]
     pub(crate) fn publish(&self, s: u32) {

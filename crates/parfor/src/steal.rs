@@ -1,0 +1,438 @@
+//! Chase–Lev-style work-stealing deques over contiguous index ranges.
+//!
+//! Each pool worker owns one [`StealDeque`] holding *range descriptors*
+//! (half-open `[lo, hi)` intervals packed into a single `u64`), not
+//! individual indices. The owner pushes and pops at the *bottom*; thieves
+//! steal one descriptor from the *top* with a CAS. Because descriptors
+//! are ranges, a single-descriptor steal migrates a whole contiguous
+//! stripe of iterations at once — bulk transfer without the unsound
+//! multi-slot top CAS (which can race with the owner's non-CAS pop and
+//! execute indices twice).
+//!
+//! The protocol is the fence-based Chase–Lev deque of Lê, Pop, Cohen &
+//! Nardelli ("Correct and Efficient Work-Stealing for Weak Memory
+//! Models", PPoPP'13), restricted to a fixed ring: seeding pushes a
+//! bounded number of blocks (see [`StealDeque::seed_blocks`]) and
+//! execution never grows the deque (each pop pushes back at most one
+//! remainder), so a 64-slot ring can never overflow. See DESIGN.md §10
+//! for the full memory-ordering argument.
+
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// Ring capacity per deque. [`StealDeque::seed_blocks`] pushes at most
+/// [`MAX_SEED_STRIPES`] descriptors and execution never grows the deque
+/// (each pop pushes back at most one remainder), so 64 slots can never
+/// overflow.
+const RING_CAPACITY: usize = 64;
+
+/// Upper bound on seeded descriptors per worker. The slack below the
+/// ring size covers the at most one in-flight remainder a worker ever
+/// re-pushes (own pops and stolen ranges alike), with margin.
+const MAX_SEED_STRIPES: usize = RING_CAPACITY - 8;
+
+/// Per-worker count of *front* blocks — the first tier of the two-tier
+/// seeding (see [`StealDeque::seed_blocks`]). Front blocks are exactly
+/// `chunk` wide, so across workers the first
+/// `threads × FRONT_STRIPES × chunk` indices execute in the same global
+/// order `DynamicChunked(chunk)` produces — which is where order
+/// matters: under degree ordering those are the hub rows every later
+/// row's reuse feeds on.
+const FRONT_STRIPES: usize = 16;
+
+/// Stripe width for the *tail* tier: at least the claim granularity
+/// `chunk` (so a stripe is worth splitting), and wide enough that one
+/// worker's share of the tail fits its remaining ring slots.
+pub(crate) fn tail_stripe_size(tail: usize, threads: usize, chunk: usize) -> usize {
+    let budget = threads.max(1) * (MAX_SEED_STRIPES - FRONT_STRIPES);
+    chunk.max(tail.div_ceil(budget)).max(1)
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; the victim may still
+    /// have work, so the scan should retry.
+    Retry,
+    /// Stole the top range descriptor.
+    Success(u32, u32),
+}
+
+#[inline]
+const fn pack(lo: u32, hi: u32) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+#[inline]
+const fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// A fixed-capacity Chase–Lev deque of packed index ranges.
+///
+/// Owner-side operations ([`push`](Self::push), [`pop`](Self::pop),
+/// [`seed`](Self::seed)) must only be called from one thread at a time —
+/// the worker that owns the deque during a parallel region, or the
+/// caller thread before the region starts. [`steal`](Self::steal) may be
+/// called concurrently from any number of other threads.
+pub(crate) struct StealDeque {
+    /// Next slot a thief will take. Monotonically increasing.
+    top: CachePadded<AtomicI64>,
+    /// One past the owner's last pushed slot.
+    bottom: CachePadded<AtomicI64>,
+    /// Ring of packed `(lo, hi)` descriptors; slot `i` lives at
+    /// `ring[i & (RING_CAPACITY - 1)]`.
+    ring: Box<[AtomicU64; RING_CAPACITY]>,
+}
+
+impl StealDeque {
+    pub(crate) fn new() -> Self {
+        StealDeque {
+            top: CachePadded::new(AtomicI64::new(0)),
+            bottom: CachePadded::new(AtomicI64::new(0)),
+            ring: Box::new([const { AtomicU64::new(0) }; RING_CAPACITY]),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, index: i64) -> &AtomicU64 {
+        &self.ring[(index as u64 as usize) & (RING_CAPACITY - 1)]
+    }
+
+    /// Owner-side push of the range `[lo, hi)` at the bottom.
+    ///
+    /// Panics on overflow — statically impossible for deques used as
+    /// documented (seed once, then pop-one/push-back-at-most-one), and a
+    /// silent wrap would lose and duplicate iterations.
+    pub(crate) fn push(&self, lo: u32, hi: u32) {
+        debug_assert!(lo < hi, "empty ranges are never enqueued");
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        assert!(
+            b - t < RING_CAPACITY as i64,
+            "steal deque overflow: occupancy invariant violated"
+        );
+        self.slot(b).store(pack(lo, hi), Ordering::Relaxed);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-side pop from the bottom (LIFO). Returns `None` when the
+    /// deque is empty or a thief won the race for the last descriptor.
+    pub(crate) fn pop(&self) -> Option<(u32, u32)> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the `bottom` store before the `top` load: a concurrent
+        // thief must either see our reservation of slot `b` or we must
+        // see its advanced `top` (and fall into the CAS arm below).
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let v = self.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Last descriptor: race thieves for it via `top`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then(|| unpack(v));
+            }
+            Some(unpack(v))
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief-side steal of the top descriptor.
+    ///
+    /// The slot is read *before* the claiming CAS; the read is only
+    /// trusted when the CAS succeeds. The owner cannot have overwritten
+    /// the slot in between, because a slot is reused only after `top`
+    /// has advanced past it (capacity check in [`push`](Self::push)) —
+    /// and if `top` advanced, the CAS fails and the stale value is
+    /// discarded.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let v = self.slot(t).load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                let (lo, hi) = unpack(v);
+                return Steal::Success(lo, hi);
+            }
+            return Steal::Retry;
+        }
+        Steal::Empty
+    }
+
+    /// Seeds the deque with `worker`'s share of the iteration space
+    /// `0..n`, partitioned into contiguous *blocks* assigned cyclically
+    /// (block `b` belongs to worker `b % threads`) in two tiers: the
+    /// first `threads × FRONT_STRIPES` blocks are exactly `chunk` wide,
+    /// the rest are [`tail_stripe_size`]-wide stripes. Blocks are pushed
+    /// highest-first, so the owner pops its blocks in ascending index
+    /// order and a thief's single steal takes the owner's
+    /// *farthest-away* block — the work the owner would reach last.
+    ///
+    /// Each block is a contiguous run of the (degree-ordered) iteration
+    /// space, so per-descriptor locality matches `DynamicChunked`'s,
+    /// while the cyclic assignment keeps the workers' collective
+    /// execution order tracking the global order — fine-grained over the
+    /// order-critical hub front, coarse over the tail, where stealing
+    /// (not placement) levels the imbalance. See DESIGN.md §10 for the
+    /// measurement that rejected per-worker contiguous slabs.
+    ///
+    /// Owner-side operation: call before the parallel region starts (the
+    /// region entry provides the necessary happens-before edge) or from
+    /// the owning worker.
+    pub(crate) fn seed_blocks(&self, n: u32, chunk: u32, worker: u32, threads: u32) {
+        debug_assert!(chunk >= 1);
+        debug_assert!(worker < threads);
+        // Tier boundary and block counts, in u64 (intermediate products
+        // can exceed u32 even though every index is below `n`).
+        let front_len = (n as u64).min(threads as u64 * FRONT_STRIPES as u64 * chunk as u64);
+        let front_blocks = front_len.div_ceil(chunk as u64);
+        let tail = n as u64 - front_len;
+        let stripe = tail_stripe_size(tail as usize, threads as usize, chunk as usize) as u64;
+        let total = front_blocks + tail.div_ceil(stripe);
+        if worker as u64 >= total {
+            return;
+        }
+        let mine = (total - worker as u64).div_ceil(threads as u64);
+        debug_assert!(
+            (mine as usize) <= MAX_SEED_STRIPES,
+            "seed occupancy bound violated"
+        );
+        for k in (0..mine).rev() {
+            let b = worker as u64 + k * threads as u64;
+            let (lo, hi) = if b < front_blocks {
+                let lo = b * chunk as u64;
+                (lo, front_len.min(lo + chunk as u64))
+            } else {
+                let lo = front_len + (b - front_blocks) * stripe;
+                (lo, (n as u64).min(lo + stripe))
+            };
+            self.push(lo as u32, hi as u32);
+        }
+    }
+}
+
+/// Counters describing how a pool claimed loop chunks, accumulated
+/// across parallel regions by [`ThreadPool`](crate::ThreadPool).
+///
+/// `pops` counts chunks a worker claimed from its own share of the work
+/// (its own deque under [`Schedule::WorkStealing`](crate::Schedule), the
+/// shared counter under `DynamicChunked`/`Guided`, the single inline
+/// claim on a one-thread pool). `steals` counts chunks obtained by
+/// stealing a range descriptor from another worker's deque, and
+/// `failed_steals` counts steal CASes lost to a racing claimant. The
+/// static `Block`/`StaticCyclic` schedules claim nothing at runtime and
+/// leave all counters untouched.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Chunks claimed from the worker's own work share.
+    pub pops: u64,
+    /// Chunks obtained by stealing from another worker.
+    pub steals: u64,
+    /// Steal attempts that lost the claiming race.
+    pub failed_steals: u64,
+}
+
+impl ScheduleStats {
+    /// Total successful chunk claims (`pops + steals`).
+    #[inline]
+    pub fn claims(&self) -> u64 {
+        self.pops + self.steals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn drain_owner(d: &StealDeque) -> Vec<(u32, u32)> {
+        std::iter::from_fn(|| d.pop()).collect()
+    }
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let d = StealDeque::new();
+        d.push(0, 10);
+        d.push(10, 20);
+        d.push(20, 30);
+        assert_eq!(drain_owner(&d), vec![(20, 30), (10, 20), (0, 10)]);
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn steal_takes_the_oldest_range() {
+        let d = StealDeque::new();
+        d.push(0, 10);
+        d.push(10, 20);
+        assert_eq!(d.steal(), Steal::Success(0, 10));
+        assert_eq!(d.pop(), Some((10, 20)));
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn seeded_blocks_partition_the_space_exactly_once() {
+        for (n, threads, chunk) in [
+            (1usize, 1usize, 1u32),
+            (7, 3, 1),
+            (100, 4, 4),
+            (256, 4, 1),
+            (1023, 8, 16),
+            (3000, 4, 8),
+            (100_000, 8, 8),
+        ] {
+            let mut seen = vec![0u32; n];
+            for w in 0..threads {
+                let d = StealDeque::new();
+                d.seed_blocks(n as u32, chunk, w as u32, threads as u32);
+                let pieces = drain_owner(&d);
+                assert!(pieces.len() <= MAX_SEED_STRIPES);
+                // Owner pop order is ascending over contiguous blocks.
+                let mut prev_hi = 0;
+                for &(lo, hi) in &pieces {
+                    assert!(lo >= prev_hi, "n={n} t={threads}: pops not ascending");
+                    assert!(hi > lo && hi <= n as u32);
+                    for i in lo..hi {
+                        seen[i as usize] += 1;
+                    }
+                    prev_hi = hi;
+                }
+            }
+            for (i, &c) in seen.iter().enumerate() {
+                assert_eq!(c, 1, "index {i} (n={n} t={threads} chunk={chunk})");
+            }
+        }
+    }
+
+    #[test]
+    fn front_tier_blocks_are_chunk_wide_and_dealt_cyclically() {
+        // 4 workers, chunk 8: the first 4×16 blocks cover [0, 512) in
+        // 8-wide blocks, block b on worker b % 4 — the same global order
+        // DynamicChunked(8) produces over the order-critical front.
+        let threads = 4u32;
+        let chunk = 8u32;
+        for w in 0..threads {
+            let d = StealDeque::new();
+            d.seed_blocks(100_000, chunk, w, threads);
+            let pieces = drain_owner(&d);
+            for (k, &(lo, hi)) in pieces.iter().take(FRONT_STRIPES).enumerate() {
+                assert_eq!(lo, (w + k as u32 * threads) * chunk);
+                assert_eq!(hi, lo + chunk);
+            }
+            // Tail blocks are wider: imbalance there is levelled by
+            // stealing, not placement.
+            assert!(pieces[FRONT_STRIPES].1 - pieces[FRONT_STRIPES].0 > chunk);
+        }
+    }
+
+    #[test]
+    fn seeding_an_empty_or_out_of_range_share_pushes_nothing() {
+        let d = StealDeque::new();
+        d.seed_blocks(0, 4, 0, 2);
+        assert_eq!(d.pop(), None);
+        // Worker 3 of 4 with only 2 blocks to go around: empty share.
+        d.seed_blocks(8, 4, 3, 4);
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn seeding_bounds_occupancy_and_covers_huge_spaces() {
+        // Worst cases: huge spaces with tiny chunks must fit the ring
+        // while still partitioning 0..n exactly (checked by stitching
+        // all workers' intervals together, not materializing n slots).
+        for (n, threads, chunk) in [
+            (u32::MAX, 1u32, 1u32),
+            (4_000_000_000, 2, 1),
+            (3000, 16, 1),
+            (5, 4, 64),
+        ] {
+            let mut intervals: Vec<(u32, u32)> = Vec::new();
+            for w in 0..threads {
+                let d = StealDeque::new();
+                d.seed_blocks(n, chunk, w, threads);
+                let pieces = drain_owner(&d);
+                assert!(
+                    pieces.len() <= MAX_SEED_STRIPES,
+                    "n={n} t={threads}: {} blocks",
+                    pieces.len()
+                );
+                intervals.extend(pieces);
+            }
+            intervals.sort_unstable();
+            let mut pos = 0u32;
+            for (lo, hi) in intervals {
+                assert_eq!(lo, pos, "gap or overlap at {lo} (n={n} t={threads})");
+                assert!(hi > lo);
+                pos = hi;
+            }
+            assert_eq!(pos, n);
+        }
+    }
+
+    /// Owner pops while three thieves steal; every index in the seeded
+    /// block must be claimed exactly once across all four threads.
+    #[test]
+    fn concurrent_pop_and_steal_claims_each_index_once() {
+        const N: u32 = 100_000;
+        for trial in 0..8u32 {
+            let d = Arc::new(StealDeque::new());
+            d.seed_blocks(N, 1 + (trial % 5), 0, 1);
+            let claims: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..N).map(|_| AtomicUsize::new(0)).collect());
+            let mut thieves = Vec::new();
+            for _ in 0..3 {
+                let d = Arc::clone(&d);
+                let claims = Arc::clone(&claims);
+                thieves.push(std::thread::spawn(move || loop {
+                    match d.steal() {
+                        Steal::Success(lo, hi) => {
+                            for i in lo..hi {
+                                claims[i as usize].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => break,
+                    }
+                }));
+            }
+            while let Some((lo, hi)) = d.pop() {
+                for i in lo..hi {
+                    claims[i as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            for t in thieves {
+                t.join().unwrap();
+            }
+            for (i, c) in claims.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} (trial {trial})");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_claims_sums_pops_and_steals() {
+        let s = ScheduleStats {
+            pops: 3,
+            steals: 4,
+            failed_steals: 9,
+        };
+        assert_eq!(s.claims(), 7);
+        assert_eq!(ScheduleStats::default().claims(), 0);
+    }
+}

@@ -17,6 +17,7 @@ use parapsp::graph::generate::{
     WeightSpec,
 };
 use parapsp::graph::{CsrGraph, Direction};
+use parapsp::parfor::{Schedule, ThreadPool};
 
 const WEIGHTS: WeightSpec = WeightSpec::Uniform { lo: 1, hi: 9 };
 
@@ -143,4 +144,101 @@ fn every_engine_matches_seq_basic_on_every_fixture() {
             }
         }
     }
+}
+
+/// Schedule axis: the loop schedule decides *who* computes each row and
+/// *when*, never *what* the row contains — every parallel engine must be
+/// bit-identical to seq-basic under every schedule, including the
+/// nondeterministically interleaved work-stealing backend.
+#[test]
+fn every_schedule_matches_seq_basic_on_every_fixture() {
+    let schedules = [
+        ("dynamic-cyclic", Schedule::dynamic_cyclic()),
+        ("dynamic(4)", Schedule::DynamicChunked(4)),
+        ("work-stealing", Schedule::work_stealing()),
+    ];
+    for (fixture, graph) in fixtures() {
+        let full = Runner::new(RunConfig::seq_basic())
+            .run(SeqEngine::ordered(), &graph)
+            .dist;
+        for (sched_label, schedule) in schedules {
+            for (label, config) in [
+                ("par-apsp", RunConfig::par_apsp(4)),
+                ("par-alg1", RunConfig::par_alg1(2)),
+                ("par-alg2", RunConfig::par_alg2(3)),
+            ] {
+                let out =
+                    Runner::new(config.with_schedule(schedule)).run(ApspEngine::new(), &graph);
+                assert_matrix(
+                    &format!("{label}[{sched_label}]"),
+                    fixture,
+                    None,
+                    &full,
+                    &out.dist,
+                );
+            }
+        }
+    }
+}
+
+/// Steal-counter stress: a deliberately imbalanced workload — one dense
+/// cluster whose SSSP rows are expensive, plus a large fringe of isolated
+/// vertices whose rows are trivial — seeds one worker's deque with nearly
+/// all of the work. The other workers must obtain rows by stealing, so
+/// the pool's steal counter comes out nonzero while the distances stay
+/// bit-identical to seq-basic.
+#[test]
+fn work_stealing_engine_steals_under_imbalanced_load() {
+    // Dense directed cluster on vertices 0..100 (expensive rows), isolated
+    // vertices 100..400 (each row is INF except the diagonal).
+    let cluster = 100u32;
+    let n = 400usize;
+    let mut edges = Vec::new();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64; // splitmix-style seed
+    let mut next = || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for _ in 0..4_000 {
+        let u = (next() % cluster as u64) as u32;
+        let v = (next() % cluster as u64) as u32;
+        if u != v {
+            edges.push((u, v, 1 + (next() % 9) as u32));
+        }
+    }
+    let graph = CsrGraph::from_edges(n, Direction::Directed, &edges).unwrap();
+    let full = Runner::new(RunConfig::seq_basic())
+        .run(SeqEngine::ordered(), &graph)
+        .dist;
+
+    // chunk: 1 keeps every undistributed row stealable; degree-descending
+    // source ordering packs all expensive rows into the first worker's
+    // contiguous block.
+    let config = RunConfig::par_apsp(4).with_schedule(Schedule::WorkStealing { chunk: 1 });
+    let runner = Runner::new(config);
+    // The counters are statistical (a thief can in principle lose every
+    // race), so allow a few attempts before declaring failure; each run
+    // must still be bit-identical regardless.
+    let mut steals = 0u64;
+    for _ in 0..5 {
+        let pool = ThreadPool::new(4);
+        let out = runner.run_with_pool(ApspEngine::new(), &graph, &pool);
+        assert_matrix("par-apsp[work-stealing]", "cluster", None, &full, &out.dist);
+        let stats = pool.take_schedule_stats();
+        assert!(
+            stats.pops > 0,
+            "owner never popped its own deque: {stats:?}"
+        );
+        steals += stats.steals;
+        if steals > 0 {
+            break;
+        }
+    }
+    assert!(
+        steals > 0,
+        "no steals observed across 5 imbalanced runs — work stealing inactive"
+    );
 }
