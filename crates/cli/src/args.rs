@@ -44,6 +44,15 @@ const VALUED: &[&str] = &[
     "--on-interrupt",
     "--credit-weight",
     "--block",
+    "--transport",
+    "--listen",
+    "--connect",
+    "--connect-attempts",
+    "--heartbeat",
+    "--heartbeat-misses",
+    "--row-batch",
+    "--accept-timeout",
+    "--delay-ms",
 ];
 
 impl Args {

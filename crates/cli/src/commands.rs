@@ -13,10 +13,15 @@ use parapsp_core::engine::{
 };
 use parapsp_core::paths::par_apsp_with_paths;
 use parapsp_core::{ApspOutput, DistanceMatrix, RelaxImpl, RunOutcome};
-use parapsp_dist::{ClusterConfig, DistEngine, FaultPlan, SourcePartition};
+use parapsp_dist::{
+    run_worker, BindSpec, ClusterConfig, DistEngine, FaultPlan, SocketConfig, SourcePartition,
+    TransportSpec, WorkerMode, WorkerOptions, WorkerOutcome,
+};
 use parapsp_graph::io::{read_edge_list_file, LoadedGraph, ParseOptions};
 use parapsp_graph::{degree, transform, CsrGraph, Direction};
 use parapsp_parfor::{CancelToken, Schedule, ThreadPool};
+
+use std::time::Duration;
 
 use crate::args::Args;
 use crate::interrupt;
@@ -35,6 +40,7 @@ commands:
   path <file> <src> <dst>    print one shortest route
   estimate <file> <s> <d>    landmark distance bounds (O(k·n) memory)
   generate                   write a synthetic graph to --out
+  node                       socket worker for a `dist` driver (see below)
   help                       this text
 
 common options:
@@ -82,6 +88,33 @@ apsp options:
                              floyd-warshall, dijkstra; the stop checkpoint
                              goes to --checkpoint's path or
                              <file>.interrupt.ckpt)
+
+dist transport (default: in-process channels):
+  --transport <t>            channel | tcp | unix — tcp/unix run the
+                             cluster over length-prefix-framed sockets to
+                             real worker processes (spawned from this
+                             binary unless --external)
+  --listen <addr>            listen address: host:port for tcp (default:
+                             ephemeral loopback) or a path for unix
+                             (default: a temp path)
+  --external                 don't spawn workers; print the listen address
+                             and wait for `parapsp node --connect <addr>`
+                             processes started elsewhere
+  --heartbeat <ms>           worker keepalive interval (default: 20)
+  --heartbeat-misses <N>     silent intervals before a worker is declared
+                             dead and its sources re-dealt (default: 50;
+                             EOF/resets are detected immediately)
+  --row-batch <K>            rows buffered per gather frame (default: 4)
+  --accept-timeout <secs>    how long to wait for workers to connect
+                             (default: 10); empty slots are re-dealt
+  --delay-ms <ms>            forwarded to spawned workers: sleep this long
+                             before each source (testing aid)
+
+node options (socket worker; driver supplies everything else):
+  --connect <addr>           the driver's listen address (required)
+  --connect-attempts <N>     dial attempts with exponential backoff (20)
+  --delay-ms <ms>            sleep before each source (testing aid)
+                             exit codes: 0 clean, 3 injected crash
 
 dist fault injection (deterministic, seeded):
   --fault-seed <S>           seed for the fault plan (default: 0)
@@ -195,6 +228,102 @@ fn parse_fault_plan(args: &Args) -> Result<FaultPlan, String> {
     Ok(plan
         .with_drop_probability(drop_prob)
         .with_corrupt_probability(corrupt_prob))
+}
+
+/// Builds the `dist` transport from `--transport`, `--listen`,
+/// `--heartbeat`, `--heartbeat-misses`, `--row-batch`,
+/// `--accept-timeout`, `--external`, and `--delay-ms`.
+fn parse_transport(args: &Args) -> Result<TransportSpec, String> {
+    let kind = args.get("transport").unwrap_or("channel");
+    if kind == "channel" {
+        return Ok(TransportSpec::InProcess);
+    }
+    let bind = match kind {
+        "tcp" => match args.get("listen") {
+            None => BindSpec::TcpEphemeral,
+            Some(addr) => BindSpec::Tcp(addr.to_string()),
+        },
+        #[cfg(unix)]
+        "unix" => {
+            let path = match args.get("listen") {
+                Some(path) => std::path::PathBuf::from(path),
+                None => std::env::temp_dir().join(format!("parapsp-{}.sock", std::process::id())),
+            };
+            BindSpec::Unix(path)
+        }
+        other => {
+            return Err(format!(
+                "unknown transport `{other}` (channel, tcp, or unix)"
+            ))
+        }
+    };
+    let workers = if args.flag("external") {
+        WorkerMode::External
+    } else {
+        // Self-spawn: each worker is this very binary running the `node`
+        // subcommand; faults and the graph travel in the Setup frame.
+        let program =
+            std::env::current_exe().map_err(|e| format!("resolving the worker executable: {e}"))?;
+        let mut node_args = vec!["node".to_string()];
+        if let Some(delay) = args.get("delay-ms") {
+            node_args.push("--delay-ms".to_string());
+            node_args.push(delay.to_string());
+        }
+        WorkerMode::Spawn {
+            program,
+            args: node_args,
+        }
+    };
+    let heartbeat_ms = args.get_parsed("heartbeat", 20u64)?;
+    let heartbeat_misses = args.get_parsed("heartbeat-misses", 50u32)?;
+    let row_batch = args.get_parsed("row-batch", 4usize)?;
+    let accept_secs = args.get_parsed("accept-timeout", 10u64)?;
+    Ok(TransportSpec::Socket(SocketConfig {
+        bind,
+        workers,
+        heartbeat_interval: Duration::from_millis(heartbeat_ms),
+        heartbeat_misses,
+        row_batch,
+        accept_timeout: Duration::from_secs(accept_secs),
+        announce: args.flag("external"),
+        ..SocketConfig::default()
+    }))
+}
+
+/// `parapsp node --connect <addr>` — a socket worker process: dials the
+/// driver, receives its graph and share in the Setup frame, and streams
+/// rows back until told to shut down. Returns the process exit code: 0 on
+/// a clean run, 3 when a deterministic fault-plan crash fired (the socket
+/// is torn down abruptly, as a real crash would).
+pub fn node(args: &Args) -> Result<i32, String> {
+    let addr = args
+        .get("connect")
+        .ok_or_else(|| "node needs --connect <addr> (the driver's listen address)".to_string())?;
+    let connect = parapsp_dist::ConnectRetry {
+        attempts: args.get_parsed("connect-attempts", 20u32)?,
+        ..parapsp_dist::ConnectRetry::default()
+    };
+    if connect.attempts == 0 {
+        return Err("--connect-attempts must be at least 1".to_string());
+    }
+    let options = WorkerOptions {
+        connect,
+        source_delay: Duration::from_millis(args.get_parsed("delay-ms", 0u64)?),
+    };
+    match run_worker(addr, options)? {
+        WorkerOutcome::Clean(stats) => {
+            eprintln!(
+                "node: {} sources, {} remote reuses, {} retries, {} reconnects, {} KiB sent",
+                stats.sources,
+                stats.remote_reuses,
+                stats.retries,
+                stats.reconnects,
+                stats.bytes_sent / 1024,
+            );
+            Ok(0)
+        }
+        WorkerOutcome::Crashed => Ok(3),
+    }
 }
 
 /// What an `apsp` run produced.
@@ -519,13 +648,21 @@ fn run_algorithm(
             let hub_fraction = args.get_parsed("hub-fraction", 0.05f64)?;
             let partition = args.get_enum("partition", SourcePartition::default())?;
             let faults = parse_fault_plan(args)?;
+            let transport = parse_transport(args)?;
             let cluster = ClusterConfig {
                 nodes,
                 hub_fraction,
                 partition,
                 faults,
+                transport,
                 ..ClusterConfig::default()
             };
+            // Degenerate configurations (zero nodes, more nodes than
+            // sources, dead timeouts) are rejected here with a
+            // self-describing message instead of panicking mid-run.
+            cluster
+                .validate(graph.vertex_count())
+                .map_err(|e| e.to_string())?;
             let runner = Runner::new(configure(RunConfig::new(1)));
             let out = match token {
                 Some(token) => {
@@ -551,7 +688,8 @@ fn run_algorithm(
             };
             let summary = format!(
                 "distributed ({} nodes, {} crashed): {:?}; broadcast {} KiB, gather {} KiB, \
-                 remote reuses {}, rows rejected {} (+{} at gather), retries {}, reassigned {}",
+                 remote reuses {}, rows rejected {} (+{} at gather), retries {}, reassigned {}, \
+                 reconnects {}, heartbeat misses {}",
                 nodes,
                 out.crashed_nodes(),
                 out.elapsed,
@@ -562,6 +700,8 @@ fn run_algorithm(
                 out.gather_rejected,
                 sum(|s| s.retries),
                 sum(|s| s.reassigned_sources),
+                sum(|s| s.reconnects),
+                sum(|s| s.heartbeat_misses),
             );
             return Ok(RunStatus::Done(out.dist, summary));
         }

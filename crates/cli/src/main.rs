@@ -19,6 +19,8 @@
 //!                                 exit 130, or kill the process immediately
 //!       --nodes <P>               simulated nodes for --algorithm dist
 //!       --hub-fraction <F>        hub broadcast fraction for dist (0.05)
+//!       --transport <t>           dist wire: channel | tcp | unix
+//!   node --connect <addr>         socket worker for a `dist` driver
 //!   analyze <file>                APSP + full analysis report
 //!       --top <K>                 how many central vertices to list (5)
 //!   path <file> <src> <dst>       print one shortest route
@@ -55,6 +57,9 @@ fn main() {
         "path" => commands::path(&parsed).map(|()| 0),
         "estimate" => commands::estimate(&parsed).map(|()| 0),
         "generate" => commands::generate(&parsed).map(|()| 0),
+        // A socket worker for a `dist` driver: exit 0 clean, 3 when an
+        // injected fault-plan crash fired.
+        "node" => commands::node(&parsed),
         "" | "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(0)

@@ -24,7 +24,7 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::unbounded;
 
 use parapsp_core::engine::{
     Engine, Plan, RowsCtx, RowsOutcome, RunConfig, RunSummary, Runner, ValueEnum,
@@ -37,6 +37,12 @@ use parapsp_parfor::{CancelStatus, CancelToken, ThreadPool};
 
 use crate::fault::{FaultPlan, DRIVER};
 use crate::node::{NodeState, RowMessage};
+use crate::socket::{SocketStartError, SocketTransport};
+use crate::transport::{
+    ChannelNodeIo, ChannelTransport, ControlSink, NodeControl, NodeEvent, NodeIo, Polled,
+    SocketConfig, Transport, TransportSpec,
+};
+use crate::wire::WorkerSetup;
 
 /// How sources are divided among the nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -160,6 +166,9 @@ pub struct ClusterConfig {
     /// Stall detection; `None` (the default) disables the watchdog, so a
     /// silent-but-alive node is simply waited on.
     pub watchdog: Option<WatchdogConfig>,
+    /// How driver and nodes exchange rows: in-process channels (the
+    /// default) or length-prefix-framed sockets to worker processes.
+    pub transport: TransportSpec,
 }
 
 impl Default for ClusterConfig {
@@ -172,7 +181,130 @@ impl Default for ClusterConfig {
             heartbeat: Duration::from_millis(10),
             retry: RetryPolicy::default(),
             watchdog: None,
+            transport: TransportSpec::InProcess,
         }
+    }
+}
+
+/// A self-describing rejection of a [`ClusterConfig`], produced by
+/// [`ClusterConfig::validate`] before any thread, socket, or process is
+/// created.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterConfigError {
+    /// `nodes == 0`.
+    ZeroNodes,
+    /// `hub_fraction` outside `[0, 1]`.
+    HubFractionOutOfRange(f64),
+    /// More nodes than sources: the extra nodes would idle for the whole
+    /// run (tolerated by the driver, but almost always a misconfiguration
+    /// worth rejecting at a CLI boundary).
+    MoreNodesThanSources {
+        /// Configured cluster size.
+        nodes: usize,
+        /// Sources (vertices) actually available to partition.
+        sources: usize,
+    },
+    /// A pacing interval or timeout is zero; the named knob would make
+    /// the protocol spin or hang instead of pacing it.
+    ZeroDuration(&'static str),
+    /// The socket heartbeat miss budget is zero intervals.
+    ZeroHeartbeatMisses,
+    /// The socket gather batch is zero rows per frame.
+    ZeroRowBatch,
+    /// The worker dial policy allows zero connection attempts.
+    ZeroConnectAttempts,
+}
+
+impl std::fmt::Display for ClusterConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterConfigError::ZeroNodes => write!(f, "a cluster needs at least one node"),
+            ClusterConfigError::HubFractionOutOfRange(v) => {
+                write!(f, "hub fraction {v} outside [0, 1]")
+            }
+            ClusterConfigError::MoreNodesThanSources { nodes, sources } => write!(
+                f,
+                "{nodes} nodes but only {sources} sources: every node needs at least one \
+                 source to own (reduce the node count)"
+            ),
+            ClusterConfigError::ZeroDuration(what) => write!(
+                f,
+                "{what} must be non-zero: a zero interval spins or hangs the protocol \
+                 instead of pacing it"
+            ),
+            ClusterConfigError::ZeroHeartbeatMisses => write!(
+                f,
+                "heartbeat miss budget must be at least one interval, or every worker is \
+                 declared dead immediately"
+            ),
+            ClusterConfigError::ZeroRowBatch => {
+                write!(f, "row batch must be at least one row per gather frame")
+            }
+            ClusterConfigError::ZeroConnectAttempts => {
+                write!(f, "worker connect policy needs at least one attempt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterConfigError {}
+
+impl ClusterConfig {
+    /// Full validation against a concrete source count, for explicit
+    /// construction sites (the CLI calls this before building an engine).
+    /// Everything [`validate_shape`](Self::validate_shape) rejects, plus
+    /// `nodes > sources`.
+    pub fn validate(&self, sources: usize) -> Result<(), ClusterConfigError> {
+        self.validate_shape()?;
+        if self.nodes > sources {
+            return Err(ClusterConfigError::MoreNodesThanSources {
+                nodes: self.nodes,
+                sources,
+            });
+        }
+        Ok(())
+    }
+
+    /// Graph-independent validation: zero nodes, out-of-range hub
+    /// fraction, and zero-interval/zero-timeout socket pacing. The driver
+    /// enforces exactly this subset at run time (`nodes > sources` merely
+    /// idles the surplus nodes, which randomized fault tests rely on).
+    pub fn validate_shape(&self) -> Result<(), ClusterConfigError> {
+        if self.nodes == 0 {
+            return Err(ClusterConfigError::ZeroNodes);
+        }
+        if !(0.0..=1.0).contains(&self.hub_fraction) {
+            return Err(ClusterConfigError::HubFractionOutOfRange(self.hub_fraction));
+        }
+        if self.heartbeat.is_zero() {
+            return Err(ClusterConfigError::ZeroDuration("driver heartbeat"));
+        }
+        if let TransportSpec::Socket(socket) = &self.transport {
+            if socket.heartbeat_interval.is_zero() {
+                return Err(ClusterConfigError::ZeroDuration(
+                    "worker heartbeat interval",
+                ));
+            }
+            if socket.read_timeout.is_zero() {
+                return Err(ClusterConfigError::ZeroDuration("socket read timeout"));
+            }
+            if socket.write_timeout.is_zero() {
+                return Err(ClusterConfigError::ZeroDuration("socket write timeout"));
+            }
+            if socket.accept_timeout.is_zero() {
+                return Err(ClusterConfigError::ZeroDuration("worker accept timeout"));
+            }
+            if socket.heartbeat_misses == 0 {
+                return Err(ClusterConfigError::ZeroHeartbeatMisses);
+            }
+            if socket.row_batch == 0 {
+                return Err(ClusterConfigError::ZeroRowBatch);
+            }
+            if socket.connect.attempts == 0 {
+                return Err(ClusterConfigError::ZeroConnectAttempts);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -199,7 +331,17 @@ pub struct NodeStats {
     pub retry_backoff_ms: u64,
     /// Sources taken over from crashed or stalled nodes.
     pub reassigned_sources: u64,
-    /// Whether this node crashed (by fault injection) before finishing.
+    /// Socket transport: connection attempts beyond the first this worker
+    /// burned dialing the driver (seeded-exponential-backoff retries,
+    /// e.g. when the worker started before the driver was listening).
+    /// Always zero on the in-process transport.
+    pub reconnects: u64,
+    /// Socket transport: heartbeat intervals that elapsed with no traffic
+    /// from this worker, as observed by the driver's reader thread.
+    /// Always zero on the in-process transport.
+    pub heartbeat_misses: u64,
+    /// Whether this node crashed (by fault injection, or — on the socket
+    /// transport — a real process death) before finishing.
     pub crashed: bool,
 }
 
@@ -352,19 +494,6 @@ impl Engine for DistEngine {
     }
 }
 
-/// Everything a node can find in its mailbox.
-enum NodeInbox {
-    /// A hub row broadcast by a peer.
-    Hub(RowMessage),
-    /// The driver re-deals a crashed node's source to this node.
-    Assign(u32),
-    /// The driver received a corrupted copy of this source's row; send a
-    /// fresh one.
-    Resend(u32),
-    /// All rows are gathered; exit.
-    Shutdown,
-}
-
 /// Runs the distributed-memory ParAPSP simulation.
 ///
 /// The graph is replicated on every node (standard practice for
@@ -420,12 +549,9 @@ fn run_cluster(
     config: ClusterConfig,
     token: Option<&CancelToken>,
 ) -> RunOutcome<DistApspOutput> {
-    assert!(config.nodes > 0, "a cluster needs at least one node");
-    assert!(
-        (0.0..=1.0).contains(&config.hub_fraction),
-        "hub fraction {} outside [0, 1]",
-        config.hub_fraction
-    );
+    if let Err(error) = config.validate_shape() {
+        panic!("{error}");
+    }
     let n = graph.vertex_count();
     let nodes = config.nodes;
     let start = Instant::now();
@@ -461,127 +587,156 @@ fn run_cluster(
             .collect(),
     };
 
-    // One mailbox per node (hub rows + driver control) and one gather
-    // channel per node (so a disconnect identifies who crashed).
-    let mut inbox_senders: Vec<Sender<NodeInbox>> = Vec::with_capacity(nodes);
-    let mut inbox_receivers: Vec<Option<Receiver<NodeInbox>>> = Vec::with_capacity(nodes);
-    let mut gather_senders: Vec<Option<Sender<RowMessage>>> = Vec::with_capacity(nodes);
-    let mut gather_receivers: Vec<Receiver<RowMessage>> = Vec::with_capacity(nodes);
+    match config.transport.clone() {
+        TransportSpec::InProcess => {
+            run_cluster_channels(graph, &config, token, n, &is_hub, &owned, start)
+        }
+        TransportSpec::Socket(socket) => {
+            run_cluster_socket(graph, &config, &socket, token, n, &is_hub, &owned, start)
+        }
+    }
+}
+
+/// The transport-agnostic driver loop: poll the token, drain events,
+/// run the watchdog, and block (boundedly) only when truly idle. Returns
+/// `Some(status)` when a cancellation or deadline stopped the run early.
+fn drive<T: Transport>(
+    driver: &mut Driver,
+    transport: &mut T,
+    config: &ClusterConfig,
+    token: Option<&CancelToken>,
+    n: usize,
+) -> Option<CancelStatus> {
+    while driver.gathered < n {
+        // Cooperative stop: the driver is the only poll()-er (nodes use
+        // the non-consuming status()), so poll-budget cancellation in
+        // tests trips after a deterministic number of driver rounds.
+        if let Some(token) = token {
+            let status = token.poll();
+            if status.is_stop() {
+                return Some(status);
+            }
+        }
+        // Drain every alive node's event stream; a closed stream here is
+        // the crash signal (both backends report it only after the
+        // buffered rows are consumed, so no finished work is lost).
+        let mut progressed = false;
+        for k in 0..driver.nodes {
+            if !driver.alive[k] {
+                continue;
+            }
+            loop {
+                match transport.try_event(k) {
+                    Polled::Event(event) => {
+                        driver.on_event(k, event, transport);
+                        progressed = true;
+                    }
+                    Polled::Empty => break,
+                    Polled::Down => {
+                        driver.on_crash(k, transport);
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(watchdog) = &config.watchdog {
+            driver.check_watchdog(watchdog, transport);
+        }
+        if driver.gathered >= n || progressed {
+            continue;
+        }
+        // Nothing queued anywhere: block — but never unboundedly — on a
+        // node that still owes rows, then re-poll the whole cluster. A
+        // deadline token bounds the blocking wait too, so a sleeping
+        // driver wakes in time to stop (the bridge between cooperative
+        // cancellation and blocking socket reads).
+        let watch = driver
+            .watch_target()
+            .expect("ungathered sources must have an alive owner");
+        let wait = token
+            .and_then(|t| t.time_left())
+            .map_or(config.heartbeat, |left| left.min(config.heartbeat));
+        match transport.event_timeout(watch, wait) {
+            Polled::Event(event) => driver.on_event(watch, event, transport),
+            Polled::Empty => {}
+            Polled::Down => driver.on_crash(watch, transport),
+        }
+    }
+    None
+}
+
+/// The in-process backend: one scoped thread per node, crossbeam
+/// channels for the wire, hub rows delivered peer-to-peer.
+#[allow(clippy::too_many_arguments)]
+fn run_cluster_channels(
+    graph: &CsrGraph,
+    config: &ClusterConfig,
+    token: Option<&CancelToken>,
+    n: usize,
+    is_hub: &[bool],
+    owned: &[Vec<u32>],
+    start: Instant,
+) -> RunOutcome<DistApspOutput> {
+    let nodes = config.nodes;
+    let mut control_senders = Vec::with_capacity(nodes);
+    let mut control_receivers = Vec::with_capacity(nodes);
+    let mut gather_senders = Vec::with_capacity(nodes);
+    let mut gather_receivers = Vec::with_capacity(nodes);
     for _ in 0..nodes {
-        let (itx, irx) = unbounded();
-        inbox_senders.push(itx);
-        inbox_receivers.push(Some(irx));
+        let (ctx, crx) = unbounded();
+        control_senders.push(ctx);
+        control_receivers.push(Some(crx));
         let (gtx, grx) = unbounded();
         gather_senders.push(Some(gtx));
         gather_receivers.push(grx);
     }
+    let mut transport = ChannelTransport {
+        control_tx: control_senders.clone(),
+        gather_rx: gather_receivers,
+    };
 
-    let is_hub = &is_hub;
-    let owned_ref = &owned;
-    let inbox_senders_ref = &inbox_senders;
     let plan = &config.faults;
     let retry = &config.retry;
     let mut node_stats = vec![NodeStats::default(); nodes];
-    let mut driver = Driver {
-        nodes,
-        inbox_tx: inbox_senders_ref,
-        alive: vec![true; nodes],
-        outstanding: owned.clone(),
-        got: vec![false; n],
-        gathered: 0,
-        gather_bytes: 0,
-        gather_rejected: 0,
-        reassign_cursor: 0,
-        retry: config.retry,
-        reject_count: vec![0; n],
-        watchdog_reassigned: 0,
-        last_seen: vec![Instant::now(); nodes],
-        gaps: vec![Vec::new(); nodes],
-        dist: DistanceMatrix::new_infinite(n),
-    };
+    let mut driver = Driver::new(nodes, owned.to_vec(), n, config.retry);
     let mut stop = None;
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..nodes)
             .map(|k| {
-                let inbox = inbox_receivers[k].take().expect("receiver taken once");
-                let gather = gather_senders[k].take().expect("sender taken once");
+                let mut io = ChannelNodeIo {
+                    k,
+                    inbox: control_receivers[k].take().expect("receiver taken once"),
+                    peers: control_senders.clone(),
+                    gather: gather_senders[k].take().expect("sender taken once"),
+                };
+                let owned_k = &owned[k];
                 scope.spawn(move || {
                     (
                         k,
-                        run_node(
+                        run_node_loop(
                             k,
                             graph,
-                            n,
-                            &owned_ref[k],
+                            owned_k,
                             is_hub,
+                            nodes,
                             plan,
                             retry,
                             token,
-                            inbox,
-                            inbox_senders_ref,
-                            gather,
+                            Duration::ZERO,
+                            &mut io,
                         ),
                     )
                 })
             })
             .collect();
 
-        while driver.gathered < n {
-            // Cooperative stop: the driver is the only poll()-er (nodes use
-            // the non-consuming status()), so poll-budget cancellation in
-            // tests trips after a deterministic number of driver rounds.
-            if let Some(token) = token {
-                let status = token.poll();
-                if status.is_stop() {
-                    stop = Some(status);
-                    break;
-                }
-            }
-            // Drain every alive node's gather stream; a disconnect here is
-            // the crash signal (mpsc reports it only after the buffered
-            // rows are consumed, so no finished work is lost).
-            let mut progressed = false;
-            for (k, gather) in gather_receivers.iter().enumerate() {
-                if !driver.alive[k] {
-                    continue;
-                }
-                loop {
-                    match gather.try_recv() {
-                        Ok(message) => {
-                            driver.on_row(k, message);
-                            progressed = true;
-                        }
-                        Err(TryRecvError::Empty) => break,
-                        Err(TryRecvError::Disconnected) => {
-                            driver.on_crash(k);
-                            progressed = true;
-                            break;
-                        }
-                    }
-                }
-            }
-            if let Some(watchdog) = &config.watchdog {
-                driver.check_watchdog(watchdog);
-            }
-            if driver.gathered >= n || progressed {
-                continue;
-            }
-            // Nothing queued anywhere: block — but never unboundedly — on
-            // a node that still owes rows, then re-poll the whole cluster.
-            let watch = driver
-                .watch_target()
-                .expect("ungathered sources must have an alive owner");
-            match gather_receivers[watch].recv_timeout(config.heartbeat) {
-                Ok(message) => driver.on_row(watch, message),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => driver.on_crash(watch),
-            }
-        }
+        stop = drive(&mut driver, &mut transport, config, token, n);
 
-        for (k, inbox) in inbox_senders_ref.iter().enumerate() {
+        for k in 0..nodes {
             if driver.alive[k] {
-                let _ = inbox.send(NodeInbox::Shutdown);
+                transport.control(k, NodeControl::Shutdown);
             }
         }
         for handle in handles {
@@ -593,14 +748,110 @@ fn run_cluster(
     if stop.is_some() {
         // Rows already on the wire when the stop hit are still sitting in
         // the (now disconnected) gather buffers; fold them in so the
-        // checkpoint loses nothing that was finished.
-        for (k, gather) in gather_receivers.iter().enumerate() {
-            while let Ok(message) = gather.try_recv() {
-                driver.on_row(k, message);
+        // checkpoint loses nothing that was finished. Control replies the
+        // driver attempts here land on dead mailboxes and are dropped.
+        for k in 0..nodes {
+            while let Polled::Event(event) = transport.try_event(k) {
+                driver.on_event(k, event, &mut transport);
             }
         }
     }
 
+    finish_output(driver, node_stats, start, stop)
+}
+
+/// The socket backend: bind, handshake every worker (spawning threads or
+/// processes per [`SocketConfig::workers`]), then run the same driver
+/// loop with per-connection reader threads feeding the event streams.
+#[allow(clippy::too_many_arguments)]
+fn run_cluster_socket(
+    graph: &CsrGraph,
+    config: &ClusterConfig,
+    socket: &SocketConfig,
+    token: Option<&CancelToken>,
+    n: usize,
+    is_hub: &[bool],
+    owned: &[Vec<u32>],
+    start: Instant,
+) -> RunOutcome<DistApspOutput> {
+    let nodes = config.nodes;
+    let hubs: Vec<u32> = (0..n as u32).filter(|&v| is_hub[v as usize]).collect();
+    let setups: Vec<WorkerSetup> = (0..nodes)
+        .map(|k| WorkerSetup {
+            node_id: k as u32,
+            nodes: nodes as u32,
+            heartbeat_ms: u64::try_from(socket.heartbeat_interval.as_millis()).unwrap_or(u64::MAX),
+            row_batch: socket.row_batch as u32,
+            retry: config.retry,
+            hubs: hubs.clone(),
+            owned: owned[k].clone(),
+            faults: config.faults.clone(),
+            graph: graph.clone(),
+        })
+        .collect();
+    let (mut transport, dead_at_start) = match SocketTransport::start(socket, setups, token) {
+        Ok(started) => started,
+        Err(SocketStartError::Stopped(status)) => {
+            // Cancelled while waiting for workers: nothing gathered yet.
+            let empty = Checkpoint::new(DistanceMatrix::new_infinite(n), vec![false; n]);
+            return RunOutcome::from_stop(status, empty);
+        }
+        Err(SocketStartError::Io(message)) => panic!("socket transport setup failed: {message}"),
+    };
+
+    let mut driver = Driver::new(nodes, owned.to_vec(), n, config.retry);
+    // Workers that never completed the handshake are crashes that
+    // happened before the run: re-deal their shares immediately.
+    for k in dead_at_start {
+        driver.on_crash(k, &mut transport);
+    }
+    let stop = drive(&mut driver, &mut transport, config, token, n);
+    // Shutdown goes to every node with a live connection — including one
+    // the driver wrongly presumed dead (heartbeat false positive), which
+    // would otherwise block on its inbox forever. Dead connections
+    // swallow the write harmlessly.
+    for k in 0..nodes {
+        transport.control(k, NodeControl::Shutdown);
+    }
+    // Teardown: drain late rows and final Stats frames, join readers and
+    // worker threads, reap worker processes.
+    // During teardown no node is waiting on a reply, so late events fold
+    // into the driver with replies discarded.
+    struct NullSink;
+    impl ControlSink for NullSink {
+        fn control(&mut self, _node: usize, _message: NodeControl) {}
+    }
+    for (k, event) in transport.finish() {
+        driver.on_event(k, event, &mut NullSink);
+    }
+
+    let mut node_stats = vec![NodeStats::default(); nodes];
+    for (k, slot) in node_stats.iter_mut().enumerate() {
+        let mut stats = driver.wire_stats[k].unwrap_or(NodeStats {
+            // A worker that died without a Stats frame (injected crash,
+            // kill -9, lost connection): credit the rows it delivered so
+            // "every source computed at least once" stays auditable from
+            // the per-node summary.
+            sources: driver.delivered[k],
+            crashed: true,
+            ..NodeStats::default()
+        });
+        if !driver.alive[k] {
+            stats.crashed = true;
+        }
+        stats.heartbeat_misses = transport.heartbeat_misses(k);
+        *slot = stats;
+    }
+    finish_output(driver, node_stats, start, stop)
+}
+
+/// Folds the driver state into the public output / checkpoint.
+fn finish_output(
+    driver: Driver,
+    node_stats: Vec<NodeStats>,
+    start: Instant,
+    stop: Option<CancelStatus>,
+) -> RunOutcome<DistApspOutput> {
     let got = driver.got;
     let output = DistApspOutput {
         dist: driver.dist,
@@ -617,9 +868,10 @@ fn run_cluster(
 }
 
 /// Driver-side bookkeeping for the streaming gather and crash recovery.
-struct Driver<'a> {
+/// All control replies go through a [`ControlSink`], so the recovery
+/// logic is testable with a recording mock, independent of any cluster.
+struct Driver {
     nodes: usize,
-    inbox_tx: &'a [Sender<NodeInbox>],
     alive: Vec<bool>,
     /// Sources each node is currently responsible for, in assignment
     /// order; entries are filtered against `got` rather than removed.
@@ -639,15 +891,58 @@ struct Driver<'a> {
     last_seen: Vec<Instant>,
     /// Recent inter-row gaps per node, newest last, bounded window.
     gaps: Vec<Vec<Duration>>,
+    /// Rows accepted into the matrix per sending node — the basis for
+    /// synthesizing stats of a worker that died without reporting any.
+    delivered: Vec<u64>,
+    /// Final stats received over the wire (socket transport only).
+    wire_stats: Vec<Option<NodeStats>>,
     dist: DistanceMatrix,
 }
 
 /// How many inter-row gaps the watchdog's rolling median looks back over.
 const GAP_WINDOW: usize = 32;
 
-impl Driver<'_> {
+impl Driver {
+    /// Fresh bookkeeping for `nodes` nodes owning `outstanding` shares of
+    /// an `n`-vertex gather.
+    fn new(nodes: usize, outstanding: Vec<Vec<u32>>, n: usize, retry: RetryPolicy) -> Self {
+        Driver {
+            nodes,
+            alive: vec![true; nodes],
+            outstanding,
+            got: vec![false; n],
+            gathered: 0,
+            gather_bytes: 0,
+            gather_rejected: 0,
+            reassign_cursor: 0,
+            retry,
+            reject_count: vec![0; n],
+            watchdog_reassigned: 0,
+            last_seen: vec![Instant::now(); nodes],
+            gaps: vec![Vec::new(); nodes],
+            delivered: vec![0; nodes],
+            wire_stats: vec![None; nodes],
+            dist: DistanceMatrix::new_infinite(n),
+        }
+    }
+
+    /// Dispatches one transport event from node `k`.
+    fn on_event<S: ControlSink>(&mut self, k: usize, event: NodeEvent, sink: &mut S) {
+        match event {
+            NodeEvent::Row(message) => self.on_row(k, message, sink),
+            NodeEvent::HubFwd { to, msg } => {
+                // Star-topology hub relay: the origin already applied its
+                // per-peer fault decisions, the driver just forwards.
+                if to < self.nodes && to != k && self.alive[to] {
+                    sink.control(to, NodeControl::Hub(msg));
+                }
+            }
+            NodeEvent::Stats(stats) => self.wire_stats[k] = Some(stats),
+        }
+    }
+
     /// Handles one gather message from node `k`.
-    fn on_row(&mut self, k: usize, message: RowMessage) {
+    fn on_row<S: ControlSink>(&mut self, k: usize, message: RowMessage, sink: &mut S) {
         let now = Instant::now();
         let gap = now.duration_since(self.last_seen[k]);
         self.last_seen[k] = now;
@@ -662,12 +957,12 @@ impl Driver<'_> {
             if !self.got[s] {
                 self.reject_count[s] += 1;
                 if self.reject_count[s] <= self.retry.max_resends
-                    || !self.redeal_away_from(k, message.source)
+                    || !self.redeal_away_from(k, message.source, sink)
                 {
                     // Within the retry budget — or past it with nobody else
                     // alive to deal to, where re-sending (each attempt draws
                     // fresh fault coordinates) is the only road to progress.
-                    let _ = self.inbox_tx[k].send(NodeInbox::Resend(message.source));
+                    sink.control(k, NodeControl::Resend(message.source));
                 }
             }
             return;
@@ -678,13 +973,14 @@ impl Driver<'_> {
         }
         self.got[s] = true;
         self.gathered += 1;
+        self.delivered[k] += 1;
         self.dist.copy_row_from(message.source, &message.row);
     }
 
     /// Re-deals source `s` to an alive node other than `k` (the path that
     /// exhausted its retry budget). Returns `false` when `k` is the only
     /// survivor.
-    fn redeal_away_from(&mut self, k: usize, s: u32) -> bool {
+    fn redeal_away_from<S: ControlSink>(&mut self, k: usize, s: u32, sink: &mut S) -> bool {
         let survivors: Vec<usize> = (0..self.nodes)
             .filter(|&j| self.alive[j] && j != k)
             .collect();
@@ -695,7 +991,7 @@ impl Driver<'_> {
         self.reassign_cursor += 1;
         self.outstanding[k].retain(|&x| x != s);
         self.outstanding[j].push(s);
-        let _ = self.inbox_tx[j].send(NodeInbox::Assign(s));
+        sink.control(j, NodeControl::Assign(s));
         true
     }
 
@@ -704,7 +1000,7 @@ impl Driver<'_> {
     /// (never less than `floor`), and re-deals their ungathered sources to
     /// the other survivors. A stalled node is left alive: late deliveries
     /// are deduplicated, so waking up costs nothing but duplicate work.
-    fn check_watchdog(&mut self, watchdog: &WatchdogConfig) {
+    fn check_watchdog<S: ControlSink>(&mut self, watchdog: &WatchdogConfig, sink: &mut S) {
         for k in 0..self.nodes {
             if !self.alive[k] || self.gaps[k].len() < watchdog.min_samples {
                 continue;
@@ -738,14 +1034,14 @@ impl Driver<'_> {
                 self.reassign_cursor += 1;
                 self.outstanding[j].push(s);
                 self.watchdog_reassigned += 1;
-                let _ = self.inbox_tx[j].send(NodeInbox::Assign(s));
+                sink.control(j, NodeControl::Assign(s));
             }
         }
     }
 
     /// Handles node `k`'s disconnect: re-deal its unfinished sources
     /// cyclically over the survivors, preserving their original order.
-    fn on_crash(&mut self, k: usize) {
+    fn on_crash<S: ControlSink>(&mut self, k: usize, sink: &mut S) {
         self.alive[k] = false;
         let remaining: Vec<u32> = self.outstanding[k]
             .iter()
@@ -766,7 +1062,7 @@ impl Driver<'_> {
             let j = survivors[self.reassign_cursor % survivors.len()];
             self.reassign_cursor += 1;
             self.outstanding[j].push(s);
-            let _ = self.inbox_tx[j].send(NodeInbox::Assign(s));
+            sink.control(j, NodeControl::Assign(s));
         }
     }
 
@@ -777,21 +1073,25 @@ impl Driver<'_> {
     }
 }
 
-/// The body of one simulated node thread.
+/// The body of one node, written once against [`NodeIo`]: an in-process
+/// node thread (channel transport) and a remote worker process (socket
+/// transport) both run exactly this loop, so protocol behaviour —
+/// including every deterministic fault decision and its coordinates — is
+/// identical across transports.
 #[allow(clippy::too_many_arguments)]
-fn run_node(
+pub(crate) fn run_node_loop<IO: NodeIo>(
     k: usize,
     graph: &CsrGraph,
-    n: usize,
     initial: &[u32],
     is_hub: &[bool],
+    nodes: usize,
     plan: &FaultPlan,
     retry: &RetryPolicy,
     token: Option<&CancelToken>,
-    inbox: Receiver<NodeInbox>,
-    peers: &[Sender<NodeInbox>],
-    gather: Sender<RowMessage>,
+    source_delay: Duration,
+    io: &mut IO,
 ) -> NodeStats {
+    let n = graph.vertex_count();
     let crash_after = plan.crash_after(k);
     let stall = plan.stall_after(k);
     let mut stalled = false;
@@ -806,9 +1106,9 @@ fn run_node(
         // Drain the mailbox so freshly arrived hub rows, assignments, and
         // re-send requests are handled before the next SSSP.
         loop {
-            match inbox.try_recv() {
-                Ok(message) => {
-                    if handle_inbox(
+            match io.try_recv() {
+                Ok(Some(message)) => {
+                    if handle_control(
                         message,
                         k,
                         plan,
@@ -817,24 +1117,29 @@ fn run_node(
                         &mut pending,
                         &mut stats,
                         &mut attempts,
-                        &gather,
+                        io,
                     ) {
                         break 'life;
                     }
                 }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => break 'life,
+                Ok(None) => break,
+                Err(_) => break 'life,
             }
         }
-        // Injected crash: the thread simply returns; channels disconnect.
+        // Injected crash: stop dead without a word — the thread returns /
+        // the worker slams its socket — and the driver finds out from the
+        // closed stream, exactly like a real death.
         if crash_after.is_some_and(|after| completed >= after) {
             stats.crashed = true;
             break;
         }
-        // Injected stall: go silent without dying, then resume.
+        // Injected stall: go silent without dying, then resume. (A socket
+        // worker's heartbeat thread keeps beating through the stall — a
+        // stall is not a crash, and only the watchdog may re-deal it.)
         if let Some((after, millis)) = stall {
             if !stalled && completed >= after {
                 stalled = true;
+                io.flush();
                 std::thread::sleep(Duration::from_millis(millis));
             }
         }
@@ -844,10 +1149,11 @@ fn run_node(
         // look like a crash and trigger pointless reassignment.
         let parked = token.is_some_and(|t| t.status().is_stop());
         let Some(s) = (if parked { None } else { pending.pop_front() }) else {
-            // Idle: wait for more work, a hub row, or shutdown.
-            match inbox.recv() {
+            // Idle: wait for more work, a hub row, or shutdown. `recv`
+            // implementations flush buffered rows before blocking.
+            match io.recv() {
                 Ok(message) => {
-                    if handle_inbox(
+                    if handle_control(
                         message,
                         k,
                         plan,
@@ -856,7 +1162,7 @@ fn run_node(
                         &mut pending,
                         &mut stats,
                         &mut attempts,
-                        &gather,
+                        io,
                     ) {
                         break;
                     }
@@ -868,16 +1174,21 @@ fn run_node(
         if state.row_for(s).is_some() {
             continue; // already computed (defensive; assignments are unique)
         }
+        if !source_delay.is_zero() {
+            // Testing throttle (`node --delay-ms`): pace this worker so
+            // integration tests can kill it deterministically mid-run.
+            std::thread::sleep(source_delay);
+        }
         let row = state.run_source(graph, s).to_vec();
         completed += 1;
         stats.sources += 1;
         if is_hub[s as usize] {
-            for (peer, tx) in peers.iter().enumerate() {
+            for peer in 0..nodes {
                 if peer == k {
                     continue;
                 }
-                // The clone is the simulated network copy; the sender pays
-                // for the bytes whether or not the wire eats the message.
+                // The clone is the network copy; the sender pays for the
+                // bytes whether or not the wire eats the message.
                 let mut message = RowMessage::new(s, row.clone());
                 stats.bytes_sent += message.wire_bytes();
                 if plan.drops_broadcast(k as u64, peer as u64, s) {
@@ -886,12 +1197,10 @@ fn run_node(
                 if plan.corrupts_payload(k as u64, peer as u64, s, 0) {
                     plan.corrupt_row(k as u64, peer as u64, s, 0, &mut message.row);
                 }
-                // A disconnected peer (crashed) is not an error: hub rows
-                // are an optimization.
-                let _ = tx.send(NodeInbox::Hub(message));
+                io.send_hub(peer, message);
             }
         }
-        send_gather(k, s, &row, attempts[s as usize], plan, &gather);
+        io.send_row(seal_gather_row(k, s, &row, attempts[s as usize], plan));
     }
 
     stats.local_reuses = state.local_reuses;
@@ -900,10 +1209,10 @@ fn run_node(
     stats
 }
 
-/// Processes one mailbox message; returns `true` on shutdown.
+/// Processes one control message; returns `true` on shutdown.
 #[allow(clippy::too_many_arguments)]
-fn handle_inbox(
-    message: NodeInbox,
+fn handle_control<IO: NodeIo>(
+    message: NodeControl,
     k: usize,
     plan: &FaultPlan,
     retry: &RetryPolicy,
@@ -911,15 +1220,15 @@ fn handle_inbox(
     pending: &mut VecDeque<u32>,
     stats: &mut NodeStats,
     attempts: &mut [u64],
-    gather: &Sender<RowMessage>,
+    io: &mut IO,
 ) -> bool {
     match message {
-        NodeInbox::Hub(row) => {
+        NodeControl::Hub(row) => {
             stats.bytes_received += row.wire_bytes();
             state.accept(row);
             false
         }
-        NodeInbox::Assign(s) => {
+        NodeControl::Assign(s) => {
             // A re-deal can cycle back to a node that already finished the
             // source (watchdog false positive, or a rejected delivery being
             // routed away and back). Re-deliver the finished row — dropping
@@ -928,7 +1237,8 @@ fn handle_inbox(
             if let Some(row) = state.row_for(s) {
                 let row = row.to_vec();
                 attempts[s as usize] += 1;
-                send_gather(k, s, &row, attempts[s as usize], plan, gather);
+                io.send_row(seal_gather_row(k, s, &row, attempts[s as usize], plan));
+                io.flush();
                 return false;
             }
             if pending.contains(&s) {
@@ -939,7 +1249,7 @@ fn handle_inbox(
             stats.reassigned_sources += 1;
             false
         }
-        NodeInbox::Resend(s) => {
+        NodeControl::Resend(s) => {
             stats.retries += 1;
             attempts[s as usize] += 1;
             let attempt = attempts[s as usize];
@@ -958,27 +1268,24 @@ fn handle_inbox(
                 .row_for(s)
                 .expect("driver requested a re-send of a row this node never sent")
                 .to_vec();
-            send_gather(k, s, &row, attempt, plan, gather);
+            // Flush immediately: the driver is actively waiting on this
+            // row, batching it would add a round of latency for nothing.
+            io.send_row(seal_gather_row(k, s, &row, attempt, plan));
+            io.flush();
             false
         }
-        NodeInbox::Shutdown => true,
+        NodeControl::Shutdown => true,
     }
 }
 
-/// Streams one completed row to the driver, applying payload faults.
-fn send_gather(
-    k: usize,
-    s: u32,
-    row: &[u32],
-    attempt: u64,
-    plan: &FaultPlan,
-    gather: &Sender<RowMessage>,
-) {
+/// Seals one completed row for the driver, applying payload faults drawn
+/// at gather coordinates (`k → DRIVER`, per-attempt).
+fn seal_gather_row(k: usize, s: u32, row: &[u32], attempt: u64, plan: &FaultPlan) -> RowMessage {
     let mut message = RowMessage::new(s, row.to_vec());
     if plan.corrupts_payload(k as u64, DRIVER, s, attempt) {
         plan.corrupt_row(k as u64, DRIVER, s, attempt, &mut message.row);
     }
-    let _ = gather.send(message);
+    message
 }
 
 #[cfg(test)]
@@ -1507,5 +1814,275 @@ mod tests {
                 ..ClusterConfig::default()
             },
         );
+    }
+
+    #[test]
+    fn validate_rejects_each_degenerate_config_with_its_own_error() {
+        let ok = ClusterConfig {
+            nodes: 2,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(ok.validate(100), Ok(()));
+
+        let zero = ClusterConfig {
+            nodes: 0,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(zero.validate(100), Err(ClusterConfigError::ZeroNodes));
+
+        let fraction = ClusterConfig {
+            nodes: 2,
+            hub_fraction: -0.5,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            fraction.validate(100),
+            Err(ClusterConfigError::HubFractionOutOfRange(-0.5))
+        );
+
+        let oversized = ClusterConfig {
+            nodes: 8,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            oversized.validate(3),
+            Err(ClusterConfigError::MoreNodesThanSources {
+                nodes: 8,
+                sources: 3
+            })
+        );
+
+        let dead_heartbeat = ClusterConfig {
+            nodes: 2,
+            heartbeat: Duration::ZERO,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            dead_heartbeat.validate(100),
+            Err(ClusterConfigError::ZeroDuration("driver heartbeat"))
+        );
+
+        let socket = SocketConfig {
+            heartbeat_interval: Duration::ZERO,
+            ..SocketConfig::default()
+        };
+        let dead_interval = ClusterConfig {
+            nodes: 2,
+            transport: TransportSpec::Socket(socket),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            dead_interval.validate(100),
+            Err(ClusterConfigError::ZeroDuration(
+                "worker heartbeat interval"
+            ))
+        );
+
+        let socket = SocketConfig {
+            heartbeat_misses: 0,
+            ..SocketConfig::default()
+        };
+        let no_misses = ClusterConfig {
+            nodes: 2,
+            transport: TransportSpec::Socket(socket),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            no_misses.validate(100),
+            Err(ClusterConfigError::ZeroHeartbeatMisses)
+        );
+
+        let socket = SocketConfig {
+            row_batch: 0,
+            ..SocketConfig::default()
+        };
+        let no_batch = ClusterConfig {
+            nodes: 2,
+            transport: TransportSpec::Socket(socket),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            no_batch.validate(100),
+            Err(ClusterConfigError::ZeroRowBatch)
+        );
+
+        let mut socket = SocketConfig::default();
+        socket.connect.attempts = 0;
+        let no_dials = ClusterConfig {
+            nodes: 2,
+            transport: TransportSpec::Socket(socket),
+            ..ClusterConfig::default()
+        };
+        assert_eq!(
+            no_dials.validate(100),
+            Err(ClusterConfigError::ZeroConnectAttempts)
+        );
+
+        // Every error Displays a human sentence and implements Error.
+        for error in [
+            ClusterConfigError::ZeroNodes,
+            ClusterConfigError::HubFractionOutOfRange(2.0),
+            ClusterConfigError::MoreNodesThanSources {
+                nodes: 8,
+                sources: 3,
+            },
+            ClusterConfigError::ZeroDuration("read-timeout"),
+            ClusterConfigError::ZeroHeartbeatMisses,
+            ClusterConfigError::ZeroRowBatch,
+            ClusterConfigError::ZeroConnectAttempts,
+        ] {
+            let text = error.to_string();
+            assert!(!text.is_empty());
+            let _: &dyn std::error::Error = &error;
+        }
+    }
+
+    // ---- Driver recovery logic in isolation (no cluster, no threads) ----
+
+    /// A [`ControlSink`] that just records what the driver asked for.
+    struct RecordingSink(Vec<(usize, NodeControl)>);
+
+    impl ControlSink for RecordingSink {
+        fn control(&mut self, node: usize, message: NodeControl) {
+            self.0.push((node, message));
+        }
+    }
+
+    fn corrupted_row(source: u32, n: usize) -> RowMessage {
+        let mut message = RowMessage::new(source, vec![1; n]);
+        message.checksum ^= 1;
+        assert!(!message.verify());
+        message
+    }
+
+    #[test]
+    fn corrupted_rows_are_resent_until_the_budget_then_redealt() {
+        let retry = RetryPolicy {
+            max_resends: 2,
+            ..RetryPolicy::default()
+        };
+        let mut driver = Driver::new(2, vec![vec![0, 1], vec![2, 3]], 4, retry);
+        let mut sink = RecordingSink(Vec::new());
+
+        // Two rejections: both within budget, both answered with Resend
+        // to the original sender.
+        for _ in 0..2 {
+            driver.on_row(0, corrupted_row(1, 4), &mut sink);
+        }
+        assert_eq!(sink.0.len(), 2);
+        assert!(sink
+            .0
+            .iter()
+            .all(|(node, m)| *node == 0 && matches!(m, NodeControl::Resend(1))));
+
+        // Third rejection exhausts the budget: the source is re-dealt to
+        // the other survivor instead.
+        driver.on_row(0, corrupted_row(1, 4), &mut sink);
+        assert_eq!(sink.0.len(), 3);
+        assert!(matches!(sink.0[2], (1, NodeControl::Assign(1))));
+        assert!(driver.outstanding[1].contains(&1));
+        assert!(!driver.outstanding[0].contains(&1));
+        assert_eq!(driver.gather_rejected, 3);
+        // Nothing was ever accepted.
+        assert!(!driver.got[1]);
+        assert_eq!(driver.delivered, vec![0, 0]);
+    }
+
+    #[test]
+    fn sole_survivor_keeps_resending_past_the_budget() {
+        let retry = RetryPolicy {
+            max_resends: 1,
+            ..RetryPolicy::default()
+        };
+        let mut driver = Driver::new(1, vec![vec![0, 1]], 2, retry);
+        let mut sink = RecordingSink(Vec::new());
+        for _ in 0..5 {
+            driver.on_row(0, corrupted_row(0, 2), &mut sink);
+        }
+        // Re-dealing away is impossible; every rejection keeps asking the
+        // only node for a fresh attempt (fresh attempts draw fresh fault
+        // coordinates, so progress is still possible).
+        assert_eq!(sink.0.len(), 5);
+        assert!(sink
+            .0
+            .iter()
+            .all(|(node, m)| *node == 0 && matches!(m, NodeControl::Resend(0))));
+    }
+
+    #[test]
+    fn crash_redeals_unfinished_sources_cyclically_over_survivors() {
+        let retry = RetryPolicy::default();
+        let mut driver = Driver::new(3, vec![vec![0, 3], vec![1, 4, 5], vec![2]], 6, retry);
+        let mut sink = RecordingSink(Vec::new());
+
+        // Node 1 delivered source 4 before dying; only 1 and 5 remain.
+        driver.on_row(1, RowMessage::new(4, vec![7; 6]), &mut sink);
+        assert!(driver.got[4]);
+        assert_eq!(driver.delivered[1], 1);
+
+        driver.on_crash(1, &mut sink);
+        assert!(!driver.alive[1]);
+        assert!(driver.outstanding[1].is_empty());
+        let assigns: Vec<(usize, u32)> = sink
+            .0
+            .iter()
+            .filter_map(|(node, m)| match m {
+                NodeControl::Assign(s) => Some((*node, *s)),
+                _ => None,
+            })
+            .collect();
+        // Cyclic deal over survivors {0, 2} in original source order.
+        assert_eq!(assigns, vec![(0, 1), (2, 5)]);
+        assert!(driver.outstanding[0].contains(&1));
+        assert!(driver.outstanding[2].contains(&5));
+    }
+
+    #[test]
+    fn duplicate_and_late_rows_are_deduplicated() {
+        let retry = RetryPolicy::default();
+        let mut driver = Driver::new(2, vec![vec![0], vec![1]], 2, retry);
+        let mut sink = RecordingSink(Vec::new());
+        driver.on_row(0, RowMessage::new(0, vec![0, 9]), &mut sink);
+        // A late duplicate (e.g. a stalled node waking up) changes nothing.
+        driver.on_row(1, RowMessage::new(0, vec![0, 5]), &mut sink);
+        assert_eq!(driver.gathered, 1);
+        assert_eq!(driver.delivered, vec![1, 0]);
+        assert_eq!(driver.dist.row(0)[1], 9);
+        // A corrupted duplicate of an already-gathered source draws no
+        // Resend either — the row is already home.
+        driver.on_row(1, corrupted_row(0, 2), &mut sink);
+        assert!(sink.0.is_empty());
+    }
+
+    #[test]
+    fn hub_forwards_are_relayed_only_to_alive_peers() {
+        let retry = RetryPolicy::default();
+        let mut driver = Driver::new(3, vec![vec![0], vec![1], vec![2]], 3, retry);
+        let mut sink = RecordingSink(Vec::new());
+        let row = RowMessage::new(0, vec![0, 1, 2]);
+        driver.on_event(
+            0,
+            NodeEvent::HubFwd {
+                to: 1,
+                msg: row.clone(),
+            },
+            &mut sink,
+        );
+        assert!(matches!(sink.0[0], (1, NodeControl::Hub(_))));
+
+        driver.on_crash(2, &mut sink);
+        sink.0.clear();
+        // Relay to a dead peer, to self, and out of range: all dropped.
+        for to in [2usize, 0, 7] {
+            driver.on_event(
+                0,
+                NodeEvent::HubFwd {
+                    to,
+                    msg: row.clone(),
+                },
+                &mut sink,
+            );
+        }
+        assert!(sink.0.is_empty());
     }
 }

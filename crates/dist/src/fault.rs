@@ -178,6 +178,59 @@ impl FaultPlan {
         row[word] ^= 1 << bit;
     }
 
+    /// Serializes the plan for the socket transport's `SETUP` frame, so a
+    /// worker process draws exactly the decisions an in-process node would.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.crashes.len() as u32).to_le_bytes());
+        for &(node, k) in &self.crashes {
+            out.extend_from_slice(&(node as u64).to_le_bytes());
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.stalls.len() as u32).to_le_bytes());
+        for &(node, k, ms) in &self.stalls {
+            out.extend_from_slice(&(node as u64).to_le_bytes());
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
+        out.extend_from_slice(&self.drop_probability.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.corrupt_probability.to_bits().to_le_bytes());
+    }
+
+    /// Inverse of [`encode`](Self::encode); `None` on a malformed buffer.
+    pub(crate) fn decode(buf: &mut &[u8]) -> Option<FaultPlan> {
+        let seed = crate::wire::take_u64(buf)?;
+        let crashes = (0..crate::wire::take_u32(buf)?)
+            .map(|_| {
+                Some((
+                    usize::try_from(crate::wire::take_u64(buf)?).ok()?,
+                    crate::wire::take_u64(buf)?,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let stalls = (0..crate::wire::take_u32(buf)?)
+            .map(|_| {
+                Some((
+                    usize::try_from(crate::wire::take_u64(buf)?).ok()?,
+                    crate::wire::take_u64(buf)?,
+                    crate::wire::take_u64(buf)?,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let drop_probability = f64::from_bits(crate::wire::take_u64(buf)?);
+        let corrupt_probability = f64::from_bits(crate::wire::take_u64(buf)?);
+        if !(0.0..=1.0).contains(&drop_probability) || !(0.0..1.0).contains(&corrupt_probability) {
+            return None;
+        }
+        Some(FaultPlan {
+            seed,
+            crashes,
+            stalls,
+            drop_probability,
+            corrupt_probability,
+        })
+    }
+
     /// A fresh generator keyed on the plan seed plus the decision
     /// coordinates, mixed so that nearby coordinates do not correlate.
     fn decision_rng(&self, salt: u64, a: u64, b: u64, c: u64) -> StdRng {

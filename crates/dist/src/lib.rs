@@ -43,12 +43,30 @@
 
 #![warn(missing_docs)]
 
+//!
+//! # Transports
+//!
+//! The driver/node protocol runs over a pluggable [`TransportSpec`]: the
+//! in-process channel backend above, or length-prefix-framed TCP/Unix
+//! sockets ([`SocketConfig`]) to worker processes launched by the driver,
+//! spawned as `parapsp node` subprocesses, or started by hand on other
+//! terminals ([`WorkerMode`]). The socket path carries the same checksums,
+//! retries, and re-deals, plus heartbeat keepalives — so a worker that is
+//! `kill -9`ed mid-run is detected (EOF or missed heartbeats) and its
+//! sources recovered exactly like an injected crash.
+
 mod cluster;
 mod fault;
 mod node;
+mod socket;
+mod transport;
+mod wire;
+mod worker;
 
 pub use cluster::{
-    dist_apsp, dist_apsp_cancellable, ClusterConfig, DistApspOutput, DistEngine, NodeStats,
-    RetryPolicy, SourcePartition, WatchdogConfig,
+    dist_apsp, dist_apsp_cancellable, ClusterConfig, ClusterConfigError, DistApspOutput,
+    DistEngine, NodeStats, RetryPolicy, SourcePartition, WatchdogConfig,
 };
 pub use fault::FaultPlan;
+pub use transport::{BindSpec, ConnectRetry, SocketConfig, TransportSpec, WorkerMode};
+pub use worker::{run_worker, WorkerOptions, WorkerOutcome};

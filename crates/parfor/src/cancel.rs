@@ -182,11 +182,33 @@ impl CancelToken {
     pub fn deadline(&self) -> Option<Instant> {
         self.inner.deadline
     }
+
+    /// Wall-clock time left before the deadline (zero once it has
+    /// passed), or `None` when no deadline was set. Lets blocking waits —
+    /// a socket read, a channel `recv_timeout` — cap their sleep so a
+    /// deadline is honored promptly instead of at the next natural
+    /// wakeup.
+    #[inline]
+    pub fn time_left(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_left_tracks_the_deadline() {
+        assert_eq!(CancelToken::new().time_left(), None);
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        let left = t.time_left().expect("deadline token reports time left");
+        assert!(left > Duration::from_secs(3500) && left <= Duration::from_secs(3600));
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(expired.time_left(), Some(Duration::ZERO));
+    }
 
     #[test]
     fn fresh_token_continues() {

@@ -19,7 +19,7 @@ use proptest::prelude::*;
 
 use parapsp::core::persist::{self, Checkpoint};
 use parapsp::core::{ParApsp, RunOutcome};
-use parapsp::dist::{dist_apsp, ClusterConfig, FaultPlan};
+use parapsp::dist::{dist_apsp, ClusterConfig, FaultPlan, SocketConfig, TransportSpec, WorkerMode};
 use parapsp::graph::{CsrGraph, Direction, GraphBuilder};
 use parapsp::parfor::CancelToken;
 
@@ -76,6 +76,10 @@ fn arb_cluster_faults() -> impl Strategy<Value = (usize, FaultPlan)> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    // The invariant holds over BOTH transports with the same fault plan:
+    // the node loop is shared code, so every deterministic fault decision
+    // fires at identical coordinates whether rows cross a crossbeam
+    // channel or a length-prefix-framed TCP socket to worker threads.
     #[test]
     fn recovered_matrix_is_bit_identical_to_fault_free_run(
         graph in arb_graph(40, 180),
@@ -88,19 +92,39 @@ proptest! {
             hub_fraction,
             ..ClusterConfig::default()
         });
-        let faulty = dist_apsp(&graph, ClusterConfig {
-            nodes,
-            hub_fraction,
-            faults,
-            ..ClusterConfig::default()
-        });
-        prop_assert_eq!(clean.dist.first_difference(&faulty.dist), None);
-        // Every source was computed somewhere, crashes or not. (A source
-        // can be computed twice: when a node's gather row is rejected as
-        // corrupt and the node crashes before re-sending, a survivor
-        // recomputes it — exactness makes the duplicate harmless.)
-        let sources: u64 = faulty.node_stats.iter().map(|s| s.sources).sum();
-        prop_assert!(sources >= graph.vertex_count() as u64, "sources {sources}");
+        for transport in [
+            TransportSpec::InProcess,
+            TransportSpec::Socket(SocketConfig {
+                workers: WorkerMode::Threads,
+                ..SocketConfig::default()
+            }),
+        ] {
+            let label = match &transport {
+                TransportSpec::InProcess => "channel",
+                TransportSpec::Socket(_) => "socket",
+            };
+            let faulty = dist_apsp(&graph, ClusterConfig {
+                nodes,
+                hub_fraction,
+                faults: faults.clone(),
+                transport,
+                ..ClusterConfig::default()
+            });
+            prop_assert_eq!(
+                clean.dist.first_difference(&faulty.dist), None,
+                "transport {}", label
+            );
+            // Every source was computed somewhere, crashes or not. (A
+            // source can be computed twice: when a node's gather row is
+            // rejected as corrupt and the node crashes before re-sending,
+            // a survivor recomputes it — exactness makes the duplicate
+            // harmless.)
+            let sources: u64 = faulty.node_stats.iter().map(|s| s.sources).sum();
+            prop_assert!(
+                sources >= graph.vertex_count() as u64,
+                "transport {}: sources {}", label, sources
+            );
+        }
     }
 
     #[test]
