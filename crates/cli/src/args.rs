@@ -31,6 +31,7 @@ const VALUED: &[&str] = &[
     "--weights",
     "--cap",
     "--relax",
+    "--solver",
     "--schedule",
     "--partition",
     "--checkpoint",
@@ -105,6 +106,21 @@ impl Args {
         match self.get(name) {
             None => Ok(default),
             Some(raw) => T::parse_value(raw).map_err(|e| format!("--{name} {e}")),
+        }
+    }
+
+    /// A `--name` value with a `name[:param]` spec grammar (`--schedule`,
+    /// `--solver`), parsed through the type's `FromStr`, or a default. The
+    /// spec parsers already produce self-describing errors; this only
+    /// prefixes the option name.
+    pub fn get_spec<T: std::str::FromStr<Err = String>>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e| format!("--{name}: {e}")),
         }
     }
 

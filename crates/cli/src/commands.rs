@@ -12,7 +12,7 @@ use parapsp_core::engine::{
     ApspEngine, BlockedFwEngine, Engine, EngineKind, RunConfig, Runner, SeqEngine, ValueEnum,
 };
 use parapsp_core::paths::par_apsp_with_paths;
-use parapsp_core::{ApspOutput, DistanceMatrix, RelaxImpl, RunOutcome};
+use parapsp_core::{autotune, ApspOutput, DistanceMatrix, RelaxImpl, RunOutcome, SolverKind};
 use parapsp_dist::{
     run_worker, BindSpec, ClusterConfig, DistEngine, FaultPlan, SocketConfig, SourcePartition,
     TransportSpec, WorkerMode, WorkerOptions, WorkerOutcome,
@@ -65,6 +65,14 @@ apsp options:
   --relax <impl>             row-relaxation kernel: auto | avx2 | portable |
                              scalar (par-* and seq-* kernel algorithms;
                              default auto — all variants are bit-identical)
+  --solver <s>               per-source SSSP solver: dijkstra (default; the
+                             paper's modified Dijkstra) | delta[:<width>]
+                             (Δ-stepping, width from the mean weight when
+                             omitted) | stepping (bucket-fusion spans) |
+                             auto (probe the graph, pick solver + Δ, and
+                             fill unset --schedule/--relax); same
+                             algorithms as --relax; distances are
+                             bit-identical under every solver
   --schedule <s>             source-sweep loop schedule for par-apsp |
                              par-alg1 | par-alg2: block | static-cyclic |
                              dynamic-cyclic | dynamic:<chunk> |
@@ -527,6 +535,43 @@ fn run_algorithm(
             kind.value_name()
         ));
     }
+    // Per-source SSSP solver. Like --relax it needs the row kernel.
+    // `--solver auto` probes the graph up front so the choice can be
+    // reported, and its schedule/relax recommendations fill in whichever
+    // of those flags the user left unset.
+    let mut solver = args.get_spec("solver", SolverKind::default())?;
+    if args.get("solver").is_some() && !kind.uses_kernel() {
+        return Err(format!(
+            "--solver works with {} (got `{}`)",
+            kinds_where(EngineKind::uses_kernel),
+            kind.value_name()
+        ));
+    }
+    let mut relax = relax;
+    let mut schedule = schedule;
+    if solver == SolverKind::Auto && kind.uses_kernel() {
+        let choice = autotune(graph);
+        println!(
+            "auto-tune: solver {} schedule {} relax {} (n={} m={} \
+             degree-skew={:.1} weights {}..{} diameter~{})",
+            choice.solver.label(),
+            choice.schedule.label(),
+            choice.relax.name(),
+            choice.probe.n,
+            choice.probe.m,
+            choice.probe.degree_skew,
+            choice.probe.weight_min,
+            choice.probe.weight_max,
+            choice.probe.approx_diameter,
+        );
+        solver = choice.solver;
+        if args.get("relax").is_none() {
+            relax = choice.relax;
+        }
+        if args.get("schedule").is_none() && kind.honours_schedule() {
+            schedule = Some(choice.schedule);
+        }
+    }
     let checkpoint_every = args.get_parsed("checkpoint-every", 64usize)?;
     if checkpoint_every == 0 {
         return Err("--checkpoint-every must be at least 1".into());
@@ -538,6 +583,7 @@ fn run_algorithm(
             config = config.with_max_distance(cap);
         }
         config = config.with_relax(relax);
+        config = config.with_solver(solver);
         if let Some(schedule) = schedule {
             config = config.with_schedule(schedule);
         }
@@ -1105,6 +1151,69 @@ mod tests {
             assert!(
                 err.contains("--schedule works with"),
                 "{algorithm} must reject --schedule: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn solver_selection_via_cli() {
+        let file = sample_file();
+        // Every spelling the parser accepts, on both a parallel and a
+        // sequential kernel engine.
+        for solver in [
+            "dijkstra",
+            "delta",
+            "delta:auto",
+            "delta:3",
+            "stepping",
+            "auto",
+        ] {
+            for algorithm in ["par-apsp", "seq-optimized"] {
+                apsp(&args(&[
+                    "apsp",
+                    &file,
+                    "--algorithm",
+                    algorithm,
+                    "--solver",
+                    solver,
+                    "--threads",
+                    "2",
+                ]))
+                .unwrap_or_else(|e| panic!("{algorithm} --solver {solver}: {e}"));
+            }
+        }
+        // `auto` must not clobber an explicit --schedule/--relax.
+        apsp(&args(&[
+            "apsp",
+            &file,
+            "--solver",
+            "auto",
+            "--schedule",
+            "block",
+            "--relax",
+            "scalar",
+        ]))
+        .unwrap();
+        // Malformed specs are rejected with the parser's explanation.
+        for bad in ["warp", "delta:0", "delta:wide", "stepping:2", "auto:1"] {
+            let err = apsp(&args(&["apsp", &file, "--solver", bad])).unwrap_err();
+            assert!(err.contains("--solver"), "{bad}: {err}");
+        }
+        // Algorithms that never touch the row kernel reject the flag,
+        // naming the ones that do.
+        for algorithm in ["dist", "floyd-warshall", "blocked-fw", "dijkstra"] {
+            let err = apsp(&args(&[
+                "apsp",
+                &file,
+                "--algorithm",
+                algorithm,
+                "--solver",
+                "delta",
+            ]))
+            .unwrap_err();
+            assert!(
+                err.contains("--solver works with"),
+                "{algorithm} must reject --solver: {err}"
             );
         }
     }

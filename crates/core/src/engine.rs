@@ -46,11 +46,12 @@ use parapsp_graph::{degree, CsrGraph};
 use parapsp_order::OrderingProcedure;
 use parapsp_parfor::{CancelStatus, CancelToken, ParSlice, PerThread, Schedule, ThreadPool};
 
-use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
+use crate::kernel::{KernelOptions, Workspace};
 use crate::outcome::RunOutcome;
 use crate::persist::{self, Checkpoint};
 use crate::relax::RelaxImpl;
 use crate::shared::SharedDistState;
+use crate::solver::{RowSolver, SolverKind};
 use crate::stats::{ApspOutput, Counters, PhaseTimings};
 
 pub use crate::blocked_fw::BlockedFwEngine;
@@ -363,6 +364,14 @@ impl RunConfig {
     /// Selects the row-relaxation implementation (see [`crate::relax`]).
     pub fn with_relax(mut self, relax: RelaxImpl) -> Self {
         self.kernel.relax = relax;
+        self
+    }
+
+    /// Selects the per-source SSSP solver (see [`crate::solver`]).
+    /// [`SolverKind::Auto`] is resolved against the graph when the engine
+    /// prepares the run.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.kernel.solver = solver;
         self
     }
 
@@ -756,6 +765,7 @@ impl Runner {
 pub struct ApspEngine {
     state: Option<SharedDistState>,
     locals: Option<PerThread<(Workspace, Counters, Duration)>>,
+    solver: Option<RowSolver>,
 }
 
 impl ApspEngine {
@@ -805,12 +815,14 @@ impl Engine for ApspEngine {
         self.locals = Some(PerThread::from_fn(pool.num_threads(), |_| {
             (Workspace::new(n), Counters::default(), Duration::ZERO)
         }));
+        self.solver = Some(RowSolver::resolve(graph, config.kernel()));
         Plan { units, ordering }
     }
 
     fn run_rows(&mut self, graph: &CsrGraph, units: &[u32], ctx: &RowsCtx<'_>) -> RowsOutcome {
         let state = self.state.as_ref().expect("prepare() not called");
         let locals = self.locals.as_ref().expect("prepare() not called");
+        let solver = self.solver.as_ref().expect("prepare() not called");
         let kernel = ctx.config.kernel();
         let trace = ctx.trace;
         let body = |tid: usize, k: usize| {
@@ -820,8 +832,8 @@ impl Engine for ApspEngine {
             let t0 = Instant::now();
             // `units` is drawn from a permutation, so source `s` belongs to
             // exactly this iteration — satisfying the unique-row-owner
-            // contract of the kernel (and of `SharedDistState::row_mut`).
-            modified_dijkstra(graph, s, state, ws, kernel, counters, None);
+            // contract of the solvers (and of `SharedDistState::row_mut`).
+            solver.solve_row(graph, s, state, ws, kernel, counters, None);
             let elapsed = t0.elapsed();
             *busy += elapsed;
             if let Some(view) = trace {
@@ -901,6 +913,7 @@ pub struct SeqEngine {
     mode: SeqMode,
     state: Option<SharedDistState>,
     ws: Option<Workspace>,
+    solver: Option<RowSolver>,
     counters: Counters,
     busy: Duration,
     /// Adaptive state: out-degrees, accumulated credit, processed flags.
@@ -916,6 +929,7 @@ impl SeqEngine {
             mode: SeqMode::Ordered,
             state: None,
             ws: None,
+            solver: None,
             counters: Counters::default(),
             busy: Duration::ZERO,
             degrees: Vec::new(),
@@ -983,6 +997,7 @@ impl Engine for SeqEngine {
         };
         self.state = Some(state);
         self.ws = Some(Workspace::new(n));
+        self.solver = Some(RowSolver::resolve(graph, config.kernel()));
         self.degrees = degrees;
         self.credit = vec![0; n];
         self.done = done;
@@ -994,6 +1009,7 @@ impl Engine for SeqEngine {
             mode,
             state,
             ws,
+            solver,
             counters,
             busy,
             degrees,
@@ -1003,6 +1019,7 @@ impl Engine for SeqEngine {
         let mode = *mode;
         let state = state.as_ref().expect("prepare() not called");
         let ws = ws.as_mut().expect("prepare() not called");
+        let solver = solver.as_ref().expect("prepare() not called");
         let kernel = ctx.config.kernel();
         for &unit in units {
             if let Some(token) = ctx.token {
@@ -1034,7 +1051,7 @@ impl Engine for SeqEngine {
                 }
             };
             let t0 = Instant::now();
-            modified_dijkstra(graph, s, state, ws, kernel, counters, feedback);
+            solver.solve_row(graph, s, state, ws, kernel, counters, feedback);
             let elapsed = t0.elapsed();
             *busy += elapsed;
             if let Some(view) = ctx.trace {

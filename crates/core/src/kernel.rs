@@ -43,6 +43,10 @@ pub struct KernelOptions {
     /// pass. All variants are bit-identical; the switch exists so the
     /// benchmark harness can quantify the vectorization win.
     pub relax: RelaxImpl,
+    /// Which per-source SSSP solver computes each row (see
+    /// [`crate::solver`]). All solvers produce bit-identical distances;
+    /// they differ in how they order relaxations.
+    pub solver: crate::solver::SolverKind,
 }
 
 impl Default for KernelOptions {
@@ -52,17 +56,35 @@ impl Default for KernelOptions {
             dedup_queue: true,
             max_distance: None,
             relax: RelaxImpl::Auto,
+            solver: crate::solver::SolverKind::Dijkstra,
         }
     }
 }
 
 /// Reusable per-task scratch space, sized once per thread so the inner loop
-/// performs no allocation.
+/// performs no allocation in the steady state.
+///
+/// Every [`crate::solver`] variant shares this one structure: the FIFO
+/// kernel uses `queue`/`in_queue`, the bucketed solvers additionally use
+/// the cyclic [`BucketRing`] plus the `removed`/`scratch` staging lists.
+/// Sharing matters for the no-alloc guarantee — each solver borrows the
+/// same warmed capacities instead of allocating per source.
 pub(crate) struct Workspace {
-    queue: VecDeque<u32>,
+    pub(crate) queue: VecDeque<u32>,
     /// Packed "is queued" bitmap: `n/8` bytes instead of `n`, so frontier
     /// bookkeeping stays cache-resident while rows stream through.
-    in_queue: BitSet,
+    pub(crate) in_queue: BitSet,
+    /// Cyclic bucket array for the Δ-stepping / stepping solvers.
+    pub(crate) buckets: BucketRing,
+    /// Vertices removed from the current bucket, staged for the
+    /// heavy-edge phase (Δ-stepping only).
+    pub(crate) removed: Vec<u32>,
+    /// Membership bitmap for `removed` (cleared by iterating `removed`,
+    /// never by an O(n) sweep).
+    pub(crate) in_removed: BitSet,
+    /// Drain staging: bucket slots are swapped here so a light-phase
+    /// relaxation can push back into the slot being drained.
+    pub(crate) scratch: Vec<u32>,
 }
 
 impl Workspace {
@@ -70,7 +92,82 @@ impl Workspace {
         Workspace {
             queue: VecDeque::with_capacity(64),
             in_queue: BitSet::new(n),
+            buckets: BucketRing::new(),
+            removed: Vec::new(),
+            in_removed: BitSet::new(n),
+            scratch: Vec::new(),
         }
+    }
+}
+
+/// A cyclic array of distance buckets, reused across sources.
+///
+/// Bucket `b` (absolute index `tent / Δ`) lives in slot `b % ring`. The
+/// ring only needs to cover the live window: every queued tentative
+/// distance lies within `max_weight` of the bucket being processed, so a
+/// ring of `⌈max_weight / Δ⌉ + slack` slots guarantees no two *live*
+/// absolute buckets alias one slot. Entries are lazily deleted — a
+/// vertex may have stale entries in higher buckets after an improvement;
+/// consumers drop an entry whose current `tent / Δ` no longer matches
+/// the absolute bucket being drained (distances only decrease, so a
+/// stale entry can never masquerade as a ring-aliased future bucket).
+///
+/// `reset` clears slots but keeps their capacity, which is what makes
+/// per-source solves allocation-free once warm.
+pub(crate) struct BucketRing {
+    slots: Vec<Vec<u32>>,
+    ring: usize,
+    live: usize,
+}
+
+impl BucketRing {
+    pub(crate) fn new() -> Self {
+        BucketRing {
+            slots: Vec::new(),
+            ring: 0,
+            live: 0,
+        }
+    }
+
+    /// Prepares the ring for a new source with `ring` slots, retaining
+    /// previously grown slot capacities.
+    pub(crate) fn reset(&mut self, ring: usize) {
+        debug_assert!(ring >= 1);
+        if self.slots.len() < ring {
+            self.slots.resize_with(ring, Vec::new);
+        }
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        self.ring = ring;
+        self.live = 0;
+    }
+
+    /// Number of entries currently queued (including stale ones).
+    #[inline]
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, abs_bucket: u64, v: u32) {
+        let idx = (abs_bucket % self.ring as u64) as usize;
+        self.slots[idx].push(v);
+        self.live += 1;
+    }
+
+    /// Whether absolute bucket `abs_bucket`'s slot holds any entries.
+    #[inline]
+    pub(crate) fn slot_is_empty(&self, abs_bucket: u64) -> bool {
+        self.slots[(abs_bucket % self.ring as u64) as usize].is_empty()
+    }
+
+    /// Moves every entry of `abs_bucket`'s slot into `into` (appending),
+    /// leaving the slot empty but with its capacity intact.
+    pub(crate) fn drain_into(&mut self, abs_bucket: u64, into: &mut Vec<u32>) {
+        let idx = (abs_bucket % self.ring as u64) as usize;
+        self.live -= self.slots[idx].len();
+        into.append(&mut self.slots[idx]);
     }
 }
 

@@ -50,6 +50,7 @@ pub mod persist;
 pub mod relax;
 pub mod seq;
 mod shared;
+pub mod solver;
 pub mod stats;
 pub mod subset;
 
@@ -61,7 +62,56 @@ pub use engine::{
 pub use outcome::RunOutcome;
 pub use par::ParApsp;
 pub use relax::RelaxImpl;
+pub use solver::{autotune, probe, AutoChoice, GraphProbe, SolverKind};
 pub use stats::{ApspOutput, Counters, PhaseTimings};
 
 /// Infinite distance (no path); re-exported from the graph crate.
 pub use parapsp_graph::INF;
+
+/// Unit tests swap in a counting allocator so the solver suite can assert
+/// that `Workspace` reuse really means zero heap traffic per source in
+/// steady state. The counter is thread-local so the (parallel) test
+/// harness's other threads don't pollute a measurement. Only the test
+/// binary pays for any of this.
+#[cfg(test)]
+pub(crate) mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// `alloc`/`realloc` calls made by the *current thread* since start.
+    pub(crate) fn count() -> u64 {
+        ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+    }
+
+    fn bump() {
+        // try_with: allocation during TLS teardown must not panic.
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+    }
+
+    struct CountingAllocator;
+
+    // SAFETY: defers entirely to the system allocator; the counter is a
+    // const-initialized thread-local Cell, which never allocates itself.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            bump();
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            bump();
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+}

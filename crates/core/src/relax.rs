@@ -78,15 +78,11 @@ impl RelaxImpl {
         }
     }
 
-    /// Parses a [`RelaxImpl::name`] back into the variant.
+    /// Parses a [`RelaxImpl::name`] back into the variant: a lookup over
+    /// [`RelaxImpl::ALL`], so the name table is the single source of truth
+    /// (no shadow match to drift when a variant is added).
     pub fn parse(raw: &str) -> Option<RelaxImpl> {
-        match raw {
-            "scalar" => Some(RelaxImpl::Scalar),
-            "portable" => Some(RelaxImpl::Portable),
-            "avx2" => Some(RelaxImpl::Avx2),
-            "auto" => Some(RelaxImpl::Auto),
-            _ => None,
-        }
+        RelaxImpl::ALL.into_iter().find(|imp| imp.name() == raw)
     }
 }
 

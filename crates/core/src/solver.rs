@@ -1,0 +1,1107 @@
+//! Pluggable per-source SSSP row solvers (the `RowSolver` seam).
+//!
+//! The paper's engines all compute one row at a time, and until this
+//! module the *how* was hard-wired to the modified Dijkstra in
+//! [`crate::kernel`]. The seam here makes the row solver a run-time
+//! choice while everything around it — the kernel's `Workspace` scratch, the
+//! vectorized [`relax_row`] pass, the distance cap, the Release/Acquire
+//! row publication — stays shared:
+//!
+//! * [`SolverKind::Dijkstra`] — the paper's FIFO label-correcting kernel
+//!   (Peng's modified Dijkstra) with the row-reuse trick.
+//! * [`SolverKind::Delta`] — classic Δ-stepping (Meyer–Sanders, evaluated
+//!   for complex networks by Kranjčević, Palossi & Pintarelli): vertices
+//!   bucketed by `⌊tent/Δ⌋`, light edges (`w ≤ Δ`) relaxed to a fixpoint
+//!   per bucket, heavy edges once per removed vertex.
+//! * [`SolverKind::Stepping`] — a bucket-fusion stepping variant in the
+//!   Dong–Gu–Sun style: consecutive buckets are fused into one span
+//!   (up to a batch budget) and the span is settled by a FIFO
+//!   sub-frontier, trading Δ-stepping's strict bucket granularity for
+//!   wider batches and no light/heavy split.
+//! * [`SolverKind::Auto`] — probe the graph once ([`probe`]) and let
+//!   [`autotune`] pick solver, Δ, schedule and relax implementation.
+//!
+//! Every solver computes *exact* capped SSSP, so all of them are
+//! bit-identical on the final matrix (distances are unique); the engine
+//! matrix test enforces this per solver × engine × fixture.
+//!
+//! # Row reuse per solver
+//!
+//! Reusing a published row means relaxing `D[t][*]` wholesale and
+//! *skipping* `t`'s edge expansion, with reuse-improved vertices never
+//! re-enqueued. That is sound in any solver (the candidates only
+//! over-approximate), but *complete* only under a discipline where a
+//! flagged vertex is guaranteed to be re-examined at its final distance
+//! (or its final distance came from another complete row — Peng's
+//! dominance argument). The FIFO kernel and the Δ-stepping solver keep
+//! that discipline: every edge-relaxation improvement re-enqueues /
+//! re-buckets the vertex, so its row fires again at the settled
+//! distance. Crucially, reuse improvements must **bypass the buckets**:
+//! a reused row improves vertices to arbitrary distances far above the
+//! current bucket, and inserting those into the cyclic ring would
+//! violate its `max_weight/Δ` live-window invariant (two live absolute
+//! buckets aliasing one slot loses entries — that is where bucketed
+//! relaxation makes naive reuse illegal).
+//!
+//! The fused-span stepping solver *declines* reuse via its capability
+//! flag ([`SolverKind::supports_row_reuse`], mirroring the
+//! [`EngineKind`](crate::EngineKind) capability tables): its span
+//! extraction treats "no live entry at the vertex's current bucket" as
+//! "settled and fully expanded", an invariant reuse breaks by improving
+//! without inserting; keeping it legal would need a row re-application
+//! on every span a reused vertex re-enters — an O(n) pass per re-entry
+//! that forfeits exactly the batching the fusion buys (see DESIGN.md
+//! §12 and EXPERIMENTS.md).
+
+use parapsp_graph::CsrGraph;
+use parapsp_parfor::{spec, Schedule};
+
+use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
+use crate::relax::{relax_row, RelaxImpl};
+use crate::shared::SharedDistState;
+use crate::stats::Counters;
+
+// ---------------------------------------------------------------------------
+// SolverKind — the CLI-facing choice
+// ---------------------------------------------------------------------------
+
+/// Which per-source SSSP solver computes each row.
+///
+/// All variants produce bit-identical distances; they differ in how they
+/// order relaxations, which is a (graph-class-dependent) performance
+/// choice. CLI spellings: `dijkstra`, `delta`, `delta:auto`, `delta:<Δ>`,
+/// `stepping`, `auto`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// The paper's modified Dijkstra (FIFO label-correcting + row reuse).
+    #[default]
+    Dijkstra,
+    /// Classic Δ-stepping with light/heavy edge bucketing.
+    Delta {
+        /// Bucket width; `None` picks Δ from the mean edge weight.
+        delta: Option<u32>,
+    },
+    /// Bucket-fusion stepping (fused spans, no light/heavy split).
+    Stepping,
+    /// Probe the graph once and pick a concrete solver ([`autotune`]).
+    Auto,
+}
+
+impl SolverKind {
+    /// Every CLI spelling, for self-describing rejection messages.
+    pub const POSSIBLE: &'static [&'static str] =
+        &["dijkstra", "delta[:<Δ>|:auto]", "stepping", "auto"];
+
+    /// Stable label: `dijkstra`, `delta:auto`, `delta:<Δ>`, `stepping`,
+    /// `auto`. Round-trips through [`SolverKind::parse`].
+    pub fn label(self) -> String {
+        match self {
+            SolverKind::Dijkstra => "dijkstra".to_owned(),
+            SolverKind::Delta { delta: None } => "delta:auto".to_owned(),
+            SolverKind::Delta { delta: Some(d) } => format!("delta:{d}"),
+            SolverKind::Stepping => "stepping".to_owned(),
+            SolverKind::Auto => "auto".to_owned(),
+        }
+    }
+
+    /// Parses a CLI spelling; shares the spec helper (and error style)
+    /// with `--schedule` parsing.
+    pub fn parse(raw: &str) -> Result<SolverKind, String> {
+        let (name, param) = spec::split_spec(raw);
+        match name {
+            "dijkstra" | "stepping" | "auto" if param.is_some() => {
+                Err(spec::reject_param("solver", name))
+            }
+            "dijkstra" => Ok(SolverKind::Dijkstra),
+            "stepping" => Ok(SolverKind::Stepping),
+            "auto" => Ok(SolverKind::Auto),
+            "delta" => match param {
+                None | Some("auto") => Ok(SolverKind::Delta { delta: None }),
+                Some(p) => Ok(SolverKind::Delta {
+                    delta: Some(spec::parse_positive_param(
+                        "solver",
+                        "delta",
+                        Some(p),
+                        None,
+                    )?),
+                }),
+            },
+            _ => Err(spec::reject_unknown("solver", raw, Self::POSSIBLE)),
+        }
+    }
+
+    /// Capability flag: whether this solver may apply the paper's
+    /// row-reuse trick (see the module docs for why the stepping solver
+    /// declines). `Auto` reports `true` because resolution always picks
+    /// a concrete solver, which then answers for itself.
+    pub fn supports_row_reuse(self) -> bool {
+        !matches!(self, SolverKind::Stepping)
+    }
+}
+
+impl std::str::FromStr for SolverKind {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        SolverKind::parse(raw)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph probe + auto-tuner
+// ---------------------------------------------------------------------------
+
+/// Cheap structural measurements driving [`autotune`]. One O(n + m) pass
+/// plus two heap-Dijkstra sweeps; fully deterministic for a fixed graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphProbe {
+    /// Vertex count.
+    pub n: usize,
+    /// Directed arc count.
+    pub m: usize,
+    /// Mean out-degree (`m / n`).
+    pub density: f64,
+    /// Max out-degree over mean out-degree (≈1 regular, large scale-free).
+    pub degree_skew: f64,
+    /// Smallest edge weight (0 on edgeless graphs).
+    pub weight_min: u32,
+    /// Largest edge weight (0 on edgeless graphs).
+    pub weight_max: u32,
+    /// Mean edge weight (0 on edgeless graphs).
+    pub weight_mean: f64,
+    /// Weighted eccentricity estimate from a double sweep: Dijkstra from
+    /// the max-degree vertex, then from the farthest vertex found; the
+    /// second sweep's largest finite distance. A lower bound on the true
+    /// diameter, accurate enough to separate graph classes.
+    pub approx_diameter: u32,
+}
+
+/// Probes `graph` once. Deterministic: ties (max-degree start vertex,
+/// farthest vertex) break toward the lowest id.
+pub fn probe(graph: &CsrGraph) -> GraphProbe {
+    let n = graph.vertex_count();
+    let m = graph.arc_count();
+    let (mut max_deg, mut start) = (0u32, 0u32);
+    for v in 0..n as u32 {
+        let d = graph.out_degree(v);
+        if d > max_deg {
+            max_deg = d;
+            start = v;
+        }
+    }
+    let mean_deg = if n == 0 { 0.0 } else { m as f64 / n as f64 };
+    let (weight_min, weight_max, weight_mean) = weight_stats(graph);
+    let approx_diameter = if n == 0 || m == 0 {
+        0
+    } else {
+        let mut dist = vec![parapsp_graph::INF; n];
+        crate::baselines::dijkstra_sssp(graph, start, &mut dist);
+        let far = farthest_finite(&dist).unwrap_or(start);
+        crate::baselines::dijkstra_sssp(graph, far, &mut dist);
+        dist.iter()
+            .copied()
+            .filter(|&d| d != parapsp_graph::INF)
+            .max()
+            .unwrap_or(0)
+    };
+    GraphProbe {
+        n,
+        m,
+        density: mean_deg,
+        degree_skew: if mean_deg > 0.0 {
+            max_deg as f64 / mean_deg
+        } else {
+            1.0
+        },
+        weight_min,
+        weight_max,
+        weight_mean,
+        approx_diameter,
+    }
+}
+
+fn farthest_finite(dist: &[u32]) -> Option<u32> {
+    let mut best: Option<(u32, u32)> = None;
+    for (v, &d) in dist.iter().enumerate() {
+        if d != parapsp_graph::INF && best.map(|(bd, _)| d > bd).unwrap_or(true) {
+            best = Some((d, v as u32));
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+/// `(min, max, mean)` edge weight in one pass; zeros on edgeless graphs.
+fn weight_stats(graph: &CsrGraph) -> (u32, u32, f64) {
+    let mut min = u32::MAX;
+    let mut max = 0u32;
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    for v in 0..graph.vertex_count() as u32 {
+        for &w in graph.weights(v) {
+            min = min.min(w);
+            max = max.max(w);
+            sum += w as u64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        (0, 0, 0.0)
+    } else {
+        (min, max, sum as f64 / count as f64)
+    }
+}
+
+/// What [`autotune`] decided, plus the probe it decided from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoChoice {
+    /// A *concrete* solver (never [`SolverKind::Auto`], and Δ is pinned).
+    pub solver: SolverKind,
+    /// Recommended source-sweep schedule (work stealing on skewed
+    /// degree distributions, the paper's dynamic-cyclic otherwise).
+    pub schedule: Schedule,
+    /// Recommended relaxation implementation (always runtime `Auto`).
+    pub relax: RelaxImpl,
+    /// The measurements the choice was derived from.
+    pub probe: GraphProbe,
+}
+
+/// Δ from the probe: the mean edge weight (≥ 1). The classic guidance is
+/// Δ = Θ(mean weight): buckets then hold one expected "hop" of the
+/// frontier, so light-edge fixpoints stay short while buckets stay fat
+/// enough to batch.
+pub fn auto_delta(weight_mean: f64) -> u32 {
+    (weight_mean.round() as u32).max(1)
+}
+
+/// Picks solver + Δ + schedule + relax from one [`probe`] pass.
+///
+/// The heuristic was fitted to the `solver_scaling` measurements
+/// (BENCH_solver.json, discussed in EXPERIMENTS.md and DESIGN.md §12):
+///
+/// * uniform weights → `dijkstra` (the FIFO kernel is BFS-like and the
+///   row-reuse trick dominates — the paper's home turf);
+/// * strong degree skew (max/mean ≥ 8) → `dijkstra` (hub rows publish
+///   early and get reused constantly) with a work-stealing sweep (row
+///   costs are skewed too);
+/// * dense (mean out-degree ≥ 6) *and* wide weight range (max/min ≥ 50)
+///   → `delta` with Δ = mean weight / 4: the measured Δ-stepping win —
+///   on Watts–Strogatz-style regular dense graphs with wide weights the
+///   FIFO kernel re-relaxes ~30% more edges than the bucket discipline,
+///   and the light/heavy-partitioned adjacency turns that into a
+///   1.1–1.2× end-to-end win that grows with n;
+/// * otherwise → `dijkstra` (including sparse wide graphs: the FIFO
+///   kernel's relaxation count is near-optimal there and its lower
+///   per-edge overhead keeps it ahead — measured, not assumed).
+///
+/// The tuner never picks `stepping`: across every class measured it
+/// loses end-to-end, chiefly because its span extraction forfeits the
+/// row-reuse trick (module docs). It stays independently selectable for
+/// exactly that kind of honest comparison.
+pub fn autotune(graph: &CsrGraph) -> AutoChoice {
+    let p = probe(graph);
+    let uniform = p.weight_min == p.weight_max;
+    let skewed = p.degree_skew >= 8.0;
+    let dense = p.density >= 6.0;
+    let wide = p.weight_max as f64 / p.weight_min.max(1) as f64 >= 50.0;
+    let solver = if !uniform && !skewed && dense && wide {
+        // Δ-sweeps put the optimum near a quarter of the mean weight on
+        // this class (finer buckets than the classic Δ = mean guidance).
+        SolverKind::Delta {
+            delta: Some((auto_delta(p.weight_mean) / 4).max(1)),
+        }
+    } else {
+        SolverKind::Dijkstra
+    };
+    AutoChoice {
+        solver,
+        schedule: if skewed {
+            Schedule::work_stealing()
+        } else {
+            Schedule::dynamic_cyclic()
+        },
+        relax: RelaxImpl::Auto,
+        probe: p,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RowSolver — the resolved, per-run solver
+// ---------------------------------------------------------------------------
+
+/// Span batch target for the stepping solver: fuse buckets until the
+/// extracted span holds at least this many vertices.
+const STEPPING_RHO: usize = 64;
+/// Most consecutive buckets one stepping span may fuse (bounds the
+/// cyclic ring window).
+const STEPPING_FUSE_MAX: u64 = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolved {
+    Dijkstra,
+    Delta,
+    Stepping,
+}
+
+/// Light/heavy adjacency partition for Δ-stepping, built once per run at
+/// resolve time: each vertex's edges are reordered light-first (`w ≤ Δ`),
+/// so the light fixpoint and the heavy pass each scan one contiguous
+/// slice — no per-edge weight test, no double traversal of the full
+/// adjacency list (which is what made the naive formulation lose ~2× in
+/// edge throughput to the FIFO kernel).
+#[derive(Debug, Clone)]
+struct LightHeavy {
+    targets: Vec<u32>,
+    weights: Vec<u32>,
+    /// `n + 1` prefix offsets (CSR shape) into `targets`/`weights`.
+    offsets: Vec<u32>,
+    /// Per-vertex split: edges before it are light, from it on heavy.
+    light_end: Vec<u32>,
+}
+
+impl LightHeavy {
+    fn build(graph: &CsrGraph, delta: u32) -> LightHeavy {
+        let n = graph.vertex_count();
+        let m = graph.arc_count();
+        let mut targets = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut light_end = Vec::with_capacity(n);
+        offsets.push(0);
+        for v in 0..n as u32 {
+            for (u, w) in graph.out_edges(v) {
+                if w <= delta {
+                    targets.push(u);
+                    weights.push(w);
+                }
+            }
+            light_end.push(targets.len() as u32);
+            for (u, w) in graph.out_edges(v) {
+                if w > delta {
+                    targets.push(u);
+                    weights.push(w);
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        LightHeavy {
+            targets,
+            weights,
+            offsets,
+            light_end,
+        }
+    }
+
+    #[inline]
+    fn light(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.light_end[v as usize] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    #[inline]
+    fn heavy(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.light_end[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+}
+
+/// A [`SolverKind`] resolved against one graph: `Auto` collapsed to a
+/// concrete solver, Δ pinned, the cyclic-ring width precomputed from the
+/// maximum edge weight, and (for Δ-stepping) the adjacency re-laid-out
+/// into its light/heavy partition. Resolution happens once per run
+/// (engine `prepare`); `solve_row` is then allocation-free per source.
+#[derive(Debug, Clone)]
+pub(crate) struct RowSolver {
+    kind: Resolved,
+    delta: u32,
+    ring: usize,
+    partition: Option<LightHeavy>,
+}
+
+impl RowSolver {
+    /// Resolves `options.solver` for `graph`.
+    pub(crate) fn resolve(graph: &CsrGraph, options: KernelOptions) -> RowSolver {
+        let concrete = match options.solver {
+            SolverKind::Auto => autotune(graph).solver,
+            other => other,
+        };
+        match concrete {
+            SolverKind::Dijkstra => RowSolver {
+                kind: Resolved::Dijkstra,
+                delta: 1,
+                ring: 1,
+                partition: None,
+            },
+            SolverKind::Delta { delta } => {
+                let (_, maxw, meanw) = weight_stats(graph);
+                let delta = delta.unwrap_or_else(|| auto_delta(meanw)).max(1);
+                RowSolver {
+                    kind: Resolved::Delta,
+                    delta,
+                    ring: (maxw as u64).div_ceil(delta as u64) as usize + 2,
+                    partition: Some(LightHeavy::build(graph, delta)),
+                }
+            }
+            SolverKind::Stepping => {
+                let (_, maxw, meanw) = weight_stats(graph);
+                let delta = auto_delta(meanw);
+                RowSolver {
+                    kind: Resolved::Stepping,
+                    delta,
+                    ring: (maxw as u64).div_ceil(delta as u64) as usize
+                        + STEPPING_FUSE_MAX as usize
+                        + 2,
+                    partition: None,
+                }
+            }
+            SolverKind::Auto => unreachable!("autotune returns a concrete solver"),
+        }
+    }
+
+    /// Computes row `s`, publishing it on completion. Same contract as
+    /// [`modified_dijkstra`]: the caller is the unique owner of row `s`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn solve_row(
+        &self,
+        graph: &CsrGraph,
+        s: u32,
+        state: &SharedDistState,
+        ws: &mut Workspace,
+        options: KernelOptions,
+        counters: &mut Counters,
+        intermediate_credit: Option<&mut [u64]>,
+    ) {
+        match self.kind {
+            Resolved::Dijkstra => {
+                modified_dijkstra(graph, s, state, ws, options, counters, intermediate_credit)
+            }
+            Resolved::Delta => delta_row(
+                self,
+                graph,
+                s,
+                state,
+                ws,
+                options,
+                counters,
+                intermediate_credit,
+            ),
+            Resolved::Stepping => stepping_row(
+                self,
+                graph,
+                s,
+                state,
+                ws,
+                options,
+                counters,
+                intermediate_credit,
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Δ-stepping
+// ---------------------------------------------------------------------------
+
+/// Classic Δ-stepping from source `s`.
+///
+/// Buckets partition tentative distances into width-Δ ranges. The
+/// current bucket is drained to a fixpoint over *light* edges (`w ≤ Δ`,
+/// which can re-insert into the same bucket), then every removed vertex
+/// relaxes its *heavy* edges once (`w > Δ`, which always lands in a
+/// later bucket). Both passes scan contiguous slices of the
+/// [`LightHeavy`] partition built at resolve time — no per-edge weight
+/// test. Entries are lazily deleted: an improvement pushes a fresh
+/// entry and the stale one is dropped at drain time when `tent/Δ` no
+/// longer matches the drained bucket.
+///
+/// Row reuse (when `options.row_reuse`): a drained, non-stale vertex
+/// with a published row relaxes the whole row at its current tentative
+/// distance instead of expanding edges, and is excluded from the heavy
+/// phase. Reuse improvements bypass the buckets (Peng's no-re-enqueue
+/// rule — also what keeps the cyclic ring's live window intact); the
+/// discipline stays complete because any *edge* improvement of the
+/// reused vertex re-buckets it, firing the row again at the settled
+/// distance, and purely-reuse-set distances are dominated by the row
+/// that set them.
+#[allow(clippy::too_many_arguments)]
+fn delta_row(
+    solver: &RowSolver,
+    graph: &CsrGraph,
+    s: u32,
+    state: &SharedDistState,
+    ws: &mut Workspace,
+    options: KernelOptions,
+    counters: &mut Counters,
+    mut intermediate_credit: Option<&mut [u64]>,
+) {
+    let n = state.n();
+    debug_assert_eq!(graph.vertex_count(), n);
+    let delta = solver.delta as u64;
+    let part = solver
+        .partition
+        .as_ref()
+        .expect("delta resolved with a light/heavy partition");
+
+    // SAFETY: the caller guarantees unique ownership of row `s` and that
+    // it is unpublished; the borrow ends before `publish` below.
+    let row = unsafe { state.row_mut(s) };
+    row[s as usize] = 0;
+
+    let cap = options.max_distance.unwrap_or(u32::MAX);
+    let relax_impl = options.relax.resolve();
+    // Δ-stepping keeps the reuse discipline complete (module docs), so the
+    // kernel option alone decides.
+    let reuse = options.row_reuse;
+    let mut queue_pops = 0u64;
+    let mut relaxations = 0u64;
+    let mut row_reuses = 0u64;
+
+    ws.buckets.reset(solver.ring);
+    ws.buckets.push(0, s);
+    let mut cur: u64 = 0;
+
+    while ws.buckets.live() > 0 {
+        // All live entries sit within `ring` absolute buckets of `cur`,
+        // so the next non-empty slot is found in at most `ring` steps.
+        let mut b = cur;
+        for k in 0..solver.ring as u64 {
+            if !ws.buckets.slot_is_empty(cur + k) {
+                b = cur + k;
+                break;
+            }
+        }
+        debug_assert!(!ws.buckets.slot_is_empty(b), "live() > 0 but no slot found");
+
+        // Light phase: drain bucket b to a fixpoint.
+        debug_assert!(ws.removed.is_empty());
+        while !ws.buckets.slot_is_empty(b) {
+            ws.scratch.clear();
+            ws.buckets.drain_into(b, &mut ws.scratch);
+            // `scratch` is disjoint from `ws.buckets`/`ws.removed`, so the
+            // pushes below never alias the list being iterated.
+            for i in 0..ws.scratch.len() {
+                let v = ws.scratch[i];
+                let dv = row[v as usize];
+                if dv as u64 / delta != b {
+                    continue; // stale entry: a fresher one exists or it settled
+                }
+                queue_pops += 1;
+                if reuse {
+                    if let Some(v_row) = state.published_row(v) {
+                        row_reuses += 1;
+                        relaxations += relax_row(relax_impl, row, v_row, dv, cap);
+                        continue; // row covers light *and* heavy continuations
+                    }
+                }
+                if !ws.in_removed.get(v as usize) {
+                    ws.in_removed.set(v as usize);
+                    ws.removed.push(v);
+                }
+                let mut improved_someone = false;
+                for (u, w) in part.light(v) {
+                    let alt = dv.saturating_add(w);
+                    if alt < row[u as usize] && alt <= cap {
+                        row[u as usize] = alt;
+                        relaxations += 1;
+                        improved_someone = true;
+                        ws.buckets.push(alt as u64 / delta, u);
+                    }
+                }
+                if improved_someone && v != s {
+                    if let Some(credit) = intermediate_credit.as_deref_mut() {
+                        credit[v as usize] += 1;
+                    }
+                }
+            }
+        }
+
+        // Heavy phase: every vertex settled in bucket b expands its
+        // heavy edges once, at its (now final within the bucket) tent.
+        for i in 0..ws.removed.len() {
+            let v = ws.removed[i];
+            let dv = row[v as usize];
+            let mut improved_someone = false;
+            for (u, w) in part.heavy(v) {
+                let alt = dv.saturating_add(w);
+                if alt < row[u as usize] && alt <= cap {
+                    row[u as usize] = alt;
+                    relaxations += 1;
+                    improved_someone = true;
+                    ws.buckets.push(alt as u64 / delta, u);
+                }
+            }
+            if improved_someone && v != s {
+                if let Some(credit) = intermediate_credit.as_deref_mut() {
+                    credit[v as usize] += 1;
+                }
+            }
+        }
+        for i in 0..ws.removed.len() {
+            ws.in_removed.clear(ws.removed[i] as usize);
+        }
+        ws.removed.clear();
+        cur = b + 1;
+    }
+
+    counters.queue_pops += queue_pops;
+    counters.relaxations += relaxations;
+    counters.row_reuses += row_reuses;
+    counters.sources += 1;
+    state.publish(s);
+}
+
+// ---------------------------------------------------------------------------
+// Bucket-fusion stepping
+// ---------------------------------------------------------------------------
+
+/// Bucket-fusion stepping from source `s`.
+///
+/// Buckets share the Δ-stepping ring, but instead of settling one
+/// bucket at a time the solver *fuses* up to [`STEPPING_FUSE_MAX`]
+/// consecutive buckets (stopping early once the span holds
+/// [`STEPPING_RHO`] vertices) and settles the whole span with a FIFO
+/// sub-frontier: improvements below the span threshold re-enter the
+/// FIFO, improvements at or above it go back to the buckets (always
+/// beyond the fused range, so processed spans never reopen). There is
+/// no light/heavy split — the span threshold plays Δ's role
+/// adaptively. Row reuse is gated off by capability (module docs).
+#[allow(clippy::too_many_arguments)]
+fn stepping_row(
+    solver: &RowSolver,
+    graph: &CsrGraph,
+    s: u32,
+    state: &SharedDistState,
+    ws: &mut Workspace,
+    options: KernelOptions,
+    counters: &mut Counters,
+    mut intermediate_credit: Option<&mut [u64]>,
+) {
+    let n = state.n();
+    debug_assert_eq!(graph.vertex_count(), n);
+    debug_assert!(ws.in_queue.none_set(), "dirty workspace");
+    let delta = solver.delta as u64;
+
+    // SAFETY: as in `delta_row`.
+    let row = unsafe { state.row_mut(s) };
+    row[s as usize] = 0;
+
+    let cap = options.max_distance.unwrap_or(u32::MAX);
+    let mut queue_pops = 0u64;
+    let mut relaxations = 0u64;
+
+    ws.buckets.reset(solver.ring);
+    ws.buckets.push(0, s);
+    let mut cur: u64 = 0;
+
+    while ws.buckets.live() > 0 {
+        let mut b = cur;
+        for k in 0..solver.ring as u64 {
+            if !ws.buckets.slot_is_empty(cur + k) {
+                b = cur + k;
+                break;
+            }
+        }
+        debug_assert!(!ws.buckets.slot_is_empty(b), "live() > 0 but no slot found");
+
+        // Fuse buckets b, b+1, … into one span until the batch budget is
+        // met, seeding the FIFO with every current (non-stale) member.
+        let mut last = b;
+        let mut batch = 0usize;
+        for off in 0..STEPPING_FUSE_MAX {
+            let abs = b + off;
+            last = abs;
+            ws.scratch.clear();
+            ws.buckets.drain_into(abs, &mut ws.scratch);
+            for &v in ws.scratch.iter() {
+                if row[v as usize] as u64 / delta == abs && !ws.in_queue.get(v as usize) {
+                    ws.queue.push_back(v);
+                    ws.in_queue.set(v as usize);
+                    batch += 1;
+                }
+            }
+            if batch >= STEPPING_RHO {
+                break;
+            }
+        }
+        // Everything strictly below this threshold is settled in-span.
+        let threshold = (last + 1) * delta;
+
+        while let Some(v) = ws.queue.pop_front() {
+            ws.in_queue.clear(v as usize);
+            queue_pops += 1;
+            let dv = row[v as usize];
+            debug_assert!((dv as u64) < threshold, "span member above threshold");
+            let mut improved_someone = false;
+            for (u, w) in graph.out_edges(v) {
+                let alt = dv.saturating_add(w);
+                if alt < row[u as usize] && alt <= cap {
+                    row[u as usize] = alt;
+                    relaxations += 1;
+                    improved_someone = true;
+                    if (alt as u64) < threshold {
+                        if !ws.in_queue.get(u as usize) {
+                            ws.queue.push_back(u);
+                            ws.in_queue.set(u as usize);
+                        }
+                    } else {
+                        // Beyond the span: always a bucket > `last`, so
+                        // processed spans never reopen.
+                        ws.buckets.push(alt as u64 / delta, u);
+                    }
+                }
+            }
+            if improved_someone && v != s {
+                if let Some(credit) = intermediate_credit.as_deref_mut() {
+                    credit[v as usize] += 1;
+                }
+            }
+        }
+        cur = last + 1;
+    }
+
+    counters.queue_pops += queue_pops;
+    counters.relaxations += relaxations;
+    counters.sources += 1;
+    state.publish(s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parapsp_graph::generate::{
+        barabasi_albert, erdos_renyi_gnm, path_graph, star_graph, WeightSpec,
+    };
+    use parapsp_graph::{CsrGraph, Direction, INF};
+
+    fn fixtures() -> Vec<(&'static str, CsrGraph)> {
+        vec![
+            (
+                "er-wide",
+                erdos_renyi_gnm(
+                    48,
+                    200,
+                    Direction::Directed,
+                    WeightSpec::Uniform { lo: 1, hi: 100 },
+                    7,
+                )
+                .unwrap(),
+            ),
+            (
+                "ba",
+                barabasi_albert(56, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 21).unwrap(),
+            ),
+            ("path", path_graph(9, Direction::Directed)),
+            ("star", star_graph(30)),
+        ]
+    }
+
+    fn all_solver_kinds() -> Vec<SolverKind> {
+        vec![
+            SolverKind::Dijkstra,
+            SolverKind::Delta { delta: None },
+            SolverKind::Delta { delta: Some(3) },
+            SolverKind::Stepping,
+            SolverKind::Auto,
+        ]
+    }
+
+    /// Full APSP sweep with the resolved solver, outside any engine.
+    fn sweep(graph: &CsrGraph, options: KernelOptions) -> crate::DistanceMatrix {
+        let n = graph.vertex_count();
+        let solver = RowSolver::resolve(graph, options);
+        let state = SharedDistState::new(n);
+        let mut ws = Workspace::new(n);
+        let mut counters = Counters::default();
+        for s in 0..n as u32 {
+            solver.solve_row(graph, s, &state, &mut ws, options, &mut counters, None);
+        }
+        assert_eq!(counters.sources, n as u64);
+        state.into_matrix()
+    }
+
+    #[test]
+    fn parse_accepts_every_cli_spelling() {
+        assert_eq!("dijkstra".parse(), Ok(SolverKind::Dijkstra));
+        assert_eq!("delta".parse(), Ok(SolverKind::Delta { delta: None }));
+        assert_eq!("delta:auto".parse(), Ok(SolverKind::Delta { delta: None }));
+        assert_eq!(
+            "delta:12".parse(),
+            Ok(SolverKind::Delta { delta: Some(12) })
+        );
+        assert_eq!("stepping".parse(), Ok(SolverKind::Stepping));
+        assert_eq!("auto".parse(), Ok(SolverKind::Auto));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs_with_possible_values() {
+        for bad in [
+            "",
+            "djkstra",
+            "delta:0",
+            "delta:wide",
+            "stepping:4",
+            "auto:1",
+        ] {
+            let err = bad.parse::<SolverKind>().unwrap_err();
+            assert!(err.contains("solver"), "{bad}: {err}");
+        }
+        let err = "warp".parse::<SolverKind>().unwrap_err();
+        assert!(
+            err.contains("possible values") && err.contains("stepping"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for kind in all_solver_kinds() {
+            assert_eq!(kind.label().parse(), Ok(kind), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn row_reuse_capability_is_gated_only_for_stepping() {
+        assert!(SolverKind::Dijkstra.supports_row_reuse());
+        assert!(SolverKind::Delta { delta: None }.supports_row_reuse());
+        assert!(SolverKind::Delta { delta: Some(4) }.supports_row_reuse());
+        assert!(SolverKind::Auto.supports_row_reuse());
+        assert!(!SolverKind::Stepping.supports_row_reuse());
+    }
+
+    #[test]
+    fn every_solver_is_bit_identical_to_the_kernel() {
+        for (name, graph) in fixtures() {
+            let reference = sweep(&graph, KernelOptions::default());
+            for kind in all_solver_kinds() {
+                for row_reuse in [true, false] {
+                    let options = KernelOptions {
+                        solver: kind,
+                        row_reuse,
+                        ..KernelOptions::default()
+                    };
+                    let got = sweep(&graph, options);
+                    assert_eq!(
+                        got,
+                        reference,
+                        "{name}: solver {} (reuse={row_reuse}) diverged",
+                        kind.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_solver_is_exact_under_a_distance_cap() {
+        for (name, graph) in fixtures() {
+            let full = sweep(&graph, KernelOptions::default());
+            let n = graph.vertex_count();
+            for cap in [0u32, 3, 17] {
+                let options = KernelOptions {
+                    max_distance: Some(cap),
+                    ..KernelOptions::default()
+                };
+                for kind in all_solver_kinds() {
+                    let got = sweep(
+                        &graph,
+                        KernelOptions {
+                            solver: kind,
+                            ..options
+                        },
+                    );
+                    for u in 0..n as u32 {
+                        for v in 0..n as u32 {
+                            let want = match full.get(u, v) {
+                                d if d <= cap => d,
+                                _ => INF,
+                            };
+                            assert_eq!(
+                                got.get(u, v),
+                                want,
+                                "{name}: solver {} cap {cap} at ({u},{v})",
+                                kind.label()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cap_boundary_is_inclusive_at_exactly_cap_for_every_solver() {
+        // 0 →2→ 1 →3→ 2 →4→ 3: d(0,3) = 9 exactly. A cap of 9 must keep
+        // it; a cap of 8 must drop it but keep d(0,2) = 5.
+        let g = CsrGraph::from_edges(4, Direction::Directed, &[(0, 1, 2), (1, 2, 3), (2, 3, 4)])
+            .unwrap();
+        for kind in all_solver_kinds() {
+            let at = |cap: u32| {
+                sweep(
+                    &g,
+                    KernelOptions {
+                        solver: kind,
+                        max_distance: Some(cap),
+                        ..KernelOptions::default()
+                    },
+                )
+            };
+            let inclusive = at(9);
+            assert_eq!(inclusive.get(0, 3), 9, "solver {}", kind.label());
+            let exclusive = at(8);
+            assert_eq!(exclusive.get(0, 3), INF, "solver {}", kind.label());
+            assert_eq!(exclusive.get(0, 2), 5, "solver {}", kind.label());
+        }
+    }
+
+    #[test]
+    fn delta_of_zero_is_clamped_not_fatal() {
+        let g = path_graph(6, Direction::Undirected);
+        let reference = sweep(&g, KernelOptions::default());
+        let got = sweep(
+            &g,
+            KernelOptions {
+                solver: SolverKind::Delta { delta: Some(0) },
+                ..KernelOptions::default()
+            },
+        );
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn probe_is_deterministic_and_sane() {
+        for (name, graph) in fixtures() {
+            let a = probe(&graph);
+            let b = probe(&graph);
+            assert_eq!(a, b, "{name}: probe must be deterministic");
+            assert_eq!(a.n, graph.vertex_count());
+            assert_eq!(a.m, graph.arc_count());
+            assert!(a.weight_min <= a.weight_max, "{name}");
+        }
+        // Known values on a path: diameter = n - 1 with unit weights.
+        let p = probe(&path_graph(9, Direction::Undirected));
+        assert_eq!(p.approx_diameter, 8);
+        assert_eq!((p.weight_min, p.weight_max), (1, 1));
+    }
+
+    #[test]
+    fn autotune_always_picks_a_concrete_solver() {
+        for (name, graph) in fixtures() {
+            let choice = autotune(&graph);
+            assert_ne!(choice.solver, SolverKind::Auto, "{name}");
+            if let SolverKind::Delta { delta } = choice.solver {
+                assert!(delta.is_some(), "{name}: auto must pin a concrete Δ");
+            }
+        }
+        // Unit weights are the kernel's home turf.
+        let unit = autotune(&path_graph(16, Direction::Undirected));
+        assert_eq!(unit.solver, SolverKind::Dijkstra);
+        // A hub-and-spoke graph is maximally degree-skewed.
+        let hub = autotune(&star_graph(64));
+        assert_eq!(hub.solver, SolverKind::Dijkstra);
+        assert_eq!(hub.schedule, parapsp_parfor::Schedule::work_stealing());
+        // Dense + regular + wide weight range is the measured Δ-stepping
+        // win (Watts–Strogatz-style graphs).
+        let dense_wide = autotune(
+            &parapsp_graph::generate::watts_strogatz(
+                300,
+                8,
+                0.2,
+                WeightSpec::Uniform { lo: 1, hi: 1000 },
+                3,
+            )
+            .unwrap(),
+        );
+        assert!(
+            matches!(dense_wide.solver, SolverKind::Delta { delta: Some(d) } if d >= 1),
+            "expected delta, got {}",
+            dense_wide.solver.label()
+        );
+        // Sparse wide graphs stay on the kernel: measured, the FIFO
+        // relaxation count is near-optimal there.
+        let sparse_wide = autotune(
+            &erdos_renyi_gnm(
+                300,
+                450,
+                Direction::Directed,
+                WeightSpec::Uniform { lo: 1, hi: 1000 },
+                3,
+            )
+            .unwrap(),
+        );
+        assert_eq!(sparse_wide.solver, SolverKind::Dijkstra);
+    }
+
+    #[test]
+    fn bucket_ring_push_drain_and_reset_retain_capacity() {
+        let mut ring = crate::kernel::BucketRing::new();
+        ring.reset(4);
+        ring.push(0, 10);
+        ring.push(5, 11); // wraps onto slot 1
+        ring.push(1, 12);
+        assert_eq!(ring.live(), 3);
+        assert!(!ring.slot_is_empty(5));
+        let mut out = Vec::new();
+        ring.drain_into(5, &mut out);
+        // Slot 5 % 4 == slot 1: both entries come out together (lazy
+        // deletion sorts out staleness at the consumer).
+        assert_eq!(out, vec![11, 12]);
+        assert_eq!(ring.live(), 1);
+        ring.reset(4);
+        assert_eq!(ring.live(), 0);
+        assert!(ring.slot_is_empty(0));
+    }
+
+    #[test]
+    fn steady_state_rows_allocate_nothing() {
+        let graph = erdos_renyi_gnm(
+            40,
+            160,
+            Direction::Directed,
+            WeightSpec::Uniform { lo: 1, hi: 20 },
+            5,
+        )
+        .unwrap();
+        let n = graph.vertex_count();
+        for kind in [
+            SolverKind::Dijkstra,
+            SolverKind::Delta { delta: None },
+            SolverKind::Stepping,
+        ] {
+            let options = KernelOptions {
+                solver: kind,
+                ..KernelOptions::default()
+            };
+            let solver = RowSolver::resolve(&graph, options);
+            let mut ws = Workspace::new(n);
+            let mut counters = Counters::default();
+            // Warm sweep: scratch vectors and bucket slots grow to their
+            // high-water marks here.
+            let warm = SharedDistState::new(n);
+            for s in 0..n as u32 {
+                solver.solve_row(&graph, s, &warm, &mut ws, options, &mut counters, None);
+            }
+            // Steady state: a second identical sweep reusing the same
+            // Workspace must not touch the heap at all.
+            let state = SharedDistState::new(n);
+            let before = crate::alloc_counter::count();
+            for s in 0..n as u32 {
+                solver.solve_row(&graph, s, &state, &mut ws, options, &mut counters, None);
+            }
+            let after = crate::alloc_counter::count();
+            assert_eq!(
+                after - before,
+                0,
+                "solver {} allocated in steady state",
+                kind.label()
+            );
+        }
+    }
+}

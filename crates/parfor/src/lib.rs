@@ -41,6 +41,7 @@ mod per_thread;
 mod pool;
 mod schedule;
 mod shared_slice;
+pub mod spec;
 mod steal;
 
 pub use bitset::BitSet;

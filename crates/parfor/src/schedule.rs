@@ -91,27 +91,21 @@ impl std::str::FromStr for Schedule {
     type Err = String;
 
     fn from_str(raw: &str) -> Result<Self, Self::Err> {
-        const EXPECTED: &str = "expected one of: block, static-cyclic, dynamic-cyclic, \
-                                dynamic:<chunk>, guided:<min-chunk>, work-stealing[:<chunk>]";
-        let (name, param) = match raw.split_once(':') {
-            Some((name, param)) => (name, Some(param)),
-            None => (raw, None),
-        };
-        let parse_param = |default: Option<usize>| -> Result<usize, String> {
-            match (param, default) {
-                (Some(p), _) => match p.parse::<usize>() {
-                    Ok(v) if v >= 1 => Ok(v),
-                    _ => Err(format!(
-                        "schedule `{raw}` needs a positive integer parameter"
-                    )),
-                },
-                (None, Some(d)) => Ok(d),
-                (None, None) => Err(format!("schedule `{name}` needs a `:<chunk>` parameter")),
-            }
+        const POSSIBLE: &[&str] = &[
+            "block",
+            "static-cyclic",
+            "dynamic-cyclic",
+            "dynamic:<chunk>",
+            "guided:<min-chunk>",
+            "work-stealing[:<chunk>]",
+        ];
+        let (name, param) = crate::spec::split_spec(raw);
+        let parse_param = |default: Option<usize>| {
+            crate::spec::parse_positive_param("schedule", name, param, default)
         };
         match name {
             "block" | "static-cyclic" | "dynamic-cyclic" if param.is_some() => {
-                Err(format!("schedule `{name}` does not take a parameter"))
+                Err(crate::spec::reject_param("schedule", name))
             }
             "block" => Ok(Schedule::Block),
             "static-cyclic" => Ok(Schedule::StaticCyclic),
@@ -121,7 +115,7 @@ impl std::str::FromStr for Schedule {
             "work-stealing" => Ok(Schedule::WorkStealing {
                 chunk: parse_param(Some(Schedule::DEFAULT_STEAL_CHUNK))?,
             }),
-            _ => Err(format!("unknown schedule `{raw}` ({EXPECTED})")),
+            _ => Err(crate::spec::reject_unknown("schedule", raw, POSSIBLE)),
         }
     }
 }

@@ -9,7 +9,8 @@
 //! produce identical bits.
 
 use parapsp::core::{
-    ApspEngine, BlockedFwEngine, DistanceMatrix, RunConfig, Runner, SeqEngine, SubsetEngine, INF,
+    ApspEngine, BlockedFwEngine, DistanceMatrix, RunConfig, Runner, SeqEngine, SolverKind,
+    SubsetEngine, INF,
 };
 use parapsp::dist::{ClusterConfig, DistEngine};
 use parapsp::graph::generate::{
@@ -176,6 +177,72 @@ fn every_schedule_matches_seq_basic_on_every_fixture() {
                     &full,
                     &out.dist,
                 );
+            }
+        }
+    }
+}
+
+/// Solver axis: the per-source SSSP solver decides the *order* of
+/// relaxations inside one row, never the distances — every solver must be
+/// bit-identical to seq-basic on every fixture, through the parallel and
+/// sequential engines, uncapped and capped. `auto` resolves against each
+/// graph at engine prepare time, so this also proves that whatever the
+/// tuner picks passes the oracle.
+#[test]
+fn every_solver_matches_seq_basic_on_every_fixture() {
+    let solvers = [
+        SolverKind::Dijkstra,
+        SolverKind::Delta { delta: None },
+        SolverKind::Delta { delta: Some(4) },
+        SolverKind::Stepping,
+        SolverKind::Auto,
+    ];
+    for (fixture, graph) in fixtures() {
+        let full = Runner::new(RunConfig::seq_basic())
+            .run(SeqEngine::ordered(), &graph)
+            .dist;
+        for cap in [None, Some(6u32)] {
+            let with_cap = |config: RunConfig| match cap {
+                Some(c) => config.with_max_distance(c),
+                None => config,
+            };
+            for solver in solvers {
+                for (label, config) in [
+                    ("par-apsp", RunConfig::par_apsp(4)),
+                    ("par-alg1", RunConfig::par_alg1(2)),
+                ] {
+                    let out = Runner::new(with_cap(config).with_solver(solver))
+                        .run(ApspEngine::new(), &graph);
+                    assert_matrix(
+                        &format!("{label}[{}]", solver.label()),
+                        fixture,
+                        cap,
+                        &full,
+                        &out.dist,
+                    );
+                }
+                for (label, config, engine) in [
+                    ("seq-basic", RunConfig::seq_basic(), SeqEngine::ordered()),
+                    (
+                        "seq-optimized",
+                        RunConfig::seq_optimized(1.0),
+                        SeqEngine::ordered(),
+                    ),
+                    (
+                        "seq-adaptive",
+                        RunConfig::seq_adaptive(10),
+                        SeqEngine::adaptive(10),
+                    ),
+                ] {
+                    let out = Runner::new(with_cap(config).with_solver(solver)).run(engine, &graph);
+                    assert_matrix(
+                        &format!("{label}[{}]", solver.label()),
+                        fixture,
+                        cap,
+                        &full,
+                        &out.dist,
+                    );
+                }
             }
         }
     }
