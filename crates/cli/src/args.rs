@@ -53,7 +53,11 @@ const VALUED: &[&str] = &[
     "--heartbeat-misses",
     "--row-batch",
     "--accept-timeout",
+    "--read-timeout",
+    "--write-timeout",
     "--delay-ms",
+    "--ledger",
+    "--ledger-fsync",
 ];
 
 impl Args {

@@ -14,8 +14,8 @@ use parapsp_core::engine::{
 use parapsp_core::paths::par_apsp_with_paths;
 use parapsp_core::{autotune, ApspOutput, DistanceMatrix, RelaxImpl, RunOutcome, SolverKind};
 use parapsp_dist::{
-    run_worker, BindSpec, ClusterConfig, DistEngine, FaultPlan, SocketConfig, SourcePartition,
-    TransportSpec, WorkerMode, WorkerOptions, WorkerOutcome,
+    run_worker, BindSpec, ClusterConfig, DistEngine, FaultPlan, LedgerSpec, SocketConfig,
+    SourcePartition, TransportSpec, WorkerMode, WorkerOptions, WorkerOutcome,
 };
 use parapsp_graph::io::{read_edge_list_file, LoadedGraph, ParseOptions};
 use parapsp_graph::{degree, transform, CsrGraph, Direction};
@@ -25,6 +25,48 @@ use std::time::Duration;
 
 use crate::args::Args;
 use crate::interrupt;
+
+/// A command failure, split by exit code: *usage* errors (bad flag values,
+/// rejected configurations — exit 2, matching the argument parser) versus
+/// *runtime* failures (I/O, worker loss — exit 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// The invocation itself is wrong; fix the command line (exit 2).
+    Usage(String),
+    /// The invocation was fine but the run failed (exit 1).
+    Failure(String),
+}
+
+impl CliError {
+    /// Wraps a runtime failure (exit 1). The `From<String>` conversion
+    /// classifies as usage instead, because `?` in the command bodies
+    /// overwhelmingly propagates flag validation.
+    pub fn failure(message: impl Into<String>) -> CliError {
+        CliError::Failure(message.into())
+    }
+
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Failure(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(message) | CliError::Failure(message) => f.write_str(message),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
 
 /// Help text shared with `main`.
 pub const USAGE: &str = "\
@@ -85,8 +127,15 @@ apsp options:
                              (par-apsp | par-alg1 | par-alg2 | seq-basic |
                              seq-optimized | seq-adaptive)
   --checkpoint-every <K>     rows between checkpoint writes (default: 64)
-  --resume <file>            load a checkpoint and compute only the
-                             missing rows
+  --resume <file>            load a checkpoint OR a run ledger and compute
+                             only the missing rows (row engines and dist)
+  --ledger <file>            journal every completed row to a crash-safe
+                             append-only ledger: O(row) incremental
+                             durability instead of the checkpoint's O(n²)
+                             rewrite; restartable with --resume <file>
+                             (row engines and dist; excludes --checkpoint)
+  --ledger-fsync <policy>    when ledger appends reach the disk: always |
+                             commit (default) | never
   --deadline <secs>          stop once the wall-clock budget expires,
                              write a checkpoint, exit 124
   --on-interrupt <mode>      checkpoint (default): SIGINT/SIGTERM stop at
@@ -115,13 +164,24 @@ dist transport (default: in-process channels):
   --row-batch <K>            rows buffered per gather frame (default: 4)
   --accept-timeout <secs>    how long to wait for workers to connect
                              (default: 10); empty slots are re-dealt
+  --read-timeout <ms>        driver-side socket read poll quantum
+                             (default: 10)
+  --write-timeout <ms>       socket write bound on both ends (default:
+                             2000); a blocked write past it is a dead peer
   --delay-ms <ms>            forwarded to spawned workers: sleep this long
                              before each source (testing aid)
+  with --external + --ledger the driver is restartable: kill it mid-run,
+  re-run the same command with --resume <ledger>, and surviving workers
+  re-handshake under the recovered run id (only missing rows recompute)
 
 node options (socket worker; driver supplies everything else):
   --connect <addr>           the driver's listen address (required)
   --connect-attempts <N>     dial attempts with exponential backoff (20)
+  --write-timeout <ms>       socket write bound toward the driver (2000)
   --delay-ms <ms>            sleep before each source (testing aid)
+                             a worker that loses its driver mid-run
+                             re-dials and re-handshakes under its last
+                             run id/epoch until the dial budget runs out
                              exit codes: 0 clean, 3 injected crash
 
 dist fault injection (deterministic, seeded):
@@ -273,9 +333,11 @@ fn parse_transport(args: &Args) -> Result<TransportSpec, String> {
         let program =
             std::env::current_exe().map_err(|e| format!("resolving the worker executable: {e}"))?;
         let mut node_args = vec!["node".to_string()];
-        if let Some(delay) = args.get("delay-ms") {
-            node_args.push("--delay-ms".to_string());
-            node_args.push(delay.to_string());
+        for forwarded in ["delay-ms", "write-timeout"] {
+            if let Some(value) = args.get(forwarded) {
+                node_args.push(format!("--{forwarded}"));
+                node_args.push(value.to_string());
+            }
         }
         WorkerMode::Spawn {
             program,
@@ -286,6 +348,13 @@ fn parse_transport(args: &Args) -> Result<TransportSpec, String> {
     let heartbeat_misses = args.get_parsed("heartbeat-misses", 50u32)?;
     let row_batch = args.get_parsed("row-batch", 4usize)?;
     let accept_secs = args.get_parsed("accept-timeout", 10u64)?;
+    let defaults = SocketConfig::default();
+    let read_timeout_ms =
+        args.get_parsed("read-timeout", defaults.read_timeout.as_millis() as u64)?;
+    let write_timeout_ms =
+        args.get_parsed("write-timeout", defaults.write_timeout.as_millis() as u64)?;
+    // Zero intervals/timeouts are rejected later by
+    // `ClusterConfig::validate`, before any socket is opened.
     Ok(TransportSpec::Socket(SocketConfig {
         bind,
         workers,
@@ -293,17 +362,23 @@ fn parse_transport(args: &Args) -> Result<TransportSpec, String> {
         heartbeat_misses,
         row_batch,
         accept_timeout: Duration::from_secs(accept_secs),
+        read_timeout: Duration::from_millis(read_timeout_ms),
+        write_timeout: Duration::from_millis(write_timeout_ms),
         announce: args.flag("external"),
-        ..SocketConfig::default()
+        ..defaults
     }))
 }
 
 /// `parapsp node --connect <addr>` — a socket worker process: dials the
 /// driver, receives its graph and share in the Setup frame, and streams
-/// rows back until told to shut down. Returns the process exit code: 0 on
+/// rows back until told to shut down. A worker whose driver vanishes
+/// without a shutdown (a driver crash) re-dials the same address and
+/// re-handshakes under its last run id/epoch, so a restarted driver can
+/// reclaim it; a driver that never returns exhausts the dial budget and
+/// surfaces as a connection failure. Returns the process exit code: 0 on
 /// a clean run, 3 when a deterministic fault-plan crash fired (the socket
 /// is torn down abruptly, as a real crash would).
-pub fn node(args: &Args) -> Result<i32, String> {
+pub fn node(args: &Args) -> Result<i32, CliError> {
     let addr = args
         .get("connect")
         .ok_or_else(|| "node needs --connect <addr> (the driver's listen address)".to_string())?;
@@ -312,25 +387,39 @@ pub fn node(args: &Args) -> Result<i32, String> {
         ..parapsp_dist::ConnectRetry::default()
     };
     if connect.attempts == 0 {
-        return Err("--connect-attempts must be at least 1".to_string());
+        return Err("--connect-attempts must be at least 1".to_string().into());
     }
-    let options = WorkerOptions {
+    let mut options = WorkerOptions {
         connect,
         source_delay: Duration::from_millis(args.get_parsed("delay-ms", 0u64)?),
+        write_timeout: Duration::from_millis(args.get_parsed("write-timeout", 2000u64)?),
+        ..WorkerOptions::default()
     };
-    match run_worker(addr, options)? {
-        WorkerOutcome::Clean(stats) => {
-            eprintln!(
-                "node: {} sources, {} remote reuses, {} retries, {} reconnects, {} KiB sent",
-                stats.sources,
-                stats.remote_reuses,
-                stats.retries,
-                stats.reconnects,
-                stats.bytes_sent / 1024,
-            );
-            Ok(0)
+    if options.write_timeout.is_zero() {
+        return Err("--write-timeout must be at least 1 ms".to_string().into());
+    }
+    loop {
+        match run_worker(addr, options.clone()).map_err(CliError::failure)? {
+            WorkerOutcome::Clean(stats) => {
+                eprintln!(
+                    "node: {} sources, {} remote reuses, {} retries, {} reconnects, {} KiB sent",
+                    stats.sources,
+                    stats.remote_reuses,
+                    stats.retries,
+                    stats.reconnects,
+                    stats.bytes_sent / 1024,
+                );
+                return Ok(0);
+            }
+            WorkerOutcome::Crashed => return Ok(3),
+            WorkerOutcome::Lost { session } => {
+                eprintln!(
+                    "node: driver connection lost (run {:#018x} epoch {}); re-dialing {addr}",
+                    session.0, session.1
+                );
+                options.session = session;
+            }
         }
-        WorkerOutcome::Crashed => Ok(3),
     }
 }
 
@@ -425,18 +514,30 @@ fn cancellation_setup(
 /// Writes the stop checkpoint and reports how to resume. The checkpoint
 /// lands on `--checkpoint`'s path when given (the periodic and final
 /// checkpoints are the same format) or `<graph-file>.interrupt.ckpt`.
+/// A `--ledger` run skips the rewrite entirely — every completed row is
+/// already durable in the ledger, and a v2 file on the same path would
+/// clobber it.
 fn write_stop_checkpoint(
     args: &Args,
     checkpoint: &parapsp_core::persist::Checkpoint,
     why: &str,
     code: i32,
-) -> Result<RunStatus, String> {
+) -> Result<RunStatus, CliError> {
+    if let Some(path) = args.get("ledger") {
+        eprintln!(
+            "{why}: {} of {} rows already durable in the ledger \
+             (resume with --resume {path} --ledger {path})",
+            checkpoint.completed_count(),
+            checkpoint.n()
+        );
+        return Ok(RunStatus::Stopped { code });
+    }
     let path = match args.get("checkpoint") {
         Some(p) => p.to_string(),
         None => format!("{}.interrupt.ckpt", args.positional(0).unwrap_or("apsp")),
     };
     parapsp_core::persist::save_checkpoint(checkpoint, &path)
-        .map_err(|e| format!("writing stop checkpoint {path}: {e}"))?;
+        .map_err(|e| CliError::failure(format!("writing stop checkpoint {path}: {e}")))?;
     eprintln!(
         "{why}: {} of {} rows complete; checkpoint written to {path} \
          (resume with --resume {path})",
@@ -491,7 +592,7 @@ fn run_algorithm(
     threads: usize,
     args: &Args,
     token: Option<&CancelToken>,
-) -> Result<RunStatus, String> {
+) -> Result<RunStatus, CliError> {
     // Optional bounded horizon (exact within the cap, INF beyond it).
     let cap: Option<u32> = match args.get("cap") {
         None => None,
@@ -502,22 +603,45 @@ fn run_algorithm(
     };
     // Row-relaxation implementation (the vectorized kernel ablation switch).
     let relax = args.get_enum("relax", RelaxImpl::Auto)?;
-    // Periodic checkpoints and --resume need rows that are final mid-run;
-    // --relax needs the modified-Dijkstra kernel.
-    if (args.get("checkpoint").is_some() || args.get("resume").is_some()) && !kind.row_checkpoints()
-    {
+    // Periodic checkpoints, the run ledger, and --resume need rows that
+    // are final mid-run; the dist driver gathers exactly such rows, so it
+    // joins the row engines for the ledger and resume (but not for the
+    // periodic full rewrite). --relax needs the modified-Dijkstra kernel.
+    let row_durable = kind.row_checkpoints() || kind == EngineKind::Dist;
+    if args.get("checkpoint").is_some() && !kind.row_checkpoints() {
         return Err(format!(
-            "--checkpoint/--resume work with {} (got `{}`)",
+            "--checkpoint works with {} (got `{}`)",
             kinds_where(EngineKind::row_checkpoints),
             kind.value_name()
-        ));
+        )
+        .into());
+    }
+    if (args.get("ledger").is_some() || args.get("resume").is_some()) && !row_durable {
+        return Err(format!(
+            "--ledger/--resume work with {}, dist (got `{}`)",
+            kinds_where(EngineKind::row_checkpoints),
+            kind.value_name()
+        )
+        .into());
+    }
+    if args.get("ledger").is_some() && args.get("checkpoint").is_some() {
+        return Err(
+            "--ledger and --checkpoint are mutually exclusive (one durability sink per run)"
+                .to_string()
+                .into(),
+        );
+    }
+    let ledger_fsync = args.get_enum("ledger-fsync", parapsp_core::FsyncPolicy::default())?;
+    if args.get("ledger-fsync").is_some() && args.get("ledger").is_none() {
+        return Err("--ledger-fsync needs --ledger".to_string().into());
     }
     if args.get("relax").is_some() && !kind.uses_kernel() {
         return Err(format!(
             "--relax works with {} (got `{}`)",
             kinds_where(EngineKind::uses_kernel),
             kind.value_name()
-        ));
+        )
+        .into());
     }
     // Source-sweep loop schedule (only the Runner-driven parallel engines
     // hand their source loop to the parfor pool).
@@ -533,7 +657,8 @@ fn run_algorithm(
             "--schedule works with {} (got `{}`)",
             kinds_where(EngineKind::honours_schedule),
             kind.value_name()
-        ));
+        )
+        .into());
     }
     // Per-source SSSP solver. Like --relax it needs the row kernel.
     // `--solver auto` probes the graph up front so the choice can be
@@ -545,7 +670,8 @@ fn run_algorithm(
             "--solver works with {} (got `{}`)",
             kinds_where(EngineKind::uses_kernel),
             kind.value_name()
-        ));
+        )
+        .into());
     }
     let mut relax = relax;
     let mut schedule = schedule;
@@ -574,7 +700,7 @@ fn run_algorithm(
     }
     let checkpoint_every = args.get_parsed("checkpoint-every", 64usize)?;
     if checkpoint_every == 0 {
-        return Err("--checkpoint-every must be at least 1".into());
+        return Err("--checkpoint-every must be at least 1".to_string().into());
     }
     // Every Runner-driven algorithm shares the same config plumbing: cap,
     // relax implementation, and checkpoint policy land in one RunConfig.
@@ -589,6 +715,11 @@ fn run_algorithm(
         }
         if let Some(path) = args.get("checkpoint") {
             config = config.with_checkpoint(path, checkpoint_every);
+        }
+        if let Some(path) = args.get("ledger") {
+            config = config
+                .with_ledger(path, checkpoint_every)
+                .with_fsync(ledger_fsync);
         }
         config
     };
@@ -695,12 +826,17 @@ fn run_algorithm(
             let partition = args.get_enum("partition", SourcePartition::default())?;
             let faults = parse_fault_plan(args)?;
             let transport = parse_transport(args)?;
+            let ledger = args.get("ledger").map(|path| LedgerSpec {
+                path: std::path::PathBuf::from(path),
+                fsync: ledger_fsync,
+            });
             let cluster = ClusterConfig {
                 nodes,
                 hub_fraction,
                 partition,
                 faults,
                 transport,
+                ledger,
                 ..ClusterConfig::default()
             };
             // Degenerate configurations (zero nodes, more nodes than
@@ -709,36 +845,60 @@ fn run_algorithm(
             cluster
                 .validate(graph.vertex_count())
                 .map_err(|e| e.to_string())?;
-            let runner = Runner::new(configure(RunConfig::new(1)));
-            let out = match token {
-                Some(token) => {
-                    match runner.run_with_token(DistEngine::new(cluster), graph, token) {
-                        RunOutcome::Complete(out) => out,
-                        RunOutcome::Cancelled { checkpoint } => {
-                            return write_stop_checkpoint(args, &checkpoint, "interrupted", 130)
-                        }
-                        RunOutcome::DeadlineExceeded { checkpoint } => {
-                            return write_stop_checkpoint(
-                                args,
-                                &checkpoint,
-                                "deadline exceeded",
-                                124,
-                            )
-                        }
+            // A restarted driver resumes from its own ledger (or any
+            // checkpoint): prior rows pre-seed the gather and only the
+            // missing sources are dealt to the workers.
+            let resume = match args.get("resume") {
+                None => None,
+                Some(path) => {
+                    let cp = parapsp_core::persist::load_checkpoint(path)
+                        .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+                    if cp.n() != graph.vertex_count() {
+                        return Err(format!(
+                            "checkpoint {path} is for {} vertices but the graph has {}",
+                            cp.n(),
+                            graph.vertex_count()
+                        )
+                        .into());
                     }
+                    println!(
+                        "resuming: {} of {} rows already complete",
+                        cp.completed_count(),
+                        cp.n()
+                    );
+                    Some(cp)
                 }
-                None => runner.run(DistEngine::new(cluster), graph),
+            };
+            let runner = Runner::new(configure(RunConfig::new(1)));
+            let engine = DistEngine::new(cluster);
+            let outcome = match (token, resume) {
+                (Some(token), Some(cp)) => runner.run_resumed_with_token(engine, graph, cp, token),
+                (Some(token), None) => runner.run_with_token(engine, graph, token),
+                (None, Some(cp)) => RunOutcome::Complete(runner.run_resumed(engine, graph, cp)),
+                (None, None) => RunOutcome::Complete(runner.run(engine, graph)),
+            };
+            let out = match outcome {
+                RunOutcome::Complete(out) => out,
+                RunOutcome::Cancelled { checkpoint } => {
+                    return write_stop_checkpoint(args, &checkpoint, "interrupted", 130)
+                }
+                RunOutcome::DeadlineExceeded { checkpoint } => {
+                    return write_stop_checkpoint(args, &checkpoint, "deadline exceeded", 124)
+                }
             };
             let sum = |field: fn(&parapsp_dist::NodeStats) -> u64| {
                 out.node_stats.iter().map(field).sum::<u64>()
             };
             let summary = format!(
-                "distributed ({} nodes, {} crashed): {:?}; broadcast {} KiB, gather {} KiB, \
+                "distributed ({} nodes, {} crashed): {:?}; computed {} rows, replayed {} rows, \
+                 broadcast {} KiB, gather {} KiB, \
                  remote reuses {}, rows rejected {} (+{} at gather), retries {}, reassigned {}, \
                  reconnects {}, heartbeat misses {}",
                 nodes,
                 out.crashed_nodes(),
                 out.elapsed,
+                sum(|s| s.sources),
+                out.replayed_rows,
                 out.total_broadcast_bytes() / 1024,
                 out.gather_bytes / 1024,
                 sum(|s| s.remote_reuses),
@@ -777,9 +937,9 @@ fn run_algorithm(
 /// `parapsp apsp <file>` (alias `run`) — run one algorithm and report.
 /// Returns the process exit code: 0 on success, 130 when interrupted with
 /// a checkpoint, 124 when a `--deadline` expired with a checkpoint.
-pub fn apsp(args: &Args) -> Result<i32, String> {
-    let loaded = load(args)?;
-    check_matrix_budget(loaded.graph.vertex_count())?;
+pub fn apsp(args: &Args) -> Result<i32, CliError> {
+    let loaded = load(args).map_err(CliError::failure)?;
+    check_matrix_budget(loaded.graph.vertex_count()).map_err(CliError::failure)?;
     let threads = args.get_parsed("threads", 4usize)?;
     let algorithm = args.get_enum("algorithm", EngineKind::ParApsp)?;
     let setup = cancellation_setup(args, algorithm)?;
@@ -806,11 +966,11 @@ pub fn apsp(args: &Args) -> Result<i32, String> {
     if let Some(out_path) = args.get("out") {
         use parapsp_core::persist;
         if out_path.ends_with(".tsv") || out_path.ends_with(".txt") {
-            let file =
-                std::fs::File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
-            persist::write_tsv(&dist, file).map_err(|e| e.to_string())?;
+            let file = std::fs::File::create(out_path)
+                .map_err(|e| CliError::failure(format!("creating {out_path}: {e}")))?;
+            persist::write_tsv(&dist, file).map_err(|e| CliError::failure(e.to_string()))?;
         } else {
-            persist::save_binary(&dist, out_path).map_err(|e| e.to_string())?;
+            persist::save_binary(&dist, out_path).map_err(|e| CliError::failure(e.to_string()))?;
         }
         println!("distance matrix written to {out_path}");
     }
@@ -1127,7 +1287,9 @@ mod tests {
         }
         // Malformed specs are rejected with the parser's explanation.
         for bad in ["warp", "dynamic:0", "work-stealing:x", "block:4"] {
-            let err = apsp(&args(&["apsp", &file, "--schedule", bad])).unwrap_err();
+            let err = apsp(&args(&["apsp", &file, "--schedule", bad]))
+                .unwrap_err()
+                .to_string();
             assert!(err.contains("--schedule"), "{bad}: {err}");
         }
         // Engines that run their own loops (or no parfor loop at all)
@@ -1147,7 +1309,8 @@ mod tests {
                 "--schedule",
                 "work-stealing",
             ]))
-            .unwrap_err();
+            .unwrap_err()
+            .to_string();
             assert!(
                 err.contains("--schedule works with"),
                 "{algorithm} must reject --schedule: {err}"
@@ -1196,7 +1359,9 @@ mod tests {
         .unwrap();
         // Malformed specs are rejected with the parser's explanation.
         for bad in ["warp", "delta:0", "delta:wide", "stepping:2", "auto:1"] {
-            let err = apsp(&args(&["apsp", &file, "--solver", bad])).unwrap_err();
+            let err = apsp(&args(&["apsp", &file, "--solver", bad]))
+                .unwrap_err()
+                .to_string();
             assert!(err.contains("--solver"), "{bad}: {err}");
         }
         // Algorithms that never touch the row kernel reject the flag,
@@ -1210,7 +1375,8 @@ mod tests {
                 "--solver",
                 "delta",
             ]))
-            .unwrap_err();
+            .unwrap_err()
+            .to_string();
             assert!(
                 err.contains("--solver works with"),
                 "{algorithm} must reject --solver: {err}"
@@ -1302,6 +1468,147 @@ mod tests {
         .is_err());
         assert!(apsp(&args(&["apsp", &file, "--resume", "/no/such/checkpoint"])).is_err());
         std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn ledger_journals_and_resumes_via_cli() {
+        let dir = std::env::temp_dir().join("parapsp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = sample_file();
+        let ledger = dir.join("cli.ledger").to_string_lossy().into_owned();
+        std::fs::remove_file(&ledger).ok();
+        // A row engine journals every completed row...
+        apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "seq-basic",
+            "--ledger",
+            &ledger,
+            "--ledger-fsync",
+            "never",
+        ]))
+        .unwrap();
+        // ...and the ledger loads back as a complete checkpoint that any
+        // row engine (or the same one) resumes from.
+        let cp = parapsp_core::persist::load_checkpoint(&ledger).unwrap();
+        assert!(cp.is_complete());
+        apsp(&args(&["apsp", &file, "--resume", &ledger])).unwrap();
+        std::fs::remove_file(&ledger).ok();
+        // The dist driver journals its gather the same way, and a resumed
+        // dist run replays the rows instead of recomputing them.
+        apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "dist",
+            "--nodes",
+            "2",
+            "--ledger",
+            &ledger,
+        ]))
+        .unwrap();
+        apsp(&args(&[
+            "apsp",
+            &file,
+            "--algorithm",
+            "dist",
+            "--nodes",
+            "2",
+            "--ledger",
+            &ledger,
+            "--resume",
+            &ledger,
+        ]))
+        .unwrap();
+        std::fs::remove_file(&ledger).ok();
+    }
+
+    #[test]
+    fn ledger_flag_combinations_are_validated() {
+        let file = sample_file();
+        // --ledger-fsync without --ledger, unknown fsync policy, and
+        // mixing the two durability sinks are all usage errors (exit 2).
+        for bad in [
+            vec!["--ledger-fsync", "never"],
+            vec!["--ledger", "/tmp/x.ledger", "--ledger-fsync", "eventually"],
+            vec!["--ledger", "/tmp/x.ledger", "--checkpoint", "/tmp/x.ckpt"],
+        ] {
+            let mut tokens = vec!["apsp", file.as_str()];
+            tokens.extend_from_slice(&bad);
+            let err = apsp(&args(&tokens)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
+        }
+        // Engines without final mid-run rows reject the ledger.
+        for algorithm in ["blocked-fw", "floyd-warshall"] {
+            let err = apsp(&args(&[
+                "apsp",
+                &file,
+                "--algorithm",
+                algorithm,
+                "--ledger",
+                "/tmp/x.ledger",
+            ]))
+            .unwrap_err();
+            assert!(
+                err.to_string().contains("--ledger/--resume work with"),
+                "{algorithm}: {err}"
+            );
+        }
+        // Runtime failures stay exit 1.
+        assert_eq!(
+            apsp(&args(&["apsp", "/no/such/graph"]))
+                .unwrap_err()
+                .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn socket_timeout_flags_parse_and_zero_values_are_usage_errors() {
+        let file = sample_file();
+        // The flags land on the socket config (the end-to-end run over a
+        // real socket is covered by the integration tests, which use the
+        // installed binary rather than the test harness as the worker).
+        let spec = parse_transport(&args(&[
+            "apsp",
+            &file,
+            "--transport",
+            "tcp",
+            "--read-timeout",
+            "5",
+            "--write-timeout",
+            "1000",
+        ]))
+        .unwrap();
+        match spec {
+            TransportSpec::Socket(socket) => {
+                assert_eq!(socket.read_timeout, Duration::from_millis(5));
+                assert_eq!(socket.write_timeout, Duration::from_millis(1000));
+            }
+            other => panic!("expected a socket transport, got {other:?}"),
+        }
+        // Zero timeouts are rejected at construction, before any socket
+        // opens, with exit code 2.
+        for bad in [
+            ["--read-timeout", "0"],
+            ["--write-timeout", "0"],
+            ["--heartbeat", "0"],
+            ["--accept-timeout", "0"],
+        ] {
+            let mut tokens = vec![
+                "apsp",
+                file.as_str(),
+                "--algorithm",
+                "dist",
+                "--transport",
+                "tcp",
+            ];
+            tokens.extend_from_slice(&bad);
+            let err = apsp(&args(&tokens)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
+            assert!(err.to_string().contains("zero"), "{bad:?}: {err}");
+        }
     }
 
     #[test]

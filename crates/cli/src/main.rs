@@ -49,14 +49,17 @@ fn main() {
         }
     };
     // `apsp`/`run` report an exit code so interruption (130) and deadline
-    // expiry (124) are distinguishable from success and from errors (1).
+    // expiry (124) are distinguishable from success, runtime failures (1),
+    // and usage errors (2 — same code as the argument parser above).
+    use commands::CliError;
+    let simple = |result: Result<(), String>| result.map(|()| 0).map_err(CliError::failure);
     let result = match parsed.command.as_str() {
-        "stats" => commands::stats(&parsed).map(|()| 0),
+        "stats" => simple(commands::stats(&parsed)),
         "apsp" | "run" => commands::apsp(&parsed),
-        "analyze" => commands::analyze(&parsed).map(|()| 0),
-        "path" => commands::path(&parsed).map(|()| 0),
-        "estimate" => commands::estimate(&parsed).map(|()| 0),
-        "generate" => commands::generate(&parsed).map(|()| 0),
+        "analyze" => simple(commands::analyze(&parsed)),
+        "path" => simple(commands::path(&parsed)),
+        "estimate" => simple(commands::estimate(&parsed)),
+        "generate" => simple(commands::generate(&parsed)),
         // A socket worker for a `dist` driver: exit 0 clean, 3 when an
         // injected fault-plan crash fired.
         "node" => commands::node(&parsed),
@@ -64,13 +67,15 @@ fn main() {
             print!("{}", commands::USAGE);
             Ok(0)
         }
-        other => Err(format!("unknown command `{other}` (try `parapsp help`)")),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}` (try `parapsp help`)"
+        ))),
     };
     match result {
         Ok(code) => std::process::exit(code),
-        Err(message) => {
-            eprintln!("error: {message}");
-            std::process::exit(1);
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(error.exit_code());
         }
     }
 }

@@ -217,14 +217,17 @@ fn spawned_tcp_cluster_survives_a_fault_storm() {
 }
 
 /// Degenerate configs are rejected up front with a self-describing error
-/// (exit 1), not a panic or a hang.
+/// and the usage exit code (2), not a panic or a hang. Exit 1 is reserved
+/// for runtime failures — a rejected flag combination is user error.
 #[test]
-fn degenerate_dist_configs_exit_one_with_a_reason() {
+fn degenerate_dist_configs_exit_two_with_a_reason() {
     let graph = graph_file(400);
     for (args, needle) in [
         (vec!["--nodes", "0"], "at least one node"),
         (vec!["--nodes", "4000"], "needs at least one source"),
         (vec!["--transport", "tcp", "--heartbeat", "0"], "zero"),
+        (vec!["--transport", "tcp", "--read-timeout", "0"], "zero"),
+        (vec!["--transport", "tcp", "--write-timeout", "0"], "zero"),
         (vec!["--transport", "teleport"], "unknown transport"),
     ] {
         let mut full = vec!["apsp", graph.as_str(), "--algorithm", "dist"];
@@ -234,7 +237,7 @@ fn degenerate_dist_configs_exit_one_with_a_reason() {
             .output()
             .expect("spawn parapsp");
         let stderr = String::from_utf8_lossy(&output.stderr);
-        assert_eq!(output.status.code(), Some(1), "args {args:?}: {stderr}");
+        assert_eq!(output.status.code(), Some(2), "args {args:?}: {stderr}");
         assert!(
             stderr.to_lowercase().contains(needle),
             "args {args:?} must explain itself, got: {stderr}"
@@ -242,14 +245,163 @@ fn degenerate_dist_configs_exit_one_with_a_reason() {
     }
 }
 
-/// `node` without a driver address is an immediate, explained failure.
+/// `node` without a driver address is an immediate, explained usage error.
 #[test]
 fn node_without_connect_explains_itself() {
     let output = Command::new(bin())
         .args(["node"])
         .output()
         .expect("spawn parapsp node");
-    assert_eq!(output.status.code(), Some(1));
+    assert_eq!(output.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("--connect"), "stderr: {stderr}");
+}
+
+/// The driver-restart invariant, end to end: a dist run journaling to a
+/// ledger is `kill -9`ed mid-run, a second driver process resumes from
+/// the ledger over the same socket, the surviving workers re-dial and
+/// re-handshake on their own, and the final matrix is bit-identical to
+/// the sequential baseline — with strictly fewer rows recomputed than a
+/// from-scratch run.
+#[test]
+fn sigkill_on_the_driver_restarts_from_the_ledger_bit_identically() {
+    let graph = graph_file(600);
+    let reference = reference_matrix(&graph, "600");
+    let sock = workdir().join("restart.sock");
+    let ledger = workdir().join("restart.ledger");
+    let out = workdir().join("restart.bin");
+    for stale in [&sock, &ledger, &out] {
+        std::fs::remove_file(stale).ok();
+    }
+
+    let spawn_driver = |resume: bool| -> Child {
+        let mut args = vec![
+            "apsp",
+            graph.as_str(),
+            "--algorithm",
+            "dist",
+            "--nodes",
+            "3",
+            "--transport",
+            "unix",
+            "--listen",
+            sock.to_str().unwrap(),
+            "--external",
+            "--ledger",
+            ledger.to_str().unwrap(),
+            "--ledger-fsync",
+            "always",
+            "--out",
+            out.to_str().unwrap(),
+        ];
+        if resume {
+            args.extend_from_slice(&["--resume", ledger.to_str().unwrap()]);
+        }
+        Command::new(bin())
+            .args(&args)
+            .stdout(if resume {
+                Stdio::piped()
+            } else {
+                Stdio::null()
+            })
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn dist driver")
+    };
+
+    let mut first = spawn_driver(false);
+    let bound = Instant::now() + Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(Instant::now() < bound, "driver must bind its socket");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Slow workers with a generous re-dial budget: they must outlive the
+    // driver gap and reconnect to the restarted incarnation by themselves.
+    let mut workers: Vec<Child> = (0..3)
+        .map(|_| {
+            Command::new(bin())
+                .args([
+                    "node",
+                    "--connect",
+                    sock.to_str().unwrap(),
+                    "--delay-ms",
+                    "30",
+                    "--connect-attempts",
+                    "60",
+                ])
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn worker")
+        })
+        .collect();
+
+    // Wait until the ledger holds at least ten durable records (header is
+    // 25 bytes; each 600-vertex record is 12 + 4·600 bytes) so the restart
+    // provably replays work instead of starting over.
+    let ten_records = 25 + 10 * (12 + 4 * 600) as u64;
+    let journaled = Instant::now() + Duration::from_secs(30);
+    loop {
+        let len = std::fs::metadata(&ledger).map(|m| m.len()).unwrap_or(0);
+        if len >= ten_records {
+            break;
+        }
+        assert!(
+            Instant::now() < journaled,
+            "the ledger must accumulate rows while the run is live (have {len} bytes)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        first.try_wait().expect("poll driver").is_none(),
+        "the driver must still be mid-run when killed"
+    );
+    first.kill().expect("kill -9 the driver"); // SIGKILL on unix
+    first.wait().expect("reap the driver");
+
+    let mut second = spawn_driver(true);
+    let status = wait_for(&mut second, "restarted driver", Duration::from_secs(120));
+    let mut stdout = String::new();
+    use std::io::Read as _;
+    second
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    assert_eq!(status.code(), Some(0), "stdout: {stdout}");
+
+    // The summary proves the restart resumed instead of recomputing:
+    // replayed ≥ the ten journaled rows, computed strictly fewer than all
+    // 600, and together they cover the whole matrix exactly once.
+    let grab = |prefix: &str, suffix: &str| -> u64 {
+        let start = stdout
+            .find(prefix)
+            .unwrap_or_else(|| panic!("`{prefix}` missing from: {stdout}"))
+            + prefix.len();
+        let rest = &stdout[start..];
+        let end = rest
+            .find(suffix)
+            .unwrap_or_else(|| panic!("`{suffix}` missing after `{prefix}`: {stdout}"));
+        rest[..end].trim().parse().expect("row count")
+    };
+    let computed = grab("computed ", " rows");
+    let replayed = grab("replayed ", " rows");
+    assert!(replayed >= 10, "stdout: {stdout}");
+    assert!(computed < 600, "stdout: {stdout}");
+    assert_eq!(computed + replayed, 600, "stdout: {stdout}");
+
+    for (i, worker) in workers.iter_mut().enumerate() {
+        let status = wait_for(worker, "worker", Duration::from_secs(30));
+        assert_eq!(status.code(), Some(0), "worker {i} must re-dial and finish");
+    }
+
+    let recovered = std::fs::read(&out).expect("read restarted matrix");
+    assert_eq!(
+        recovered, reference,
+        "the restarted run must be bit-identical to seq-basic"
+    );
+    std::fs::remove_file(&ledger).ok();
+    std::fs::remove_file(&out).ok();
 }

@@ -48,7 +48,7 @@ use parapsp_parfor::{CancelStatus, CancelToken, ParSlice, PerThread, Schedule, T
 
 use crate::kernel::{KernelOptions, Workspace};
 use crate::outcome::RunOutcome;
-use crate::persist::{self, Checkpoint};
+use crate::persist::{self, Checkpoint, FsyncPolicy, RowLedger};
 use crate::relax::RelaxImpl;
 use crate::shared::SharedDistState;
 use crate::solver::{RowSolver, SolverKind};
@@ -98,6 +98,16 @@ pub trait ValueEnum: Sized + Copy + 'static {
 impl ValueEnum for RelaxImpl {
     fn value_variants() -> &'static [Self] {
         &RelaxImpl::ALL
+    }
+
+    fn value_name(&self) -> &'static str {
+        self.name()
+    }
+}
+
+impl ValueEnum for FsyncPolicy {
+    fn value_variants() -> &'static [Self] {
+        &FsyncPolicy::ALL
     }
 
     fn value_name(&self) -> &'static str {
@@ -217,13 +227,31 @@ impl ValueEnum for EngineKind {
 // RunConfig
 // ---------------------------------------------------------------------------
 
-/// Where and how often a run writes its partial-progress checkpoint.
+/// On-disk shape of a run's durability artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointFormat {
+    /// A version-2 checkpoint, atomically rewritten whole on every flush:
+    /// O(n²) bytes per flush, but the file is always a complete snapshot.
+    #[default]
+    Full,
+    /// A version-3 append-only run ledger ([`RowLedger`]): O(row) bytes
+    /// per completed row, recovered by replaying the longest valid
+    /// prefix. The file only ever grows during a run.
+    Ledger,
+}
+
+/// Where, how often, and in which format a run persists its progress.
 #[derive(Debug, Clone)]
 pub struct CheckpointPolicy {
-    /// Destination file of the periodic version-2 checkpoint.
+    /// Destination file of the periodic checkpoint or ledger.
     pub path: PathBuf,
-    /// Completed work units between checkpoint writes (must be ≥ 1).
+    /// Completed work units between flushes (must be ≥ 1).
     pub every: usize,
+    /// Full-rewrite checkpoint or append-only ledger.
+    pub format: CheckpointFormat,
+    /// When ledger appends are fsynced (ignored by [`CheckpointFormat::Full`],
+    /// which always fsyncs its atomic rewrite).
+    pub fsync: FsyncPolicy,
 }
 
 /// Every knob of an APSP run in one builder-style value: thread count,
@@ -395,7 +423,49 @@ impl RunConfig {
         self.checkpoint = Some(CheckpointPolicy {
             path: path.into(),
             every,
+            format: CheckpointFormat::Full,
+            fsync: FsyncPolicy::default(),
         });
+        self
+    }
+
+    /// Like [`RunConfig::with_checkpoint`], but persists through an
+    /// append-only [`RowLedger`]: after every `every` completed work units
+    /// the [`Runner`] appends the newly completed rows (O(row) bytes each)
+    /// instead of rewriting an O(n²) checkpoint. The ledger is opened with
+    /// crash recovery — a torn tail from a previous incarnation is
+    /// truncated and its valid rows are folded into the resume state, so
+    /// pointing a run at its own ledger after a crash resumes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every` is zero, and later — during the run — if the
+    /// ledger cannot be opened or appended to.
+    pub fn with_ledger(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        assert!(
+            every > 0,
+            "ledger commit interval must be at least 1 source"
+        );
+        self.checkpoint = Some(CheckpointPolicy {
+            path: path.into(),
+            every,
+            format: CheckpointFormat::Ledger,
+            fsync: FsyncPolicy::default(),
+        });
+        self
+    }
+
+    /// Overrides the ledger fsync policy (see [`FsyncPolicy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no checkpoint/ledger destination was configured first.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        let policy = self
+            .checkpoint
+            .as_mut()
+            .expect("configure a checkpoint or ledger before its fsync policy");
+        policy.fsync = fsync;
         self
     }
 
@@ -526,6 +596,26 @@ pub trait Engine {
     /// the [`Runner`] between batches (periodic persistence) and after an
     /// early stop.
     fn snapshot(&self) -> Checkpoint;
+
+    /// Visits completed rows for incremental (ledger) persistence: called
+    /// by the [`Runner`] between batches with the unit batch that just
+    /// ran. The engine invokes `visit` with each completed `(source, row)`
+    /// it can attribute to the batch — visiting extra already-completed
+    /// rows is fine (the `Runner` deduplicates), missing a completed one
+    /// only delays its append to a later batch.
+    ///
+    /// The default builds a full [`Engine::snapshot`] and visits every
+    /// completed row — correct for any engine, O(n²) per batch. Row
+    /// engines override this with an O(batch · row) walk of their
+    /// published rows.
+    fn visit_rows(&self, _units: &[u32], visit: &mut dyn FnMut(u32, &[u32])) {
+        let snapshot = self.snapshot();
+        for s in 0..snapshot.n() as u32 {
+            if snapshot.completed()[s as usize] {
+                visit(s, snapshot.matrix().row(s));
+            }
+        }
+    }
 
     /// Assembles the completed run's output.
     fn finish(self, graph: &CsrGraph, summary: RunSummary) -> Self::Output
@@ -700,6 +790,45 @@ impl Runner {
             );
         }
         let start = Instant::now();
+        // A ledger policy opens (and crash-recovers) its file before
+        // `prepare`, so rows replayed from the torn-tail recovery join the
+        // resume state, and rows only the `--resume` artifact knows about
+        // are backfilled into the ledger.
+        let mut ledger_state: Option<(RowLedger, Vec<bool>)> = None;
+        let resume = match &self.config.checkpoint {
+            Some(policy)
+                if policy.format == CheckpointFormat::Ledger && engine.row_checkpoints() =>
+            {
+                let fail = |err: persist::PersistError| -> ! {
+                    panic!("run ledger {}: {err}", policy.path.display())
+                };
+                let (mut ledger, replayed) =
+                    RowLedger::open(&policy.path, graph.vertex_count(), policy.fsync)
+                        .unwrap_or_else(|err| fail(err));
+                let merged = match resume {
+                    Some(cp) => {
+                        let (mut dist, mut completed) = cp.into_parts();
+                        for (s, done) in completed.iter_mut().enumerate() {
+                            if replayed.completed()[s] && !*done {
+                                dist.copy_row_from(s as u32, replayed.matrix().row(s as u32));
+                                *done = true;
+                            } else if *done && !replayed.completed()[s] {
+                                ledger
+                                    .append(s as u32, dist.row(s as u32))
+                                    .unwrap_or_else(|err| fail(err));
+                            }
+                        }
+                        ledger.commit().unwrap_or_else(|err| fail(err));
+                        Checkpoint::new(dist, completed)
+                    }
+                    None => replayed,
+                };
+                let logged = merged.completed().to_vec();
+                ledger_state = Some((ledger, logged));
+                Some(merged)
+            }
+            _ => resume,
+        };
         let plan = engine.prepare(graph, &self.config, pool, resume);
         let ctx = RowsCtx {
             pool,
@@ -708,8 +837,31 @@ impl Runner {
             trace,
         };
         let t_sssp = Instant::now();
-        let status = match &self.config.checkpoint {
-            Some(policy) if engine.row_checkpoints() => {
+        let status = match (&self.config.checkpoint, &mut ledger_state) {
+            (Some(policy), Some((ledger, logged))) => {
+                // Between batches no row owner is active, so every row the
+                // engine reports completed is final — append it once.
+                let mut status = CancelStatus::Continue;
+                for chunk in plan.units.chunks(policy.every) {
+                    status = engine.run_rows(graph, chunk, &ctx);
+                    engine.visit_rows(chunk, &mut |s, row| {
+                        if !logged[s as usize] {
+                            ledger.append(s, row).unwrap_or_else(|err| {
+                                panic!("run ledger {}: {err}", policy.path.display())
+                            });
+                            logged[s as usize] = true;
+                        }
+                    });
+                    ledger.commit().unwrap_or_else(|err| {
+                        panic!("run ledger {}: {err}", policy.path.display())
+                    });
+                    if status.is_stop() {
+                        break;
+                    }
+                }
+                status
+            }
+            (Some(policy), None) if engine.row_checkpoints() => {
                 // Between batches no row owner is active, so a snapshot of
                 // the published rows is a consistent checkpoint.
                 let sink = CheckpointSink::new(&policy.path);
@@ -725,6 +877,11 @@ impl Runner {
             }
             _ => engine.run_rows(graph, &plan.units, &ctx),
         };
+        if let Some((ledger, _)) = ledger_state {
+            ledger
+                .finish()
+                .unwrap_or_else(|err| panic!("run ledger: {err}"));
+        }
         let sssp = t_sssp.elapsed();
 
         if status.is_stop() {
@@ -862,6 +1019,16 @@ impl Engine for ApspEngine {
             .expect("prepare() not called")
             .snapshot();
         Checkpoint::new(dist, completed)
+    }
+
+    fn visit_rows(&self, units: &[u32], visit: &mut dyn FnMut(u32, &[u32])) {
+        // Units are source vertices; a published row is final.
+        let state = self.state.as_ref().expect("prepare() not called");
+        for &s in units {
+            if let Some(row) = state.published_row(s) {
+                visit(s, row);
+            }
+        }
     }
 
     fn finish(self, _graph: &CsrGraph, summary: RunSummary) -> ApspOutput {
@@ -1072,6 +1239,32 @@ impl Engine for SeqEngine {
         Checkpoint::new(dist, completed)
     }
 
+    fn visit_rows(&self, units: &[u32], visit: &mut dyn FnMut(u32, &[u32])) {
+        let state = self.state.as_ref().expect("prepare() not called");
+        match self.mode {
+            // Ordered units are source vertices.
+            SeqMode::Ordered => {
+                for &s in units {
+                    if let Some(row) = state.published_row(s) {
+                        visit(s, row);
+                    }
+                }
+            }
+            // Adaptive units are opaque step counters; the sources picked
+            // this batch are whatever is newly marked done. Scanning all
+            // of `done` is O(n) per batch and the `Runner` deduplicates.
+            SeqMode::Adaptive { .. } => {
+                for s in 0..state.n() as u32 {
+                    if self.done[s as usize] {
+                        if let Some(row) = state.published_row(s) {
+                            visit(s, row);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn finish(self, _graph: &CsrGraph, summary: RunSummary) -> ApspOutput {
         let state = self.state.expect("prepare() not called");
         debug_assert_eq!(state.published_count(), state.n());
@@ -1249,6 +1442,132 @@ mod tests {
         let token = CancelToken::with_poll_budget(1);
         let stopped = Runner::new(config).run_with_token(BlockedFwEngine::new(32), &g, &token);
         assert_eq!(stopped.checkpoint().unwrap().completed_count(), 0);
+    }
+
+    /// Tentpole: the run ledger is an O(row) drop-in for the O(n²)
+    /// checkpoint rewrite — a cancelled ledger run resumes from its own
+    /// ledger (no separate `--resume` artifact needed) and lands on the
+    /// bit-identical final matrix, having recomputed only the missing rows.
+    #[test]
+    fn ledger_runs_resume_from_their_own_file_bit_identically() {
+        const BUDGET: u64 = 20;
+        const EVERY: usize = 8;
+        let dir = std::env::temp_dir().join("parapsp-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = barabasi_albert(90, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 5).unwrap();
+        let reference = seq_basic(&g);
+
+        for (name, fsync) in [
+            ("always", FsyncPolicy::Always),
+            ("commit", FsyncPolicy::Commit),
+            ("never", FsyncPolicy::Never),
+        ] {
+            let path = dir.join(format!("run-{name}.ledger"));
+            std::fs::remove_file(&path).ok();
+            let config = RunConfig::par_apsp(2)
+                .with_ordering(OrderingProcedure::Identity)
+                .with_threads(1)
+                .with_ledger(&path, EVERY)
+                .with_fsync(fsync);
+            let token = CancelToken::with_poll_budget(BUDGET);
+            let outcome = Runner::new(config.clone()).run_with_token(ApspEngine::new(), &g, &token);
+            assert!(!outcome.is_complete());
+            // The interrupted ledger replays to exactly the budgeted rows.
+            let cp = persist::load_checkpoint(&path).unwrap();
+            assert_eq!(cp.completed_count() as u64, BUDGET, "{name}");
+
+            // Re-running against the same ledger resumes implicitly.
+            let resumed = Runner::new(config).run(ApspEngine::new(), &g);
+            assert_eq!(
+                reference.dist.first_difference(&resumed.dist),
+                None,
+                "{name}"
+            );
+            let cp = persist::load_checkpoint(&path).unwrap();
+            assert!(cp.is_complete(), "{name}");
+            assert_eq!(
+                cp.matrix().first_difference(&reference.dist),
+                None,
+                "{name}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    /// A `--resume` checkpoint and a recovered ledger merge: rows known
+    /// only to the checkpoint are backfilled into the ledger, rows known
+    /// only to the ledger join the resume state.
+    #[test]
+    fn ledger_merges_with_an_explicit_resume_checkpoint() {
+        let dir = std::env::temp_dir().join("parapsp-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = barabasi_albert(70, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 3).unwrap();
+        let reference = seq_basic(&g);
+
+        // A checkpoint knowing rows 0..25 ...
+        let resume_cp = {
+            let mut completed = vec![false; 70];
+            for (s, done) in completed.iter_mut().enumerate().take(25) {
+                let _ = s;
+                *done = true;
+            }
+            Checkpoint::new(reference.dist.clone(), completed)
+        };
+        // ... and a ledger knowing rows 20..40.
+        let path = dir.join("merge.ledger");
+        std::fs::remove_file(&path).ok();
+        let mut ledger = RowLedger::create(&path, 70, FsyncPolicy::Never).unwrap();
+        for s in 20..40u32 {
+            ledger.append(s, reference.dist.row(s)).unwrap();
+        }
+        ledger.finish().unwrap();
+
+        let config = RunConfig::seq_basic().with_ledger(&path, 16);
+        let out = Runner::new(config).run_resumed(SeqEngine::ordered(), &g, resume_cp);
+        assert_eq!(reference.dist.first_difference(&out.dist), None);
+        // The finished ledger replays complete — including the backfilled
+        // checkpoint-only rows 0..20.
+        let cp = persist::load_checkpoint(&path).unwrap();
+        assert!(cp.is_complete());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Every row-checkpointing engine — including the adaptive sequential
+    /// engine, whose work units are opaque counters, and the subset engine,
+    /// whose units are slot indices — produces a complete, exact ledger.
+    #[test]
+    fn all_row_engines_fill_a_ledger_completely() {
+        let dir = std::env::temp_dir().join("parapsp-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = barabasi_albert(60, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 9).unwrap();
+        let reference = seq_basic(&g);
+
+        let run = |name: &str, run: &mut dyn FnMut(&std::path::Path)| {
+            let path = dir.join(format!("engine-{name}.ledger"));
+            std::fs::remove_file(&path).ok();
+            run(&path);
+            let cp = persist::load_checkpoint(&path).unwrap();
+            assert!(cp.is_complete(), "{name}");
+            assert_eq!(
+                cp.matrix().first_difference(&reference.dist),
+                None,
+                "{name}"
+            );
+            std::fs::remove_file(&path).ok();
+        };
+        run("par", &mut |path| {
+            let config = RunConfig::par_apsp(4).with_ledger(path, 8);
+            Runner::new(config).run(ApspEngine::new(), &g);
+        });
+        run("adaptive", &mut |path| {
+            let config = RunConfig::seq_adaptive(10).with_ledger(path, 8);
+            Runner::new(config).run(SeqEngine::adaptive(10), &g);
+        });
+        run("subset", &mut |path| {
+            let sources: Vec<u32> = (0..60).collect();
+            let config = RunConfig::subset(2).with_ledger(path, 8);
+            Runner::new(config).run(SubsetEngine::new(sources), &g);
+        });
     }
 
     #[test]

@@ -56,11 +56,12 @@ pub mod subset;
 
 pub use dist::DistanceMatrix;
 pub use engine::{
-    ApspEngine, BlockedFwEngine, Engine, EngineKind, RunConfig, Runner, SeqEngine, SubsetEngine,
-    ValueEnum,
+    ApspEngine, BlockedFwEngine, CheckpointFormat, Engine, EngineKind, RunConfig, Runner,
+    SeqEngine, SubsetEngine, ValueEnum,
 };
 pub use outcome::RunOutcome;
 pub use par::ParApsp;
+pub use persist::{FsyncPolicy, RowLedger};
 pub use relax::RelaxImpl;
 pub use solver::{autotune, probe, AutoChoice, GraphProbe, SolverKind};
 pub use stats::{ApspOutput, Counters, PhaseTimings};

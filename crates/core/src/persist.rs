@@ -12,13 +12,22 @@
 //!   rows in ascending source order. A finished run's checkpoint is a
 //!   complete matrix; a killed run's checkpoint resumes via
 //!   [`crate::ParApsp::run_resumed`].
+//! * **run ledger, version 3** — same magic, version 3, `n`, a run id and
+//!   driver epoch, then one *appended* framed record per completed row
+//!   (source id, row length, payload, FNV-1a checksum). Unlike the
+//!   checkpoint — which is rewritten whole on every flush — the ledger
+//!   grows by O(row) per completed row, and recovery
+//!   ([`RowLedger::open`]) truncates a torn tail and replays the longest
+//!   valid prefix, so a crash mid-append loses at most the record being
+//!   written.
 //! * **TSV** — human-readable rows, `INF` spelled as `inf`; intended for
 //!   spreadsheets and ad-hoc scripts on small matrices.
 //!
 //! Version skew is one-directional by design: [`read_checkpoint`] accepts
-//! a version-1 full matrix (treated as "every row complete"), while
-//! [`read_binary`] rejects version-2 files so pre-checkpoint readers fail
-//! loudly instead of misinterpreting a bitmap as distances.
+//! a version-1 full matrix (treated as "every row complete") and replays a
+//! version-3 ledger (so `--resume` takes either artifact), while
+//! [`read_binary`] rejects version-2/3 files so pre-checkpoint readers
+//! fail loudly instead of misinterpreting a bitmap as distances.
 //!
 //! All readers treat the header as untrusted: payloads are read in
 //! bounded chunks, so a tiny file whose header claims a multi-gigabyte
@@ -35,6 +44,35 @@ use crate::dist::DistanceMatrix;
 const MAGIC: &[u8; 4] = b"PAPD";
 const VERSION: u8 = 1;
 const CHECKPOINT_VERSION: u8 = 2;
+const LEDGER_VERSION: u8 = 3;
+
+/// Bytes before the first ledger record: magic, version, `n`, run id,
+/// epoch.
+const LEDGER_HEADER_LEN: u64 = 4 + 1 + 8 + 8 + 4;
+/// Byte offset of the epoch field inside the ledger header.
+const LEDGER_EPOCH_OFFSET: u64 = 4 + 1 + 8 + 8;
+
+/// FNV-1a over a source id and its row payload (little-endian words).
+///
+/// The same checksum seals rows on the distributed wire and in the run
+/// ledger, so a row gathered over the network and a row replayed from
+/// disk are guarded by one algorithm.
+pub fn row_checksum(source: u32, row: &[u32]) -> u32 {
+    const OFFSET: u32 = 0x811C_9DC5;
+    const PRIME: u32 = 0x0100_0193;
+    let mut hash = OFFSET;
+    let mut eat = |word: u32| {
+        for byte in word.to_le_bytes() {
+            hash ^= u32::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    eat(source);
+    for &word in row {
+        eat(word);
+    }
+    hash
+}
 
 /// Cells per chunked read: 64 Ki cells = 256 KiB. Memory for a payload
 /// grows with the bytes that actually arrive, never with the header's
@@ -339,6 +377,10 @@ pub fn read_checkpoint<R: Read>(reader: R) -> Result<Checkpoint, PersistError> {
             }
             Ok(Checkpoint { dist, completed })
         }
+        LEDGER_VERSION => {
+            let (checkpoint, _, _, _) = replay_ledger_body(&mut reader, n)?;
+            Ok(checkpoint)
+        }
         other => Err(PersistError::Format(format!(
             "unsupported format version {other}"
         ))),
@@ -386,9 +428,354 @@ fn sync_parent_dir(_path: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Loads a checkpoint from a file (either format version).
+/// Loads a checkpoint from a file (any format version, including a
+/// version-3 run ledger, whose longest valid record prefix is replayed).
 pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, PersistError> {
     read_checkpoint(std::fs::File::open(path)?)
+}
+
+// ---------------------------------------------------------------------------
+// Run ledger (version 3): crash-safe O(row) incremental durability
+// ---------------------------------------------------------------------------
+
+/// When ledger appends reach the platter.
+///
+/// The checkpoint format fsyncs on every flush because it rewrites the
+/// whole file; the ledger appends tiny records, so the caller chooses the
+/// durability/throughput point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Fsync after every appended record: a crash loses nothing that
+    /// [`RowLedger::append`] returned `Ok` for.
+    Always,
+    /// Fsync on [`RowLedger::commit`] (the `Runner` commits once per
+    /// checkpoint chunk) and on [`RowLedger::finish`]. The default: a
+    /// crash loses at most one uncommitted chunk.
+    #[default]
+    Commit,
+    /// Never fsync explicitly; the OS flushes the page cache on its own
+    /// schedule. Fastest, weakest — recovery still never yields a
+    /// corrupted row, only fewer of them.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Every selectable policy, in display order.
+    pub const ALL: [FsyncPolicy; 3] =
+        [FsyncPolicy::Always, FsyncPolicy::Commit, FsyncPolicy::Never];
+
+    /// The stable CLI name of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Commit => "commit",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, or returns `None` on a premature EOF
+/// (a torn ledger tail, not an error). Genuine I/O failures propagate.
+fn read_exact_or_torn<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<Option<()>, PersistError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(None),
+            Ok(got) => filled += got,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(PersistError::Io(err)),
+        }
+    }
+    Ok(Some(()))
+}
+
+/// Replays ledger records after the `(version, n)` header: reads the run
+/// id and epoch, then accepts framed records until the first torn or
+/// invalid one. Returns the replayed checkpoint, the run id, the epoch,
+/// and the byte length of the valid prefix (header included) — everything
+/// past that length is a torn tail the writer may truncate.
+fn replay_ledger_body<R: Read>(
+    reader: &mut R,
+    n: usize,
+) -> Result<(Checkpoint, u64, u32, u64), PersistError> {
+    let mut id_bytes = [0u8; 8];
+    reader.read_exact(&mut id_bytes)?;
+    let run_id = u64::from_le_bytes(id_bytes);
+    let mut epoch_bytes = [0u8; 4];
+    reader.read_exact(&mut epoch_bytes)?;
+    let epoch = u32::from_le_bytes(epoch_bytes);
+
+    let mut dist = DistanceMatrix::new_infinite(n);
+    let mut completed = vec![false; n];
+    let mut valid = LEDGER_HEADER_LEN;
+    let mut payload = Vec::new();
+    loop {
+        let mut record_header = [0u8; 8];
+        if read_exact_or_torn(reader, &mut record_header)?.is_none() {
+            break;
+        }
+        let source = u32::from_le_bytes(record_header[..4].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(record_header[4..].try_into().expect("4 bytes"));
+        // A record whose coordinates disagree with the header is
+        // indistinguishable from a torn/corrupt tail: stop replaying.
+        if source as usize >= n || len as usize != n {
+            break;
+        }
+        // Bounded payload read: memory grows with arriving data, and a
+        // short read is a torn tail, not a format error.
+        payload.clear();
+        let mut chunk = [0u8; 4];
+        let mut torn = false;
+        for _ in 0..n {
+            if read_exact_or_torn(reader, &mut chunk)?.is_none() {
+                torn = true;
+                break;
+            }
+            payload.push(u32::from_le_bytes(chunk));
+        }
+        if torn {
+            break;
+        }
+        let mut sum_bytes = [0u8; 4];
+        if read_exact_or_torn(reader, &mut sum_bytes)?.is_none() {
+            break;
+        }
+        if u32::from_le_bytes(sum_bytes) != row_checksum(source, &payload) {
+            break;
+        }
+        dist.copy_row_from(source, &payload);
+        completed[source as usize] = true;
+        valid += 8 + 4 * n as u64 + 4;
+    }
+    Ok((Checkpoint { dist, completed }, run_id, epoch, valid))
+}
+
+/// A crash-safe append-only run ledger: one framed record per completed
+/// row, recovered by replaying the longest valid prefix.
+///
+/// Where [`save_checkpoint`] rewrites O(n²) bytes per flush, the ledger
+/// appends O(n) bytes per completed row — the per-source decomposition
+/// makes every completed row independently final, so appending it once is
+/// all the durability a restart needs. The header carries a `run_id`
+/// (minted at [`RowLedger::create`]) and an `epoch` (bumped on every
+/// [`RowLedger::open`] of an existing file), which the distributed driver
+/// hands to its workers so a restarted driver can reject handshakes from
+/// a different run or a stale incarnation.
+#[derive(Debug)]
+pub struct RowLedger {
+    writer: BufWriter<std::fs::File>,
+    path: PathBuf,
+    n: usize,
+    policy: FsyncPolicy,
+    run_id: u64,
+    epoch: u32,
+    records: u64,
+    dirty: bool,
+    buf: Vec<u8>,
+}
+
+/// Mints a run id that is unique for practical purposes without a
+/// dependency on an RNG crate: wall-clock nanoseconds and the process id,
+/// mixed through splitmix64. Never returns 0 — that value is reserved for
+/// "no previous run" in the distributed handshake. Used by
+/// [`RowLedger::create`], and by the distributed driver for ledger-less
+/// runs that still need a run identity to hand their workers.
+pub fn mint_run_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut z = nanos ^ (u64::from(std::process::id()) << 32);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)).max(1) // 0 is reserved for "no previous run" in handshakes
+}
+
+impl RowLedger {
+    /// Creates a fresh ledger at `path` (truncating any existing file)
+    /// for an `n`-vertex run, minting a new run id at epoch 0. The header
+    /// is written and — unless the policy is [`FsyncPolicy::Never`] —
+    /// fsynced along with its directory entry before this returns.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        n: usize,
+        policy: FsyncPolicy,
+    ) -> Result<RowLedger, PersistError> {
+        let path = path.into();
+        let file = std::fs::File::create(&path)?;
+        let mut ledger = RowLedger {
+            writer: BufWriter::new(file),
+            path,
+            n,
+            policy,
+            run_id: mint_run_id(),
+            epoch: 0,
+            records: 0,
+            dirty: false,
+            buf: Vec::new(),
+        };
+        ledger.writer.write_all(MAGIC)?;
+        ledger.writer.write_all(&[LEDGER_VERSION])?;
+        ledger.writer.write_all(&(n as u64).to_le_bytes())?;
+        ledger.writer.write_all(&ledger.run_id.to_le_bytes())?;
+        ledger.writer.write_all(&ledger.epoch.to_le_bytes())?;
+        ledger.writer.flush()?;
+        if ledger.policy != FsyncPolicy::Never {
+            ledger.writer.get_ref().sync_all()?;
+            sync_parent_dir(&ledger.path)?;
+        }
+        Ok(ledger)
+    }
+
+    /// Opens `path` for appending, recovering whatever a previous
+    /// incarnation managed to write: the longest valid record prefix is
+    /// replayed into the returned [`Checkpoint`], the torn tail (if any)
+    /// is truncated away, and the header's epoch is bumped — so workers
+    /// still holding state from the previous driver incarnation can be
+    /// told apart. A missing or empty file becomes a fresh
+    /// [`RowLedger::create`].
+    ///
+    /// Fails with [`PersistError::Format`] when the file exists but is
+    /// not an `n`-vertex ledger (wrong magic, version, or size) — an
+    /// existing artifact is never silently clobbered.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        n: usize,
+        policy: FsyncPolicy,
+    ) -> Result<(RowLedger, Checkpoint), PersistError> {
+        let path = path.into();
+        let mut file = match std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+        {
+            Ok(file) => file,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                let ledger = RowLedger::create(path, n, policy)?;
+                let empty = Checkpoint::new(DistanceMatrix::new_infinite(n), vec![false; n]);
+                return Ok((ledger, empty));
+            }
+            Err(err) => return Err(PersistError::Io(err)),
+        };
+        if file.metadata()?.len() == 0 {
+            drop(file);
+            let ledger = RowLedger::create(path, n, policy)?;
+            let empty = Checkpoint::new(DistanceMatrix::new_infinite(n), vec![false; n]);
+            return Ok((ledger, empty));
+        }
+        let (checkpoint, run_id, epoch, valid) = {
+            let mut reader = BufReader::new(&mut file);
+            let (version, file_n) = read_header(&mut reader)?;
+            if version != LEDGER_VERSION {
+                return Err(PersistError::Format(format!(
+                    "not a run ledger: format version {version} \
+                     (ledgers are version {LEDGER_VERSION})"
+                )));
+            }
+            if file_n != n {
+                return Err(PersistError::Format(format!(
+                    "ledger is for {file_n} vertices but this run has {n}"
+                )));
+            }
+            replay_ledger_body(&mut reader, n)?
+        };
+        use std::io::Seek as _;
+        let epoch = epoch.wrapping_add(1);
+        file.seek(std::io::SeekFrom::Start(LEDGER_EPOCH_OFFSET))?;
+        file.write_all(&epoch.to_le_bytes())?;
+        // Truncate the torn tail so the next append extends the valid
+        // prefix instead of burying garbage mid-file.
+        file.set_len(valid)?;
+        file.seek(std::io::SeekFrom::Start(valid))?;
+        if policy != FsyncPolicy::Never {
+            file.sync_all()?;
+        }
+        let records = checkpoint.completed_count() as u64;
+        let ledger = RowLedger {
+            writer: BufWriter::new(file),
+            path,
+            n,
+            policy,
+            run_id,
+            epoch,
+            records,
+            dirty: false,
+            buf: Vec::new(),
+        };
+        Ok((ledger, checkpoint))
+    }
+
+    /// Appends one completed row. With [`FsyncPolicy::Always`] the record
+    /// is durable when this returns; otherwise it becomes durable at the
+    /// next [`RowLedger::commit`] (or when the OS flushes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.len()` differs from the ledger's `n` — rows are
+    /// final and full-length by construction, so a short row is a caller
+    /// bug, not a runtime condition.
+    pub fn append(&mut self, source: u32, row: &[u32]) -> Result<(), PersistError> {
+        assert_eq!(row.len(), self.n, "ledger rows are full n-length rows");
+        self.buf.clear();
+        self.buf.extend_from_slice(&source.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(row.len() as u32).to_le_bytes());
+        for &cell in row {
+            self.buf.extend_from_slice(&cell.to_le_bytes());
+        }
+        self.buf
+            .extend_from_slice(&row_checksum(source, row).to_le_bytes());
+        self.writer.write_all(&self.buf)?;
+        self.records += 1;
+        self.dirty = true;
+        if self.policy == FsyncPolicy::Always {
+            self.writer.flush()?;
+            self.writer.get_ref().sync_data()?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Pushes buffered appends to the OS and — except under
+    /// [`FsyncPolicy::Never`] — fsyncs them.
+    pub fn commit(&mut self) -> Result<(), PersistError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.writer.flush()?;
+        if self.policy != FsyncPolicy::Never {
+            self.writer.get_ref().sync_data()?;
+        }
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Commits outstanding appends and closes the ledger.
+    pub fn finish(mut self) -> Result<(), PersistError> {
+        self.commit()
+    }
+
+    /// The ledger's destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The run id minted when the ledger was created.
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    /// The driver incarnation count: 0 for a fresh ledger, bumped by
+    /// every recovery-open of an existing file.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Records appended so far, replayed ones included.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
 }
 
 /// Writes a tab-separated text dump (`inf` for unreachable pairs), one
@@ -658,5 +1045,189 @@ mod tests {
         let mut buf = Vec::new();
         write_checkpoint(&cp, &mut buf).unwrap();
         assert!(read_checkpoint(buf.as_slice()).unwrap().is_complete());
+    }
+
+    // --- run ledger ---
+
+    fn ledger_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("parapsp-ledger-tests-{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn ledger_appends_and_replays_as_checkpoint() {
+        let dir = ledger_dir("replay");
+        let path = dir.join("run.ledger");
+        let dist = sample_matrix();
+        let n = dist.n();
+        let mut ledger = RowLedger::create(&path, n, FsyncPolicy::Commit).unwrap();
+        assert_eq!(ledger.epoch(), 0);
+        for s in (0..n as u32).filter(|s| s % 3 != 1) {
+            ledger.append(s, dist.row(s)).unwrap();
+        }
+        let expected_records = (0..n).filter(|s| s % 3 != 1).count() as u64;
+        assert_eq!(ledger.records(), expected_records);
+        ledger.finish().unwrap();
+
+        // The generic checkpoint loader replays the ledger directly.
+        let cp = load_checkpoint(&path).unwrap();
+        assert_eq!(cp, partial_checkpoint());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn ledger_open_recovers_truncates_torn_tail_and_bumps_epoch() {
+        let dir = ledger_dir("torn");
+        let path = dir.join("run.ledger");
+        let dist = sample_matrix();
+        let n = dist.n();
+        let mut ledger = RowLedger::create(&path, n, FsyncPolicy::Never).unwrap();
+        let run_id = ledger.run_id();
+        for s in 0..4u32 {
+            ledger.append(s, dist.row(s)).unwrap();
+        }
+        ledger.finish().unwrap();
+
+        // Simulate a crash mid-append: tear the last record.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full - 5).unwrap();
+        drop(file);
+
+        let (ledger, recovered) = RowLedger::open(&path, n, FsyncPolicy::Commit).unwrap();
+        assert_eq!(ledger.run_id(), run_id, "recovery keeps the run id");
+        assert_eq!(ledger.epoch(), 1, "recovery bumps the epoch");
+        assert_eq!(recovered.completed_count(), 3, "torn record dropped");
+        assert_eq!(ledger.records(), 3);
+        for s in 0..3u32 {
+            assert_eq!(recovered.matrix().row(s), dist.row(s));
+        }
+        assert!(recovered.matrix().row(3).iter().all(|&d| d == INF));
+        // The torn tail is physically gone.
+        let record_len = (8 + 4 * n + 4) as u64;
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            LEDGER_HEADER_LEN + 3 * record_len
+        );
+
+        // Appends after recovery extend the valid prefix.
+        let mut ledger = ledger;
+        ledger.append(3, dist.row(3)).unwrap();
+        ledger.append(4, dist.row(4)).unwrap();
+        ledger.finish().unwrap();
+        let cp = load_checkpoint(&path).unwrap();
+        assert_eq!(cp.completed_count(), 5);
+        for s in 0..5u32 {
+            assert_eq!(cp.matrix().row(s), dist.row(s));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn ledger_open_of_missing_or_empty_file_starts_fresh() {
+        let dir = ledger_dir("fresh");
+        let missing = dir.join("missing.ledger");
+        std::fs::remove_file(&missing).ok();
+        let (ledger, cp) = RowLedger::open(&missing, 5, FsyncPolicy::Never).unwrap();
+        assert_eq!(ledger.epoch(), 0);
+        assert_eq!(cp.completed_count(), 0);
+        drop(ledger);
+
+        let empty = dir.join("empty.ledger");
+        std::fs::write(&empty, b"").unwrap();
+        let (ledger, cp) = RowLedger::open(&empty, 5, FsyncPolicy::Never).unwrap();
+        assert_eq!(ledger.epoch(), 0);
+        assert_eq!(cp.completed_count(), 0);
+        std::fs::remove_file(missing).ok();
+        std::fs::remove_file(empty).ok();
+    }
+
+    #[test]
+    fn ledger_duplicate_rows_last_write_wins() {
+        let dir = ledger_dir("dup");
+        let path = dir.join("run.ledger");
+        let mut ledger = RowLedger::create(&path, 3, FsyncPolicy::Never).unwrap();
+        ledger.append(1, &[9, 0, 9]).unwrap();
+        ledger.append(1, &[4, 0, 4]).unwrap();
+        ledger.finish().unwrap();
+        let cp = load_checkpoint(&path).unwrap();
+        assert_eq!(cp.completed_count(), 1);
+        assert_eq!(cp.matrix().row(1), &[4, 0, 4]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn ledger_replay_stops_at_corrupt_record_not_just_torn_tail() {
+        let dir = ledger_dir("corrupt");
+        let path = dir.join("run.ledger");
+        let mut ledger = RowLedger::create(&path, 3, FsyncPolicy::Never).unwrap();
+        ledger.append(0, &[0, 1, 2]).unwrap();
+        ledger.append(1, &[1, 0, 3]).unwrap();
+        ledger.append(2, &[2, 3, 0]).unwrap();
+        ledger.finish().unwrap();
+
+        // Flip a payload byte in the middle record: its checksum fails,
+        // so replay keeps only the first record — a corrupted row is
+        // never surfaced, and the final record (beyond the corruption)
+        // is not trusted either.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let record_len = 8 + 4 * 3 + 4;
+        let second_payload = LEDGER_HEADER_LEN as usize + record_len + 8;
+        bytes[second_payload] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (ledger, cp) = RowLedger::open(&path, 3, FsyncPolicy::Never).unwrap();
+        assert_eq!(cp.completed_count(), 1);
+        assert_eq!(cp.matrix().row(0), &[0, 1, 2]);
+        assert_eq!(ledger.records(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn ledger_open_rejects_wrong_shape_and_wrong_format() {
+        let dir = ledger_dir("reject");
+        let path = dir.join("run.ledger");
+        let mut ledger = RowLedger::create(&path, 4, FsyncPolicy::Never).unwrap();
+        ledger.append(0, &[0, 1, 2, 3]).unwrap();
+        ledger.finish().unwrap();
+        // Vertex-count mismatch.
+        let err = RowLedger::open(&path, 5, FsyncPolicy::Never).unwrap_err();
+        assert!(err.to_string().contains("4 vertices"), "got {err}");
+        // A v2 checkpoint is not a ledger: refuse to clobber it.
+        let ckpt = dir.join("not-a-ledger.ckpt");
+        save_checkpoint(&partial_checkpoint(), &ckpt).unwrap();
+        let err = RowLedger::open(&ckpt, 60, FsyncPolicy::Never).unwrap_err();
+        assert!(err.to_string().contains("not a run ledger"), "got {err}");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn ledger_append_rejects_out_of_range_sources_on_replay() {
+        // A record whose source is >= n (e.g. from a bit flip in the
+        // source field) terminates replay rather than panicking.
+        let dir = ledger_dir("range");
+        let path = dir.join("run.ledger");
+        let mut ledger = RowLedger::create(&path, 3, FsyncPolicy::Never).unwrap();
+        ledger.append(0, &[0, 1, 2]).unwrap();
+        ledger.append(1, &[1, 0, 3]).unwrap();
+        ledger.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_source = LEDGER_HEADER_LEN as usize + (8 + 4 * 3 + 4);
+        bytes[second_source..second_source + 4].copy_from_slice(&7u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let cp = load_checkpoint(&path).unwrap();
+        assert_eq!(cp.completed_count(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_ids_are_distinct_and_nonzero() {
+        let a = mint_run_id();
+        let b = mint_run_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b, "nanosecond clock + splitmix should not collide");
     }
 }

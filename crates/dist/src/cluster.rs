@@ -22,6 +22,7 @@
 //! bit-identical to the fault-free one as long as one node survives.
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::unbounded;
@@ -29,12 +30,13 @@ use crossbeam::channel::unbounded;
 use parapsp_core::engine::{
     Engine, Plan, RowsCtx, RowsOutcome, RunConfig, RunSummary, Runner, ValueEnum,
 };
-use parapsp_core::persist::Checkpoint;
+use parapsp_core::persist::{mint_run_id, Checkpoint, FsyncPolicy, RowLedger};
 use parapsp_core::{DistanceMatrix, RunOutcome, INF};
 use parapsp_graph::{degree, CsrGraph};
 use parapsp_order::OrderingProcedure;
 use parapsp_parfor::{CancelStatus, CancelToken, ThreadPool};
 
+use crate::chaos::{ChaosPlan, ChaosTransport};
 use crate::fault::{FaultPlan, DRIVER};
 use crate::node::{NodeState, RowMessage};
 use crate::socket::{SocketStartError, SocketTransport};
@@ -144,6 +146,32 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Where the driver journals gathered rows, and how hard it fsyncs.
+///
+/// With a ledger configured the driver appends every accepted gather row
+/// to a crash-safe append-only log ([`RowLedger`]) as it is acked, and a
+/// restarted driver pointed at the same file replays the valid prefix and
+/// re-deals only the missing sources to its (re-dialing) workers. The
+/// ledger also carries the run's identity — `run_id` and `epoch` — used
+/// in the worker handshake to fence off strangers and stale incarnations.
+#[derive(Debug, Clone)]
+pub struct LedgerSpec {
+    /// The ledger file; created fresh, or recovered when it exists.
+    pub path: PathBuf,
+    /// When appended rows reach the platter.
+    pub fsync: FsyncPolicy,
+}
+
+impl LedgerSpec {
+    /// A ledger at `path` with the default (per-commit) fsync policy.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        LedgerSpec {
+            path: path.into(),
+            fsync: FsyncPolicy::default(),
+        }
+    }
+}
+
 /// Configuration of the simulated cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -169,6 +197,13 @@ pub struct ClusterConfig {
     /// How driver and nodes exchange rows: in-process channels (the
     /// default) or length-prefix-framed sockets to worker processes.
     pub transport: TransportSpec,
+    /// Incremental driver-side durability: `None` (the default) keeps the
+    /// PR-6 behaviour (rows survive only in stop checkpoints); `Some`
+    /// journals every accepted row and makes the driver restartable.
+    pub ledger: Option<LedgerSpec>,
+    /// Adversarial network conditions injected between the nodes' event
+    /// streams and the driver; `None` (the default) injects nothing.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -182,6 +217,8 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             watchdog: None,
             transport: TransportSpec::InProcess,
+            ledger: None,
+            chaos: None,
         }
     }
 }
@@ -360,6 +397,9 @@ pub struct DistApspOutput {
     pub gather_rejected: u64,
     /// Sources the watchdog re-dealt away from silent-but-alive nodes.
     pub watchdog_reassigned: u64,
+    /// Rows restored from a run ledger or resume checkpoint instead of
+    /// being recomputed — the savings a driver restart is worth.
+    pub replayed_rows: u64,
     /// End-to-end wall time of the simulated run.
     pub elapsed: std::time::Duration,
 }
@@ -397,6 +437,7 @@ pub struct DistEngine {
     cap: Option<u32>,
     result: Option<DistApspOutput>,
     stopped: Option<Checkpoint>,
+    resume: Option<Checkpoint>,
 }
 
 impl DistEngine {
@@ -408,6 +449,7 @@ impl DistEngine {
             cap: None,
             result: None,
             stopped: None,
+            resume: None,
         }
     }
 
@@ -435,11 +477,17 @@ impl Engine for DistEngine {
         _pool: &ThreadPool,
         resume: Option<Checkpoint>,
     ) -> Plan {
-        assert!(
-            resume.is_none(),
-            "the distributed driver computes every row from scratch and cannot resume \
-             a checkpoint; resume it on a shared-memory engine (e.g. ApspEngine) instead"
-        );
+        if let Some(resume) = &resume {
+            assert_eq!(
+                resume.n(),
+                graph.vertex_count(),
+                "the resume checkpoint is for a different graph size"
+            );
+        }
+        // Resumed rows pre-seed the driver's gather: they are marked got,
+        // excluded from every node's share, and merged with whatever a
+        // configured ledger replays.
+        self.resume = resume;
         self.n = graph.vertex_count();
         self.cap = config.kernel().max_distance;
         // The whole cluster run is one unit; its internal ordering cost is
@@ -451,7 +499,7 @@ impl Engine for DistEngine {
     }
 
     fn run_rows(&mut self, graph: &CsrGraph, _units: &[u32], ctx: &RowsCtx<'_>) -> RowsOutcome {
-        match run_cluster(graph, self.cluster.clone(), ctx.token) {
+        match run_cluster(graph, self.cluster.clone(), ctx.token, self.resume.take()) {
             RunOutcome::Complete(output) => {
                 self.result = Some(output);
                 CancelStatus::Continue
@@ -544,10 +592,56 @@ pub fn dist_apsp_cancellable(
     Runner::new(RunConfig::new(1)).run_with_token(DistEngine::new(config), graph, token)
 }
 
+/// Opens (or creates) the configured ledger and folds its replayed rows
+/// into the run's prior checkpoint. Explicit-resume rows missing from the
+/// ledger are backfilled into it, so after this the ledger alone is the
+/// durable record of the run. Returns the ledger handle (if configured),
+/// the merged prior rows (if any), and the run identity for handshakes.
+fn open_prior(
+    config: &ClusterConfig,
+    n: usize,
+    resume: Option<Checkpoint>,
+) -> (Option<RowLedger>, Option<Checkpoint>, u64, u32) {
+    let Some(spec) = &config.ledger else {
+        let run_id = mint_run_id();
+        return (None, resume, run_id, 0);
+    };
+    let (mut ledger, replayed) = match RowLedger::open(&spec.path, n, spec.fsync) {
+        Ok(opened) => opened,
+        Err(error) => panic!("opening the run ledger {}: {error}", spec.path.display()),
+    };
+    let merged = match resume {
+        None => replayed,
+        Some(explicit) => {
+            let (mut dist, mut completed) = explicit.into_parts();
+            let (replayed_dist, replayed_completed) = replayed.into_parts();
+            for s in 0..n as u32 {
+                let have = completed[s as usize];
+                if replayed_completed[s as usize] && !have {
+                    dist.copy_row_from(s, replayed_dist.row(s));
+                    completed[s as usize] = true;
+                } else if have && !replayed_completed[s as usize] {
+                    ledger
+                        .append(s, dist.row(s))
+                        .unwrap_or_else(|error| panic!("backfilling the run ledger: {error}"));
+                }
+            }
+            ledger
+                .commit()
+                .unwrap_or_else(|error| panic!("committing the run ledger: {error}"));
+            Checkpoint::new(dist, completed)
+        }
+    };
+    let (run_id, epoch) = (ledger.run_id(), ledger.epoch());
+    let prior = (merged.completed_count() > 0).then_some(merged);
+    (Some(ledger), prior, run_id, epoch)
+}
+
 fn run_cluster(
     graph: &CsrGraph,
     config: ClusterConfig,
     token: Option<&CancelToken>,
+    resume: Option<Checkpoint>,
 ) -> RunOutcome<DistApspOutput> {
     if let Err(error) = config.validate_shape() {
         panic!("{error}");
@@ -570,7 +664,7 @@ fn run_cluster(
     }
 
     // Assign sources to nodes per the configured partition strategy.
-    let owned: Vec<Vec<u32>> = match config.partition {
+    let mut owned: Vec<Vec<u32>> = match config.partition {
         SourcePartition::CyclicByDegree => (0..nodes)
             .map(|k| order.iter().skip(k).step_by(nodes).copied().collect())
             .collect(),
@@ -587,12 +681,38 @@ fn run_cluster(
             .collect(),
     };
 
+    // Prior rows from a resume checkpoint and/or a recovered ledger are
+    // already final: pre-seed the gather with them and deal only the
+    // missing sources, so a restarted driver recomputes strictly less.
+    let (ledger, prior, run_id, epoch) = open_prior(&config, n, resume);
+    if let Some(prior) = &prior {
+        let done = prior.completed();
+        for share in &mut owned {
+            share.retain(|&s| !done[s as usize]);
+        }
+    }
+    let mut driver = Driver::new(nodes, owned.clone(), n, config.retry);
+    driver.ledger = ledger;
+    if let Some(prior) = &prior {
+        for s in 0..n as u32 {
+            if prior.completed()[s as usize] {
+                driver.got[s as usize] = true;
+                driver.gathered += 1;
+                driver.dist.copy_row_from(s, prior.matrix().row(s));
+            }
+        }
+        driver.replayed = driver.gathered as u64;
+    }
+
     match config.transport.clone() {
         TransportSpec::InProcess => {
-            run_cluster_channels(graph, &config, token, n, &is_hub, &owned, start)
+            run_cluster_channels(graph, &config, token, n, &is_hub, &owned, driver, start)
         }
         TransportSpec::Socket(socket) => {
-            run_cluster_socket(graph, &config, &socket, token, n, &is_hub, &owned, start)
+            let identity = (run_id, epoch);
+            run_cluster_socket(
+                graph, &config, &socket, token, n, &is_hub, &owned, driver, identity, start,
+            )
         }
     }
 }
@@ -643,6 +763,9 @@ fn drive<T: Transport>(
         if let Some(watchdog) = &config.watchdog {
             driver.check_watchdog(watchdog, transport);
         }
+        // One ledger commit per driver round batches the fsyncs of every
+        // row drained above (a no-op round is a no-op commit).
+        driver.commit_ledger();
         if driver.gathered >= n || progressed {
             continue;
         }
@@ -666,6 +789,33 @@ fn drive<T: Transport>(
     None
 }
 
+/// Runs [`drive`] with the configured [`ChaosPlan`] (if any) wrapped
+/// around the transport. When the loop ends, anything chaos still holds —
+/// duplicates of the final rows, late hub relays — is folded into the
+/// driver over the raw transport, so a cancelled run's checkpoint loses
+/// nothing that was already on the (chaotic) wire.
+fn drive_with_chaos<T: Transport>(
+    driver: &mut Driver,
+    transport: &mut T,
+    config: &ClusterConfig,
+    token: Option<&CancelToken>,
+    n: usize,
+) -> Option<CancelStatus> {
+    let Some(plan) = config.chaos.as_ref().filter(|plan| !plan.is_inert()) else {
+        return drive(driver, transport, config, token, n);
+    };
+    let (stop, held) = {
+        let mut chaos = ChaosTransport::new(transport, plan.clone(), config.nodes);
+        let stop = drive(driver, &mut chaos, config, token, n);
+        (stop, chaos.into_pending())
+    };
+    for (k, event) in held {
+        driver.on_event(k, event, transport);
+    }
+    driver.commit_ledger();
+    stop
+}
+
 /// The in-process backend: one scoped thread per node, crossbeam
 /// channels for the wire, hub rows delivered peer-to-peer.
 #[allow(clippy::too_many_arguments)]
@@ -676,6 +826,7 @@ fn run_cluster_channels(
     n: usize,
     is_hub: &[bool],
     owned: &[Vec<u32>],
+    mut driver: Driver,
     start: Instant,
 ) -> RunOutcome<DistApspOutput> {
     let nodes = config.nodes;
@@ -699,7 +850,6 @@ fn run_cluster_channels(
     let plan = &config.faults;
     let retry = &config.retry;
     let mut node_stats = vec![NodeStats::default(); nodes];
-    let mut driver = Driver::new(nodes, owned.to_vec(), n, config.retry);
     let mut stop = None;
 
     std::thread::scope(|scope| {
@@ -732,7 +882,7 @@ fn run_cluster_channels(
             })
             .collect();
 
-        stop = drive(&mut driver, &mut transport, config, token, n);
+        stop = drive_with_chaos(&mut driver, &mut transport, config, token, n);
 
         for k in 0..nodes {
             if driver.alive[k] {
@@ -772,14 +922,19 @@ fn run_cluster_socket(
     n: usize,
     is_hub: &[bool],
     owned: &[Vec<u32>],
+    mut driver: Driver,
+    identity: (u64, u32),
     start: Instant,
 ) -> RunOutcome<DistApspOutput> {
     let nodes = config.nodes;
+    let (run_id, epoch) = identity;
     let hubs: Vec<u32> = (0..n as u32).filter(|&v| is_hub[v as usize]).collect();
     let setups: Vec<WorkerSetup> = (0..nodes)
         .map(|k| WorkerSetup {
             node_id: k as u32,
             nodes: nodes as u32,
+            run_id,
+            epoch,
             heartbeat_ms: u64::try_from(socket.heartbeat_interval.as_millis()).unwrap_or(u64::MAX),
             row_batch: socket.row_batch as u32,
             retry: config.retry,
@@ -792,20 +947,24 @@ fn run_cluster_socket(
     let (mut transport, dead_at_start) = match SocketTransport::start(socket, setups, token) {
         Ok(started) => started,
         Err(SocketStartError::Stopped(status)) => {
-            // Cancelled while waiting for workers: nothing gathered yet.
-            let empty = Checkpoint::new(DistanceMatrix::new_infinite(n), vec![false; n]);
-            return RunOutcome::from_stop(status, empty);
+            // Cancelled while waiting for workers: whatever the ledger or
+            // resume checkpoint already held is still the run's state.
+            let checkpoint = Checkpoint::new(
+                std::mem::replace(&mut driver.dist, DistanceMatrix::new_infinite(0)),
+                driver.got.clone(),
+            );
+            driver.finish_ledger();
+            return RunOutcome::from_stop(status, checkpoint);
         }
         Err(SocketStartError::Io(message)) => panic!("socket transport setup failed: {message}"),
     };
 
-    let mut driver = Driver::new(nodes, owned.to_vec(), n, config.retry);
     // Workers that never completed the handshake are crashes that
     // happened before the run: re-deal their shares immediately.
     for k in dead_at_start {
         driver.on_crash(k, &mut transport);
     }
-    let stop = drive(&mut driver, &mut transport, config, token, n);
+    let stop = drive_with_chaos(&mut driver, &mut transport, config, token, n);
     // Shutdown goes to every node with a live connection — including one
     // the driver wrongly presumed dead (heartbeat false positive), which
     // would otherwise block on its inbox forever. Dead connections
@@ -847,11 +1006,14 @@ fn run_cluster_socket(
 
 /// Folds the driver state into the public output / checkpoint.
 fn finish_output(
-    driver: Driver,
+    mut driver: Driver,
     node_stats: Vec<NodeStats>,
     start: Instant,
     stop: Option<CancelStatus>,
 ) -> RunOutcome<DistApspOutput> {
+    // Rows accepted after the last driver round (late drains, chaos
+    // releases) are committed here, before the run is declared over.
+    driver.finish_ledger();
     let got = driver.got;
     let output = DistApspOutput {
         dist: driver.dist,
@@ -859,6 +1021,7 @@ fn finish_output(
         gather_bytes: driver.gather_bytes,
         gather_rejected: driver.gather_rejected,
         watchdog_reassigned: driver.watchdog_reassigned,
+        replayed_rows: driver.replayed,
         elapsed: start.elapsed(),
     };
     match stop {
@@ -897,6 +1060,11 @@ struct Driver {
     /// Final stats received over the wire (socket transport only).
     wire_stats: Vec<Option<NodeStats>>,
     dist: DistanceMatrix,
+    /// Incremental durability: every accepted row is appended here, and
+    /// the driver commits once per scheduling round.
+    ledger: Option<RowLedger>,
+    /// Rows pre-seeded from a ledger replay or resume checkpoint.
+    replayed: u64,
 }
 
 /// How many inter-row gaps the watchdog's rolling median looks back over.
@@ -923,6 +1091,27 @@ impl Driver {
             delivered: vec![0; nodes],
             wire_stats: vec![None; nodes],
             dist: DistanceMatrix::new_infinite(n),
+            ledger: None,
+            replayed: 0,
+        }
+    }
+
+    /// Commits buffered ledger appends (a no-op without a ledger, or when
+    /// nothing was appended since the last commit).
+    fn commit_ledger(&mut self) {
+        if let Some(ledger) = &mut self.ledger {
+            ledger
+                .commit()
+                .unwrap_or_else(|error| panic!("committing the run ledger: {error}"));
+        }
+    }
+
+    /// Final commit-and-close of the ledger; idempotent.
+    fn finish_ledger(&mut self) {
+        if let Some(ledger) = self.ledger.take() {
+            ledger
+                .finish()
+                .unwrap_or_else(|error| panic!("closing the run ledger: {error}"));
         }
     }
 
@@ -975,6 +1164,14 @@ impl Driver {
         self.gathered += 1;
         self.delivered[k] += 1;
         self.dist.copy_row_from(message.source, &message.row);
+        // The row is accepted: journal it before anything else can
+        // observe it as gathered. Fsync timing follows the ledger's
+        // policy — `Always` syncs here, `Commit` at the driver round.
+        if let Some(ledger) = &mut self.ledger {
+            ledger
+                .append(message.source, &message.row)
+                .unwrap_or_else(|error| panic!("appending to the run ledger: {error}"));
+        }
     }
 
     /// Re-deals source `s` to an alive node other than `k` (the path that
@@ -1765,10 +1962,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot resume")]
-    fn dist_engine_rejects_resume() {
+    fn dist_engine_resumes_a_checkpoint_and_recomputes_only_the_rest() {
+        let g = barabasi_albert(80, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 9).unwrap();
+        let reference = apsp_dijkstra(&g);
+        // A checkpoint holding the first 30 finished rows...
+        let mut dist = DistanceMatrix::new_infinite(80);
+        let mut completed = vec![false; 80];
+        for s in 0..30u32 {
+            dist.copy_row_from(s, reference.row(s));
+            completed[s as usize] = true;
+        }
+        let cp = Checkpoint::new(dist, completed);
+        // ...is honoured by the distributed driver: the missing 50 rows
+        // are dealt out, the resumed 30 are not recomputed, and the final
+        // matrix is bit-identical.
+        let out = Runner::new(RunConfig::new(1)).run_resumed(
+            DistEngine::new(ClusterConfig {
+                nodes: 3,
+                ..ClusterConfig::default()
+            }),
+            &g,
+            cp,
+        );
+        assert_eq!(reference.first_difference(&out.dist), None);
+        assert_eq!(out.replayed_rows, 30);
+        assert_eq!(out.node_stats.iter().map(|s| s.sources).sum::<u64>(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint is for a 39-vertex matrix")]
+    fn dist_engine_rejects_a_checkpoint_for_another_graph() {
         let g = barabasi_albert(40, 2, WeightSpec::Unit, 9).unwrap();
-        let cp = Checkpoint::new(DistanceMatrix::new_infinite(40), vec![false; 40]);
+        let cp = Checkpoint::new(DistanceMatrix::new_infinite(39), vec![false; 39]);
         let _ = Runner::new(RunConfig::new(1)).run_resumed(
             DistEngine::new(ClusterConfig::default()),
             &g,

@@ -55,6 +55,19 @@
 //! `kill -9`ed mid-run is detected (EOF or missed heartbeats) and its
 //! sources recovered exactly like an injected crash.
 
+//!
+//! # Durability and chaos
+//!
+//! With a [`LedgerSpec`] configured, the driver journals every accepted
+//! row into a crash-safe append-only ledger and becomes restartable: a
+//! new driver incarnation pointed at the same file replays the valid
+//! prefix, re-handshakes returning workers under the run's id and a
+//! bumped epoch, and re-deals only the missing sources. A [`ChaosPlan`]
+//! additionally subjects the node→driver event path to seeded,
+//! deterministic delay, duplication, reordering, payload corruption, and
+//! one-way partitions — on either transport backend.
+
+mod chaos;
 mod cluster;
 mod fault;
 mod node;
@@ -63,9 +76,10 @@ mod transport;
 mod wire;
 mod worker;
 
+pub use chaos::ChaosPlan;
 pub use cluster::{
     dist_apsp, dist_apsp_cancellable, ClusterConfig, ClusterConfigError, DistApspOutput,
-    DistEngine, NodeStats, RetryPolicy, SourcePartition, WatchdogConfig,
+    DistEngine, LedgerSpec, NodeStats, RetryPolicy, SourcePartition, WatchdogConfig,
 };
 pub use fault::FaultPlan;
 pub use transport::{BindSpec, ConnectRetry, SocketConfig, TransportSpec, WorkerMode};

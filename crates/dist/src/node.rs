@@ -15,23 +15,10 @@ use parapsp_core::relax::{relax_row, RelaxImpl};
 use parapsp_graph::{CsrGraph, INF};
 use parapsp_parfor::BitSet;
 
-/// FNV-1a over the source id and the row payload (little-endian words).
-pub(crate) fn row_checksum(source: u32, row: &[u32]) -> u32 {
-    const OFFSET: u32 = 0x811C_9DC5;
-    const PRIME: u32 = 0x0100_0193;
-    let mut hash = OFFSET;
-    let mut eat = |word: u32| {
-        for byte in word.to_le_bytes() {
-            hash ^= u32::from(byte);
-            hash = hash.wrapping_mul(PRIME);
-        }
-    };
-    eat(source);
-    for &word in row {
-        eat(word);
-    }
-    hash
-}
+/// FNV-1a over the source id and the row payload. This is the very same
+/// function the run ledger stamps on its records, so a row journaled by
+/// the driver carries the checksum it was verified against on the wire.
+pub(crate) use parapsp_core::persist::row_checksum;
 
 /// A completed row in transit between nodes (or to the driver).
 #[derive(Debug, Clone)]

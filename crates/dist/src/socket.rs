@@ -329,7 +329,8 @@ impl SocketTransport {
                     let addr = connect_addr.clone();
                     let options = crate::worker::WorkerOptions {
                         connect: config.connect,
-                        source_delay: Duration::ZERO,
+                        write_timeout: config.write_timeout,
+                        ..Default::default()
                     };
                     worker_threads.push(std::thread::spawn(move || {
                         // Failures surface on the driver side as a dead
@@ -470,7 +471,13 @@ fn handshake(stream: WireStream, setup: &WorkerSetup, config: &SocketConfig) -> 
     stream.set_write_timeout(Some(config.write_timeout))?;
     let mut handshake_half = stream.try_clone()?;
     let hello = read_frame(&mut handshake_half)?;
-    let Frame::Hello { version, .. } = hello else {
+    let Frame::Hello {
+        version,
+        run_id,
+        epoch,
+        ..
+    } = hello
+    else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "worker did not open with Hello",
@@ -480,6 +487,31 @@ fn handshake(stream: WireStream, setup: &WorkerSetup, config: &SocketConfig) -> 
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("worker speaks protocol v{version}, driver v{PROTOCOL_VERSION}"),
+        ));
+    }
+    // Run-identity checks for driver restarts. A `run_id` of 0 is a fresh
+    // worker with no history; anything else is the identity of the last
+    // Setup the worker accepted, and it must be *this* run's — a worker
+    // from a different ledger/run must not contribute rows here. Within
+    // the same run, a worker cannot have seen an epoch newer than ours
+    // (epochs only grow by re-opening the ledger we hold); older epochs
+    // are the expected case after a driver restart and simply re-setup.
+    if run_id != 0 && run_id != setup.run_id {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "worker belongs to run {run_id:#018x}, this driver is run {:#018x}",
+                setup.run_id
+            ),
+        ));
+    }
+    if run_id == setup.run_id && epoch > setup.epoch {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "worker handshakes from future epoch {epoch} (driver is at epoch {})",
+                setup.epoch
+            ),
         ));
     }
     write_frame(&mut handshake_half, &Frame::Setup(Box::new(setup.clone())))?;
@@ -691,6 +723,8 @@ mod tests {
                 &Frame::Hello {
                     version: PROTOCOL_VERSION,
                     reconnects: 0,
+                    run_id: 0,
+                    epoch: 0,
                 },
             )
             .unwrap();

@@ -174,7 +174,7 @@ pub(crate) enum NodeControl {
 }
 
 /// An event from one node to the driver.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum NodeEvent {
     /// A completed (possibly corrupted-in-flight) gather row.
     Row(RowMessage),

@@ -28,7 +28,9 @@ pub(crate) const MAGIC: u8 = 0xA5;
 
 /// Bumped on any incompatible change to the frame layout; the driver
 /// rejects workers announcing a different version during the handshake.
-pub(crate) const PROTOCOL_VERSION: u16 = 1;
+/// Version 2 added the run-id/epoch fields to `Hello` and `Setup` for
+/// driver-restart re-handshakes.
+pub(crate) const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a single frame payload (defense against a corrupt or
 /// hostile length prefix allocating unbounded memory).
@@ -54,6 +56,14 @@ pub(crate) struct WorkerSetup {
     pub node_id: u32,
     /// Cluster size, for hub forwarding fan-out.
     pub nodes: u32,
+    /// The driver's run identity (from the run ledger when one is
+    /// configured, else minted fresh): a worker re-dialing after a driver
+    /// restart proves it belongs to this run by echoing it in `Hello`.
+    pub run_id: u64,
+    /// The driver incarnation. A restarted driver bumps this, so frames
+    /// from a worker still handshaking against the previous incarnation
+    /// are rejected instead of mixing two generations of assignments.
+    pub epoch: u32,
     /// Keepalive interval for the worker's heartbeat thread, ms.
     pub heartbeat_ms: u64,
     /// Rows per gather frame before a flush is forced.
@@ -81,6 +91,14 @@ pub(crate) enum Frame {
         version: u16,
         /// Connection attempts beyond the first (seeded-backoff retries).
         reconnects: u32,
+        /// Run id of the last `Setup` this worker accepted, 0 when fresh.
+        /// A driver rejects a worker carrying a *different* run's id.
+        run_id: u64,
+        /// Epoch of that `Setup`, meaningful only when `run_id != 0`. A
+        /// driver rejects epochs *newer* than its own (a worker cannot
+        /// have seen a future incarnation of this run); older epochs are
+        /// simply re-setup.
+        epoch: u32,
     },
     /// Driver → worker: the full job description.
     Setup(Box<WorkerSetup>),
@@ -141,7 +159,9 @@ pub(crate) fn take_u64(buf: &mut &[u8]) -> Option<u64> {
 
 fn take_u32_vec(buf: &mut &[u8]) -> Option<Vec<u32>> {
     let count = take_u32(buf)? as usize;
-    if buf.len() < count * 4 {
+    // checked_mul: on 32-bit targets a hostile count can overflow `count * 4`
+    // to a small number and slip past the length guard.
+    if buf.len() < count.checked_mul(4)? {
         return None;
     }
     (0..count).map(|_| take_u32(buf)).collect()
@@ -247,14 +267,20 @@ impl Frame {
             Frame::Hello {
                 version,
                 reconnects,
+                run_id,
+                epoch,
             } => {
                 out.extend_from_slice(&version.to_le_bytes());
                 out.extend_from_slice(&reconnects.to_le_bytes());
+                out.extend_from_slice(&run_id.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
                 KIND_HELLO
             }
             Frame::Setup(setup) => {
                 out.extend_from_slice(&setup.node_id.to_le_bytes());
                 out.extend_from_slice(&setup.nodes.to_le_bytes());
+                out.extend_from_slice(&setup.run_id.to_le_bytes());
+                out.extend_from_slice(&setup.epoch.to_le_bytes());
                 out.extend_from_slice(&setup.heartbeat_ms.to_le_bytes());
                 out.extend_from_slice(&setup.row_batch.to_le_bytes());
                 out.extend_from_slice(&setup.retry.max_resends.to_le_bytes());
@@ -307,10 +333,14 @@ impl Frame {
             KIND_HELLO => Frame::Hello {
                 version: take_u16(buf)?,
                 reconnects: take_u32(buf)?,
+                run_id: take_u64(buf)?,
+                epoch: take_u32(buf)?,
             },
             KIND_SETUP => Frame::Setup(Box::new(WorkerSetup {
                 node_id: take_u32(buf)?,
                 nodes: take_u32(buf)?,
+                run_id: take_u64(buf)?,
+                epoch: take_u32(buf)?,
                 heartbeat_ms: take_u64(buf)?,
                 row_batch: take_u32(buf)?,
                 retry: RetryPolicy {
@@ -430,6 +460,8 @@ mod tests {
             Frame::Hello {
                 version: PROTOCOL_VERSION,
                 reconnects: 3,
+                run_id: 0xDEAD_BEEF_CAFE_F00D,
+                epoch: 2,
             },
             Frame::Ready,
             Frame::Rows(vec![row.clone(), RowMessage::new(1, vec![5; 4])]),
@@ -450,13 +482,17 @@ mod tests {
                     Frame::Hello {
                         version,
                         reconnects,
+                        run_id,
+                        epoch,
                     },
                     Frame::Hello {
                         version: v,
                         reconnects: r,
+                        run_id: id,
+                        epoch: e,
                     },
                 ) => {
-                    assert_eq!((*version, *reconnects), (v, r));
+                    assert_eq!((*version, *reconnects, *run_id, *epoch), (v, r, id, e));
                 }
                 (Frame::Ready, Frame::Ready) => {}
                 (Frame::Rows(a), Frame::Rows(b)) => {
@@ -493,6 +529,8 @@ mod tests {
         let setup = WorkerSetup {
             node_id: 2,
             nodes: 4,
+            run_id: 0x1234_5678_9ABC_DEF0,
+            epoch: 3,
             heartbeat_ms: 25,
             row_batch: 8,
             retry: RetryPolicy::default(),
@@ -510,6 +548,8 @@ mod tests {
         };
         assert_eq!(decoded.node_id, 2);
         assert_eq!(decoded.nodes, 4);
+        assert_eq!(decoded.run_id, 0x1234_5678_9ABC_DEF0);
+        assert_eq!(decoded.epoch, 3);
         assert_eq!(decoded.heartbeat_ms, 25);
         assert_eq!(decoded.row_batch, 8);
         assert_eq!(decoded.retry, setup.retry);
@@ -584,5 +624,73 @@ mod tests {
             read_frame(&mut &bytes[..]).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    // --- decoder fuzzing: arbitrary bytes must never panic ---
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Any byte stream fed to the frame reader either decodes or
+            // returns a self-describing io::Error — never a panic, never
+            // an unbounded allocation.
+            #[test]
+            fn arbitrary_bytes_never_panic_the_frame_reader(
+                bytes in proptest::collection::vec(any::<u8>(), 0..512)
+            ) {
+                let mut cursor = &bytes[..];
+                while !cursor.is_empty() {
+                    match read_frame(&mut cursor) {
+                        Ok(_) => {}
+                        Err(err) => {
+                            prop_assert!(matches!(
+                                err.kind(),
+                                io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Well-formed headers over garbage payloads: exercises every
+            // payload decoder (the header fuzz above mostly dies on magic).
+            #[test]
+            fn garbage_payloads_behind_valid_headers_never_panic(
+                kind in 0u8..=0x0C,
+                payload in proptest::collection::vec(any::<u8>(), 0..256)
+            ) {
+                let mut bytes = vec![MAGIC, kind];
+                bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                bytes.extend_from_slice(&payload);
+                let _ = read_frame(&mut &bytes[..]);
+            }
+
+            // Flipping any single byte of a real frame either still
+            // decodes (the flip hit a don't-care bit) or errors cleanly.
+            #[test]
+            fn single_byte_corruption_of_real_frames_never_panics(
+                flip_at in 0usize..200,
+                flip_bit in 0u8..8,
+            ) {
+                let frames = [
+                    Frame::Hello { version: PROTOCOL_VERSION, reconnects: 1, run_id: 7, epoch: 1 },
+                    Frame::Rows(vec![RowMessage::new(3, vec![1, 2, 3, 4])]),
+                    Frame::Hub(RowMessage::new(0, vec![9; 8])),
+                    Frame::Assign(11),
+                    Frame::Stats(NodeStats::default()),
+                ];
+                for frame in &frames {
+                    let mut bytes = Vec::new();
+                    write_frame(&mut bytes, frame).unwrap();
+                    if flip_at < bytes.len() {
+                        bytes[flip_at] ^= 1 << flip_bit;
+                    }
+                    let _ = read_frame(&mut &bytes[..]);
+                }
+            }
+        }
     }
 }

@@ -33,6 +33,15 @@ pub struct WorkerOptions {
     /// production; tests use it to make a worker predictably slow enough
     /// to be killed mid-run regardless of build profile.
     pub source_delay: Duration,
+    /// Run identity `(run_id, epoch)` of the last Setup this worker
+    /// accepted, echoed in Hello so a restarted driver can tell its own
+    /// returning workers from strangers. `(0, 0)` means "fresh worker".
+    pub session: (u64, u32),
+    /// Bound on any single socket write toward the driver.
+    pub write_timeout: Duration,
+    /// Bound on each handshake read (Setup); post-handshake reads block
+    /// indefinitely because liveness flows from the heartbeat writer.
+    pub handshake_timeout: Duration,
 }
 
 impl Default for WorkerOptions {
@@ -40,6 +49,9 @@ impl Default for WorkerOptions {
         WorkerOptions {
             connect: ConnectRetry::default(),
             source_delay: Duration::ZERO,
+            session: (0, 0),
+            write_timeout: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -53,6 +65,14 @@ pub enum WorkerOutcome {
     /// abruptly, exactly like a process dying. (A real `kill -9` never
     /// returns at all, so this variant only covers *injected* crashes.)
     Crashed,
+    /// The driver connection died before any Shutdown arrived — the
+    /// driver crashed or was killed. The worker's run identity is
+    /// returned so the caller can re-dial and prove, via Hello, that it
+    /// belongs to the same run when a restarted driver answers.
+    Lost {
+        /// `(run_id, epoch)` of the Setup this worker was running under.
+        session: (u64, u32),
+    },
 }
 
 /// Deterministic backoff jitter (splitmix64 over `seed ^ attempt`): dial
@@ -160,14 +180,22 @@ impl NodeIo for SocketNodeIo {
 }
 
 /// Decodes driver control frames into the node's inbox until the stream
-/// dies or the sender is dropped.
-fn control_reader(mut stream: WireStream, inbox: crossbeam::channel::Sender<NodeControl>) {
+/// dies or the sender is dropped. `saw_shutdown` distinguishes an orderly
+/// end-of-run from a driver that vanished mid-run (worth re-dialing).
+fn control_reader(
+    mut stream: WireStream,
+    inbox: crossbeam::channel::Sender<NodeControl>,
+    saw_shutdown: Arc<AtomicBool>,
+) {
     loop {
         let control = match read_frame(&mut stream) {
             Ok(Frame::Hub(msg)) => NodeControl::Hub(msg),
             Ok(Frame::Assign(s)) => NodeControl::Assign(s),
             Ok(Frame::Resend(s)) => NodeControl::Resend(s),
-            Ok(Frame::Shutdown) => NodeControl::Shutdown,
+            Ok(Frame::Shutdown) => {
+                saw_shutdown.store(true, Ordering::Relaxed);
+                NodeControl::Shutdown
+            }
             Ok(Frame::Heartbeat) => continue,
             // Garbage or driver EOF: drop the inbox so the loop exits.
             Ok(_) | Err(_) => return,
@@ -187,13 +215,13 @@ fn control_reader(mut stream: WireStream, inbox: crossbeam::channel::Sender<Node
 pub fn run_worker(addr: &str, options: WorkerOptions) -> Result<WorkerOutcome, String> {
     let (stream, reconnects) = dial_with_retry(addr, &options.connect)?;
     stream
-        .set_write_timeout(Some(Duration::from_secs(2)))
+        .set_write_timeout(Some(options.write_timeout))
         .map_err(|e| format!("setting the socket write timeout: {e}"))?;
 
     // Handshake: Hello -> Setup -> Ready. Reads are bounded so a wedged
     // driver cannot hang the worker forever.
     stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
+        .set_read_timeout(Some(options.handshake_timeout))
         .map_err(|e| format!("setting the handshake read timeout: {e}"))?;
     let mut handshake_half = stream
         .try_clone()
@@ -203,6 +231,8 @@ pub fn run_worker(addr: &str, options: WorkerOptions) -> Result<WorkerOutcome, S
         &Frame::Hello {
             version: PROTOCOL_VERSION,
             reconnects,
+            run_id: options.session.0,
+            epoch: options.session.1,
         },
     )
     .map_err(|e| format!("sending Hello: {e}"))?;
@@ -211,6 +241,7 @@ pub fn run_worker(addr: &str, options: WorkerOptions) -> Result<WorkerOutcome, S
         Ok(other) => return Err(format!("expected Setup from the driver, got {other:?}")),
         Err(e) => return Err(format!("reading Setup: {e}")),
     };
+    let session = (setup.run_id, setup.epoch);
     write_frame(&mut handshake_half, &Frame::Ready).map_err(|e| format!("sending Ready: {e}"))?;
 
     // Post-handshake, reads block indefinitely: liveness flows from the
@@ -223,7 +254,11 @@ pub fn run_worker(addr: &str, options: WorkerOptions) -> Result<WorkerOutcome, S
         .try_clone()
         .map_err(|e| format!("cloning the socket: {e}"))?;
     let (inbox_tx, inbox_rx) = unbounded();
-    let reader = std::thread::spawn(move || control_reader(reader_half, inbox_tx));
+    let saw_shutdown = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let saw_shutdown = Arc::clone(&saw_shutdown);
+        std::thread::spawn(move || control_reader(reader_half, inbox_tx, saw_shutdown))
+    };
 
     let writer = Arc::new(Mutex::new(stream));
 
@@ -283,6 +318,16 @@ pub fn run_worker(addr: &str, options: WorkerOptions) -> Result<WorkerOutcome, S
         let _ = heartbeat.join();
         let _ = reader.join();
         return Ok(WorkerOutcome::Crashed);
+    }
+    if !saw_shutdown.load(Ordering::Relaxed) {
+        // The loop ended on a dead inbox, not a Shutdown: the driver is
+        // gone. Tear down and report the session so the caller can
+        // re-dial — a restarted driver will accept the Hello (same run,
+        // older epoch) and re-deal whatever its ledger says is missing.
+        writer.lock().unwrap().shutdown_both();
+        let _ = heartbeat.join();
+        let _ = reader.join();
+        return Ok(WorkerOutcome::Lost { session });
     }
 
     io.flush();

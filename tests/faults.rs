@@ -19,7 +19,9 @@ use proptest::prelude::*;
 
 use parapsp::core::persist::{self, Checkpoint};
 use parapsp::core::{ParApsp, RunOutcome};
-use parapsp::dist::{dist_apsp, ClusterConfig, FaultPlan, SocketConfig, TransportSpec, WorkerMode};
+use parapsp::dist::{
+    dist_apsp, ChaosPlan, ClusterConfig, FaultPlan, SocketConfig, TransportSpec, WorkerMode,
+};
 use parapsp::graph::{CsrGraph, Direction, GraphBuilder};
 use parapsp::parfor::CancelToken;
 
@@ -123,6 +125,58 @@ proptest! {
             prop_assert!(
                 sources >= graph.vertex_count() as u64,
                 "transport {}: sources {}", label, sources
+            );
+        }
+    }
+
+    // The same invariant under an adversarial *network*: seeded delay,
+    // duplication, reordering, payload corruption, and one-way partitions
+    // on the node→driver path — combined with the crash/drop/corrupt
+    // fault plan — still yield the exact matrix on both transports.
+    #[test]
+    fn chaotic_network_still_recovers_bit_identically(
+        graph in arb_graph(32, 140),
+        cluster in arb_cluster_faults(),
+        chaos_seed in any::<u64>(),
+        delay_p in 0.0f64..0.6,
+        max_delay in 1u64..8,
+        dup_p in 0.0f64..0.4,
+        corrupt_p in 0.0f64..0.3,
+        partition in (0usize..4, 0u64..30, 1u64..40),
+    ) {
+        let (nodes, faults) = cluster;
+        let (victim, from_poll, polls) = partition;
+        let chaos = ChaosPlan::seeded(chaos_seed)
+            .with_delay(delay_p, max_delay)
+            .with_duplicate_probability(dup_p)
+            .with_corrupt_probability(corrupt_p)
+            .with_control_duplicate_probability(dup_p)
+            .partition_node(victim % nodes, from_poll, polls);
+        let clean = dist_apsp(&graph, ClusterConfig {
+            nodes,
+            ..ClusterConfig::default()
+        });
+        for transport in [
+            TransportSpec::InProcess,
+            TransportSpec::Socket(SocketConfig {
+                workers: WorkerMode::Threads,
+                ..SocketConfig::default()
+            }),
+        ] {
+            let label = match &transport {
+                TransportSpec::InProcess => "channel",
+                TransportSpec::Socket(_) => "socket",
+            };
+            let stormy = dist_apsp(&graph, ClusterConfig {
+                nodes,
+                faults: faults.clone(),
+                chaos: Some(chaos.clone()),
+                transport,
+                ..ClusterConfig::default()
+            });
+            prop_assert_eq!(
+                clean.dist.first_difference(&stormy.dist), None,
+                "transport {} chaos {:?}", label, &chaos
             );
         }
     }
@@ -280,6 +334,62 @@ fn expired_deadline_stops_immediately_with_a_resumable_checkpoint() {
     assert!(!checkpoint.is_complete());
     let resumed = ParApsp::par_apsp(2).run_resumed(&graph, checkpoint);
     assert_eq!(reference.dist.first_difference(&resumed.dist), None);
+}
+
+/// The acceptance gate, deterministically: fifty distinct seeded chaos
+/// plans — sweeping delay, duplication, corruption, control duplication,
+/// and a rotating one-way partition — each run over both transports, and
+/// every single matrix bit-identical to the chaos-free reference.
+#[test]
+fn fifty_seeded_chaos_plans_recover_exactly_on_both_transports() {
+    let mut b = GraphBuilder::new(36, Direction::Undirected);
+    for v in 1..36u32 {
+        b.add_edge(v - 1, v, 1 + v % 6).unwrap();
+        b.add_edge(v / 2, v, 2 + v % 4).unwrap();
+    }
+    let graph = b.build();
+    let reference = dist_apsp(
+        &graph,
+        ClusterConfig {
+            nodes: 3,
+            ..ClusterConfig::default()
+        },
+    );
+
+    for seed in 0..50u64 {
+        let chaos = ChaosPlan::seeded(seed)
+            .with_delay(0.2 + (seed % 5) as f64 * 0.1, 1 + seed % 6)
+            .with_duplicate_probability((seed % 4) as f64 * 0.1)
+            .with_corrupt_probability((seed % 3) as f64 * 0.1)
+            .with_control_duplicate_probability((seed % 5) as f64 * 0.05)
+            .partition_node((seed % 3) as usize, seed % 13, 3 + seed % 25);
+        for transport in [
+            TransportSpec::InProcess,
+            TransportSpec::Socket(SocketConfig {
+                workers: WorkerMode::Threads,
+                ..SocketConfig::default()
+            }),
+        ] {
+            let label = match &transport {
+                TransportSpec::InProcess => "channel",
+                TransportSpec::Socket(_) => "socket",
+            };
+            let stormy = dist_apsp(
+                &graph,
+                ClusterConfig {
+                    nodes: 3,
+                    chaos: Some(chaos.clone()),
+                    transport,
+                    ..ClusterConfig::default()
+                },
+            );
+            assert_eq!(
+                reference.dist.first_difference(&stormy.dist),
+                None,
+                "seed {seed} transport {label}"
+            );
+        }
+    }
 }
 
 /// The distributed engine honors cancellation too: a cancelled cluster
