@@ -83,12 +83,14 @@ pub fn top_k(scores: &[f64], k: usize) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parapsp_core::seq::seq_basic;
+    use parapsp_core::engine::{RunConfig, Runner, SeqEngine};
     use parapsp_graph::generate::{path_graph, star_graph};
     use parapsp_graph::{CsrGraph, Direction};
 
     fn dist_of(g: &CsrGraph) -> DistanceMatrix {
-        seq_basic(g).dist
+        Runner::new(RunConfig::seq_basic())
+            .run(SeqEngine::ordered(), g)
+            .dist
     }
 
     #[test]
@@ -137,12 +139,9 @@ mod tests {
     #[test]
     fn wasserman_faust_penalizes_small_components() {
         // Two components: an edge {0,1} and a triangle {2,3,4}.
-        let g = CsrGraph::from_unit_edges(
-            5,
-            Direction::Undirected,
-            &[(0, 1), (2, 3), (3, 4), (2, 4)],
-        )
-        .unwrap();
+        let g =
+            CsrGraph::from_unit_edges(5, Direction::Undirected, &[(0, 1), (2, 3), (3, 4), (2, 4)])
+                .unwrap();
         let d = dist_of(&g);
         let classic = closeness_centrality(&d, Normalization::Classic);
         let wf = closeness_centrality(&d, Normalization::WassermanFaust);

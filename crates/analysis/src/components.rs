@@ -105,8 +105,14 @@ pub fn is_strongly_connected(dist: &DistanceMatrix) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parapsp_core::seq::seq_basic;
+    use parapsp_core::engine::{RunConfig, Runner, SeqEngine};
     use parapsp_graph::{CsrGraph, Direction};
+
+    fn dist_of(g: &CsrGraph) -> DistanceMatrix {
+        Runner::new(RunConfig::seq_basic())
+            .run(SeqEngine::ordered(), g)
+            .dist
+    }
 
     #[test]
     fn union_find_merges_and_counts() {
@@ -124,8 +130,8 @@ mod tests {
 
     #[test]
     fn wcc_ignores_direction() {
-        let g = CsrGraph::from_unit_edges(5, Direction::Directed, &[(0, 1), (2, 1), (3, 4)])
-            .unwrap();
+        let g =
+            CsrGraph::from_unit_edges(5, Direction::Directed, &[(0, 1), (2, 1), (3, 4)]).unwrap();
         let (ids, count) = weakly_connected_components(&g);
         assert_eq!(count, 2);
         assert_eq!(ids[0], ids[1]);
@@ -137,13 +143,13 @@ mod tests {
     #[test]
     fn reachability_from_matrix() {
         let g = CsrGraph::from_unit_edges(3, Direction::Directed, &[(0, 1), (1, 2)]).unwrap();
-        let d = seq_basic(&g).dist;
+        let d = dist_of(&g);
         assert_eq!(reach_counts(&d), vec![2, 1, 0]);
         assert!(!is_strongly_connected(&d));
 
-        let cyc = CsrGraph::from_unit_edges(3, Direction::Directed, &[(0, 1), (1, 2), (2, 0)])
-            .unwrap();
-        let d = seq_basic(&cyc).dist;
+        let cyc =
+            CsrGraph::from_unit_edges(3, Direction::Directed, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let d = dist_of(&cyc);
         assert!(is_strongly_connected(&d));
         assert_eq!(reach_counts(&d), vec![2, 2, 2]);
     }

@@ -4,8 +4,8 @@
 //! The paper's future work targets "much larger graphs, which cannot be
 //! handled on a commodity single machine" (§7). The standard
 //! analysis-side answer is landmarks: pick k ≪ n vertices, compute only
-//! their exact rows (O(k·n) memory, via
-//! [`parapsp_core::subset::par_apsp_subset`]), and bound any pairwise
+//! their exact rows (O(k·n) memory, via the subset engine
+//! [`parapsp_core::engine::SubsetEngine`]), and bound any pairwise
 //! distance by triangulation:
 //!
 //! * upper bound: `min over landmarks l of d(u, l) + d(l, v)`,
@@ -15,9 +15,15 @@
 //! intuition as the paper's ordering optimization: hubs sit on many
 //! shortest paths, so hub landmarks make tight estimators.
 
-use parapsp_core::subset::{par_apsp_subset, SubsetRows};
+use parapsp_core::engine::{RunConfig, Runner, SubsetEngine};
+use parapsp_core::subset::SubsetRows;
 use parapsp_graph::{degree, CsrGraph, INF};
 use parapsp_order::seq_bucket::seq_bucket_sort;
+
+/// Exact rows for `sources` via the subset engine.
+fn subset_rows(graph: &CsrGraph, sources: &[u32], threads: usize) -> SubsetRows {
+    Runner::new(RunConfig::subset(threads)).run(SubsetEngine::new(sources.to_vec()), graph)
+}
 
 /// How landmark vertices are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +62,10 @@ impl LandmarkIndex {
             "landmark triangulation requires an undirected graph"
         );
         let n = graph.vertex_count();
-        assert!(k > 0 && k <= n, "need 1 <= k <= n landmarks (k = {k}, n = {n})");
+        assert!(
+            k > 0 && k <= n,
+            "need 1 <= k <= n landmarks (k = {k}, n = {n})"
+        );
         let landmarks: Vec<u32> = match strategy {
             LandmarkStrategy::HighestDegree => {
                 let degrees = degree::out_degrees(graph);
@@ -68,7 +77,7 @@ impl LandmarkIndex {
             }
         };
         LandmarkIndex {
-            rows: par_apsp_subset(graph, &landmarks, threads),
+            rows: subset_rows(graph, &landmarks, threads),
         }
     }
 
@@ -124,7 +133,7 @@ impl LandmarkIndex {
         sample_sources: &[u32],
         threads: usize,
     ) -> f64 {
-        let exact = par_apsp_subset(graph, sample_sources, threads);
+        let exact = subset_rows(graph, sample_sources, threads);
         let mut total_err = 0.0f64;
         let mut count = 0usize;
         for (i, &s) in sample_sources.iter().enumerate() {

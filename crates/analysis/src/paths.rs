@@ -105,12 +105,14 @@ pub fn distance_distribution(dist: &DistanceMatrix) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parapsp_core::seq::seq_basic;
+    use parapsp_core::engine::{RunConfig, Runner, SeqEngine};
     use parapsp_graph::generate::{cycle_graph, path_graph, star_graph};
     use parapsp_graph::{CsrGraph, Direction};
 
     fn dist_of(g: &CsrGraph) -> DistanceMatrix {
-        seq_basic(g).dist
+        Runner::new(RunConfig::seq_basic())
+            .run(SeqEngine::ordered(), g)
+            .dist
     }
 
     #[test]
@@ -131,7 +133,7 @@ mod tests {
         let stats = path_stats(&d);
         assert_eq!(stats.diameter, 2);
         assert_eq!(stats.radius, 1); // the hub
-        // 16 hub-leaf pairs at distance 1, 56 leaf-leaf pairs at distance 2.
+                                     // 16 hub-leaf pairs at distance 1, 56 leaf-leaf pairs at distance 2.
         let hist = distance_distribution(&d);
         assert_eq!(hist[1], 16);
         assert_eq!(hist[2], 56);

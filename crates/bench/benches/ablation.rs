@@ -12,8 +12,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use parapsp_core::baselines;
+use parapsp_core::engine::{ApspEngine, RunConfig, Runner};
 use parapsp_core::kernel::KernelOptions;
-use parapsp_core::ParApsp;
 use parapsp_datasets::{find, Scale};
 use parapsp_graph::{degree, INF};
 use parapsp_order::sort::{sort_indices, SortDirection};
@@ -59,8 +59,8 @@ fn bench_kernel_switches(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(BenchmarkId::new(label, "4t"), |b| {
-            let driver = ParApsp::par_apsp(4).with_kernel_options(options);
-            b.iter(|| black_box(driver.run(black_box(&graph))));
+            let runner = Runner::new(RunConfig::par_apsp(4).with_kernel_options(options));
+            b.iter(|| black_box(runner.run(ApspEngine::new(), black_box(&graph))));
         });
     }
     group.finish();

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use parapsp_core::ParApsp;
+use parapsp_core::engine::{ApspEngine, RunConfig, Runner};
 use parapsp_datasets::{find, Scale};
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -20,14 +20,14 @@ fn bench_algorithms(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("apsp/{}", dataset.to_lowercase()));
         group.sample_size(10);
         for (label, make) in [
-            ("ParAlg1", ParApsp::par_alg1 as fn(usize) -> ParApsp),
-            ("ParAlg2", ParApsp::par_alg2),
-            ("ParAPSP", ParApsp::par_apsp),
+            ("ParAlg1", RunConfig::par_alg1 as fn(usize) -> RunConfig),
+            ("ParAlg2", RunConfig::par_alg2),
+            ("ParAPSP", RunConfig::par_apsp),
         ] {
             for threads in [1usize, 4] {
                 group.bench_function(BenchmarkId::new(label, format!("{threads}t")), |b| {
-                    let driver = make(threads);
-                    b.iter(|| black_box(driver.run(black_box(&graph))));
+                    let runner = Runner::new(make(threads));
+                    b.iter(|| black_box(runner.run(ApspEngine::new(), black_box(&graph))));
                 });
             }
         }

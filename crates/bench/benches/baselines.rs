@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use parapsp_core::baselines;
-use parapsp_core::seq::{seq_adaptive, seq_basic, seq_optimized};
+use parapsp_core::engine::{BlockedFwEngine, RunConfig, Runner, SeqEngine};
 use parapsp_datasets::{find, Scale};
 
 fn bench_baselines(c: &mut Criterion) {
@@ -22,14 +22,8 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| black_box(baselines::floyd_warshall(black_box(&graph))))
     });
     group.bench_function("blocked-floyd-warshall-4t", |b| {
-        let pool = parapsp_parfor::ThreadPool::new(4);
-        b.iter(|| {
-            black_box(parapsp_core::blocked_fw::blocked_floyd_warshall(
-                black_box(&graph),
-                64,
-                &pool,
-            ))
-        })
+        let runner = Runner::new(RunConfig::new(4));
+        b.iter(|| black_box(runner.run(BlockedFwEngine::new(64), black_box(&graph))))
     });
     group.bench_function("apsp-dijkstra-heap", |b| {
         b.iter(|| black_box(baselines::apsp_dijkstra(black_box(&graph))))
@@ -38,13 +32,16 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| black_box(baselines::apsp_bfs(black_box(&graph))))
     });
     group.bench_function("peng-basic", |b| {
-        b.iter(|| black_box(seq_basic(black_box(&graph))))
+        let runner = Runner::new(RunConfig::seq_basic());
+        b.iter(|| black_box(runner.run(SeqEngine::ordered(), black_box(&graph))))
     });
     group.bench_function("peng-optimized", |b| {
-        b.iter(|| black_box(seq_optimized(black_box(&graph), 1.0)))
+        let runner = Runner::new(RunConfig::seq_optimized(1.0));
+        b.iter(|| black_box(runner.run(SeqEngine::ordered(), black_box(&graph))))
     });
     group.bench_function("peng-adaptive", |b| {
-        b.iter(|| black_box(seq_adaptive(black_box(&graph), 8)))
+        let runner = Runner::new(RunConfig::seq_adaptive(8));
+        b.iter(|| black_box(runner.run(SeqEngine::adaptive(8), black_box(&graph))))
     });
     group.finish();
 }

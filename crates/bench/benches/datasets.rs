@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use parapsp_core::ParApsp;
+use parapsp_core::engine::{ApspEngine, RunConfig, Runner};
 use parapsp_datasets::{paper_datasets, Scale};
 
 fn bench_datasets(c: &mut Criterion) {
@@ -15,8 +15,8 @@ fn bench_datasets(c: &mut Criterion) {
         let graph = spec.generate(Scale::Vertices(1000)).unwrap();
         for threads in [1usize, 4] {
             group.bench_function(BenchmarkId::new(spec.name, format!("{threads}t")), |b| {
-                let driver = ParApsp::par_apsp(threads);
-                b.iter(|| black_box(driver.run(black_box(&graph))));
+                let runner = Runner::new(RunConfig::par_apsp(threads));
+                b.iter(|| black_box(runner.run(ApspEngine::new(), black_box(&graph))));
             });
         }
     }

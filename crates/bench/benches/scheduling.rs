@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use parapsp_core::ParApsp;
+use parapsp_core::engine::{ApspEngine, RunConfig, Runner};
 use parapsp_datasets::{ca_hepph, Scale};
 use parapsp_parfor::Schedule;
 
@@ -27,8 +27,8 @@ fn bench_scheduling(c: &mut Criterion) {
             group.bench_function(
                 BenchmarkId::new(schedule.label(), format!("{threads}t")),
                 |b| {
-                    let driver = ParApsp::par_alg2(threads).with_schedule(schedule);
-                    b.iter(|| black_box(driver.run(black_box(&graph))));
+                    let runner = Runner::new(RunConfig::par_alg2(threads).with_schedule(schedule));
+                    b.iter(|| black_box(runner.run(ApspEngine::new(), black_box(&graph))));
                 },
             );
         }

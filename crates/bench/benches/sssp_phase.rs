@@ -12,7 +12,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use parapsp_core::ParApsp;
+use parapsp_core::engine::{ApspEngine, RunConfig, Runner};
 use parapsp_datasets::{find, Scale};
 use parapsp_order::OrderingProcedure;
 
@@ -31,11 +31,11 @@ fn bench_sssp_phase(c: &mut Criterion) {
     ] {
         for threads in [1usize, 4] {
             group.bench_function(BenchmarkId::new(label, format!("{threads}t")), |b| {
-                let driver = ParApsp::par_apsp(threads).with_ordering(ordering);
+                let runner = Runner::new(RunConfig::par_apsp(threads).with_ordering(ordering));
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
                     for _ in 0..iters {
-                        let out = driver.run(&graph);
+                        let out = runner.run(ApspEngine::new(), &graph);
                         total += out.timings.sssp;
                     }
                     total

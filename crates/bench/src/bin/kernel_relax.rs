@@ -20,8 +20,8 @@
 
 use std::time::Instant;
 
+use parapsp_core::engine::{ApspEngine, RunConfig, Runner};
 use parapsp_core::relax::{avx2_available, relax_row, RelaxImpl};
-use parapsp_core::ParApsp;
 use parapsp_graph::generate::{barabasi_albert, WeightSpec};
 use parapsp_graph::INF;
 
@@ -122,11 +122,11 @@ fn bench_end_to_end(
     threads: usize,
     runs: usize,
 ) -> EndToEnd {
-    let driver = ParApsp::par_apsp(threads).with_relax(imp);
+    let runner = Runner::new(RunConfig::par_apsp(threads).with_relax(imp));
     let mut best = f64::INFINITY;
     let mut counters = parapsp_core::Counters::default();
     for _ in 0..runs {
-        let out = driver.run(graph);
+        let out = runner.run(ApspEngine::new(), graph);
         best = best.min(out.timings.total.as_secs_f64() * 1e3);
         counters = out.counters;
     }

@@ -32,6 +32,7 @@ const VALUED: &[&str] = &[
     "--cap",
     "--relax",
     "--solver",
+    "--store",
     "--schedule",
     "--partition",
     "--checkpoint",

@@ -121,6 +121,15 @@ apsp options:
                              guided:<min-chunk> | work-stealing[:<chunk>]
                              (default: each algorithm's paper schedule;
                              the distances are identical under all of them)
+  --store <s>                distance-matrix storage backend: dense
+                             (default; one flat n² allocation) |
+                             delta[:<refs>] (landmark-delta compression
+                             against <refs> reference rows, default 16) |
+                             mmap[:<budget>] (out-of-core file shards, in-
+                             memory cache capped at <budget> bytes; accepts
+                             k/m/g suffixes, default 64m); row engines and
+                             dist; the final matrix is bit-identical under
+                             every backend
   --out <file>               save the distance matrix (.tsv/.txt = text,
                              anything else = compact binary)
   --checkpoint <file>        write completed rows to <file> periodically
@@ -660,6 +669,18 @@ fn run_algorithm(
         )
         .into());
     }
+    // Distance-matrix storage backend. Only engines that route published
+    // rows through a `Store` (the row engines and the dist gather) can
+    // honour it; the in-place baselines would silently ignore the flag.
+    let store = args.get_spec("store", parapsp_core::StoreSpec::default())?;
+    if args.get("store").is_some() && !kind.supports_store() {
+        return Err(format!(
+            "--store works with {}, dist (got `{}`)",
+            kinds_where(EngineKind::row_checkpoints),
+            kind.value_name()
+        )
+        .into());
+    }
     // Per-source SSSP solver. Like --relax it needs the row kernel.
     // `--solver auto` probes the graph up front so the choice can be
     // reported, and its schedule/relax recommendations fill in whichever
@@ -710,6 +731,7 @@ fn run_algorithm(
         }
         config = config.with_relax(relax);
         config = config.with_solver(solver);
+        config = config.with_store(store.clone());
         if let Some(schedule) = schedule {
             config = config.with_schedule(schedule);
         }
@@ -1380,6 +1402,60 @@ mod tests {
             assert!(
                 err.contains("--solver works with"),
                 "{algorithm} must reject --solver: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_selection_via_cli() {
+        let file = sample_file();
+        // Every spelling the parser accepts, on a parallel row engine, a
+        // sequential one, and the dist gather.
+        for store in ["dense", "delta", "delta:4", "mmap", "mmap:64k"] {
+            for algorithm in ["par-apsp", "seq-basic", "dist"] {
+                apsp(&args(&[
+                    "apsp",
+                    &file,
+                    "--algorithm",
+                    algorithm,
+                    "--store",
+                    store,
+                    "--threads",
+                    "2",
+                ]))
+                .unwrap_or_else(|e| panic!("{algorithm} --store {store}: {e}"));
+            }
+        }
+        // Malformed specs are rejected with the parser's explanation.
+        for bad in [
+            "ram",
+            "dense:1",
+            "delta:0",
+            "delta:wide",
+            "mmap:lots",
+            "mmap:0",
+        ] {
+            let err = apsp(&args(&["apsp", &file, "--store", bad]))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains("--store"), "{bad}: {err}");
+        }
+        // Engines that mutate a dense matrix in place reject the flag,
+        // naming the ones that route rows through a store.
+        for algorithm in ["blocked-fw", "floyd-warshall", "dijkstra", "par-adaptive"] {
+            let err = apsp(&args(&[
+                "apsp",
+                &file,
+                "--algorithm",
+                algorithm,
+                "--store",
+                "delta",
+            ]))
+            .unwrap_err()
+            .to_string();
+            assert!(
+                err.contains("--store works with"),
+                "{algorithm} must reject --store: {err}"
             );
         }
     }

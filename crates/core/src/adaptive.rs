@@ -20,8 +20,8 @@ use parapsp_graph::{degree, CsrGraph};
 use parapsp_parfor::{PerThread, Schedule, ThreadPool};
 
 use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
-use crate::shared::SharedDistState;
 use crate::stats::{ApspOutput, Counters, PhaseTimings};
+use crate::store::{Store, StoreSpec};
 
 /// Configuration for [`par_adaptive`].
 #[derive(Debug, Clone, Copy)]
@@ -50,7 +50,7 @@ pub fn par_adaptive(graph: &CsrGraph, threads: usize, config: AdaptiveConfig) ->
     let degrees = degree::out_degrees(graph);
     let start = Instant::now();
 
-    let state = SharedDistState::new(n);
+    let store = Store::new(n, &StoreSpec::dense());
     let locals: PerThread<(Workspace, Counters, Vec<u64>)> =
         PerThread::from_fn(pool.num_threads(), |_| {
             (Workspace::new(n), Counters::default(), vec![0u64; n])
@@ -73,14 +73,14 @@ pub fn par_adaptive(graph: &CsrGraph, threads: usize, config: AdaptiveConfig) ->
         let wave: Vec<u32> = remaining.drain(..take).collect();
 
         let wave_ref = &wave;
-        let state_ref = &state;
+        let store_ref = &store;
         pool.parallel_for(wave.len(), Schedule::dynamic_cyclic(), |tid, k| {
             let s = wave_ref[k];
             // SAFETY: one scratch slot per pool thread.
             let (ws, counters, credit) = unsafe { locals.get_mut(tid) };
             // Each wave source appears exactly once across all waves, so
             // the unique-row-owner contract holds.
-            modified_dijkstra(graph, s, state_ref, ws, options, counters, Some(credit));
+            modified_dijkstra(graph, s, store_ref, ws, options, counters, Some(credit));
         });
 
         // Fold per-thread credit into the global ranking signal. The slots
@@ -102,7 +102,7 @@ pub fn par_adaptive(graph: &CsrGraph, threads: usize, config: AdaptiveConfig) ->
         counters.merge(&c);
     }
     ApspOutput {
-        dist: state.into_matrix(),
+        dist: store.into_matrix(),
         timings: PhaseTimings {
             ordering: std::time::Duration::ZERO,
             sssp,

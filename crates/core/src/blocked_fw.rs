@@ -13,17 +13,15 @@
 //! not a row-checkpointing engine (see [`Engine::row_checkpoints`]) —
 //! until the last pivot finishes every cell may still shrink, so periodic
 //! checkpoints are skipped and an interrupted run's checkpoint has zero
-//! completed rows. [`blocked_floyd_warshall`] and the `_cancellable`
-//! variant remain as thin shims (to be removed after one release).
+//! completed rows.
 
 use std::time::Instant;
 
 use parapsp_graph::{CsrGraph, INF};
-use parapsp_parfor::{CancelStatus, CancelToken, ParSlice, Schedule, ThreadPool};
+use parapsp_parfor::{CancelStatus, ParSlice, Schedule, ThreadPool};
 
 use crate::dist::DistanceMatrix;
-use crate::engine::{Engine, Plan, RowsCtx, RowsOutcome, RunConfig, RunSummary, Runner};
-use crate::outcome::RunOutcome;
+use crate::engine::{Engine, Plan, RowsCtx, RowsOutcome, RunConfig, RunSummary};
 use crate::persist::Checkpoint;
 
 /// Relaxes tile `(bi, bj)` through pivot block `bk` on the flat matrix.
@@ -225,51 +223,36 @@ impl Engine for BlockedFwEngine {
     }
 }
 
-/// Parallel blocked Floyd–Warshall with `block × block` tiles.
-///
-/// Exact for any non-negative weights; O(n³) work, O(n²) memory. `block`
-/// is clamped to `[8, n]`; 64 is a good default for `u32` cells.
-///
-/// Deprecated shim over [`Runner`] + [`BlockedFwEngine`].
-pub fn blocked_floyd_warshall(graph: &CsrGraph, block: usize, pool: &ThreadPool) -> DistanceMatrix {
-    Runner::new(RunConfig::new(pool.num_threads())).run_with_pool(
-        BlockedFwEngine::new(block),
-        graph,
-        pool,
-    )
-}
-
-/// Cancellable [`blocked_floyd_warshall`]: polls `token` between pivot
-/// iterations (the coarsest safe boundary — within one pivot step the
-/// three phases form a dependency chain).
-///
-/// Unlike the per-source algorithms, Floyd–Warshall has no row-granular
-/// final results mid-run: until the last pivot finishes, *every* cell may
-/// still shrink. An interrupted run therefore returns a checkpoint with
-/// **zero** completed rows — marking intermediate rows complete would
-/// poison a resume with non-final distances. The checkpoint is still a
-/// valid v2 file; resuming it simply recomputes everything.
-///
-/// Deprecated shim over [`Runner`] + [`BlockedFwEngine`].
-pub fn blocked_floyd_warshall_cancellable(
-    graph: &CsrGraph,
-    block: usize,
-    pool: &ThreadPool,
-    token: &CancelToken,
-) -> RunOutcome<DistanceMatrix> {
-    Runner::new(RunConfig::new(pool.num_threads())).run_with_token(
-        BlockedFwEngine::new(block),
-        graph,
-        token,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::baselines::{apsp_dijkstra, floyd_warshall};
+    use crate::engine::Runner;
+    use crate::outcome::RunOutcome;
     use parapsp_graph::generate::{barabasi_albert, erdos_renyi_gnm, WeightSpec};
     use parapsp_graph::Direction;
+    use parapsp_parfor::CancelToken;
+
+    fn blocked_floyd_warshall(graph: &CsrGraph, block: usize, pool: &ThreadPool) -> DistanceMatrix {
+        Runner::new(RunConfig::new(pool.num_threads())).run_with_pool(
+            BlockedFwEngine::new(block),
+            graph,
+            pool,
+        )
+    }
+
+    fn blocked_floyd_warshall_cancellable(
+        graph: &CsrGraph,
+        block: usize,
+        pool: &ThreadPool,
+        token: &CancelToken,
+    ) -> RunOutcome<DistanceMatrix> {
+        Runner::new(RunConfig::new(pool.num_threads())).run_with_token(
+            BlockedFwEngine::new(block),
+            graph,
+            token,
+        )
+    }
 
     #[test]
     fn matches_plain_floyd_warshall() {

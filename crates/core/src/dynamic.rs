@@ -19,7 +19,7 @@ use parapsp_graph::{CsrGraph, Direction, GraphBuilder, INF};
 use parapsp_parfor::{ParSlice, Schedule, ThreadPool};
 
 use crate::dist::DistanceMatrix;
-use crate::par::ParApsp;
+use crate::engine::{ApspEngine, RunConfig, Runner};
 
 /// A distance matrix kept exact across edge insertions.
 #[derive(Debug)]
@@ -35,7 +35,9 @@ impl IncrementalApsp {
     /// Seeds the structure with a full ParAPSP solve of `graph`.
     pub fn new(graph: &CsrGraph, threads: usize) -> Self {
         IncrementalApsp {
-            dist: ParApsp::par_apsp(threads).run(graph).dist,
+            dist: Runner::new(RunConfig::par_apsp(threads))
+                .run(ApspEngine::new(), graph)
+                .dist,
             inserted: Vec::new(),
             direction: graph.direction(),
         }

@@ -24,10 +24,8 @@
 //! Floyd–Warshall comparator), and `DistEngine` in the `parapsp-dist`
 //! crate (the simulated cluster driver).
 //!
-//! The pre-existing entry points (`ParApsp::run*`, `seq_basic`,
-//! `par_apsp_subset`, `blocked_floyd_warshall`, `dist_apsp`, …) survive as
-//! thin shims over this module and will be removed after one release; new
-//! code should construct a [`Runner`]:
+//! Every run is constructed the same way — pick a [`RunConfig`], pick an
+//! engine, and drive it through a [`Runner`]:
 //!
 //! ```
 //! use parapsp_core::engine::{ApspEngine, RunConfig, Runner};
@@ -50,9 +48,9 @@ use crate::kernel::{KernelOptions, Workspace};
 use crate::outcome::RunOutcome;
 use crate::persist::{self, Checkpoint, FsyncPolicy, RowLedger};
 use crate::relax::RelaxImpl;
-use crate::shared::SharedDistState;
 use crate::solver::{RowSolver, SolverKind};
 use crate::stats::{ApspOutput, Counters, PhaseTimings};
+use crate::store::{Store, StoreSpec};
 
 pub use crate::blocked_fw::BlockedFwEngine;
 pub use crate::subset::SubsetEngine;
@@ -187,6 +185,16 @@ impl EngineKind {
             EngineKind::ParApsp | EngineKind::ParAlg1 | EngineKind::ParAlg2
         )
     }
+
+    /// Whether the algorithm keeps its distance matrix in a
+    /// [`Store`](crate::store::Store) and therefore honours `--store`.
+    /// True for the row engines (published rows go straight into the
+    /// selected backend) and the dist driver (the gather target is a
+    /// store); the baselines and the blocked Floyd–Warshall mutate dense
+    /// matrices in place and ignore the flag.
+    pub fn supports_store(self) -> bool {
+        self.row_checkpoints() || self == EngineKind::Dist
+    }
 }
 
 impl ValueEnum for EngineKind {
@@ -270,6 +278,7 @@ pub struct RunConfig {
     schedule: Schedule,
     ordering: OrderingProcedure,
     kernel: KernelOptions,
+    store: StoreSpec,
     checkpoint: Option<CheckpointPolicy>,
     label: Option<String>,
 }
@@ -283,6 +292,7 @@ impl RunConfig {
             schedule: Schedule::Block,
             ordering: OrderingProcedure::Identity,
             kernel: KernelOptions::default(),
+            store: StoreSpec::default(),
             checkpoint: None,
             label: None,
         }
@@ -403,6 +413,17 @@ impl RunConfig {
         self
     }
 
+    /// Selects the distance-matrix storage backend (see [`crate::store`]).
+    /// The default dense store is the bit-identity reference; the delta
+    /// and mmap tiers trade row-read cost for memory. Every backend yields
+    /// a bit-identical final matrix; backends that cannot lend `&[u32]`
+    /// rows cheaply silently disable row reuse (the kernel degrades to
+    /// plain edge relaxation, still exact).
+    pub fn with_store(mut self, store: StoreSpec) -> Self {
+        self.store = store;
+        self
+    }
+
     /// Periodically persists progress: after every `every` completed work
     /// units the [`Runner`] writes a version-2 checkpoint (atomically —
     /// temp file + rename + fsync) to `path`. A run killed between writes
@@ -493,6 +514,11 @@ impl RunConfig {
     /// Configured kernel switches.
     pub fn kernel(&self) -> KernelOptions {
         self.kernel
+    }
+
+    /// Configured distance-matrix storage backend.
+    pub fn store(&self) -> &StoreSpec {
+        &self.store
     }
 
     /// Configured checkpoint policy, if any.
@@ -615,6 +641,18 @@ pub trait Engine {
                 visit(s, snapshot.matrix().row(s));
             }
         }
+    }
+
+    /// Like [`Engine::snapshot`], but consumes the engine — the final
+    /// snapshot of a stopped run, so implementations can move their
+    /// distance state into the checkpoint instead of cloning it. The
+    /// default delegates to [`Engine::snapshot`] (an O(n²) copy); the row
+    /// engines override it with a zero-copy handoff of their store.
+    fn into_snapshot(self) -> Checkpoint
+    where
+        Self: Sized,
+    {
+        self.snapshot()
     }
 
     /// Assembles the completed run's output.
@@ -886,8 +924,12 @@ impl Runner {
 
         if status.is_stop() {
             // The cancellable loop has drained: no unit is mid-flight, so
-            // the published rows form a consistent partial result.
-            return RunOutcome::from_stop(status, engine.snapshot());
+            // the published rows form a consistent partial result. The
+            // engine is consumed so row engines can move their store into
+            // the checkpoint instead of cloning the whole matrix — the
+            // ledger branch above has already appended the stopping
+            // chunk's completed rows, so nothing else reads the engine.
+            return RunOutcome::from_stop(status, engine.into_snapshot());
         }
 
         let label = match &self.config.label {
@@ -920,7 +962,7 @@ impl Runner {
 /// drivers (ParAlg1, ParAlg2, ParBuckets, ParMax, ParAPSP).
 #[derive(Default)]
 pub struct ApspEngine {
-    state: Option<SharedDistState>,
+    store: Option<Store>,
     locals: Option<PerThread<(Workspace, Counters, Duration)>>,
     solver: Option<RowSolver>,
 }
@@ -956,7 +998,7 @@ impl Engine for ApspEngine {
         // A resumed run pre-publishes the checkpoint's completed rows and
         // sweeps only the rest, in the same order a fresh run would visit
         // them.
-        let (state, units) = match resume {
+        let (store, units) = match resume {
             Some(checkpoint) => {
                 let (dist, completed) = checkpoint.into_parts();
                 let units: Vec<u32> = order
@@ -964,11 +1006,11 @@ impl Engine for ApspEngine {
                     .copied()
                     .filter(|&s| !completed[s as usize])
                     .collect();
-                (SharedDistState::from_parts(dist, &completed), units)
+                (Store::from_parts(dist, &completed, config.store()), units)
             }
-            None => (SharedDistState::new(n), order),
+            None => (Store::new(n, config.store()), order),
         };
-        self.state = Some(state);
+        self.store = Some(store);
         self.locals = Some(PerThread::from_fn(pool.num_threads(), |_| {
             (Workspace::new(n), Counters::default(), Duration::ZERO)
         }));
@@ -977,7 +1019,7 @@ impl Engine for ApspEngine {
     }
 
     fn run_rows(&mut self, graph: &CsrGraph, units: &[u32], ctx: &RowsCtx<'_>) -> RowsOutcome {
-        let state = self.state.as_ref().expect("prepare() not called");
+        let store = self.store.as_ref().expect("prepare() not called");
         let locals = self.locals.as_ref().expect("prepare() not called");
         let solver = self.solver.as_ref().expect("prepare() not called");
         let kernel = ctx.config.kernel();
@@ -989,8 +1031,8 @@ impl Engine for ApspEngine {
             let t0 = Instant::now();
             // `units` is drawn from a permutation, so source `s` belongs to
             // exactly this iteration — satisfying the unique-row-owner
-            // contract of the solvers (and of `SharedDistState::row_mut`).
-            solver.solve_row(graph, s, state, ws, kernel, counters, None);
+            // contract of the solvers (and of `Store::try_row_mut`).
+            solver.solve_row(graph, s, store, ws, kernel, counters, None);
             let elapsed = t0.elapsed();
             *busy += elapsed;
             if let Some(view) = trace {
@@ -1014,26 +1056,31 @@ impl Engine for ApspEngine {
 
     fn snapshot(&self) -> Checkpoint {
         let (dist, completed) = self
-            .state
+            .store
             .as_ref()
             .expect("prepare() not called")
             .snapshot();
         Checkpoint::new(dist, completed)
     }
 
+    fn into_snapshot(self) -> Checkpoint {
+        // Moves the store into the checkpoint — zero-copy for the dense
+        // backend — instead of the default's full snapshot clone.
+        let (dist, completed) = self.store.expect("prepare() not called").into_parts();
+        Checkpoint::new(dist, completed)
+    }
+
     fn visit_rows(&self, units: &[u32], visit: &mut dyn FnMut(u32, &[u32])) {
         // Units are source vertices; a published row is final.
-        let state = self.state.as_ref().expect("prepare() not called");
+        let store = self.store.as_ref().expect("prepare() not called");
         for &s in units {
-            if let Some(row) = state.published_row(s) {
-                visit(s, row);
-            }
+            store.with_row(s, |row| visit(s, row));
         }
     }
 
     fn finish(self, _graph: &CsrGraph, summary: RunSummary) -> ApspOutput {
-        let state = self.state.expect("prepare() not called");
-        debug_assert_eq!(state.published_count(), state.n());
+        let store = self.store.expect("prepare() not called");
+        debug_assert_eq!(store.published_count(), store.n());
         let mut counters = Counters::default();
         let mut thread_busy = Vec::with_capacity(summary.threads);
         for (_, c, busy) in self.locals.expect("prepare() not called").into_inner() {
@@ -1041,7 +1088,7 @@ impl Engine for ApspEngine {
             thread_busy.push(busy);
         }
         ApspOutput {
-            dist: state.into_matrix(),
+            dist: store.into_matrix(),
             timings: summary.timings,
             counters,
             threads: summary.threads,
@@ -1078,7 +1125,7 @@ pub enum SeqMode {
 /// exactly `K` rows.
 pub struct SeqEngine {
     mode: SeqMode,
-    state: Option<SharedDistState>,
+    store: Option<Store>,
     ws: Option<Workspace>,
     solver: Option<RowSolver>,
     counters: Counters,
@@ -1094,7 +1141,7 @@ impl SeqEngine {
     pub fn ordered() -> Self {
         SeqEngine {
             mode: SeqMode::Ordered,
-            state: None,
+            store: None,
             ws: None,
             solver: None,
             counters: Counters::default(),
@@ -1146,7 +1193,7 @@ impl Engine for SeqEngine {
             SeqMode::Adaptive { .. } => (0..n as u32).collect(),
         };
         let ordering = t_order.elapsed();
-        let (state, units, done) = match resume {
+        let (store, units, done) = match resume {
             Some(checkpoint) => {
                 let (dist, completed) = checkpoint.into_parts();
                 let units: Vec<u32> = order
@@ -1155,14 +1202,14 @@ impl Engine for SeqEngine {
                     .filter(|&s| !completed[s as usize])
                     .collect();
                 (
-                    SharedDistState::from_parts(dist, &completed),
+                    Store::from_parts(dist, &completed, config.store()),
                     units,
                     completed,
                 )
             }
-            None => (SharedDistState::new(n), order, vec![false; n]),
+            None => (Store::new(n, config.store()), order, vec![false; n]),
         };
-        self.state = Some(state);
+        self.store = Some(store);
         self.ws = Some(Workspace::new(n));
         self.solver = Some(RowSolver::resolve(graph, config.kernel()));
         self.degrees = degrees;
@@ -1174,7 +1221,7 @@ impl Engine for SeqEngine {
     fn run_rows(&mut self, graph: &CsrGraph, units: &[u32], ctx: &RowsCtx<'_>) -> RowsOutcome {
         let SeqEngine {
             mode,
-            state,
+            store,
             ws,
             solver,
             counters,
@@ -1184,7 +1231,7 @@ impl Engine for SeqEngine {
             done,
         } = self;
         let mode = *mode;
-        let state = state.as_ref().expect("prepare() not called");
+        let store = store.as_ref().expect("prepare() not called");
         let ws = ws.as_mut().expect("prepare() not called");
         let solver = solver.as_ref().expect("prepare() not called");
         let kernel = ctx.config.kernel();
@@ -1201,7 +1248,7 @@ impl Engine for SeqEngine {
                     // Argmax over unprocessed vertices; O(n) per pick,
                     // dwarfed by the SSSP work it orders.
                     let mut best: Option<(u64, u32)> = None;
-                    for v in 0..state.n() as u32 {
+                    for v in 0..store.n() as u32 {
                         if done[v as usize] {
                             continue;
                         }
@@ -1218,7 +1265,7 @@ impl Engine for SeqEngine {
                 }
             };
             let t0 = Instant::now();
-            solver.solve_row(graph, s, state, ws, kernel, counters, feedback);
+            solver.solve_row(graph, s, store, ws, kernel, counters, feedback);
             let elapsed = t0.elapsed();
             *busy += elapsed;
             if let Some(view) = ctx.trace {
@@ -1232,33 +1279,34 @@ impl Engine for SeqEngine {
 
     fn snapshot(&self) -> Checkpoint {
         let (dist, completed) = self
-            .state
+            .store
             .as_ref()
             .expect("prepare() not called")
             .snapshot();
         Checkpoint::new(dist, completed)
     }
 
+    fn into_snapshot(self) -> Checkpoint {
+        let (dist, completed) = self.store.expect("prepare() not called").into_parts();
+        Checkpoint::new(dist, completed)
+    }
+
     fn visit_rows(&self, units: &[u32], visit: &mut dyn FnMut(u32, &[u32])) {
-        let state = self.state.as_ref().expect("prepare() not called");
+        let store = self.store.as_ref().expect("prepare() not called");
         match self.mode {
             // Ordered units are source vertices.
             SeqMode::Ordered => {
                 for &s in units {
-                    if let Some(row) = state.published_row(s) {
-                        visit(s, row);
-                    }
+                    store.with_row(s, |row| visit(s, row));
                 }
             }
             // Adaptive units are opaque step counters; the sources picked
             // this batch are whatever is newly marked done. Scanning all
             // of `done` is O(n) per batch and the `Runner` deduplicates.
             SeqMode::Adaptive { .. } => {
-                for s in 0..state.n() as u32 {
+                for s in 0..store.n() as u32 {
                     if self.done[s as usize] {
-                        if let Some(row) = state.published_row(s) {
-                            visit(s, row);
-                        }
+                        store.with_row(s, |row| visit(s, row));
                     }
                 }
             }
@@ -1266,10 +1314,10 @@ impl Engine for SeqEngine {
     }
 
     fn finish(self, _graph: &CsrGraph, summary: RunSummary) -> ApspOutput {
-        let state = self.state.expect("prepare() not called");
-        debug_assert_eq!(state.published_count(), state.n());
+        let store = self.store.expect("prepare() not called");
+        debug_assert_eq!(store.published_count(), store.n());
         ApspOutput {
-            dist: state.into_matrix(),
+            dist: store.into_matrix(),
             timings: summary.timings,
             counters: self.counters,
             threads: 1,
@@ -1279,11 +1327,109 @@ impl Engine for SeqEngine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// StoreApspEngine — ApspEngine, keeping the store alive
+// ---------------------------------------------------------------------------
+
+/// [`ApspEngine`] whose [`Engine::finish`] hands back the live [`Store`]
+/// instead of collapsing it into a dense [`DistanceMatrix`]
+/// (which would momentarily materialize the full O(n²) matrix and defeat
+/// an out-of-core run). The `store_scaling` bench and the bounded-memory
+/// smoke use this to measure per-backend residency; regular callers want
+/// [`ApspEngine`].
+///
+/// [`DistanceMatrix`]: crate::DistanceMatrix
+#[derive(Default)]
+pub struct StoreApspEngine {
+    inner: ApspEngine,
+}
+
+impl StoreApspEngine {
+    /// A fresh engine; all behaviour comes from the [`RunConfig`].
+    pub fn new() -> Self {
+        StoreApspEngine::default()
+    }
+}
+
+/// What a completed [`StoreApspEngine`] run yields: the store still in its
+/// configured backend, plus the usual run report fields.
+pub struct StoreRunOutput {
+    /// The completed distance matrix, resident in the selected backend.
+    pub store: Store,
+    /// Ordering / sweep / total phase wall times.
+    pub timings: PhaseTimings,
+    /// Merged kernel counters.
+    pub counters: Counters,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Report label.
+    pub algorithm: String,
+}
+
+impl Engine for StoreApspEngine {
+    type Output = StoreRunOutput;
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn prepare(
+        &mut self,
+        graph: &CsrGraph,
+        config: &RunConfig,
+        pool: &ThreadPool,
+        resume: Option<Checkpoint>,
+    ) -> Plan {
+        self.inner.prepare(graph, config, pool, resume)
+    }
+
+    fn run_rows(&mut self, graph: &CsrGraph, units: &[u32], ctx: &RowsCtx<'_>) -> RowsOutcome {
+        self.inner.run_rows(graph, units, ctx)
+    }
+
+    fn snapshot(&self) -> Checkpoint {
+        self.inner.snapshot()
+    }
+
+    fn into_snapshot(self) -> Checkpoint {
+        self.inner.into_snapshot()
+    }
+
+    fn visit_rows(&self, units: &[u32], visit: &mut dyn FnMut(u32, &[u32])) {
+        self.inner.visit_rows(units, visit);
+    }
+
+    fn finish(self, _graph: &CsrGraph, summary: RunSummary) -> StoreRunOutput {
+        let store = self.inner.store.expect("prepare() not called");
+        debug_assert_eq!(store.published_count(), store.n());
+        let mut counters = Counters::default();
+        for (_, c, _) in self
+            .inner
+            .locals
+            .expect("prepare() not called")
+            .into_inner()
+        {
+            counters.merge(&c);
+        }
+        StoreRunOutput {
+            store,
+            timings: summary.timings,
+            counters,
+            threads: summary.threads,
+            algorithm: summary.label,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::seq::seq_basic;
     use parapsp_graph::generate::{barabasi_albert, WeightSpec};
+
+    /// Reference solve: Alg. 2 driven through the Runner.
+    fn seq_basic(graph: &CsrGraph) -> ApspOutput {
+        Runner::new(RunConfig::seq_basic()).run(SeqEngine::ordered(), graph)
+    }
 
     #[test]
     fn value_enum_parses_and_rejects_with_full_listing() {

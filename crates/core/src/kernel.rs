@@ -10,17 +10,18 @@
 //! by that vertex's complete row).
 //!
 //! The kernel writes into a caller-supplied row and reads other rows
-//! through the publication protocol in the `crate::shared` module, which makes the
-//! very same code the engine of the sequential *and* parallel algorithms.
+//! through the publication protocol of the [`crate::store`] backends,
+//! which makes the very same code the engine of the sequential *and*
+//! parallel algorithms, against any storage tier.
 
 use std::collections::VecDeque;
 
-use parapsp_graph::CsrGraph;
+use parapsp_graph::{CsrGraph, INF};
 use parapsp_parfor::BitSet;
 
 use crate::relax::{relax_row, RelaxImpl};
-use crate::shared::SharedDistState;
 use crate::stats::Counters;
+use crate::store::Store;
 
 /// Tuning/ablation switches for the kernel. The defaults reproduce the
 /// paper; the switches exist so the benchmark harness can quantify each
@@ -85,6 +86,11 @@ pub(crate) struct Workspace {
     /// Drain staging: bucket slots are swapped here so a light-phase
     /// relaxation can push back into the slot being drained.
     pub(crate) scratch: Vec<u32>,
+    /// Staging row for store backends that cannot lend in-place mutable
+    /// rows ([`Store::try_row_mut`] returns `None`): the solver computes
+    /// into this buffer and hands it over via [`Store::publish_from`].
+    /// Allocated once per thread, like the rest of the workspace.
+    pub(crate) row_buf: Vec<u32>,
 }
 
 impl Workspace {
@@ -96,6 +102,7 @@ impl Workspace {
             removed: Vec::new(),
             in_removed: BitSet::new(n),
             scratch: Vec::new(),
+            row_buf: vec![INF; n],
         }
     }
 }
@@ -171,14 +178,20 @@ impl BucketRing {
     }
 }
 
-/// Runs the modified Dijkstra from source `s`, filling row `s` of `state`
+/// Runs the modified Dijkstra from source `s`, filling row `s` of `store`
 /// and publishing it on completion.
 ///
 /// # Safety contract (enforced by callers)
 ///
 /// The caller must guarantee that it is the unique task running source `s`
-/// (see [`SharedDistState::row_mut`]). Every APSP driver in this crate
-/// iterates a permutation of the sources, which provides that guarantee.
+/// (see [`Store::try_row_mut`]). Every APSP driver in this crate iterates
+/// a permutation of the sources, which provides that guarantee.
+///
+/// On store backends that lend rows the solve happens in place; otherwise
+/// it is staged in `ws.row_buf` and handed over via
+/// [`Store::publish_from`]. Row reuse degrades with the backend: a store
+/// that cannot lend `&[u32]` rows answers [`Store::published_row`] with
+/// `None`, and the kernel falls back to plain edge expansion.
 ///
 /// Optional `intermediate_credit`: incremented at `t` whenever expanding
 /// `t`'s edges improved some other vertex — the signal Peng's *adaptive*
@@ -186,19 +199,26 @@ impl BucketRing {
 pub(crate) fn modified_dijkstra(
     graph: &CsrGraph,
     s: u32,
-    state: &SharedDistState,
+    store: &Store,
     ws: &mut Workspace,
     options: KernelOptions,
     counters: &mut Counters,
     mut intermediate_credit: Option<&mut [u64]>,
 ) {
-    let n = state.n();
+    let n = store.n();
     debug_assert_eq!(graph.vertex_count(), n);
     debug_assert!(ws.in_queue.none_set(), "dirty workspace");
 
     // SAFETY: the caller guarantees unique ownership of row `s` and that it
-    // is unpublished; the borrow ends before `publish` below.
-    let row = unsafe { state.row_mut(s) };
+    // is unpublished; the borrow ends before publication below.
+    let (row, staged) = match unsafe { store.try_row_mut(s) } {
+        Some(row) => (row, false),
+        None => {
+            let buf = ws.row_buf.as_mut_slice();
+            buf.fill(INF);
+            (buf, true)
+        }
+    };
     row[s as usize] = 0;
 
     ws.queue.push_back(s);
@@ -232,9 +252,9 @@ pub(crate) fn modified_dijkstra(
             // the cache now, and relax_row's streaming pass keeps the
             // hardware prefetcher ahead for the rest of the row.
             if let Some(&next) = ws.queue.front() {
-                state.prefetch_row(next);
+                store.prefetch_row(next);
             }
-            if let Some(t_row) = state.published_row(t) {
+            if let Some(t_row) = store.published_row(t) {
                 row_reuses += 1;
                 relaxations += relax_row(relax_impl, row, t_row, dt, cap);
                 continue;
@@ -269,7 +289,11 @@ pub(crate) fn modified_dijkstra(
     counters.row_reuses += row_reuses;
     counters.sources += 1;
     // Alg. 1 line 21: flag[s] = 1 — i.e. publish the completed row.
-    state.publish(s);
+    if staged {
+        store.publish_from(s, row);
+    } else {
+        store.publish(s);
+    }
 
     if !options.dedup_queue {
         // Without the guard the bitmap was never written, nothing to clean.
@@ -280,18 +304,44 @@ pub(crate) fn modified_dijkstra(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::StoreSpec;
     use parapsp_graph::{CsrGraph, Direction, INF};
 
-    fn run_all_sources(graph: &CsrGraph, options: KernelOptions) -> crate::DistanceMatrix {
+    fn run_all_sources_on(
+        graph: &CsrGraph,
+        options: KernelOptions,
+        spec: &StoreSpec,
+    ) -> crate::DistanceMatrix {
         let n = graph.vertex_count();
-        let state = SharedDistState::new(n);
+        let store = Store::new(n, spec);
         let mut ws = Workspace::new(n);
         let mut counters = Counters::default();
         for s in 0..n as u32 {
-            modified_dijkstra(graph, s, &state, &mut ws, options, &mut counters, None);
+            modified_dijkstra(graph, s, &store, &mut ws, options, &mut counters, None);
         }
         assert_eq!(counters.sources, n as u64);
-        state.into_matrix()
+        store.into_matrix()
+    }
+
+    fn run_all_sources(graph: &CsrGraph, options: KernelOptions) -> crate::DistanceMatrix {
+        run_all_sources_on(graph, options, &StoreSpec::dense())
+    }
+
+    #[test]
+    fn every_store_backend_is_bit_identical() {
+        let g = parapsp_graph::generate::erdos_renyi_gnm(
+            70,
+            350,
+            Direction::Directed,
+            parapsp_graph::generate::WeightSpec::Uniform { lo: 1, hi: 9 },
+            17,
+        )
+        .unwrap();
+        let dense = run_all_sources(&g, KernelOptions::default());
+        for spec in [StoreSpec::delta(4), StoreSpec::mmap(1 << 20)] {
+            let got = run_all_sources_on(&g, KernelOptions::default(), &spec);
+            assert_eq!(dense.first_difference(&got), None, "{}", spec.label());
+        }
     }
 
     #[test]
@@ -414,14 +464,14 @@ mod tests {
     #[test]
     fn row_reuse_actually_fires_on_later_sources() {
         let g = parapsp_graph::generate::complete_graph(10);
-        let state = SharedDistState::new(10);
+        let store = Store::new(10, &StoreSpec::dense());
         let mut ws = Workspace::new(10);
         let mut counters = Counters::default();
         for s in 0..10u32 {
             modified_dijkstra(
                 &g,
                 s,
-                &state,
+                &store,
                 &mut ws,
                 KernelOptions::default(),
                 &mut counters,
@@ -432,7 +482,33 @@ mod tests {
             counters.row_reuses > 0,
             "complete graph must trigger row reuse"
         );
-        assert_eq!(state.published_count(), 10);
+        assert_eq!(store.published_count(), 10);
+    }
+
+    #[test]
+    fn non_lending_backends_disable_reuse_but_stay_exact() {
+        let g = parapsp_graph::generate::complete_graph(10);
+        let store = Store::new(10, &StoreSpec::delta(2));
+        let mut ws = Workspace::new(10);
+        let mut counters = Counters::default();
+        for s in 0..10u32 {
+            modified_dijkstra(
+                &g,
+                s,
+                &store,
+                &mut ws,
+                KernelOptions::default(),
+                &mut counters,
+                None,
+            );
+        }
+        assert_eq!(
+            counters.row_reuses, 0,
+            "a non-lending store cannot serve reuse rows"
+        );
+        let got = store.into_matrix();
+        let expect = run_all_sources(&g, KernelOptions::default());
+        assert_eq!(expect.first_difference(&got), None);
     }
 
     #[test]
@@ -449,13 +525,13 @@ mod tests {
         )
         .unwrap();
         let run = |options: KernelOptions| {
-            let state = SharedDistState::new(90);
+            let store = Store::new(90, &StoreSpec::dense());
             let mut ws = Workspace::new(90);
             let mut counters = Counters::default();
             for s in 0..90u32 {
-                modified_dijkstra(&g, s, &state, &mut ws, options, &mut counters, None);
+                modified_dijkstra(&g, s, &store, &mut ws, options, &mut counters, None);
             }
-            (state.into_matrix(), counters)
+            (store.into_matrix(), counters)
         };
         for max_distance in [None, Some(7)] {
             let mut reference: Option<(crate::DistanceMatrix, Counters)> = None;
@@ -497,7 +573,7 @@ mod tests {
     fn intermediate_credit_counts_hub() {
         // Star graph: every cross-leaf path passes through the hub 0.
         let g = parapsp_graph::generate::star_graph(8);
-        let state = SharedDistState::new(8);
+        let store = Store::new(8, &StoreSpec::dense());
         let mut ws = Workspace::new(8);
         let mut counters = Counters::default();
         let mut credit = vec![0u64; 8];
@@ -510,7 +586,7 @@ mod tests {
             modified_dijkstra(
                 &g,
                 s,
-                &state,
+                &store,
                 &mut ws,
                 opts,
                 &mut counters,

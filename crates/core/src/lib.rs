@@ -9,20 +9,28 @@
 //! whole row `D[t][*]` at once instead of expanding `t`'s edges — a dynamic
 //! programming reuse of earlier sources' results.
 //!
-//! * [`seq::seq_basic`] — Alg. 2: run the kernel from every source in index
-//!   order.
-//! * [`seq::seq_optimized`] — Alg. 3: visit sources in descending degree
-//!   order so hub rows are reusable early (2–4× faster on scale-free
-//!   graphs).
-//! * [`seq::seq_adaptive`] — Peng's adaptive variant (reconstructed; the
-//!   ICPP paper describes but does not parallelize it).
-//! * [`par::ParApsp`] — the parallel drivers: **ParAlg1**, **ParAlg2**, and
-//!   the paper's contribution **ParAPSP** (MultiLists ordering +
-//!   dynamic-cyclic scheduling), plus every intermediate variant, all
-//!   configurable by ordering procedure and loop schedule.
+//! * [`RunConfig::seq_basic`](engine::RunConfig::seq_basic) — Alg. 2: run
+//!   the kernel from every source in index order (drive a
+//!   [`SeqEngine`](engine::SeqEngine) with it).
+//! * [`RunConfig::seq_optimized`](engine::RunConfig::seq_optimized) —
+//!   Alg. 3: visit sources in descending degree order so hub rows are
+//!   reusable early (2–4× faster on scale-free graphs).
+//! * [`SeqEngine::adaptive`](engine::SeqEngine::adaptive) — Peng's
+//!   adaptive variant (reconstructed; the ICPP paper describes but does
+//!   not parallelize it).
+//! * [`RunConfig::par_apsp`](engine::RunConfig::par_apsp) and friends —
+//!   the parallel drivers: **ParAlg1**, **ParAlg2**, and the paper's
+//!   contribution **ParAPSP** (MultiLists ordering + dynamic-cyclic
+//!   scheduling), plus every intermediate variant, all configurable by
+//!   ordering procedure and loop schedule (drive an
+//!   [`ApspEngine`](engine::ApspEngine)).
 //! * [`baselines`] — Floyd–Warshall, binary-heap Dijkstra APSP (sequential
 //!   and parallel), Bellman–Ford and BFS, used for cross-validation and
 //!   the background comparisons in the paper's §2.
+//!
+//! Every engine stores its distance matrix in a [`store::Store`] — dense
+//! by default, with landmark-delta and out-of-core tiers selectable per
+//! run (see [`store`]).
 //!
 //! # Concurrency model
 //!
@@ -44,27 +52,26 @@ pub mod dynamic;
 pub mod engine;
 pub mod kernel;
 pub mod outcome;
-pub mod par;
 pub mod paths;
 pub mod persist;
 pub mod relax;
-pub mod seq;
 mod shared;
 pub mod solver;
 pub mod stats;
+pub mod store;
 pub mod subset;
 
 pub use dist::DistanceMatrix;
 pub use engine::{
     ApspEngine, BlockedFwEngine, CheckpointFormat, Engine, EngineKind, RunConfig, Runner,
-    SeqEngine, SubsetEngine, ValueEnum,
+    SeqEngine, StoreApspEngine, StoreRunOutput, SubsetEngine, ValueEnum,
 };
 pub use outcome::RunOutcome;
-pub use par::ParApsp;
 pub use persist::{FsyncPolicy, RowLedger};
 pub use relax::RelaxImpl;
 pub use solver::{autotune, probe, AutoChoice, GraphProbe, SolverKind};
 pub use stats::{ApspOutput, Counters, PhaseTimings};
+pub use store::{RowSource, Store, StoreKind, StoreSpec};
 
 /// Infinite distance (no path); re-exported from the graph crate.
 pub use parapsp_graph::INF;

@@ -5,8 +5,8 @@
 //! or its deadline fires. The two early exits are not errors — they carry a
 //! valid version-2 [`Checkpoint`] of every row that finished, so the caller
 //! can persist it and later continue with
-//! [`ParApsp::run_resumed`](crate::ParApsp::run_resumed) to the bit-identical
-//! final matrix.
+//! [`Runner::run_resumed`](crate::engine::Runner::run_resumed) to the
+//! bit-identical final matrix.
 
 use parapsp_parfor::CancelStatus;
 

@@ -11,7 +11,7 @@
 //!   of completed rows, a completed-row bitmap, then only the completed
 //!   rows in ascending source order. A finished run's checkpoint is a
 //!   complete matrix; a killed run's checkpoint resumes via
-//!   [`crate::ParApsp::run_resumed`].
+//!   [`crate::engine::Runner::run_resumed`].
 //! * **run ledger, version 3** — same magic, version 3, `n`, a run id and
 //!   driver epoch, then one *appended* framed record per completed row
 //!   (source id, row length, payload, FNV-1a checksum). Unlike the
@@ -806,12 +806,14 @@ pub fn write_tsv<W: Write>(dist: &DistanceMatrix, writer: W) -> Result<(), Persi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ParApsp;
+    use crate::engine::{ApspEngine, RunConfig, Runner};
     use parapsp_graph::generate::{barabasi_albert, WeightSpec};
 
     fn sample_matrix() -> DistanceMatrix {
         let g = barabasi_albert(60, 2, WeightSpec::Uniform { lo: 1, hi: 9 }, 5).unwrap();
-        ParApsp::par_apsp(2).run(&g).dist
+        Runner::new(RunConfig::par_apsp(2))
+            .run(ApspEngine::new(), &g)
+            .dist
     }
 
     fn partial_checkpoint() -> Checkpoint {

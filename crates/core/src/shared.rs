@@ -167,6 +167,18 @@ impl SharedDistState {
         let plain: Box<[u32]> = unsafe { Box::from_raw(Box::into_raw(self.cells) as *mut [u32]) };
         DistanceMatrix::from_raw(n, plain)
     }
+
+    /// Consumes the state, yielding the matrix **and** the publication
+    /// flags — [`SharedDistState::snapshot`] without the O(n²) clone, for
+    /// stop paths that own the state and will not touch it again.
+    pub(crate) fn into_parts(self) -> (DistanceMatrix, Vec<bool>) {
+        let completed: Vec<bool> = self
+            .flags
+            .iter()
+            .map(|f| f.load(Ordering::Acquire))
+            .collect();
+        (self.into_matrix(), completed)
+    }
 }
 
 #[cfg(test)]

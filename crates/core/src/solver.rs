@@ -58,8 +58,8 @@ use parapsp_parfor::{spec, Schedule};
 
 use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
 use crate::relax::{relax_row, RelaxImpl};
-use crate::shared::SharedDistState;
 use crate::stats::Counters;
+use crate::store::Store;
 
 // ---------------------------------------------------------------------------
 // SolverKind — the CLI-facing choice
@@ -472,7 +472,7 @@ impl RowSolver {
         &self,
         graph: &CsrGraph,
         s: u32,
-        state: &SharedDistState,
+        store: &Store,
         ws: &mut Workspace,
         options: KernelOptions,
         counters: &mut Counters,
@@ -480,13 +480,13 @@ impl RowSolver {
     ) {
         match self.kind {
             Resolved::Dijkstra => {
-                modified_dijkstra(graph, s, state, ws, options, counters, intermediate_credit)
+                modified_dijkstra(graph, s, store, ws, options, counters, intermediate_credit)
             }
             Resolved::Delta => delta_row(
                 self,
                 graph,
                 s,
-                state,
+                store,
                 ws,
                 options,
                 counters,
@@ -496,7 +496,7 @@ impl RowSolver {
                 self,
                 graph,
                 s,
-                state,
+                store,
                 ws,
                 options,
                 counters,
@@ -536,13 +536,13 @@ fn delta_row(
     solver: &RowSolver,
     graph: &CsrGraph,
     s: u32,
-    state: &SharedDistState,
+    store: &Store,
     ws: &mut Workspace,
     options: KernelOptions,
     counters: &mut Counters,
     mut intermediate_credit: Option<&mut [u64]>,
 ) {
-    let n = state.n();
+    let n = store.n();
     debug_assert_eq!(graph.vertex_count(), n);
     let delta = solver.delta as u64;
     let part = solver
@@ -551,8 +551,15 @@ fn delta_row(
         .expect("delta resolved with a light/heavy partition");
 
     // SAFETY: the caller guarantees unique ownership of row `s` and that
-    // it is unpublished; the borrow ends before `publish` below.
-    let row = unsafe { state.row_mut(s) };
+    // it is unpublished; the borrow ends before publication below.
+    let (row, staged) = match unsafe { store.try_row_mut(s) } {
+        Some(row) => (row, false),
+        None => {
+            let buf = ws.row_buf.as_mut_slice();
+            buf.fill(parapsp_graph::INF);
+            (buf, true)
+        }
+    };
     row[s as usize] = 0;
 
     let cap = options.max_distance.unwrap_or(u32::MAX);
@@ -595,7 +602,7 @@ fn delta_row(
                 }
                 queue_pops += 1;
                 if reuse {
-                    if let Some(v_row) = state.published_row(v) {
+                    if let Some(v_row) = store.published_row(v) {
                         row_reuses += 1;
                         relaxations += relax_row(relax_impl, row, v_row, dv, cap);
                         continue; // row covers light *and* heavy continuations
@@ -655,7 +662,11 @@ fn delta_row(
     counters.relaxations += relaxations;
     counters.row_reuses += row_reuses;
     counters.sources += 1;
-    state.publish(s);
+    if staged {
+        store.publish_from(s, row);
+    } else {
+        store.publish(s);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -678,19 +689,26 @@ fn stepping_row(
     solver: &RowSolver,
     graph: &CsrGraph,
     s: u32,
-    state: &SharedDistState,
+    store: &Store,
     ws: &mut Workspace,
     options: KernelOptions,
     counters: &mut Counters,
     mut intermediate_credit: Option<&mut [u64]>,
 ) {
-    let n = state.n();
+    let n = store.n();
     debug_assert_eq!(graph.vertex_count(), n);
     debug_assert!(ws.in_queue.none_set(), "dirty workspace");
     let delta = solver.delta as u64;
 
     // SAFETY: as in `delta_row`.
-    let row = unsafe { state.row_mut(s) };
+    let (row, staged) = match unsafe { store.try_row_mut(s) } {
+        Some(row) => (row, false),
+        None => {
+            let buf = ws.row_buf.as_mut_slice();
+            buf.fill(parapsp_graph::INF);
+            (buf, true)
+        }
+    };
     row[s as usize] = 0;
 
     let cap = options.max_distance.unwrap_or(u32::MAX);
@@ -770,7 +788,11 @@ fn stepping_row(
     counters.queue_pops += queue_pops;
     counters.relaxations += relaxations;
     counters.sources += 1;
-    state.publish(s);
+    if staged {
+        store.publish_from(s, row);
+    } else {
+        store.publish(s);
+    }
 }
 
 #[cfg(test)]
@@ -814,17 +836,49 @@ mod tests {
     }
 
     /// Full APSP sweep with the resolved solver, outside any engine.
-    fn sweep(graph: &CsrGraph, options: KernelOptions) -> crate::DistanceMatrix {
+    fn sweep_on(
+        graph: &CsrGraph,
+        options: KernelOptions,
+        spec: &crate::store::StoreSpec,
+    ) -> crate::DistanceMatrix {
         let n = graph.vertex_count();
         let solver = RowSolver::resolve(graph, options);
-        let state = SharedDistState::new(n);
+        let store = Store::new(n, spec);
         let mut ws = Workspace::new(n);
         let mut counters = Counters::default();
         for s in 0..n as u32 {
-            solver.solve_row(graph, s, &state, &mut ws, options, &mut counters, None);
+            solver.solve_row(graph, s, &store, &mut ws, options, &mut counters, None);
         }
         assert_eq!(counters.sources, n as u64);
-        state.into_matrix()
+        store.into_matrix()
+    }
+
+    fn sweep(graph: &CsrGraph, options: KernelOptions) -> crate::DistanceMatrix {
+        sweep_on(graph, options, &crate::store::StoreSpec::dense())
+    }
+
+    #[test]
+    fn every_solver_is_bit_identical_on_every_store_backend() {
+        use crate::store::StoreSpec;
+        for (name, graph) in fixtures() {
+            let reference = sweep(&graph, KernelOptions::default());
+            for kind in all_solver_kinds() {
+                let options = KernelOptions {
+                    solver: kind,
+                    ..KernelOptions::default()
+                };
+                for spec in [StoreSpec::delta(4), StoreSpec::mmap(1 << 20)] {
+                    let got = sweep_on(&graph, options, &spec);
+                    assert_eq!(
+                        got,
+                        reference,
+                        "{name}: solver {} on store {} diverged",
+                        kind.label(),
+                        spec.label()
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -1084,16 +1138,17 @@ mod tests {
             let mut counters = Counters::default();
             // Warm sweep: scratch vectors and bucket slots grow to their
             // high-water marks here.
-            let warm = SharedDistState::new(n);
+            let warm = Store::new(n, &crate::store::StoreSpec::dense());
             for s in 0..n as u32 {
                 solver.solve_row(&graph, s, &warm, &mut ws, options, &mut counters, None);
             }
             // Steady state: a second identical sweep reusing the same
-            // Workspace must not touch the heap at all.
-            let state = SharedDistState::new(n);
+            // Workspace must not touch the heap at all. (Pinned for the
+            // dense store only: staged backends encode/write per publish.)
+            let store = Store::new(n, &crate::store::StoreSpec::dense());
             let before = crate::alloc_counter::count();
             for s in 0..n as u32 {
-                solver.solve_row(&graph, s, &state, &mut ws, options, &mut counters, None);
+                solver.solve_row(&graph, s, &store, &mut ws, options, &mut counters, None);
             }
             let after = crate::alloc_counter::count();
             assert_eq!(

@@ -1,0 +1,1277 @@
+//! Tiered distance-matrix storage: the [`Store`] behind every engine.
+//!
+//! The paper's engines share one `n × n` row matrix through the
+//! Release/Acquire publication protocol of the `shared` module. That dense
+//! layout is the fastest backend — and the memory wall: exact APSP dies
+//! around the point where `4 n²` bytes stop fitting in RAM. This module
+//! makes the storage a run-time choice while keeping the publication
+//! protocol (and therefore the engines, the Runner, persistence, and the
+//! analysis readers) identical across backends:
+//!
+//! * [`StoreKind::Dense`] — today's layout, the default and the
+//!   bit-identity reference. The only backend that *lends* `&[u32]` rows
+//!   ([`Store::lends_rows`]), which is what the kernel's row-reuse trick
+//!   and prefetch hints need; everything else degrades gracefully by
+//!   capability.
+//! * [`StoreKind::Delta`] — published rows are delta-encoded (zig-zag
+//!   varint) against estimates triangulated from a small set of dense
+//!   *reference rows*: the first `k` published rows. Under the hub-first
+//!   orderings the engines already use, those are exactly the landmark
+//!   hubs, so the estimates are tight and most deltas are one byte. Reads
+//!   decode through a bounded hot-row cache.
+//! * [`StoreKind::Mmap`] — rows live in fixed-size file shards under a
+//!   scratch directory, written with `pwrite` and read back with `pread`
+//!   through a byte-budgeted LRU of hot decoded rows, so exact APSP
+//!   completes on graphs whose dense matrix exceeds RAM. (The CLI spelling
+//!   is `mmap` for the classic out-of-core idiom, but the implementation
+//!   deliberately uses positioned file I/O rather than `mmap(2)`: a
+//!   `MAP_SHARED` mapping of the whole matrix would count against a
+//!   virtual-memory rlimit and defeat bounded-memory runs — see
+//!   DESIGN.md §14.)
+//!
+//! # Publication memory ordering
+//!
+//! Every backend keeps the dense protocol's guarantee: the bytes of row
+//! `s` — cells, encoded payload, or shard file write — are fully written
+//! *before* `flag[s]` is stored with `Release`, and every reader checks
+//! the flag with `Acquire` first. A reader that observes the flag
+//! therefore observes a complete, final row, regardless of backend.
+//!
+//! All backends are bit-identical on the final matrix: the engines compute
+//! rows in ordinary `&mut [u32]` scratch either way, and the backends only
+//! decide where the published bytes live.
+
+use std::cell::UnsafeCell;
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use parapsp_graph::INF;
+use parapsp_parfor::spec;
+
+use crate::dist::DistanceMatrix;
+use crate::shared::SharedDistState;
+
+// ---------------------------------------------------------------------------
+// StoreKind / StoreSpec — the CLI-facing choice
+// ---------------------------------------------------------------------------
+
+/// Which storage backend holds published distance rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// One dense in-memory `n × n` matrix (the default and the
+    /// bit-identity reference; the only backend that lends rows).
+    #[default]
+    Dense,
+    /// Rows delta-encoded against reference-row estimates, decoded through
+    /// a bounded hot-row cache.
+    Delta,
+    /// Rows in fixed-size file shards with a byte-budgeted LRU of hot
+    /// decoded rows (out-of-core).
+    Mmap,
+}
+
+impl StoreKind {
+    /// The stable lowercase CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKind::Dense => "dense",
+            StoreKind::Delta => "delta",
+            StoreKind::Mmap => "mmap",
+        }
+    }
+}
+
+/// Default number of dense reference rows for the delta backend.
+const DEFAULT_DELTA_REFS: usize = 16;
+/// Hard cap on reference rows (the encoding's count byte reserves 0xFF).
+const MAX_DELTA_REFS: usize = 254;
+/// Default hot-row cache budget for the delta backend.
+const DEFAULT_DELTA_CACHE: u64 = 32 << 20;
+/// Default hot-row cache budget for the mmap backend.
+const DEFAULT_MMAP_CACHE: u64 = 64 << 20;
+/// Target size of one mmap shard file.
+const SHARD_BYTES: u64 = 64 << 20;
+/// Slot marker for a delta row that *is* a reference row (stored dense in
+/// the reference set; the slot holds only this byte).
+const REF_MARKER: u8 = 0xFF;
+
+/// A parsed `--store` specification: backend plus its tuning parameter.
+///
+/// CLI spellings: `dense`, `delta`, `delta:<refs>`, `mmap`,
+/// `mmap:<budget>` where `<budget>` accepts `k`/`m`/`g` suffixes (the
+/// hot-row cache budget in bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreSpec {
+    kind: StoreKind,
+    refs: usize,
+    cache_bytes: u64,
+}
+
+impl Default for StoreSpec {
+    fn default() -> Self {
+        StoreSpec::dense()
+    }
+}
+
+impl StoreSpec {
+    /// Every CLI spelling, for self-describing rejection messages.
+    pub const POSSIBLE: &'static [&'static str] = &["dense", "delta[:<refs>]", "mmap[:<budget>]"];
+
+    /// The dense in-memory backend (the default).
+    pub fn dense() -> StoreSpec {
+        StoreSpec {
+            kind: StoreKind::Dense,
+            refs: 0,
+            cache_bytes: 0,
+        }
+    }
+
+    /// The delta backend with `refs` dense reference rows (clamped to a
+    /// minimum of 1 and an encoding-imposed maximum of 254).
+    pub fn delta(refs: usize) -> StoreSpec {
+        StoreSpec {
+            kind: StoreKind::Delta,
+            refs: refs.clamp(1, MAX_DELTA_REFS),
+            cache_bytes: DEFAULT_DELTA_CACHE,
+        }
+    }
+
+    /// The out-of-core shard backend with a hot-row cache of
+    /// `cache_bytes` (clamped to at least one row at build time).
+    pub fn mmap(cache_bytes: u64) -> StoreSpec {
+        StoreSpec {
+            kind: StoreKind::Mmap,
+            refs: 0,
+            cache_bytes: cache_bytes.max(1),
+        }
+    }
+
+    /// The chosen backend.
+    pub fn kind(&self) -> StoreKind {
+        self.kind
+    }
+
+    /// Stable label round-tripping through [`StoreSpec::parse`]:
+    /// `dense`, `delta:<refs>`, `mmap:<bytes>`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            StoreKind::Dense => "dense".to_owned(),
+            StoreKind::Delta => format!("delta:{}", self.refs),
+            StoreKind::Mmap => format!("mmap:{}", self.cache_bytes),
+        }
+    }
+
+    /// Parses a CLI spelling; shares the spec helper (and error style)
+    /// with `--schedule` / `--solver` parsing.
+    pub fn parse(raw: &str) -> Result<StoreSpec, String> {
+        let (name, param) = spec::split_spec(raw);
+        match name {
+            "dense" if param.is_some() => Err(spec::reject_param("store", "dense")),
+            "dense" => Ok(StoreSpec::dense()),
+            "delta" => match param {
+                None => Ok(StoreSpec::delta(DEFAULT_DELTA_REFS)),
+                Some(p) => {
+                    let refs =
+                        spec::parse_positive_param::<usize>("store", "delta", Some(p), None)?;
+                    Ok(StoreSpec::delta(refs))
+                }
+            },
+            "mmap" => match param {
+                None => Ok(StoreSpec::mmap(DEFAULT_MMAP_CACHE)),
+                Some(p) => Ok(StoreSpec::mmap(parse_budget(p)?)),
+            },
+            _ => Err(spec::reject_unknown("store", raw, Self::POSSIBLE)),
+        }
+    }
+}
+
+impl std::str::FromStr for StoreSpec {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        StoreSpec::parse(raw)
+    }
+}
+
+/// Parses a byte budget with an optional `k`/`m`/`g` suffix (powers of
+/// 1024, case-insensitive). Must be positive.
+fn parse_budget(raw: &str) -> Result<u64, String> {
+    let (digits, shift) = match raw.as_bytes().last() {
+        Some(b'k') | Some(b'K') => (&raw[..raw.len() - 1], 10),
+        Some(b'm') | Some(b'M') => (&raw[..raw.len() - 1], 20),
+        Some(b'g') | Some(b'G') => (&raw[..raw.len() - 1], 30),
+        _ => (raw, 0),
+    };
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| format!("store: mmap budget `{raw}` is not a byte count (try 256m, 1g)"))?;
+    if value == 0 {
+        return Err("store: mmap budget must be positive".to_owned());
+    }
+    value
+        .checked_shl(shift)
+        .filter(|&v| v >> shift == value)
+        .ok_or_else(|| format!("store: mmap budget `{raw}` overflows"))
+}
+
+// ---------------------------------------------------------------------------
+// Store — the backend-dispatching facade
+// ---------------------------------------------------------------------------
+
+/// The distance-matrix storage of one run: row allocation, publication,
+/// and read access behind a single type, with the backend chosen by a
+/// [`StoreSpec`].
+///
+/// Writers compute a row into ordinary `&mut [u32]` scratch — in place
+/// when the backend lends mutable rows ([`Store::try_row_mut`]), staged in
+/// a caller buffer otherwise — and publish it exactly once. Readers use
+/// [`Store::published_row`] on lending backends or [`Store::with_row`] /
+/// [`Store::read_row_into`] everywhere. Dispatch is a concrete enum match,
+/// not a vtable, so the dense hot path stays identical to the pre-store
+/// code.
+pub struct Store {
+    inner: Inner,
+}
+
+enum Inner {
+    Dense(SharedDistState),
+    Delta(DeltaStore),
+    Mmap(MmapStore),
+}
+
+impl Store {
+    /// Allocates an empty store for an `n`-vertex matrix.
+    pub fn new(n: usize, spec: &StoreSpec) -> Store {
+        let inner = match spec.kind {
+            StoreKind::Dense => Inner::Dense(SharedDistState::new(n)),
+            StoreKind::Delta => Inner::Delta(DeltaStore::new(n, spec.refs, spec.cache_bytes)),
+            StoreKind::Mmap => Inner::Mmap(MmapStore::new(n, spec.cache_bytes)),
+        };
+        Store { inner }
+    }
+
+    /// Builds the store from a partially computed matrix (resume): rows
+    /// flagged in `completed` are pre-published, the rest start
+    /// unpublished and infinite.
+    pub fn from_parts(dist: DistanceMatrix, completed: &[bool], spec: &StoreSpec) -> Store {
+        match spec.kind {
+            StoreKind::Dense => Store {
+                inner: Inner::Dense(SharedDistState::from_parts(dist, completed)),
+            },
+            _ => {
+                let store = Store::new(dist.n(), spec);
+                for (s, &done) in completed.iter().enumerate() {
+                    if done {
+                        store.publish_from(s as u32, dist.row(s as u32));
+                    }
+                }
+                store
+            }
+        }
+    }
+
+    /// The backend in use.
+    pub fn kind(&self) -> StoreKind {
+        match &self.inner {
+            Inner::Dense(_) => StoreKind::Dense,
+            Inner::Delta(_) => StoreKind::Delta,
+            Inner::Mmap(_) => StoreKind::Mmap,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        match &self.inner {
+            Inner::Dense(state) => state.n(),
+            Inner::Delta(store) => store.n,
+            Inner::Mmap(store) => store.n,
+        }
+    }
+
+    /// Capability: whether published rows can be lent as `&[u32]` at no
+    /// cost ([`Store::published_row`]). Only the dense backend can; the
+    /// kernel gates the row-reuse trick and prefetch hints on this.
+    #[inline]
+    pub fn lends_rows(&self) -> bool {
+        matches!(&self.inner, Inner::Dense(_))
+    }
+
+    /// Exclusive in-place access to unpublished row `s`, on backends that
+    /// support it (dense). `None` means the caller must stage the row in
+    /// its own scratch and hand it over via [`Store::publish_from`].
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the unique owner of row `s` (no other live
+    /// `try_row_mut(s)` anywhere, `s` not yet published) — the same
+    /// contract as `SharedDistState::row_mut`.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn try_row_mut(&self, s: u32) -> Option<&mut [u32]> {
+        match &self.inner {
+            // SAFETY: forwarded caller contract.
+            Inner::Dense(state) => Some(unsafe { state.row_mut(s) }),
+            _ => None,
+        }
+    }
+
+    /// Publishes row `s` written in place through [`Store::try_row_mut`].
+    /// Only meaningful on lending backends.
+    #[inline]
+    pub fn publish(&self, s: u32) {
+        match &self.inner {
+            Inner::Dense(state) => state.publish(s),
+            _ => unreachable!("publish() without try_row_mut(); use publish_from"),
+        }
+    }
+
+    /// Publishes row `s` from caller-owned scratch: the backend copies /
+    /// encodes / writes the bytes, then stores the publication flag with
+    /// `Release`. The caller must own row `s` (never published before).
+    pub fn publish_from(&self, s: u32, row: &[u32]) {
+        debug_assert_eq!(row.len(), self.n(), "row length mismatch");
+        match &self.inner {
+            Inner::Dense(state) => {
+                // SAFETY: the caller owns unpublished row `s`; the borrow
+                // ends before publish.
+                unsafe { state.row_mut(s).copy_from_slice(row) };
+                state.publish(s);
+            }
+            Inner::Delta(store) => store.publish_from(s, row),
+            Inner::Mmap(store) => store.publish_from(s, row),
+        }
+    }
+
+    /// Lends published row `t` (dense only — `None` on other backends
+    /// even when the row is published; see [`Store::lends_rows`]).
+    #[inline]
+    pub fn published_row(&self, t: u32) -> Option<&[u32]> {
+        match &self.inner {
+            Inner::Dense(state) => state.published_row(t),
+            _ => None,
+        }
+    }
+
+    /// Software-prefetch hint for row `t`'s storage. A no-op on backends
+    /// that cannot lend rows.
+    #[inline]
+    pub fn prefetch_row(&self, t: u32) {
+        if let Inner::Dense(state) = &self.inner {
+            state.prefetch_row(t);
+        }
+    }
+
+    /// Whether row `s` has been published (`Acquire`).
+    #[inline]
+    pub fn is_published(&self, s: u32) -> bool {
+        match &self.inner {
+            Inner::Dense(state) => state.published_row(s).is_some(),
+            Inner::Delta(store) => store.flags[s as usize].load(Ordering::Acquire),
+            Inner::Mmap(store) => store.flags[s as usize].load(Ordering::Acquire),
+        }
+    }
+
+    /// Number of published rows.
+    pub fn published_count(&self) -> usize {
+        match &self.inner {
+            Inner::Dense(state) => state.published_count(),
+            Inner::Delta(store) => count_flags(&store.flags),
+            Inner::Mmap(store) => count_flags(&store.flags),
+        }
+    }
+
+    /// Runs `f` over published row `s` (decoding through the hot-row
+    /// cache on non-lending backends); `None` when `s` is unpublished.
+    pub fn with_row<R>(&self, s: u32, f: impl FnOnce(&[u32]) -> R) -> Option<R> {
+        match &self.inner {
+            Inner::Dense(state) => state.published_row(s).map(f),
+            Inner::Delta(store) => store.with_row(s, f),
+            Inner::Mmap(store) => store.with_row(s, f),
+        }
+    }
+
+    /// Copies published row `s` into `out`, bypassing the hot-row cache
+    /// (the bulk-read path: snapshots, ledger streaming, analysis
+    /// sweeps). Returns `false` — leaving `out` untouched — when `s` is
+    /// unpublished.
+    pub fn read_row_into(&self, s: u32, out: &mut [u32]) -> bool {
+        debug_assert_eq!(out.len(), self.n());
+        match &self.inner {
+            Inner::Dense(state) => match state.published_row(s) {
+                Some(row) => {
+                    out.copy_from_slice(row);
+                    true
+                }
+                None => false,
+            },
+            Inner::Delta(store) => store.read_row_into(s, out),
+            Inner::Mmap(store) => store.read_row_into(s, out),
+        }
+    }
+
+    /// Clones the published rows into a fresh matrix plus completion
+    /// flags (the periodic-checkpoint payload). O(n²).
+    pub fn snapshot(&self) -> (DistanceMatrix, Vec<bool>) {
+        match &self.inner {
+            Inner::Dense(state) => state.snapshot(),
+            _ => {
+                let n = self.n();
+                let mut dist = DistanceMatrix::new_infinite(n);
+                let mut completed = vec![false; n];
+                for s in 0..n as u32 {
+                    if self.read_row_into(s, dist.row_mut(s)) {
+                        completed[s as usize] = true;
+                    }
+                }
+                (dist, completed)
+            }
+        }
+    }
+
+    /// Consumes the store, yielding the final dense matrix (zero-copy for
+    /// the dense backend; a decode pass otherwise). Unpublished rows come
+    /// out infinite.
+    pub fn into_matrix(self) -> DistanceMatrix {
+        match self.inner {
+            Inner::Dense(state) => state.into_matrix(),
+            _ => self.snapshot().0,
+        }
+    }
+
+    /// Consumes the store, yielding the matrix plus completion flags —
+    /// the zero-copy teardown behind `Engine::into_snapshot` (no O(n²)
+    /// clone on the dense backend).
+    pub fn into_parts(self) -> (DistanceMatrix, Vec<bool>) {
+        match self.inner {
+            Inner::Dense(state) => state.into_parts(),
+            _ => self.snapshot(),
+        }
+    }
+
+    /// Bytes of published-row payload this store holds: resident matrix
+    /// bytes (dense), encoded bytes (delta), or shard-file bytes (mmap —
+    /// on disk, not resident). The `store_scaling` bench derives
+    /// bytes/row from this.
+    pub fn stored_bytes(&self) -> u64 {
+        match &self.inner {
+            Inner::Dense(state) => 4 * (state.n() as u64) * (state.n() as u64),
+            Inner::Delta(store) => store.bytes.load(Ordering::Relaxed),
+            Inner::Mmap(store) => store.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn count_flags(flags: &[AtomicBool]) -> usize {
+    flags.iter().filter(|f| f.load(Ordering::Relaxed)).count()
+}
+
+// ---------------------------------------------------------------------------
+// RowSource — the uniform read seam for analysis consumers
+// ---------------------------------------------------------------------------
+
+/// Read access to a distance matrix, row by row — implemented by both
+/// [`DistanceMatrix`] and [`Store`], so analysis passes (eccentricities,
+/// centrality, components) run unchanged against either.
+pub trait RowSource {
+    /// Number of vertices (the matrix is `n × n`).
+    fn n(&self) -> usize;
+
+    /// Visits every row in source order, `(source, row)` at a time.
+    /// Unpublished rows of a partial [`Store`] are visited as all-[`INF`]
+    /// (matching the dense matrix of an incomplete run).
+    fn for_each_row(&self, visit: &mut dyn FnMut(u32, &[u32]));
+}
+
+impl RowSource for DistanceMatrix {
+    fn n(&self) -> usize {
+        DistanceMatrix::n(self)
+    }
+
+    fn for_each_row(&self, visit: &mut dyn FnMut(u32, &[u32])) {
+        for s in 0..DistanceMatrix::n(self) as u32 {
+            visit(s, self.row(s));
+        }
+    }
+}
+
+impl RowSource for Store {
+    fn n(&self) -> usize {
+        Store::n(self)
+    }
+
+    fn for_each_row(&self, visit: &mut dyn FnMut(u32, &[u32])) {
+        match &self.inner {
+            // Dense lends rows directly — no copy.
+            Inner::Dense(state) => {
+                let mut infinite: Option<Vec<u32>> = None;
+                for s in 0..state.n() as u32 {
+                    match state.published_row(s) {
+                        Some(row) => visit(s, row),
+                        None => {
+                            let row = infinite.get_or_insert_with(|| vec![INF; state.n()]);
+                            visit(s, row);
+                        }
+                    }
+                }
+            }
+            _ => {
+                let n = Store::n(self);
+                let mut buf = vec![INF; n];
+                for s in 0..n as u32 {
+                    if !self.read_row_into(s, &mut buf) {
+                        buf.fill(INF);
+                    }
+                    visit(s, &buf);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-row LRU cache (shared by the delta and mmap backends)
+// ---------------------------------------------------------------------------
+
+/// A byte-budgeted LRU of decoded rows. The entry just inserted is never
+/// evicted (a single row larger than the budget still gets served).
+struct RowCache {
+    budget: u64,
+    bytes: u64,
+    map: HashMap<u32, Box<[u32]>>,
+    order: VecDeque<u32>,
+}
+
+impl RowCache {
+    fn new(budget: u64) -> RowCache {
+        RowCache {
+            budget,
+            bytes: 0,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Marks `s` most-recently-used and reports whether it is cached.
+    fn touch(&mut self, s: u32) -> bool {
+        if !self.map.contains_key(&s) {
+            return false;
+        }
+        if let Some(pos) = self.order.iter().position(|&k| k == s) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(s);
+        true
+    }
+
+    /// Inserts a decoded row, evicting least-recently-used entries (other
+    /// than the new one) until the budget holds.
+    fn insert(&mut self, s: u32, row: Box<[u32]>) {
+        self.bytes += 4 * row.len() as u64;
+        self.map.insert(s, row);
+        self.order.push_back(s);
+        while self.bytes > self.budget && self.order.len() > 1 {
+            let victim = self.order.pop_front().expect("order non-empty");
+            if let Some(old) = self.map.remove(&victim) {
+                self.bytes -= 4 * old.len() as u64;
+            }
+        }
+    }
+
+    fn get(&self, s: u32) -> Option<&[u32]> {
+        self.map.get(&s).map(|row| &row[..])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DeltaStore
+// ---------------------------------------------------------------------------
+
+/// One dense reference row of the delta backend.
+#[derive(Clone)]
+struct RefRow {
+    id: u32,
+    data: Box<[u32]>,
+}
+
+/// One row's encoded payload: written exactly once by the row's owner
+/// before publication, immutable afterwards.
+type EncodedSlot = UnsafeCell<Option<Box<[u8]>>>;
+
+/// Rows delta-encoded against reference-row estimates.
+///
+/// Encoding of a non-reference row `s` (little-endian):
+///
+/// ```text
+/// count: u8                       — reference rows used (< 0xFF)
+/// count × (id: u32, d_s_ref: u32) — the ref ids and d(s, ref), verbatim
+/// n × varint(zigzag(d(s,v) − est(v)))
+/// ```
+///
+/// where `est(v) = min over refs r of d(s,r) ⊕ refrow_r[v]` (saturating;
+/// `INF` participates as a plain `u32::MAX`). Recording `d(s, ref)` in
+/// the header makes every row self-contained: decode needs only the
+/// (append-only, never evicted) reference-row set, in any order. The
+/// first `max_refs` published rows become the reference set — under the
+/// hub-first source orderings the engines use, those are the highest-
+/// degree hubs, the same vertices landmark triangulation would pick.
+struct DeltaStore {
+    n: usize,
+    max_refs: usize,
+    /// Append-only reference set; publishers briefly lock to clone the
+    /// `Arc` (and to append while below `max_refs`), then encode outside
+    /// the lock.
+    refs: Mutex<Arc<Vec<RefRow>>>,
+    /// Per-row encoded payload. Single writer per slot, readers only
+    /// after the `Acquire` flag handshake.
+    slots: Box<[EncodedSlot]>,
+    flags: Box<[AtomicBool]>,
+    cache: Mutex<RowCache>,
+    bytes: AtomicU64,
+}
+
+// SAFETY: each slot is written exactly once, by the unique owner of its
+// row, strictly before the `Release` store of its flag; readers load the
+// flag with `Acquire` first. Reference rows are guarded by the mutex and
+// immutable once inserted (behind `Arc`).
+unsafe impl Sync for DeltaStore {}
+
+impl DeltaStore {
+    fn new(n: usize, max_refs: usize, cache_bytes: u64) -> DeltaStore {
+        DeltaStore {
+            n,
+            max_refs: max_refs.clamp(1, MAX_DELTA_REFS),
+            refs: Mutex::new(Arc::new(Vec::new())),
+            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+            flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            cache: Mutex::new(RowCache::new(cache_bytes)),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn publish_from(&self, s: u32, row: &[u32]) {
+        debug_assert!(
+            !self.flags[s as usize].load(Ordering::Relaxed),
+            "row {s} published twice"
+        );
+        // Join the reference set while it is still growing; either way,
+        // come away with the set to encode against.
+        let (refs, is_ref) = {
+            let mut guard = self.refs.lock().expect("refs mutex");
+            if guard.len() < self.max_refs {
+                let mut grown: Vec<RefRow> = (**guard).clone();
+                grown.push(RefRow {
+                    id: s,
+                    data: row.into(),
+                });
+                *guard = Arc::new(grown);
+                (Arc::clone(&guard), true)
+            } else {
+                (Arc::clone(&guard), false)
+            }
+        };
+        let enc: Box<[u8]> = if is_ref {
+            Box::new([REF_MARKER])
+        } else {
+            encode_delta_row(row, &refs)
+        };
+        self.bytes.fetch_add(enc.len() as u64, Ordering::Relaxed);
+        // SAFETY: unique owner of slot `s`, before publication.
+        unsafe { *self.slots[s as usize].get() = Some(enc) };
+        self.flags[s as usize].store(true, Ordering::Release);
+    }
+
+    /// The encoded payload of a published row. Caller must have observed
+    /// the `Acquire` flag.
+    fn payload(&self, s: u32) -> &[u8] {
+        // SAFETY: the Acquire load in the caller synchronized with the
+        // owner's Release store; the slot is never written again.
+        unsafe { (*self.slots[s as usize].get()).as_deref() }.expect("published row has a payload")
+    }
+
+    fn read_row_into(&self, s: u32, out: &mut [u32]) -> bool {
+        if !self.flags[s as usize].load(Ordering::Acquire) {
+            return false;
+        }
+        let refs = Arc::clone(&self.refs.lock().expect("refs mutex"));
+        decode_delta_row(self.payload(s), s, &refs, out);
+        true
+    }
+
+    fn with_row<R>(&self, s: u32, f: impl FnOnce(&[u32]) -> R) -> Option<R> {
+        if !self.flags[s as usize].load(Ordering::Acquire) {
+            return None;
+        }
+        let mut cache = self.cache.lock().expect("cache mutex");
+        if !cache.touch(s) {
+            let refs = Arc::clone(&self.refs.lock().expect("refs mutex"));
+            let mut row = vec![INF; self.n].into_boxed_slice();
+            decode_delta_row(self.payload(s), s, &refs, &mut row);
+            cache.insert(s, row);
+        }
+        Some(f(cache.get(s).expect("just inserted")))
+    }
+}
+
+/// Zig-zag encoding: small magnitudes (either sign) become small codes.
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+fn write_varint(buf: &mut Vec<u8>, mut z: u64) {
+    loop {
+        let byte = (z & 0x7F) as u8;
+        z >>= 7;
+        if z == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut z = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        z |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return z;
+        }
+        shift += 7;
+    }
+}
+
+fn encode_delta_row(row: &[u32], refs: &[RefRow]) -> Box<[u8]> {
+    debug_assert!(refs.len() < REF_MARKER as usize);
+    let mut buf = Vec::with_capacity(1 + refs.len() * 8 + row.len());
+    buf.push(refs.len() as u8);
+    let mut d_ref: Vec<u32> = Vec::with_capacity(refs.len());
+    for r in refs {
+        let d = row[r.id as usize];
+        buf.extend_from_slice(&r.id.to_le_bytes());
+        buf.extend_from_slice(&d.to_le_bytes());
+        d_ref.push(d);
+    }
+    for (v, &d) in row.iter().enumerate() {
+        let est = estimate(v, refs, &d_ref);
+        write_varint(&mut buf, zigzag(d as i64 - est as i64));
+    }
+    buf.into_boxed_slice()
+}
+
+/// Triangulated estimate of `d(s, v)` from the reference rows: the best
+/// two-hop route `s → ref → v`, saturating, with `INF` as plain
+/// `u32::MAX`.
+#[inline]
+fn estimate(v: usize, refs: &[RefRow], d_ref: &[u32]) -> u32 {
+    let mut est = INF;
+    for (r, &d) in refs.iter().zip(d_ref) {
+        est = est.min(d.saturating_add(r.data[v]));
+    }
+    est
+}
+
+fn decode_delta_row(enc: &[u8], s: u32, refs: &[RefRow], out: &mut [u32]) {
+    if enc[0] == REF_MARKER {
+        let r = refs
+            .iter()
+            .find(|r| r.id == s)
+            .expect("marker row present in the reference set");
+        out.copy_from_slice(&r.data);
+        return;
+    }
+    let count = enc[0] as usize;
+    let mut pos = 1usize;
+    // The refs named in the header, with d(s, ref) verbatim — the set
+    // only grows, so every named ref is still present.
+    let mut used: Vec<(u32, &[u32])> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = u32::from_le_bytes(enc[pos..pos + 4].try_into().expect("header"));
+        let d = u32::from_le_bytes(enc[pos + 4..pos + 8].try_into().expect("header"));
+        pos += 8;
+        let r = refs
+            .iter()
+            .find(|r| r.id == id)
+            .expect("encode-time reference still present");
+        used.push((d, &r.data));
+    }
+    for (v, slot) in out.iter_mut().enumerate() {
+        let mut est = INF;
+        for &(d, data) in &used {
+            est = est.min(d.saturating_add(data[v]));
+        }
+        let delta = unzigzag(read_varint(enc, &mut pos));
+        *slot = (est as i64 + delta) as u32;
+    }
+    debug_assert_eq!(pos, enc.len(), "trailing bytes in encoded row");
+}
+
+// ---------------------------------------------------------------------------
+// MmapStore
+// ---------------------------------------------------------------------------
+
+/// Process-wide counter for unique scratch-directory names.
+static STORE_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Rows in fixed-size file shards under a scratch directory.
+///
+/// Shard `k` holds rows `k·rows_per_shard ..`, each at byte offset
+/// `(s mod rows_per_shard) · 4n`, written little-endian with one `pwrite`
+/// and read back with one `pread`. Row writes land at disjoint offsets,
+/// so concurrent publishers need no lock; shard files are created lazily
+/// through a `OnceLock`. The directory is removed on drop (best effort).
+struct MmapStore {
+    n: usize,
+    dir: PathBuf,
+    rows_per_shard: usize,
+    shards: Box<[OnceLock<File>]>,
+    flags: Box<[AtomicBool]>,
+    cache: Mutex<RowCache>,
+    bytes: AtomicU64,
+}
+
+impl MmapStore {
+    fn new(n: usize, cache_bytes: u64) -> MmapStore {
+        let row_bytes = (4 * n.max(1)) as u64;
+        let rows_per_shard = (SHARD_BYTES / row_bytes).max(1) as usize;
+        let shard_count = n.div_ceil(rows_per_shard).max(1);
+        let dir = std::env::temp_dir().join(format!(
+            "parapsp-store-{}-{}",
+            std::process::id(),
+            STORE_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|err| panic!("creating store shard dir {}: {err}", dir.display()));
+        MmapStore {
+            n,
+            dir,
+            rows_per_shard,
+            shards: (0..shard_count).map(|_| OnceLock::new()).collect(),
+            flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            // At least one row must fit or the cache serves nothing.
+            cache: Mutex::new(RowCache::new(cache_bytes.max(row_bytes))),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, index: usize) -> &File {
+        self.shards[index].get_or_init(|| {
+            let path = self.dir.join(format!("shard-{index}.rows"));
+            OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&path)
+                .unwrap_or_else(|err| panic!("opening store shard {}: {err}", path.display()))
+        })
+    }
+
+    #[inline]
+    fn location(&self, s: u32) -> (usize, u64) {
+        let shard = s as usize / self.rows_per_shard;
+        let offset = (s as usize % self.rows_per_shard) as u64 * 4 * self.n as u64;
+        (shard, offset)
+    }
+
+    fn publish_from(&self, s: u32, row: &[u32]) {
+        debug_assert!(
+            !self.flags[s as usize].load(Ordering::Relaxed),
+            "row {s} published twice"
+        );
+        let mut buf = vec![0u8; 4 * self.n];
+        for (chunk, &d) in buf.chunks_exact_mut(4).zip(row) {
+            chunk.copy_from_slice(&d.to_le_bytes());
+        }
+        let (shard, offset) = self.location(s);
+        self.shard(shard)
+            .write_all_at(&buf, offset)
+            .unwrap_or_else(|err| panic!("writing store shard row {s}: {err}"));
+        self.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.flags[s as usize].store(true, Ordering::Release);
+    }
+
+    fn read_row_into(&self, s: u32, out: &mut [u32]) -> bool {
+        if !self.flags[s as usize].load(Ordering::Acquire) {
+            return false;
+        }
+        let mut buf = vec![0u8; 4 * self.n];
+        let (shard, offset) = self.location(s);
+        self.shard(shard)
+            .read_exact_at(&mut buf, offset)
+            .unwrap_or_else(|err| panic!("reading store shard row {s}: {err}"));
+        for (chunk, slot) in buf.chunks_exact(4).zip(out.iter_mut()) {
+            *slot = u32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+        }
+        true
+    }
+
+    fn with_row<R>(&self, s: u32, f: impl FnOnce(&[u32]) -> R) -> Option<R> {
+        if !self.flags[s as usize].load(Ordering::Acquire) {
+            return None;
+        }
+        let mut cache = self.cache.lock().expect("cache mutex");
+        if !cache.touch(s) {
+            let mut row = vec![INF; self.n].into_boxed_slice();
+            self.read_row_into(s, &mut row);
+            cache.insert(s, row);
+        }
+        Some(f(cache.get(s).expect("just inserted")))
+    }
+}
+
+impl Drop for MmapStore {
+    fn drop(&mut self) {
+        // Best effort: shard files are scratch, never a durability
+        // artifact (that's what checkpoints and ledgers are for).
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random distances (splitmix64) with ~1/8
+    /// INF cells, so encode/decode sees both signs and saturation.
+    fn fixture_rows(n: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        (0..n)
+            .map(|s| {
+                (0..n)
+                    .map(|v| {
+                        if s == v {
+                            0
+                        } else if next() % 8 == 0 {
+                            INF
+                        } else {
+                            (next() % 10_000) as u32
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn all_specs() -> Vec<StoreSpec> {
+        vec![
+            StoreSpec::dense(),
+            StoreSpec::delta(4),
+            StoreSpec::mmap(1 << 20),
+        ]
+    }
+
+    #[test]
+    fn parse_accepts_every_cli_spelling() {
+        assert_eq!("dense".parse(), Ok(StoreSpec::dense()));
+        assert_eq!("delta".parse(), Ok(StoreSpec::delta(DEFAULT_DELTA_REFS)));
+        assert_eq!("delta:8".parse(), Ok(StoreSpec::delta(8)));
+        assert_eq!("mmap".parse(), Ok(StoreSpec::mmap(DEFAULT_MMAP_CACHE)));
+        assert_eq!("mmap:4096".parse(), Ok(StoreSpec::mmap(4096)));
+        assert_eq!("mmap:256k".parse(), Ok(StoreSpec::mmap(256 << 10)));
+        assert_eq!("mmap:16M".parse(), Ok(StoreSpec::mmap(16 << 20)));
+        assert_eq!("mmap:2g".parse(), Ok(StoreSpec::mmap(2 << 30)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs_with_possible_values() {
+        for bad in [
+            "",
+            "dens",
+            "dense:4",
+            "delta:0",
+            "delta:wide",
+            "mmap:0",
+            "mmap:huge",
+        ] {
+            let err = bad.parse::<StoreSpec>().unwrap_err();
+            assert!(err.contains("store"), "{bad}: {err}");
+        }
+        let err = "tiered".parse::<StoreSpec>().unwrap_err();
+        assert!(
+            err.contains("possible values") && err.contains("mmap"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for spec in all_specs() {
+            assert_eq!(spec.label().parse(), Ok(spec.clone()), "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn every_backend_round_trips_rows_bit_identically() {
+        let n = 60;
+        let rows = fixture_rows(n, 0xA5A5);
+        for spec in all_specs() {
+            let store = Store::new(n, &spec);
+            assert_eq!(store.published_count(), 0);
+            for (s, row) in rows.iter().enumerate() {
+                assert!(!store.is_published(s as u32));
+                store.publish_from(s as u32, row);
+                assert!(store.is_published(s as u32));
+            }
+            assert_eq!(store.published_count(), n);
+            // Point reads through the cache.
+            let mut buf = vec![0u32; n];
+            for (s, row) in rows.iter().enumerate() {
+                let got = store.with_row(s as u32, |r| r.to_vec()).unwrap();
+                assert_eq!(&got, row, "{} with_row({s})", spec.label());
+                assert!(store.read_row_into(s as u32, &mut buf));
+                assert_eq!(&buf, row, "{} read_row_into({s})", spec.label());
+            }
+            // Bulk teardown.
+            let matrix = store.into_matrix();
+            for (s, row) in rows.iter().enumerate() {
+                assert_eq!(matrix.row(s as u32), &row[..], "{}", spec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn staged_kernel_writes_match_in_place_dense_writes() {
+        // The dense backend accepts both the in-place protocol
+        // (try_row_mut + publish) and the staged one (publish_from);
+        // both must yield the same bytes.
+        let n = 16;
+        let rows = fixture_rows(n, 7);
+        let in_place = Store::new(n, &StoreSpec::dense());
+        let staged = Store::new(n, &StoreSpec::dense());
+        for (s, row) in rows.iter().enumerate() {
+            // SAFETY: single-threaded test, unique owner of each row.
+            let slot = unsafe { in_place.try_row_mut(s as u32) }.expect("dense lends rows");
+            slot.copy_from_slice(row);
+            in_place.publish(s as u32);
+            staged.publish_from(s as u32, row);
+        }
+        assert_eq!(
+            in_place
+                .into_matrix()
+                .first_difference(&staged.into_matrix()),
+            None
+        );
+    }
+
+    #[test]
+    fn only_dense_lends_rows() {
+        let n = 8;
+        let rows = fixture_rows(n, 11);
+        for spec in all_specs() {
+            let store = Store::new(n, &spec);
+            store.publish_from(0, &rows[0]);
+            let lends = spec.kind() == StoreKind::Dense;
+            assert_eq!(store.lends_rows(), lends, "{}", spec.label());
+            assert_eq!(store.published_row(0).is_some(), lends, "{}", spec.label());
+            assert_eq!(
+                unsafe { store.try_row_mut(1) }.is_some(),
+                lends,
+                "{}",
+                spec.label()
+            );
+            store.prefetch_row(0); // must be a harmless no-op everywhere
+        }
+    }
+
+    #[test]
+    fn from_parts_prepublishes_only_completed_rows() {
+        let n = 12;
+        let rows = fixture_rows(n, 23);
+        let mut dist = DistanceMatrix::new_infinite(n);
+        let mut completed = vec![false; n];
+        for s in (0..n).step_by(3) {
+            dist.copy_row_from(s as u32, &rows[s]);
+            completed[s] = true;
+        }
+        for spec in all_specs() {
+            let store = Store::from_parts(dist.clone(), &completed, &spec);
+            for s in 0..n {
+                assert_eq!(
+                    store.is_published(s as u32),
+                    completed[s],
+                    "{}",
+                    spec.label()
+                );
+                if completed[s] {
+                    let got = store.with_row(s as u32, |r| r.to_vec()).unwrap();
+                    assert_eq!(&got, &rows[s], "{}", spec.label());
+                }
+            }
+            let (snap, flags) = store.snapshot();
+            assert_eq!(flags, completed, "{}", spec.label());
+            assert_eq!(snap.first_difference(&dist), None, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn delta_compresses_structured_rows_well_below_dense() {
+        // Rows that differ from a common hub row by a handful of cells —
+        // the structure the reference-row estimates are built to exploit.
+        let n = 256;
+        let mut base: Vec<u32> = (0..n).map(|v| 100 + (v as u32 % 50)).collect();
+        base[0] = 0;
+        let store = Store::new(n, &StoreSpec::delta(4));
+        for s in 0..n {
+            let mut row = base.clone();
+            row[s] = 0;
+            row[(s + 7) % n] += 3;
+            store.publish_from(s as u32, &row);
+        }
+        let dense_bytes = 4 * (n as u64) * (n as u64);
+        let stored = store.stored_bytes();
+        // The varint floor is one byte per cell, so the best possible is
+        // just under 4× smaller than dense; near-zero deltas must get
+        // close to that floor.
+        assert!(
+            stored * 3 < dense_bytes,
+            "delta encoding should be ≥3× smaller here: {stored} vs {dense_bytes}"
+        );
+        // And still decode exactly.
+        for s in 0..n as u32 {
+            store
+                .with_row(s, |row| {
+                    assert_eq!(row[s as usize], 0);
+                    assert_eq!(row[(s as usize + 7) % n], base[(s as usize + 7) % n] + 3);
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn hot_row_cache_respects_its_byte_budget() {
+        let n = 64; // 256 bytes per row
+        let rows = fixture_rows(n, 31);
+        // Budget of 3 rows.
+        let store = Store::new(n, &StoreSpec::mmap(3 * 4 * n as u64));
+        for (s, row) in rows.iter().enumerate() {
+            store.publish_from(s as u32, row);
+        }
+        // Touch many distinct rows; the cache must stay within budget
+        // while every read stays exact.
+        for pass in 0..3 {
+            for (s, row) in rows.iter().enumerate() {
+                let got = store.with_row(s as u32, |r| r.to_vec()).unwrap();
+                assert_eq!(&got, row, "pass {pass} row {s}");
+            }
+        }
+        let Inner::Mmap(inner) = &store.inner else {
+            panic!("mmap spec built a non-mmap store")
+        };
+        let cache = inner.cache.lock().unwrap();
+        assert!(
+            cache.bytes <= cache.budget,
+            "cache over budget: {} > {}",
+            cache.bytes,
+            cache.budget
+        );
+        assert!(cache.map.len() <= 3);
+    }
+
+    #[test]
+    fn cross_thread_publication_is_ordered_on_every_backend() {
+        for spec in [StoreSpec::delta(2), StoreSpec::mmap(1 << 20)] {
+            let n = 512;
+            let store = std::sync::Arc::new(Store::new(n, &spec));
+            let expect: Vec<u32> = (0..n as u32).map(|v| v * 3 + 1).collect();
+            let writer = {
+                let store = std::sync::Arc::clone(&store);
+                let expect = expect.clone();
+                std::thread::spawn(move || {
+                    // Publish a reference row first so row 9 encodes
+                    // against something.
+                    store.publish_from(0, &vec![1u32; n]);
+                    store.publish_from(9, &expect);
+                })
+            };
+            loop {
+                let done = store.with_row(9, |row| {
+                    assert_eq!(row, &expect[..], "{}", spec.label());
+                });
+                if done.is_some() {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            writer.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn row_source_visits_unpublished_rows_as_infinite() {
+        let n = 6;
+        let rows = fixture_rows(n, 41);
+        for spec in all_specs() {
+            let store = Store::new(n, &spec);
+            store.publish_from(2, &rows[2]);
+            let mut seen = Vec::new();
+            RowSource::for_each_row(&store, &mut |s, row| {
+                seen.push((s, row.to_vec()));
+            });
+            assert_eq!(seen.len(), n, "{}", spec.label());
+            assert_eq!(seen[2].1, rows[2], "{}", spec.label());
+            assert!(
+                seen[3].1.iter().all(|&d| d == INF),
+                "{}: unpublished row must read as INF",
+                spec.label()
+            );
+        }
+        // The DistanceMatrix impl visits its rows verbatim.
+        let mut dist = DistanceMatrix::new_infinite(3);
+        dist.copy_row_from(1, &[5, 0, 7]);
+        let mut count = 0;
+        RowSource::for_each_row(&dist, &mut |s, row| {
+            if s == 1 {
+                assert_eq!(row, &[5, 0, 7]);
+            }
+            count += 1;
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn mmap_store_cleans_up_its_shard_directory() {
+        let dir = {
+            let store = Store::new(32, &StoreSpec::mmap(1 << 20));
+            store.publish_from(0, &[0u32; 32]);
+            let Inner::Mmap(inner) = &store.inner else {
+                panic!("mmap spec built a non-mmap store")
+            };
+            assert!(inner.dir.exists());
+            inner.dir.clone()
+        };
+        assert!(!dir.exists(), "drop must remove {}", dir.display());
+    }
+
+    #[test]
+    fn varint_zigzag_round_trips_extremes() {
+        let mut buf = Vec::new();
+        for v in [0i64, 1, -1, 127, -128, u32::MAX as i64, -(u32::MAX as i64)] {
+            buf.clear();
+            write_varint(&mut buf, zigzag(v));
+            let mut pos = 0;
+            assert_eq!(unzigzag(read_varint(&buf, &mut pos)), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

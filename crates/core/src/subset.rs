@@ -11,8 +11,16 @@
 //! The algorithm-specific parts live in [`SubsetEngine`], driven by the
 //! unified [`Runner`] pipeline — which is how the subset path gained
 //! resume, periodic checkpoints, `max_distance` caps, and relax selection
-//! for free. [`par_apsp_subset`] / [`par_apsp_subset_cancellable`] remain
-//! as thin shims (to be removed after one release).
+//! for free:
+//!
+//! ```
+//! use parapsp_core::engine::{RunConfig, Runner, SubsetEngine};
+//! use parapsp_graph::generate::{barabasi_albert, WeightSpec};
+//!
+//! let g = barabasi_albert(100, 3, WeightSpec::Unit, 7).unwrap();
+//! let rows = Runner::new(RunConfig::subset(2)).run(SubsetEngine::new(vec![0, 42]), &g);
+//! assert_eq!(rows.row_of(42).unwrap().len(), 100);
+//! ```
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
@@ -22,11 +30,10 @@ use std::time::Instant;
 use parapsp_graph::{degree, CsrGraph, INF};
 use parapsp_order::seq_bucket::seq_bucket_sort;
 use parapsp_order::OrderingProcedure;
-use parapsp_parfor::{BitSet, CancelStatus, CancelToken, PerThread, ThreadPool};
+use parapsp_parfor::{BitSet, CancelStatus, PerThread, ThreadPool};
 
 use crate::dist::DistanceMatrix;
-use crate::engine::{Engine, Plan, RowsCtx, RowsOutcome, RunConfig, RunSummary, Runner};
-use crate::outcome::RunOutcome;
+use crate::engine::{Engine, Plan, RowsCtx, RowsOutcome, RunConfig, RunSummary};
 use crate::persist::Checkpoint;
 use crate::relax::relax_row;
 
@@ -317,41 +324,32 @@ impl Engine for SubsetEngine {
     }
 }
 
-/// Runs the modified Dijkstra from every vertex in `sources` (duplicates
-/// rejected), visiting them in descending degree order and reusing rows
-/// completed within the subset. Memory: O(k·n).
-///
-/// Deprecated shim over [`Runner`] + [`SubsetEngine`].
-pub fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> SubsetRows {
-    Runner::new(RunConfig::subset(threads)).run(SubsetEngine::new(sources.to_vec()), graph)
-}
-
-/// Cancellable [`par_apsp_subset`]: polls `token` before every source. On
-/// a stop the outcome carries an `n × n` checkpoint in which exactly the
-/// *finished subset rows* are marked complete — loadable with
-/// [`crate::persist::read_checkpoint`] and resumable (to the full matrix)
-/// with [`crate::ParApsp::run_resumed`], or re-run the remaining subset.
-///
-/// Deprecated shim over [`Runner`] + [`SubsetEngine`].
-pub fn par_apsp_subset_cancellable(
-    graph: &CsrGraph,
-    sources: &[u32],
-    threads: usize,
-    token: &CancelToken,
-) -> RunOutcome<SubsetRows> {
-    Runner::new(RunConfig::subset(threads)).run_with_token(
-        SubsetEngine::new(sources.to_vec()),
-        graph,
-        token,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::baselines::dijkstra_sssp;
+    use crate::engine::Runner;
+    use crate::outcome::RunOutcome;
     use parapsp_graph::generate::{barabasi_albert, erdos_renyi_gnm, WeightSpec};
     use parapsp_graph::Direction;
+    use parapsp_parfor::CancelToken;
+
+    fn par_apsp_subset(graph: &CsrGraph, sources: &[u32], threads: usize) -> SubsetRows {
+        Runner::new(RunConfig::subset(threads)).run(SubsetEngine::new(sources.to_vec()), graph)
+    }
+
+    fn par_apsp_subset_cancellable(
+        graph: &CsrGraph,
+        sources: &[u32],
+        threads: usize,
+        token: &CancelToken,
+    ) -> RunOutcome<SubsetRows> {
+        Runner::new(RunConfig::subset(threads)).run_with_token(
+            SubsetEngine::new(sources.to_vec()),
+            graph,
+            token,
+        )
+    }
 
     #[test]
     fn subset_rows_match_per_source_dijkstra() {
@@ -394,7 +392,7 @@ mod tests {
         let g = barabasi_albert(120, 2, WeightSpec::Unit, 33).unwrap();
         let all: Vec<u32> = (0..120).collect();
         let rows = par_apsp_subset(&g, &all, 4);
-        let full = crate::par::ParApsp::par_apsp(4).run(&g);
+        let full = Runner::new(RunConfig::par_apsp(4)).run(crate::engine::ApspEngine::new(), &g);
         for s in 0..120u32 {
             assert_eq!(rows.row_of(s).unwrap(), full.dist.row(s));
         }

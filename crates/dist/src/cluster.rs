@@ -27,11 +27,9 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::unbounded;
 
-use parapsp_core::engine::{
-    Engine, Plan, RowsCtx, RowsOutcome, RunConfig, RunSummary, Runner, ValueEnum,
-};
+use parapsp_core::engine::{Engine, Plan, RowsCtx, RowsOutcome, RunConfig, RunSummary, ValueEnum};
 use parapsp_core::persist::{mint_run_id, Checkpoint, FsyncPolicy, RowLedger};
-use parapsp_core::{DistanceMatrix, RunOutcome, INF};
+use parapsp_core::{DistanceMatrix, RunOutcome, Store, StoreKind, StoreSpec, INF};
 use parapsp_graph::{degree, CsrGraph};
 use parapsp_order::OrderingProcedure;
 use parapsp_parfor::{CancelStatus, CancelToken, ThreadPool};
@@ -204,6 +202,12 @@ pub struct ClusterConfig {
     /// Adversarial network conditions injected between the nodes' event
     /// streams and the driver; `None` (the default) injects nothing.
     pub chaos: Option<ChaosPlan>,
+    /// Storage backend for the driver's gather target (see
+    /// [`parapsp_core::store`]): gathered rows are published into this
+    /// store instead of a dense matrix, so an out-of-core backend bounds
+    /// the driver's resident O(n²) state too. Node-local row shares stay
+    /// dense (they are O(n²/P) by construction).
+    pub store: StoreSpec,
 }
 
 impl Default for ClusterConfig {
@@ -219,6 +223,7 @@ impl Default for ClusterConfig {
             transport: TransportSpec::InProcess,
             ledger: None,
             chaos: None,
+            store: StoreSpec::dense(),
         }
     }
 }
@@ -430,6 +435,30 @@ impl DistApspOutput {
 /// order (the distributed analogue of ParAPSP), so the [`RunConfig`]'s
 /// ordering procedure and schedule are ignored; `max_distance` is honoured
 /// as an exact post-filter on the gathered matrix.
+///
+/// The graph is replicated on every node (standard practice for
+/// source-partitioned APSP: the O(n + m) structure is negligible next to
+/// the O(n²/P) row share each node stores). Sources are dealt cyclically
+/// along the global descending degree order; completed rows of the top
+/// `hub_fraction` sources are broadcast, and every completed row is
+/// streamed to the driver immediately so crashes lose no finished work.
+///
+/// # Panics
+///
+/// The run panics if the fault plan crashes every node: with no survivor
+/// there is nobody left to take over the unfinished sources.
+///
+/// ```
+/// use parapsp_core::engine::{RunConfig, Runner};
+/// use parapsp_dist::{ClusterConfig, DistEngine};
+/// use parapsp_graph::generate::{barabasi_albert, WeightSpec};
+///
+/// let g = barabasi_albert(120, 3, WeightSpec::Unit, 1).unwrap();
+/// let config = ClusterConfig { nodes: 3, hub_fraction: 0.1, ..ClusterConfig::default() };
+/// let out = Runner::new(RunConfig::new(1)).run(DistEngine::new(config), &g);
+/// assert_eq!(out.dist.get(0, 0), 0);
+/// assert_eq!(out.node_stats.len(), 3);
+/// ```
 #[derive(Debug)]
 pub struct DistEngine {
     cluster: ClusterConfig,
@@ -490,6 +519,9 @@ impl Engine for DistEngine {
         self.resume = resume;
         self.n = graph.vertex_count();
         self.cap = config.kernel().max_distance;
+        // The engine-agnostic `--store` selection reaches the cluster here:
+        // the driver's gather target uses the run config's backend.
+        self.cluster.store = config.store().clone();
         // The whole cluster run is one unit; its internal ordering cost is
         // part of the simulation and not separable.
         Plan {
@@ -542,54 +574,27 @@ impl Engine for DistEngine {
     }
 }
 
-/// Runs the distributed-memory ParAPSP simulation.
-///
-/// The graph is replicated on every node (standard practice for
-/// source-partitioned APSP: the O(n + m) structure is negligible next to
-/// the O(n²/P) row share each node stores). Sources are dealt cyclically
-/// along the global descending degree order; completed rows of the top
-/// `hub_fraction` sources are broadcast, and every completed row is
-/// streamed to the driver immediately so crashes lose no finished work.
-///
-/// # Panics
-///
-/// Panics if the fault plan crashes every node: with no survivor there is
-/// nobody left to take over the unfinished sources.
-///
-/// ```
-/// use parapsp_dist::{dist_apsp, ClusterConfig};
-/// use parapsp_graph::generate::{barabasi_albert, WeightSpec};
-///
-/// let g = barabasi_albert(120, 3, WeightSpec::Unit, 1).unwrap();
-/// let out = dist_apsp(&g, ClusterConfig { nodes: 3, hub_fraction: 0.1, ..ClusterConfig::default() });
-/// assert_eq!(out.dist.get(0, 0), 0);
-/// assert_eq!(out.node_stats.len(), 3);
-/// ```
-///
-/// **Deprecation notice.** This is a thin shim over
-/// [`Runner`]`::run(`[`DistEngine`]`)` and will be removed after one
-/// release; new code should construct the engine directly.
-pub fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
-    Runner::new(RunConfig::new(1)).run(DistEngine::new(config), graph)
+/// Test-only convenience: drives a [`DistEngine`] through a [`Runner`]
+/// with the default single-driver config. Shared by this crate's unit
+/// tests (cluster, socket, fault); library callers construct the Runner
+/// themselves.
+#[cfg(test)]
+pub(crate) fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
+    parapsp_core::engine::Runner::new(RunConfig::new(1)).run(DistEngine::new(config), graph)
 }
 
-/// Cancellable [`dist_apsp`]: the driver polls `token` on every scheduling
-/// round and each node checks it between sources (an in-flight SSSP always
-/// finishes, so no torn rows exist). On a stop the driver shuts the
-/// cluster down, drains every row that was already on the wire, and
-/// returns a checkpoint of all gathered rows — resume it on any engine
-/// (e.g. [`parapsp_core::ParApsp::run_resumed`]) for a matrix
-/// bit-identical to an uninterrupted run's.
-///
-/// **Deprecation notice.** This is a thin shim over
-/// [`Runner`]`::run_with_token(`[`DistEngine`]`)` and will be removed
-/// after one release; new code should construct the engine directly.
-pub fn dist_apsp_cancellable(
+/// Cancellable flavour of the [`dist_apsp`] test helper.
+#[cfg(test)]
+pub(crate) fn dist_apsp_cancellable(
     graph: &CsrGraph,
     config: ClusterConfig,
     token: &CancelToken,
 ) -> RunOutcome<DistApspOutput> {
-    Runner::new(RunConfig::new(1)).run_with_token(DistEngine::new(config), graph, token)
+    parapsp_core::engine::Runner::new(RunConfig::new(1)).run_with_token(
+        DistEngine::new(config),
+        graph,
+        token,
+    )
 }
 
 /// Opens (or creates) the configured ledger and folds its replayed rows
@@ -693,12 +698,17 @@ fn run_cluster(
     }
     let mut driver = Driver::new(nodes, owned.clone(), n, config.retry);
     driver.ledger = ledger;
+    if config.store.kind() != StoreKind::Dense {
+        // `Driver::new` built the default dense gather target; swap in the
+        // configured backend before any row lands in it.
+        driver.store = Store::new(n, &config.store);
+    }
     if let Some(prior) = &prior {
         for s in 0..n as u32 {
             if prior.completed()[s as usize] {
                 driver.got[s as usize] = true;
                 driver.gathered += 1;
-                driver.dist.copy_row_from(s, prior.matrix().row(s));
+                driver.store.publish_from(s, prior.matrix().row(s));
             }
         }
         driver.replayed = driver.gathered as u64;
@@ -949,10 +959,8 @@ fn run_cluster_socket(
         Err(SocketStartError::Stopped(status)) => {
             // Cancelled while waiting for workers: whatever the ledger or
             // resume checkpoint already held is still the run's state.
-            let checkpoint = Checkpoint::new(
-                std::mem::replace(&mut driver.dist, DistanceMatrix::new_infinite(0)),
-                driver.got.clone(),
-            );
+            let store = std::mem::replace(&mut driver.store, Store::new(0, &StoreSpec::dense()));
+            let checkpoint = Checkpoint::new(store.into_matrix(), driver.got.clone());
             driver.finish_ledger();
             return RunOutcome::from_stop(status, checkpoint);
         }
@@ -1016,7 +1024,9 @@ fn finish_output(
     driver.finish_ledger();
     let got = driver.got;
     let output = DistApspOutput {
-        dist: driver.dist,
+        // Collapses the gather store into the dense output matrix
+        // (zero-copy for the default dense backend).
+        dist: driver.store.into_matrix(),
         node_stats,
         gather_bytes: driver.gather_bytes,
         gather_rejected: driver.gather_rejected,
@@ -1059,7 +1069,9 @@ struct Driver {
     delivered: Vec<u64>,
     /// Final stats received over the wire (socket transport only).
     wire_stats: Vec<Option<NodeStats>>,
-    dist: DistanceMatrix,
+    /// The gather target: accepted rows are published here, in the
+    /// backend the [`ClusterConfig`] selected.
+    store: Store,
     /// Incremental durability: every accepted row is appended here, and
     /// the driver commits once per scheduling round.
     ledger: Option<RowLedger>,
@@ -1090,7 +1102,7 @@ impl Driver {
             gaps: vec![Vec::new(); nodes],
             delivered: vec![0; nodes],
             wire_stats: vec![None; nodes],
-            dist: DistanceMatrix::new_infinite(n),
+            store: Store::new(n, &StoreSpec::dense()),
             ledger: None,
             replayed: 0,
         }
@@ -1163,7 +1175,7 @@ impl Driver {
         self.got[s] = true;
         self.gathered += 1;
         self.delivered[k] += 1;
-        self.dist.copy_row_from(message.source, &message.row);
+        self.store.publish_from(message.source, &message.row);
         // The row is accepted: journal it before anything else can
         // observe it as gathered. Fsync timing follows the ledger's
         // policy — `Always` syncs here, `Commit` at the driver round.
@@ -1489,6 +1501,7 @@ fn seal_gather_row(k: usize, s: u32, row: &[u32], attempt: u64, plan: &FaultPlan
 mod tests {
     use super::*;
     use parapsp_core::baselines::apsp_dijkstra;
+    use parapsp_core::engine::Runner;
     use parapsp_graph::generate::{barabasi_albert, erdos_renyi_gnm, WeightSpec};
     use parapsp_graph::Direction;
 
@@ -1903,7 +1916,11 @@ mod tests {
                 other => panic!("budget {budget} should cancel, got {other:?}"),
             };
             // Resume on the shared-memory engine: bit-identical finish.
-            let resumed = parapsp_core::ParApsp::par_apsp(2).run_resumed(&g, cp);
+            let resumed = parapsp_core::engine::Runner::new(RunConfig::par_apsp(2)).run_resumed(
+                parapsp_core::ApspEngine::new(),
+                &g,
+                cp,
+            );
             assert_eq!(
                 reference.first_difference(&resumed.dist),
                 None,
@@ -2272,7 +2289,7 @@ mod tests {
         driver.on_row(1, RowMessage::new(0, vec![0, 5]), &mut sink);
         assert_eq!(driver.gathered, 1);
         assert_eq!(driver.delivered, vec![1, 0]);
-        assert_eq!(driver.dist.row(0)[1], 9);
+        assert_eq!(driver.store.with_row(0, |row| row[1]), Some(9));
         // A corrupted duplicate of an already-gathered source draws no
         // Resend either — the row is already home.
         driver.on_row(1, corrupted_row(0, 2), &mut sink);

@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 /// a node, so no node index can collide with it).
 pub(crate) const DRIVER: u64 = u64::MAX;
 
-/// A reproducible schedule of faults for one [`dist_apsp`] run.
+/// A reproducible schedule of faults for one [`DistEngine`] run.
 ///
 /// The default plan injects nothing, so `FaultPlan::default()` preserves
 /// the fault-free behaviour exactly.
@@ -35,7 +35,7 @@ pub(crate) const DRIVER: u64 = u64::MAX;
 /// assert_eq!(FaultPlan::default(), FaultPlan::seeded(0));
 /// ```
 ///
-/// [`dist_apsp`]: crate::dist_apsp
+/// [`DistEngine`]: crate::DistEngine
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
     seed: u64,

@@ -78,8 +78,8 @@ mod worker;
 
 pub use chaos::ChaosPlan;
 pub use cluster::{
-    dist_apsp, dist_apsp_cancellable, ClusterConfig, ClusterConfigError, DistApspOutput,
-    DistEngine, LedgerSpec, NodeStats, RetryPolicy, SourcePartition, WatchdogConfig,
+    ClusterConfig, ClusterConfigError, DistApspOutput, DistEngine, LedgerSpec, NodeStats,
+    RetryPolicy, SourcePartition, WatchdogConfig,
 };
 pub use fault::FaultPlan;
 pub use transport::{BindSpec, ConnectRetry, SocketConfig, TransportSpec, WorkerMode};

@@ -33,8 +33,8 @@ pub use parapsp_parfor as parfor;
 pub mod prelude {
     pub use parapsp_core::baselines;
     pub use parapsp_core::{
-        ApspEngine, ApspOutput, DistanceMatrix, Engine, EngineKind, ParApsp, RunConfig, Runner,
-        SeqEngine, SubsetEngine, INF,
+        ApspEngine, ApspOutput, DistanceMatrix, Engine, EngineKind, RunConfig, Runner, SeqEngine,
+        Store, StoreKind, StoreSpec, SubsetEngine, INF,
     };
     pub use parapsp_datasets::{find as find_dataset, paper_datasets, Scale};
     pub use parapsp_graph::generate::{
@@ -59,9 +59,10 @@ mod tests {
         let out = Runner::new(config).run(ApspEngine::new(), &graph);
         let reference = baselines::apsp_dijkstra(&graph);
         assert_eq!(reference.first_difference(&out.dist), None);
-        // The deprecated driver facade still works while callers migrate.
-        let shim = ParApsp::par_apsp(2).run(&graph);
-        assert_eq!(reference.first_difference(&shim.dist), None);
+        // The store tiers are part of the prelude surface.
+        let delta = Runner::new(RunConfig::par_apsp(2).with_store(StoreSpec::delta(4)))
+            .run(ApspEngine::new(), &graph);
+        assert_eq!(reference.first_difference(&delta.dist), None);
         let pool = ThreadPool::new(2);
         let _ = pool; // re-exported and constructible
         assert!(find_dataset("WordNet").is_some());

@@ -10,7 +10,7 @@
 
 use parapsp::core::{
     ApspEngine, BlockedFwEngine, DistanceMatrix, RunConfig, Runner, SeqEngine, SolverKind,
-    SubsetEngine, INF,
+    StoreSpec, SubsetEngine, INF,
 };
 use parapsp::dist::{ClusterConfig, DistEngine};
 use parapsp::graph::generate::{
@@ -243,6 +243,69 @@ fn every_solver_matches_seq_basic_on_every_fixture() {
                         &out.dist,
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Store axis: the matrix storage backend decides *where* finished rows
+/// live — dense heap memory, landmark-delta compressed blocks, or
+/// out-of-core mmap shards — never what they contain. Every store must be
+/// bit-identical to seq-basic through the parallel, sequential, and
+/// distributed engines, uncapped and capped. The delta store runs with a
+/// deliberately tiny hot-row cache and the mmap store with a tiny decoded
+/// budget so eviction/decode round trips are actually exercised.
+#[test]
+fn every_store_matches_seq_basic_on_every_fixture() {
+    let stores = [
+        ("dense", StoreSpec::dense()),
+        ("delta", StoreSpec::delta(4)),
+        ("mmap", StoreSpec::mmap(64 * 1024)),
+    ];
+    for (fixture, graph) in fixtures() {
+        let full = Runner::new(RunConfig::seq_basic())
+            .run(SeqEngine::ordered(), &graph)
+            .dist;
+        for cap in [None, Some(6u32)] {
+            let with_cap = |config: RunConfig| match cap {
+                Some(c) => config.with_max_distance(c),
+                None => config,
+            };
+            for (store_label, store) in &stores {
+                for (label, config) in [
+                    ("par-apsp", RunConfig::par_apsp(4)),
+                    ("seq-basic", RunConfig::seq_basic()),
+                    ("seq-optimized", RunConfig::seq_optimized(1.0)),
+                ] {
+                    let config = with_cap(config).with_store(store.clone());
+                    let out = if label.starts_with("seq") {
+                        Runner::new(config).run(SeqEngine::ordered(), &graph)
+                    } else {
+                        Runner::new(config).run(ApspEngine::new(), &graph)
+                    };
+                    assert_matrix(
+                        &format!("{label}[{store_label}]"),
+                        fixture,
+                        cap,
+                        &full,
+                        &out.dist,
+                    );
+                }
+
+                // Distributed: the store backs the driver's gather target.
+                let cluster = DistEngine::new(ClusterConfig {
+                    nodes: 2,
+                    ..Default::default()
+                });
+                let out = Runner::new(with_cap(RunConfig::new(1)).with_store(store.clone()))
+                    .run(cluster, &graph);
+                assert_matrix(
+                    &format!("dist[{store_label}]"),
+                    fixture,
+                    cap,
+                    &full,
+                    &out.dist,
+                );
             }
         }
     }

@@ -4,22 +4,27 @@
 //! algorithm, which are the precise APSP solutions").
 
 use parapsp::core::baselines::{apsp_bfs, apsp_dijkstra, floyd_warshall, par_apsp_dijkstra};
+use parapsp::core::engine::{ApspEngine, RunConfig, Runner, SeqEngine};
 use parapsp::core::kernel::KernelOptions;
-use parapsp::core::seq::{seq_adaptive, seq_basic, seq_optimized};
-use parapsp::core::ParApsp;
+use parapsp::core::ApspOutput;
 use parapsp::graph::generate::{
     barabasi_albert, erdos_renyi_gnm, grid_graph, scale_free_directed, watts_strogatz, WeightSpec,
 };
 use parapsp::graph::{CsrGraph, Direction};
+use parapsp::order::OrderingProcedure;
 use parapsp::parfor::{Schedule, ThreadPool};
 
-fn parallel_variants(threads: usize) -> Vec<ParApsp> {
+fn run_par(config: RunConfig, graph: &CsrGraph) -> ApspOutput {
+    Runner::new(config).run(ApspEngine::new(), graph)
+}
+
+fn parallel_variants(threads: usize) -> Vec<RunConfig> {
     vec![
-        ParApsp::par_alg1(threads),
-        ParApsp::par_alg2(threads),
-        ParApsp::with_par_buckets(threads),
-        ParApsp::with_par_max(threads),
-        ParApsp::par_apsp(threads),
+        RunConfig::par_alg1(threads),
+        RunConfig::par_alg2(threads),
+        RunConfig::par_apsp(threads).with_ordering(OrderingProcedure::par_buckets()),
+        RunConfig::par_apsp(threads).with_ordering(OrderingProcedure::par_max()),
+        RunConfig::par_apsp(threads),
     ]
 }
 
@@ -42,25 +47,37 @@ fn assert_all_agree(graph: &CsrGraph, context: &str) {
 
     // Sequential Peng family.
     assert_eq!(
-        reference.first_difference(&seq_basic(graph).dist),
+        reference.first_difference(
+            &Runner::new(RunConfig::seq_basic())
+                .run(SeqEngine::ordered(), graph)
+                .dist
+        ),
         None,
         "{context}: seq-basic"
     );
     assert_eq!(
-        reference.first_difference(&seq_optimized(graph, 1.0).dist),
+        reference.first_difference(
+            &Runner::new(RunConfig::seq_optimized(1.0))
+                .run(SeqEngine::ordered(), graph)
+                .dist
+        ),
         None,
         "{context}: seq-optimized"
     );
     assert_eq!(
-        reference.first_difference(&seq_adaptive(graph, 4).dist),
+        reference.first_difference(
+            &Runner::new(RunConfig::seq_adaptive(4))
+                .run(SeqEngine::adaptive(4), graph)
+                .dist
+        ),
         None,
         "{context}: seq-adaptive"
     );
 
     // Parallel family, multiple thread counts.
     for threads in [1usize, 3, 7] {
-        for driver in parallel_variants(threads) {
-            let out = driver.run(graph);
+        for config in parallel_variants(threads) {
+            let out = run_par(config, graph);
             assert_eq!(
                 reference.first_difference(&out.dist),
                 None,
@@ -130,7 +147,7 @@ fn grid_graph_agrees() {
 #[test]
 fn undirected_results_are_symmetric() {
     let g = barabasi_albert(200, 3, WeightSpec::Uniform { lo: 1, hi: 9 }, 107).unwrap();
-    let out = ParApsp::par_apsp(4).run(&g);
+    let out = run_par(RunConfig::par_apsp(4), &g);
     assert!(out.dist.is_symmetric());
 }
 
@@ -146,14 +163,16 @@ fn every_schedule_and_kernel_combination_is_exact() {
     ] {
         for row_reuse in [false, true] {
             for dedup_queue in [false, true] {
-                let out = ParApsp::par_apsp(4)
-                    .with_schedule(schedule)
-                    .with_kernel_options(KernelOptions {
-                        row_reuse,
-                        dedup_queue,
-                        ..KernelOptions::default()
-                    })
-                    .run(&g);
+                let out = run_par(
+                    RunConfig::par_apsp(4)
+                        .with_schedule(schedule)
+                        .with_kernel_options(KernelOptions {
+                            row_reuse,
+                            dedup_queue,
+                            ..KernelOptions::default()
+                        }),
+                    &g,
+                );
                 assert_eq!(
                     reference.first_difference(&out.dist),
                     None,
@@ -199,7 +218,7 @@ fn every_relax_impl_is_exact_on_generator_fixtures() {
     for (label, graph) in &fixtures {
         let reference = apsp_dijkstra(graph);
         for relax in RelaxImpl::ALL {
-            let out = ParApsp::par_apsp(4).with_relax(relax).run(graph);
+            let out = run_par(RunConfig::par_apsp(4).with_relax(relax), graph);
             assert_eq!(
                 reference.first_difference(&out.dist),
                 None,
@@ -215,9 +234,9 @@ fn repeated_parallel_runs_are_deterministic() {
     // Distances must be identical run to run (they are exact), even though
     // thread interleavings differ.
     let g = barabasi_albert(150, 3, WeightSpec::Unit, 109).unwrap();
-    let first = ParApsp::par_apsp(8).run(&g);
+    let first = run_par(RunConfig::par_apsp(8), &g);
     for _ in 0..5 {
-        let again = ParApsp::par_apsp(8).run(&g);
+        let again = run_par(RunConfig::par_apsp(8), &g);
         assert_eq!(first.dist.first_difference(&again.dist), None);
     }
 }

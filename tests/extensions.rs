@@ -5,13 +5,18 @@
 use parapsp::analysis::betweenness_centrality;
 use parapsp::core::adaptive::{par_adaptive, AdaptiveConfig};
 use parapsp::core::baselines::apsp_dijkstra;
+use parapsp::core::engine::{ApspEngine, RunConfig, Runner};
 use parapsp::core::paths::par_apsp_with_paths;
-use parapsp::core::ParApsp;
 use parapsp::datasets::{find, Scale};
-use parapsp::dist::{dist_apsp, ClusterConfig};
+use parapsp::dist::{ClusterConfig, DistApspOutput, DistEngine};
 use parapsp::graph::degree;
 use parapsp::graph::generate::{scale_free_directed, WeightSpec};
+use parapsp::graph::CsrGraph;
 use parapsp::parfor::ThreadPool;
+
+fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
+    Runner::new(RunConfig::new(1)).run(DistEngine::new(config), graph)
+}
 
 #[test]
 fn all_extension_algorithms_agree_with_the_core_on_a_replica() {
@@ -21,7 +26,7 @@ fn all_extension_algorithms_agree_with_the_core_on_a_replica() {
         .unwrap();
     let reference = apsp_dijkstra(&graph);
 
-    let parapsp = ParApsp::par_apsp(4).run(&graph);
+    let parapsp = Runner::new(RunConfig::par_apsp(4)).run(ApspEngine::new(), &graph);
     assert_eq!(reference.first_difference(&parapsp.dist), None, "ParAPSP");
 
     let adaptive = par_adaptive(&graph, 4, AdaptiveConfig::default());
@@ -111,7 +116,10 @@ fn degree_order_is_a_good_proxy_for_betweenness() {
     // The paper's §2.2 heuristic, quantified: on a scale-free replica the
     // top-degree vertices should capture a large share of the total
     // betweenness (that is *why* computing hub rows early pays off).
-    let graph = find("Flickr").unwrap().generate(Scale::Vertices(600)).unwrap();
+    let graph = find("Flickr")
+        .unwrap()
+        .generate(Scale::Vertices(600))
+        .unwrap();
     let pool = ThreadPool::new(4);
     let betweenness = betweenness_centrality(&graph, &pool);
     let degrees = degree::out_degrees(&graph);

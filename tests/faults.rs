@@ -17,13 +17,27 @@
 
 use proptest::prelude::*;
 
+use parapsp::core::engine::{ApspEngine, RunConfig, Runner};
 use parapsp::core::persist::{self, Checkpoint};
-use parapsp::core::{ParApsp, RunOutcome};
+use parapsp::core::{ApspOutput, RunOutcome};
 use parapsp::dist::{
-    dist_apsp, ChaosPlan, ClusterConfig, FaultPlan, SocketConfig, TransportSpec, WorkerMode,
+    ChaosPlan, ClusterConfig, DistApspOutput, DistEngine, FaultPlan, SocketConfig, TransportSpec,
+    WorkerMode,
 };
 use parapsp::graph::{CsrGraph, Direction, GraphBuilder};
 use parapsp::parfor::CancelToken;
+
+fn run_par(threads: usize, graph: &CsrGraph) -> ApspOutput {
+    Runner::new(RunConfig::par_apsp(threads)).run(ApspEngine::new(), graph)
+}
+
+fn run_par_resumed(threads: usize, graph: &CsrGraph, checkpoint: Checkpoint) -> ApspOutput {
+    Runner::new(RunConfig::par_apsp(threads)).run_resumed(ApspEngine::new(), graph, checkpoint)
+}
+
+fn dist_apsp(graph: &CsrGraph, config: ClusterConfig) -> DistApspOutput {
+    Runner::new(RunConfig::new(1)).run(DistEngine::new(config), graph)
+}
 
 /// An arbitrary graph with up to `max_n` vertices and `max_m` edges,
 /// random directedness, weights in 1..=20.
@@ -188,7 +202,7 @@ proptest! {
         threads in 1usize..5,
     ) {
         let n = graph.vertex_count();
-        let full = ParApsp::par_apsp(threads).run(&graph);
+        let full = run_par(threads, &graph);
         // The on-disk artifact of a run killed midway: some rows final,
         // the rest absent.
         let completed: Vec<bool> = (0..n).map(|s| keep[s]).collect();
@@ -198,7 +212,7 @@ proptest! {
         let loaded = persist::read_checkpoint(bytes.as_slice()).expect("round trip");
         prop_assert_eq!(&loaded, &cp);
         let missing = completed.iter().filter(|&&done| !done).count() as u64;
-        let resumed = ParApsp::par_apsp(threads).run_resumed(&graph, loaded);
+        let resumed = run_par_resumed(threads, &graph, loaded);
         prop_assert_eq!(full.dist.first_difference(&resumed.dist), None);
         prop_assert_eq!(resumed.counters.sources, missing);
     }
@@ -212,9 +226,9 @@ proptest! {
         budget in 0u64..300,
         threads in 1usize..5,
     ) {
-        let full = ParApsp::par_apsp(threads).run(&graph);
+        let full = run_par(threads, &graph);
         let token = CancelToken::with_poll_budget(budget);
-        match ParApsp::par_apsp(threads).run_with_token(&graph, &token) {
+        match Runner::new(RunConfig::par_apsp(threads)).run_with_token(ApspEngine::new(), &graph, &token) {
             RunOutcome::Complete(out) => {
                 // Budget never ran out; the cancellable path must agree
                 // with the plain one.
@@ -226,7 +240,7 @@ proptest! {
                 persist::write_checkpoint(&checkpoint, &mut bytes).expect("in-memory write");
                 let loaded = persist::read_checkpoint(bytes.as_slice()).expect("round trip");
                 prop_assert_eq!(&loaded, &checkpoint);
-                let resumed = ParApsp::par_apsp(threads).run_resumed(&graph, loaded);
+                let resumed = run_par_resumed(threads, &graph, loaded);
                 prop_assert_eq!(full.dist.first_difference(&resumed.dist), None);
             }
             RunOutcome::DeadlineExceeded { .. } => {
@@ -242,7 +256,7 @@ proptest! {
         tweak in any::<u64>(),
     ) {
         let n = graph.vertex_count();
-        let full = ParApsp::par_apsp(2).run(&graph);
+        let full = run_par(2, &graph);
         let completed: Vec<bool> = (0..n).map(|s| keep[s]).collect();
         let cp = Checkpoint::new(full.dist, completed);
         let mut bytes = Vec::new();
@@ -275,7 +289,7 @@ fn version_skew_between_matrix_and_checkpoint_formats() {
         b.add_edge(0, v, v).unwrap();
     }
     let graph = b.build();
-    let full = ParApsp::par_apsp(2).run(&graph);
+    let full = run_par(2, &graph);
 
     let mut v1 = Vec::new();
     persist::write_binary(&full.dist, &mut v1).unwrap();
@@ -303,8 +317,9 @@ fn checkpoint_file_written_during_a_run_is_loadable_and_exact() {
     }
     let graph = b.build();
 
-    let reference = ParApsp::par_apsp(4).run(&graph);
-    let out = ParApsp::par_apsp(4).with_checkpoint(&path, 16).run(&graph);
+    let reference = run_par(4, &graph);
+    let out = Runner::new(RunConfig::par_apsp(4).with_checkpoint(&path, 16))
+        .run(ApspEngine::new(), &graph);
     assert_eq!(reference.dist.first_difference(&out.dist), None);
 
     let cp = persist::load_checkpoint(&path).unwrap();
@@ -322,17 +337,17 @@ fn expired_deadline_stops_immediately_with_a_resumable_checkpoint() {
         b.add_edge(v - 1, v, 1 + v % 9).unwrap();
     }
     let graph = b.build();
-    let reference = ParApsp::par_apsp(2).run(&graph);
+    let reference = run_par(2, &graph);
 
     let token = CancelToken::with_deadline(std::time::Duration::ZERO);
     let RunOutcome::DeadlineExceeded { checkpoint } =
-        ParApsp::par_apsp(2).run_with_token(&graph, &token)
+        Runner::new(RunConfig::par_apsp(2)).run_with_token(ApspEngine::new(), &graph, &token)
     else {
         panic!("an expired deadline must stop the run");
     };
     assert_eq!(checkpoint.n(), 60);
     assert!(!checkpoint.is_complete());
-    let resumed = ParApsp::par_apsp(2).run_resumed(&graph, checkpoint);
+    let resumed = run_par_resumed(2, &graph, checkpoint);
     assert_eq!(reference.dist.first_difference(&resumed.dist), None);
 }
 
@@ -396,23 +411,21 @@ fn fifty_seeded_chaos_plans_recover_exactly_on_both_transports() {
 /// run yields a checkpoint the shared-memory engine can finish exactly.
 #[test]
 fn cancelled_dist_run_resumes_on_the_shared_memory_engine() {
-    use parapsp::dist::dist_apsp_cancellable;
-
     let mut b = GraphBuilder::new(50, Direction::Undirected);
     for v in 1..50u32 {
         b.add_edge(v - 1, v, 2 + v % 5).unwrap();
         b.add_edge(0, v, 7).unwrap();
     }
     let graph = b.build();
-    let reference = ParApsp::par_apsp(2).run(&graph);
+    let reference = run_par(2, &graph);
 
     let token = CancelToken::with_poll_budget(3);
-    let outcome = dist_apsp_cancellable(
-        &graph,
-        ClusterConfig {
+    let outcome = Runner::new(RunConfig::new(1)).run_with_token(
+        DistEngine::new(ClusterConfig {
             nodes: 3,
             ..ClusterConfig::default()
-        },
+        }),
+        &graph,
         &token,
     );
     match outcome {
@@ -420,7 +433,7 @@ fn cancelled_dist_run_resumes_on_the_shared_memory_engine() {
             assert_eq!(reference.dist.first_difference(&out.dist), None);
         }
         RunOutcome::Cancelled { checkpoint } => {
-            let resumed = ParApsp::par_apsp(2).run_resumed(&graph, checkpoint);
+            let resumed = run_par_resumed(2, &graph, checkpoint);
             assert_eq!(reference.dist.first_difference(&resumed.dist), None);
         }
         RunOutcome::DeadlineExceeded { .. } => {

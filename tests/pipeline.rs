@@ -1,44 +1,45 @@
 //! End-to-end pipeline tests: datasets → APSP → analysis, and file I/O →
 //! APSP — the workflows the examples demonstrate, asserted.
 
-use parapsp::analysis::centrality::{closeness_centrality, harmonic_centrality, top_k, Normalization};
+use parapsp::analysis::centrality::{
+    closeness_centrality, harmonic_centrality, top_k, Normalization,
+};
 use parapsp::analysis::components::{reach_counts, weakly_connected_components};
 use parapsp::analysis::paths::{distance_distribution, path_stats};
 use parapsp::core::baselines::apsp_bfs;
-use parapsp::core::ParApsp;
+use parapsp::core::engine::{ApspEngine, RunConfig, Runner};
+use parapsp::core::ApspOutput;
 use parapsp::datasets::{find, paper_datasets, Scale};
 use parapsp::graph::degree;
 use parapsp::graph::io::{read_edge_list, ParseOptions};
-use parapsp::graph::Direction;
+use parapsp::graph::{CsrGraph, Direction};
+
+fn run_par(threads: usize, graph: &CsrGraph) -> ApspOutput {
+    Runner::new(RunConfig::par_apsp(threads)).run(ApspEngine::new(), graph)
+}
 
 #[test]
 fn every_replica_runs_end_to_end_at_tiny_scale() {
     for spec in paper_datasets() {
         let graph = spec.generate(Scale::Vertices(150)).unwrap();
-        let out = ParApsp::par_apsp(3).run(&graph);
+        let out = run_par(3, &graph);
         // Cross-check with BFS (replicas are unit-weight).
         let reference = apsp_bfs(&graph);
-        assert_eq!(
-            reference.first_difference(&out.dist),
-            None,
-            "{}",
-            spec.name
-        );
+        assert_eq!(reference.first_difference(&out.dist), None, "{}", spec.name);
         let stats = path_stats(&out.dist);
         assert!(stats.diameter >= 1, "{}: diameter", spec.name);
-        assert!(
-            stats.average_path_length > 1.0,
-            "{}: avg path",
-            spec.name
-        );
+        assert!(stats.average_path_length > 1.0, "{}: avg path", spec.name);
     }
 }
 
 #[test]
 fn hub_dominates_centrality_in_scale_free_replica() {
-    let graph = find("Flickr").unwrap().generate(Scale::Vertices(400)).unwrap();
+    let graph = find("Flickr")
+        .unwrap()
+        .generate(Scale::Vertices(400))
+        .unwrap();
     let degrees = degree::out_degrees(&graph);
-    let out = ParApsp::par_apsp(4).run(&graph);
+    let out = run_par(4, &graph);
     let closeness = closeness_centrality(&out.dist, Normalization::WassermanFaust);
     let harmonic = harmonic_centrality(&out.dist);
 
@@ -64,8 +65,11 @@ fn hub_dominates_centrality_in_scale_free_replica() {
 #[test]
 fn distance_distribution_is_small_world() {
     // Small-world property: almost all pairs within a few hops.
-    let graph = find("Livemocha").unwrap().generate(Scale::Vertices(500)).unwrap();
-    let out = ParApsp::par_apsp(2).run(&graph);
+    let graph = find("Livemocha")
+        .unwrap()
+        .generate(Scale::Vertices(500))
+        .unwrap();
+    let out = run_par(2, &graph);
     let stats = path_stats(&out.dist);
     assert!(stats.diameter <= 10, "diameter {}", stats.diameter);
     let hist = distance_distribution(&out.dist);
@@ -81,14 +85,14 @@ fn component_structure_matches_matrix_reachability() {
     // A replica is connected w.h.p.; add isolated vertices by parsing a
     // file with a detached clique.
     let text = "0 1\n1 2\n2 0\n5 6\n";
-    let loaded = read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Undirected)).unwrap();
+    let loaded =
+        read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Undirected)).unwrap();
     let (ids, count) = weakly_connected_components(&loaded.graph);
     assert_eq!(count, 2);
-    let out = ParApsp::par_apsp(2).run(&loaded.graph);
+    let out = run_par(2, &loaded.graph);
     let reach = reach_counts(&out.dist);
     for (v, &r) in reach.iter().enumerate() {
-        let same_component =
-            ids.iter().filter(|&&c| c == ids[v]).count() - 1;
+        let same_component = ids.iter().filter(|&&c| c == ids[v]).count() - 1;
         assert_eq!(r, same_component, "vertex {v}");
     }
 }
@@ -104,8 +108,9 @@ fn snap_file_to_centrality_pipeline() {
 4 5
 5 6
 ";
-    let loaded = read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Undirected)).unwrap();
-    let out = ParApsp::par_apsp(2).run(&loaded.graph);
+    let loaded =
+        read_edge_list(text.as_bytes(), ParseOptions::snap(Direction::Undirected)).unwrap();
+    let out = run_par(2, &loaded.graph);
     let closeness = closeness_centrality(&out.dist, Normalization::Classic);
     // Vertex "1" (dense id 0) and "4" (dense id 3) are the bridges; "1" has
     // degree 3 and should be the most central.
@@ -116,13 +121,11 @@ fn snap_file_to_centrality_pipeline() {
 #[test]
 fn bundled_sample_dataset_loads_and_analyzes() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/data/sample-collab.txt");
-    let loaded = parapsp::graph::io::read_edge_list_file(
-        path,
-        ParseOptions::snap(Direction::Undirected),
-    )
-    .unwrap();
+    let loaded =
+        parapsp::graph::io::read_edge_list_file(path, ParseOptions::snap(Direction::Undirected))
+            .unwrap();
     assert!(loaded.graph.vertex_count() >= 190);
-    let out = ParApsp::par_apsp(2).run(&loaded.graph);
+    let out = run_par(2, &loaded.graph);
     let stats = path_stats(&out.dist);
     assert!(stats.connectivity() > 0.99, "sample graph is connected");
     assert!(stats.diameter >= 3);

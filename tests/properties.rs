@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 
 use parapsp::core::baselines::apsp_dijkstra;
-use parapsp::core::ParApsp;
+use parapsp::core::engine::{ApspEngine, RunConfig, Runner};
+use parapsp::core::ApspOutput;
 use parapsp::graph::{CsrGraph, Direction, GraphBuilder, INF};
 use parapsp::order::common::{is_descending_by_degree, is_permutation};
 use parapsp::order::OrderingProcedure;
@@ -13,6 +14,10 @@ use parapsp::parfor::ThreadPool;
 
 /// Strategy: an arbitrary graph with up to `max_n` vertices and `max_m`
 /// edges, random directedness and weights in 1..=20.
+fn run_par(threads: usize, graph: &CsrGraph) -> ApspOutput {
+    Runner::new(RunConfig::par_apsp(threads)).run(ApspEngine::new(), graph)
+}
+
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
     (2..max_n, any::<bool>()).prop_flat_map(move |(n, directed)| {
         let edge = (0..n as u32, 0..n as u32, 1u32..=20);
@@ -37,13 +42,13 @@ proptest! {
     #[test]
     fn parapsp_matches_heap_dijkstra(graph in arb_graph(60, 300)) {
         let reference = apsp_dijkstra(&graph);
-        let out = ParApsp::par_apsp(4).run(&graph);
+        let out = run_par(4, &graph);
         prop_assert_eq!(reference.first_difference(&out.dist), None);
     }
 
     #[test]
     fn distances_satisfy_triangle_inequality(graph in arb_graph(40, 150)) {
-        let d = ParApsp::par_apsp(3).run(&graph).dist;
+        let d = run_par(3, &graph).dist;
         let n = d.n();
         for u in 0..n as u32 {
             prop_assert_eq!(d.get(u, u), 0);
@@ -66,7 +71,7 @@ proptest! {
     #[test]
     fn undirected_matrices_are_symmetric(graph in arb_graph(50, 200)) {
         if !graph.direction().is_directed() {
-            let d = ParApsp::par_apsp(2).run(&graph).dist;
+            let d = run_par(2, &graph).dist;
             prop_assert!(d.is_symmetric());
         }
     }
@@ -75,7 +80,7 @@ proptest! {
     fn every_finite_distance_is_witnessed_by_an_edge_path(graph in arb_graph(30, 120)) {
         // Any finite d(u, v) with u != v must decompose through some
         // in-neighbor of v: d(u, v) = d(u, t) + w(t, v) for some arc (t, v).
-        let d = ParApsp::par_apsp(2).run(&graph).dist;
+        let d = run_par(2, &graph).dist;
         let n = d.n();
         for u in 0..n as u32 {
             for v in 0..n as u32 {
@@ -191,12 +196,11 @@ proptest! {
     ) {
         use parapsp::core::kernel::KernelOptions;
         let full = apsp_dijkstra(&graph);
-        let capped = ParApsp::par_apsp(3)
-            .with_kernel_options(KernelOptions {
+        let capped = Runner::new(RunConfig::par_apsp(3).with_kernel_options(KernelOptions {
                 max_distance: Some(cap),
                 ..KernelOptions::default()
-            })
-            .run(&graph)
+            }))
+            .run(ApspEngine::new(), &graph)
             .dist;
         for u in 0..graph.vertex_count() as u32 {
             for v in 0..graph.vertex_count() as u32 {
@@ -213,12 +217,13 @@ proptest! {
         selector in proptest::collection::vec(any::<bool>(), 50),
         threads in 1usize..5,
     ) {
-        use parapsp::core::subset::par_apsp_subset;
+        use parapsp::core::engine::SubsetEngine;
         let n = graph.vertex_count();
         let sources: Vec<u32> = (0..n as u32)
             .filter(|&v| selector.get(v as usize).copied().unwrap_or(false))
             .collect();
-        let rows = par_apsp_subset(&graph, &sources, threads);
+        let rows = Runner::new(RunConfig::subset(threads))
+            .run(SubsetEngine::new(sources.clone()), &graph);
         let full = apsp_dijkstra(&graph);
         for (i, &s) in sources.iter().enumerate() {
             prop_assert_eq!(rows.row(i), full.row(s), "source {}", s);
@@ -231,9 +236,12 @@ proptest! {
         nodes in 1usize..6,
         hub_fraction in 0.0f64..=1.0,
     ) {
-        use parapsp::dist::{dist_apsp, ClusterConfig};
+        use parapsp::dist::{ClusterConfig, DistEngine};
         let reference = apsp_dijkstra(&graph);
-        let out = dist_apsp(&graph, ClusterConfig { nodes, hub_fraction, ..Default::default() });
+        let out = Runner::new(RunConfig::new(1)).run(
+            DistEngine::new(ClusterConfig { nodes, hub_fraction, ..Default::default() }),
+            &graph,
+        );
         prop_assert_eq!(reference.first_difference(&out.dist), None);
     }
 
@@ -262,6 +270,14 @@ proptest! {
                 } else {
                     prop_assert_eq!(index.upper_bound(u, v), INF);
                 }
+            }
+        }
+        // A pair touching a landmark routes through it exactly, so the
+        // estimate (the upper bound) must equal the true distance there.
+        for &l in index.landmarks() {
+            for v in 0..n as u32 {
+                prop_assert_eq!(index.estimate(l, v), exact.get(l, v), "landmark {}", l);
+                prop_assert_eq!(index.estimate(v, l), exact.get(v, l), "landmark {}", l);
             }
         }
     }

@@ -6,11 +6,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parapsp::core::baselines::apsp_dijkstra;
-use parapsp::core::ParApsp;
+use parapsp::core::engine::{ApspEngine, RunConfig, Runner};
+use parapsp::core::ApspOutput;
 use parapsp::graph::generate::{barabasi_albert, complete_graph, star_graph, WeightSpec};
 use parapsp::graph::{CsrGraph, Direction};
 use parapsp::order::OrderingProcedure;
 use parapsp::parfor::{Schedule, ThreadPool};
+
+fn run_par(threads: usize, graph: &CsrGraph) -> ApspOutput {
+    Runner::new(RunConfig::par_apsp(threads)).run(ApspEngine::new(), graph)
+}
 
 #[test]
 fn one_pool_survives_hundreds_of_heterogeneous_regions() {
@@ -61,7 +66,7 @@ fn many_pools_in_parallel_threads() {
             std::thread::spawn(move || {
                 let g = barabasi_albert(80, 2, WeightSpec::Unit, seed).unwrap();
                 let reference = apsp_dijkstra(&g);
-                let out = ParApsp::par_apsp(3).run(&g);
+                let out = run_par(3, &g);
                 assert_eq!(reference.first_difference(&out.dist), None);
             })
         })
@@ -77,7 +82,7 @@ fn heavy_oversubscription_stays_exact() {
     // the publication protocol.
     let g = barabasi_albert(150, 3, WeightSpec::Unit, 99).unwrap();
     let reference = apsp_dijkstra(&g);
-    let out = ParApsp::par_apsp(32).run(&g);
+    let out = run_par(32, &g);
     assert_eq!(reference.first_difference(&out.dist), None);
     assert_eq!(out.thread_busy.len(), 32);
 }
@@ -87,23 +92,23 @@ fn adversarial_shapes() {
     // Star: every SSSP touches the hub; maximal row-reuse contention.
     let star = star_graph(400);
     let reference = apsp_dijkstra(&star);
-    let out = ParApsp::par_apsp(8).run(&star);
+    let out = run_par(8, &star);
     assert_eq!(reference.first_difference(&out.dist), None);
 
     // Complete graph: every row reuse scans everything.
     let complete = complete_graph(120);
     let reference = apsp_dijkstra(&complete);
-    let out = ParApsp::par_apsp(8).run(&complete);
+    let out = run_par(8, &complete);
     assert_eq!(reference.first_difference(&out.dist), None);
 
     // Long path: worst-case SPFA queue depth.
     let path = parapsp::graph::generate::path_graph(2_000, Direction::Undirected);
-    let out = ParApsp::par_apsp(4).run(&path);
+    let out = run_par(4, &path);
     assert_eq!(out.dist.get(0, 1_999), 1_999);
 
     // All-isolated vertices: nothing to relax anywhere.
     let isolated = CsrGraph::from_unit_edges(300, Direction::Directed, &[]).unwrap();
-    let out = ParApsp::par_apsp(4).run(&isolated);
+    let out = run_par(4, &isolated);
     assert_eq!(out.dist.reachable_pairs(), 0);
 }
 
@@ -116,7 +121,7 @@ fn saturating_distances_near_u32_max() {
         &[(0, 1, u32::MAX - 1), (1, 2, u32::MAX - 1)],
     )
     .unwrap();
-    let out = ParApsp::par_apsp(2).run(&g);
+    let out = run_par(2, &g);
     assert_eq!(out.dist.get(0, 1), u32::MAX - 1);
     // 0 -> 2 saturates to INF == u32::MAX, which reads as "unreachable";
     // the reference Dijkstra must agree so results stay consistent.
@@ -129,11 +134,11 @@ fn ordering_procedures_under_stress_inputs() {
     let pool = ThreadPool::new(8);
     // Degenerate degree arrays stress the bucket procedures.
     let cases: Vec<Vec<u32>> = vec![
-        vec![0; 10_000],                                   // all zero
-        vec![65_000; 5_000],                               // all equal & large
-        (0..20_000u32).map(|i| i % 2).collect(),           // two buckets
-        (0..10_000u32).collect(),                          // all distinct
-        (0..10_000u32).rev().collect(),                    // reverse sorted
+        vec![0; 10_000],                         // all zero
+        vec![65_000; 5_000],                     // all equal & large
+        (0..20_000u32).map(|i| i % 2).collect(), // two buckets
+        (0..10_000u32).collect(),                // all distinct
+        (0..10_000u32).rev().collect(),          // reverse sorted
     ];
     for degrees in &cases {
         for procedure in [
@@ -149,7 +154,9 @@ fn ordering_procedures_under_stress_inputs() {
                 degrees.len()
             );
             if procedure.is_exact() {
-                assert!(parapsp::order::common::is_descending_by_degree(degrees, &order));
+                assert!(parapsp::order::common::is_descending_by_degree(
+                    degrees, &order
+                ));
             }
         }
     }
