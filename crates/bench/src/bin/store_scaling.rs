@@ -16,12 +16,19 @@
 //!   the dense reference — a differential check that never materializes
 //!   the O(n²) matrix, so it holds even for out-of-core runs.
 //!
+//! Each cell also records the lease-layer telemetry (`row_reuses`,
+//! `lease_hits` / `lease_misses`, `decode_ahead_hits`,
+//! `pinned_bytes_peak`) so the JSON shows *why* a tier is fast or slow,
+//! not just that it is.
+//!
 //! Emits `BENCH_store.json` at the workspace root (override with
 //! `--out <path>`). Flags: `--n <V>` vertex count (default 3000),
 //! `--threads <N>` (default 4), `--quick` shrinks the graph for CI smoke
 //! runs, `--measure <spec>` runs one backend in-process and prints a
 //! single machine-readable `MEASURE` line (the child mode; also what the
-//! CI bounded-memory smoke runs under `ulimit -v`).
+//! CI bounded-memory smoke runs under `ulimit -v`), `--max-ratio <f>`
+//! fails the sweep if any non-dense backend is slower than `f ×` the
+//! dense wall time (the CI perf gate for the lease layer).
 //!
 //! The mmap cell's cache budget is set to 1/8 of the dense matrix bytes,
 //! so the sweep itself demonstrates out-of-core completion: the backend
@@ -85,14 +92,22 @@ fn measure(spec_raw: &str, n: usize, threads: usize) -> ! {
     let out = runner.run(StoreApspEngine::new(), &graph);
     let ms = start.elapsed().as_secs_f64() * 1e3;
     let sum = checksum(&out.store);
+    let c = &out.counters;
     println!(
-        "MEASURE store={} n={} threads={} ms={:.3} stored_bytes={} peak_rss_kb={} checksum={:016x}",
+        "MEASURE store={} n={} threads={} ms={:.3} stored_bytes={} peak_rss_kb={} \
+         row_reuses={} lease_hits={} lease_misses={} decode_ahead_hits={} \
+         pinned_bytes_peak={} checksum={:016x}",
         spec.label(),
         n,
         threads,
         ms,
         out.store.stored_bytes(),
         peak_rss_kb(),
+        c.row_reuses,
+        c.lease_hits,
+        c.lease_misses,
+        c.decode_ahead_hits,
+        c.pinned_bytes_peak,
         sum,
     );
     std::process::exit(0);
@@ -104,6 +119,11 @@ struct Measurement {
     stored_bytes: u64,
     bytes_per_row: f64,
     peak_rss_kb: u64,
+    row_reuses: u64,
+    lease_hits: u64,
+    lease_misses: u64,
+    decode_ahead_hits: u64,
+    pinned_bytes_peak: u64,
     checksum: u64,
 }
 
@@ -145,6 +165,11 @@ fn run_child(spec: &str, n: usize, threads: usize) -> Measurement {
         stored_bytes,
         bytes_per_row: stored_bytes as f64 / n as f64,
         peak_rss_kb: field("peak_rss_kb").parse().unwrap(),
+        row_reuses: field("row_reuses").parse().unwrap(),
+        lease_hits: field("lease_hits").parse().unwrap(),
+        lease_misses: field("lease_misses").parse().unwrap(),
+        decode_ahead_hits: field("decode_ahead_hits").parse().unwrap(),
+        pinned_bytes_peak: field("pinned_bytes_peak").parse().unwrap(),
         checksum: u64::from_str_radix(field("checksum"), 16).unwrap(),
     }
 }
@@ -159,7 +184,7 @@ fn write_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"store_scaling\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!("  \"n\": {n},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"graph\": \"ba_n{n}_m4_w1-9\",\n"));
@@ -178,12 +203,19 @@ fn write_json(
         );
         out.push_str(&format!(
             "    {{\"store\": \"{}\", \"ms\": {:.3}, \"stored_bytes\": {}, \
-             \"bytes_per_row\": {:.1}, \"peak_rss_kb\": {}, \"checksum\": \"{:016x}\"}}{}\n",
+             \"bytes_per_row\": {:.1}, \"peak_rss_kb\": {}, \"row_reuses\": {}, \
+             \"lease_hits\": {}, \"lease_misses\": {}, \"decode_ahead_hits\": {}, \
+             \"pinned_bytes_peak\": {}, \"checksum\": \"{:016x}\"}}{}\n",
             r.store,
             r.ms,
             r.stored_bytes,
             r.bytes_per_row,
             r.peak_rss_kb,
+            r.row_reuses,
+            r.lease_hits,
+            r.lease_misses,
+            r.decode_ahead_hits,
+            r.pinned_bytes_peak,
             r.checksum,
             if i + 1 < results.len() { "," } else { "" }
         ));
@@ -212,6 +244,7 @@ fn main() {
     let mut threads = 4usize;
     let mut quick = false;
     let mut measure_spec: Option<String> = None;
+    let mut max_ratio: Option<f64> = None;
     let mut out_path = default_out_path();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -236,11 +269,19 @@ fn main() {
             "--out" => {
                 out_path = args.next().expect("--out needs a path").into();
             }
+            "--max-ratio" => {
+                let ratio: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-ratio needs a positive number");
+                assert!(ratio > 0.0, "--max-ratio needs a positive number");
+                max_ratio = Some(ratio);
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: store_scaling [--n V] [--threads N] [--quick] [--out PATH] \
-                     [--measure SPEC]"
+                     [--max-ratio F] [--measure SPEC]"
                 );
                 std::process::exit(2);
             }
@@ -272,16 +313,37 @@ fn main() {
         .map(|spec| run_child(spec, n, threads))
         .collect();
     let reference = results[0].checksum;
+    let dense_ms = results[0].ms;
     for r in &results {
         println!(
-            "  {:<16}  {:>9.3} ms  {:>12} stored bytes  {:>8.1} B/row  peak RSS {:>7} KiB",
-            r.store, r.ms, r.stored_bytes, r.bytes_per_row, r.peak_rss_kb
+            "  {:<16}  {:>9.3} ms  {:>12} stored bytes  {:>8.1} B/row  peak RSS {:>7} KiB  \
+             {} reuses ({} hits / {} misses, {} decode-ahead, pinned peak {} B)",
+            r.store,
+            r.ms,
+            r.stored_bytes,
+            r.bytes_per_row,
+            r.peak_rss_kb,
+            r.row_reuses,
+            r.lease_hits,
+            r.lease_misses,
+            r.decode_ahead_hits,
+            r.pinned_bytes_peak,
         );
         assert_eq!(
             r.checksum, reference,
             "{}: matrix differs from the dense reference",
             r.store
         );
+        if let Some(ratio) = max_ratio {
+            assert!(
+                r.ms <= dense_ms * ratio,
+                "{}: {:.3} ms exceeds --max-ratio {ratio} × dense ({:.3} ms); \
+                 the lease layer should keep tiered backends within this bound",
+                r.store,
+                r.ms,
+                dense_ms
+            );
+        }
     }
 
     write_json(&out_path, n, threads, &results).expect("writing benchmark JSON");

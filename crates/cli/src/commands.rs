@@ -681,6 +681,12 @@ fn run_algorithm(
         )
         .into());
     }
+    // Reject a hot-row cache budget that cannot hold the lease working
+    // set here, where it is a clean `--store` error with the minimum
+    // named, instead of a panic when the engine builds the store.
+    store
+        .validate_for(graph.vertex_count())
+        .map_err(|e| format!("--store value `{}` is invalid: {e}", store.label()))?;
     // Per-source SSSP solver. Like --relax it needs the row kernel.
     // `--solver auto` probes the graph up front so the choice can be
     // reported, and its schedule/relax recommendations fill in whichever
@@ -944,14 +950,19 @@ fn run_algorithm(
         }
     };
     let summary = format!(
-        "{} ({} threads): ordering {:?}, sssp {:?}, total {:?}; {} relaxations, {} row reuses",
+        "{} ({} threads): ordering {:?}, sssp {:?}, total {:?}; {} relaxations, {} row reuses \
+         ({} lease hits / {} misses, {} decode-ahead, pinned peak {} B)",
         out.algorithm,
         out.threads,
         out.timings.ordering,
         out.timings.sssp,
         out.timings.total,
         out.counters.relaxations,
-        out.counters.row_reuses
+        out.counters.row_reuses,
+        out.counters.lease_hits,
+        out.counters.lease_misses,
+        out.counters.decode_ahead_hits,
+        out.counters.pinned_bytes_peak
     );
     Ok(RunStatus::Done(out.dist, summary))
 }

@@ -1087,6 +1087,9 @@ impl Engine for ApspEngine {
             counters.merge(&c);
             thread_busy.push(busy);
         }
+        // The pinned high-water mark lives in the store's cache, not in
+        // any per-thread counter; fold it in before the store is consumed.
+        counters.pinned_bytes_peak = counters.pinned_bytes_peak.max(store.pinned_bytes_peak());
         ApspOutput {
             dist: store.into_matrix(),
             timings: summary.timings,
@@ -1316,10 +1319,12 @@ impl Engine for SeqEngine {
     fn finish(self, _graph: &CsrGraph, summary: RunSummary) -> ApspOutput {
         let store = self.store.expect("prepare() not called");
         debug_assert_eq!(store.published_count(), store.n());
+        let mut counters = self.counters;
+        counters.pinned_bytes_peak = counters.pinned_bytes_peak.max(store.pinned_bytes_peak());
         ApspOutput {
             dist: store.into_matrix(),
             timings: summary.timings,
-            counters: self.counters,
+            counters,
             threads: 1,
             algorithm: summary.label,
             thread_busy: vec![self.busy],
@@ -1411,6 +1416,7 @@ impl Engine for StoreApspEngine {
         {
             counters.merge(&c);
         }
+        counters.pinned_bytes_peak = counters.pinned_bytes_peak.max(store.pinned_bytes_peak());
         StoreRunOutput {
             store,
             timings: summary.timings,

@@ -21,7 +21,7 @@ use parapsp_parfor::BitSet;
 
 use crate::relax::{relax_row, RelaxImpl};
 use crate::stats::Counters;
-use crate::store::Store;
+use crate::store::{LeaseOrigin, Store};
 
 /// Tuning/ablation switches for the kernel. The defaults reproduce the
 /// paper; the switches exist so the benchmark harness can quantify each
@@ -189,9 +189,12 @@ impl BucketRing {
 ///
 /// On store backends that lend rows the solve happens in place; otherwise
 /// it is staged in `ws.row_buf` and handed over via
-/// [`Store::publish_from`]. Row reuse degrades with the backend: a store
-/// that cannot lend `&[u32]` rows answers [`Store::published_row`] with
-/// `None`, and the kernel falls back to plain edge expansion.
+/// [`Store::publish_from`]. Row reuse fires on *every* backend through
+/// [`Store::lease_row`]: dense rows are lent at zero cost, delta/mmap
+/// rows are pinned in the hot-row cache for the duration of the
+/// relaxation pass (decoding on a miss), and the queue-front
+/// [`Store::prefetch_row`] hint turns into a decode-ahead that hides that
+/// decode behind the current row's work.
 ///
 /// Optional `intermediate_credit`: incremented at `t` whenever expanding
 /// `t`'s edges improved some other vertex — the signal Peng's *adaptive*
@@ -235,6 +238,9 @@ pub(crate) fn modified_dijkstra(
     let mut queue_pops = 0u64;
     let mut relaxations = 0u64;
     let mut row_reuses = 0u64;
+    let mut lease_hits = 0u64;
+    let mut lease_misses = 0u64;
+    let mut decode_ahead_hits = 0u64;
 
     while let Some(t) = ws.queue.pop_front() {
         queue_pops += 1;
@@ -247,16 +253,24 @@ pub(crate) fn modified_dijkstra(
         // `t != s` always holds for published rows (row `s` is published
         // only after this function returns), so no aliasing with `row`.
         if options.row_reuse {
-            // Overlap the memory latency of the *next* reuse candidate
-            // with the work on `t`: its row head starts travelling toward
-            // the cache now, and relax_row's streaming pass keeps the
-            // hardware prefetcher ahead for the rest of the row.
+            // Overlap the latency of the *next* reuse candidate with the
+            // work on `t`: on dense its row head starts travelling toward
+            // the cache now; on delta/mmap the decode-ahead worker starts
+            // materializing it into the hot-row cache.
             if let Some(&next) = ws.queue.front() {
                 store.prefetch_row(next);
             }
-            if let Some(t_row) = store.published_row(t) {
+            if let Some(t_row) = store.lease_row(t) {
                 row_reuses += 1;
-                relaxations += relax_row(relax_impl, row, t_row, dt, cap);
+                match t_row.origin() {
+                    LeaseOrigin::CacheMiss => lease_misses += 1,
+                    LeaseOrigin::DecodeAhead => {
+                        lease_hits += 1;
+                        decode_ahead_hits += 1;
+                    }
+                    LeaseOrigin::Lent | LeaseOrigin::CacheHit => lease_hits += 1,
+                }
+                relaxations += relax_row(relax_impl, row, &t_row, dt, cap);
                 continue;
             }
         }
@@ -287,6 +301,9 @@ pub(crate) fn modified_dijkstra(
     counters.queue_pops += queue_pops;
     counters.relaxations += relaxations;
     counters.row_reuses += row_reuses;
+    counters.lease_hits += lease_hits;
+    counters.lease_misses += lease_misses;
+    counters.decode_ahead_hits += decode_ahead_hits;
     counters.sources += 1;
     // Alg. 1 line 21: flag[s] = 1 — i.e. publish the completed row.
     if staged {
@@ -421,7 +438,7 @@ mod tests {
     }
 
     #[test]
-    fn row_reuse_and_plain_spfa_agree() {
+    fn row_reuse_and_plain_spfa_agree_on_every_backend() {
         let g = parapsp_graph::generate::erdos_renyi_gnm(
             80,
             300,
@@ -430,15 +447,35 @@ mod tests {
             13,
         )
         .unwrap();
-        let with_reuse = run_all_sources(&g, KernelOptions::default());
-        let without = run_all_sources(
+        let reference = run_all_sources(
             &g,
             KernelOptions {
                 row_reuse: false,
                 ..KernelOptions::default()
             },
         );
-        assert_eq!(with_reuse.first_difference(&without), None);
+        for spec in [
+            StoreSpec::dense(),
+            StoreSpec::delta(4),
+            StoreSpec::mmap(1 << 20),
+        ] {
+            let with_reuse = run_all_sources_on(&g, KernelOptions::default(), &spec);
+            assert_eq!(
+                reference.first_difference(&with_reuse),
+                None,
+                "{} reuse vs plain SPFA",
+                spec.label()
+            );
+            let without = run_all_sources_on(
+                &g,
+                KernelOptions {
+                    row_reuse: false,
+                    ..KernelOptions::default()
+                },
+                &spec,
+            );
+            assert_eq!(reference.first_difference(&without), None, "{}", spec.label());
+        }
     }
 
     #[test]
@@ -486,29 +523,47 @@ mod tests {
     }
 
     #[test]
-    fn non_lending_backends_disable_reuse_but_stay_exact() {
-        let g = parapsp_graph::generate::complete_graph(10);
-        let store = Store::new(10, &StoreSpec::delta(2));
-        let mut ws = Workspace::new(10);
-        let mut counters = Counters::default();
-        for s in 0..10u32 {
-            modified_dijkstra(
-                &g,
-                s,
-                &store,
-                &mut ws,
-                KernelOptions::default(),
-                &mut counters,
-                None,
-            );
-        }
-        assert_eq!(
-            counters.row_reuses, 0,
-            "a non-lending store cannot serve reuse rows"
-        );
-        let got = store.into_matrix();
+    fn row_reuse_fires_on_every_backend_and_stays_exact() {
+        // The regression PR 10 closes: delta/mmap used to fall back to
+        // plain edge expansion (row_reuses == 0). Leases must now serve
+        // reuse on every backend, with the lease split accounting for
+        // every reuse.
+        let g = parapsp_graph::generate::complete_graph(12);
         let expect = run_all_sources(&g, KernelOptions::default());
-        assert_eq!(expect.first_difference(&got), None);
+        for spec in [StoreSpec::delta(2), StoreSpec::mmap(1 << 20)] {
+            let store = Store::new(12, &spec);
+            let mut ws = Workspace::new(12);
+            let mut counters = Counters::default();
+            for s in 0..12u32 {
+                modified_dijkstra(
+                    &g,
+                    s,
+                    &store,
+                    &mut ws,
+                    KernelOptions::default(),
+                    &mut counters,
+                    None,
+                );
+            }
+            assert!(
+                counters.row_reuses > 0,
+                "{}: leases must win reuse back on non-lending backends",
+                spec.label()
+            );
+            assert_eq!(
+                counters.row_reuses,
+                counters.lease_hits + counters.lease_misses,
+                "{}: every reuse is a lease hit or miss",
+                spec.label()
+            );
+            assert!(
+                counters.decode_ahead_hits <= counters.lease_hits,
+                "{}: decode-ahead hits are a subset of hits",
+                spec.label()
+            );
+            let got = store.into_matrix();
+            assert_eq!(expect.first_difference(&got), None, "{}", spec.label());
+        }
     }
 
     #[test]

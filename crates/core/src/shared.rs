@@ -17,6 +17,13 @@
 //! This mirrors the paper's `flag` vector (Alg. 1 line 6 / line 21): OpenMP
 //! gets the same effect implicitly from its flush semantics; in Rust the
 //! orderings are explicit.
+//!
+//! The [`Store`](crate::store::Store) facade generalizes this protocol to
+//! non-dense backends, and its [`RowLease`](crate::store::RowLease) layer
+//! generalizes the read side: every lease — a borrow here, a pinned
+//! hot-cache entry elsewhere — is handed out only after the same
+//! Acquire/Release handshake, so a lease always views a complete, final
+//! row no matter where its bytes live (DESIGN.md §14).
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};

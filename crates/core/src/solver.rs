@@ -52,6 +52,15 @@
 //! on every span a reused vertex re-enters — an O(n) pass per re-entry
 //! that forfeits exactly the batching the fusion buys (see DESIGN.md
 //! §12 and EXPERIMENTS.md).
+//!
+//! Reuse rows are read through [`Store::lease_row`] (a [`RowLease`]
+//! guard), so the trick fires identically on every store backend: dense
+//! lends the row, delta/mmap pin a hot-cache entry for the relaxation
+//! pass while [`Store::prefetch_row`] decode-ahead hints keep the next
+//! candidate warm. `supports_row_reuse` composes with leases the obvious
+//! way: a solver that declines reuse never calls `lease_row` at all.
+//!
+//! [`RowLease`]: crate::store::RowLease
 
 use parapsp_graph::CsrGraph;
 use parapsp_parfor::{spec, Schedule};
@@ -59,7 +68,7 @@ use parapsp_parfor::{spec, Schedule};
 use crate::kernel::{modified_dijkstra, KernelOptions, Workspace};
 use crate::relax::{relax_row, RelaxImpl};
 use crate::stats::Counters;
-use crate::store::Store;
+use crate::store::{LeaseOrigin, Store};
 
 // ---------------------------------------------------------------------------
 // SolverKind — the CLI-facing choice
@@ -570,6 +579,9 @@ fn delta_row(
     let mut queue_pops = 0u64;
     let mut relaxations = 0u64;
     let mut row_reuses = 0u64;
+    let mut lease_hits = 0u64;
+    let mut lease_misses = 0u64;
+    let mut decode_ahead_hits = 0u64;
 
     ws.buckets.reset(solver.ring);
     ws.buckets.push(0, s);
@@ -602,9 +614,23 @@ fn delta_row(
                 }
                 queue_pops += 1;
                 if reuse {
-                    if let Some(v_row) = store.published_row(v) {
+                    // Decode-ahead for the next drained entry, mirroring
+                    // the FIFO kernel's queue-front prefetch: its row is
+                    // being materialized while this one relaxes.
+                    if let Some(&next) = ws.scratch.get(i + 1) {
+                        store.prefetch_row(next);
+                    }
+                    if let Some(v_row) = store.lease_row(v) {
                         row_reuses += 1;
-                        relaxations += relax_row(relax_impl, row, v_row, dv, cap);
+                        match v_row.origin() {
+                            LeaseOrigin::CacheMiss => lease_misses += 1,
+                            LeaseOrigin::DecodeAhead => {
+                                lease_hits += 1;
+                                decode_ahead_hits += 1;
+                            }
+                            LeaseOrigin::Lent | LeaseOrigin::CacheHit => lease_hits += 1,
+                        }
+                        relaxations += relax_row(relax_impl, row, &v_row, dv, cap);
                         continue; // row covers light *and* heavy continuations
                     }
                 }
@@ -661,6 +687,9 @@ fn delta_row(
     counters.queue_pops += queue_pops;
     counters.relaxations += relaxations;
     counters.row_reuses += row_reuses;
+    counters.lease_hits += lease_hits;
+    counters.lease_misses += lease_misses;
+    counters.decode_ahead_hits += decode_ahead_hits;
     counters.sources += 1;
     if staged {
         store.publish_from(s, row);

@@ -18,18 +18,36 @@ pub struct Counters {
     /// Queue pop operations across all modified-Dijkstra runs.
     pub queue_pops: u64,
     /// Times a dequeued vertex's published row was consumed whole
-    /// (Alg. 1 lines 6–11) — the dynamic-programming shortcut.
+    /// (Alg. 1 lines 6–11) — the dynamic-programming shortcut. Always
+    /// `lease_hits + lease_misses`.
     pub row_reuses: u64,
+    /// Row leases served without paying a decode: dense/reference-row
+    /// lends, hot-cache hits, and decode-ahead hits.
+    pub lease_hits: u64,
+    /// Row leases that decoded (or `pread`) the row on demand.
+    pub lease_misses: u64,
+    /// Lease hits served from a row the decode-ahead worker populated —
+    /// the subset of `lease_hits` that exists because of
+    /// `Store::prefetch_row` (always 0 on the dense backend).
+    pub decode_ahead_hits: u64,
+    /// High-water mark of hot-cache bytes pinned by live leases
+    /// (merged by `max`, not sum; 0 on the dense backend).
+    pub pinned_bytes_peak: u64,
     /// Completed SSSP runs (should equal the vertex count).
     pub sources: u64,
 }
 
 impl Counters {
-    /// Element-wise sum, used to merge per-thread counters.
+    /// Element-wise sum (peak fields merge by `max`), used to merge
+    /// per-thread counters.
     pub fn merge(&mut self, other: &Counters) {
         self.relaxations += other.relaxations;
         self.queue_pops += other.queue_pops;
         self.row_reuses += other.row_reuses;
+        self.lease_hits += other.lease_hits;
+        self.lease_misses += other.lease_misses;
+        self.decode_ahead_hits += other.decode_ahead_hits;
+        self.pinned_bytes_peak = self.pinned_bytes_peak.max(other.pinned_bytes_peak);
         self.sources += other.sources;
     }
 }
@@ -91,17 +109,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counters_merge_adds_fields() {
+    fn counters_merge_adds_fields_and_maxes_peaks() {
         let mut a = Counters {
             relaxations: 1,
             queue_pops: 2,
             row_reuses: 3,
+            lease_hits: 5,
+            lease_misses: 6,
+            decode_ahead_hits: 7,
+            pinned_bytes_peak: 900,
             sources: 4,
         };
         let b = Counters {
             relaxations: 10,
             queue_pops: 20,
             row_reuses: 30,
+            lease_hits: 50,
+            lease_misses: 60,
+            decode_ahead_hits: 70,
+            pinned_bytes_peak: 800,
             sources: 40,
         };
         a.merge(&b);
@@ -111,6 +137,11 @@ mod tests {
                 relaxations: 11,
                 queue_pops: 22,
                 row_reuses: 33,
+                lease_hits: 55,
+                lease_misses: 66,
+                decode_ahead_hits: 77,
+                // Peaks are concurrent high-water marks: max, not sum.
+                pinned_bytes_peak: 900,
                 sources: 44,
             }
         );

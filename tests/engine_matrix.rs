@@ -253,15 +253,24 @@ fn every_solver_matches_seq_basic_on_every_fixture() {
 /// out-of-core mmap shards — never what they contain. Every store must be
 /// bit-identical to seq-basic through the parallel, sequential, and
 /// distributed engines, uncapped and capped. The delta store runs with a
-/// deliberately tiny hot-row cache and the mmap store with a tiny decoded
-/// budget so eviction/decode round trips are actually exercised.
+/// deliberately tiny hot-row cache and the mmap stores with tiny decoded
+/// budgets so eviction/decode round trips are actually exercised; the
+/// `mmap-tiny` cell holds only ~15 decoded rows at these fixture sizes,
+/// so leases pin and evict constantly while 4 kernel threads race.
+///
+/// Row reuse must actually *fire* through the lease layer on every
+/// backend — a backend that silently degrades to plain SPFA would still
+/// pass the bit-identity oracle, so the test also asserts each store
+/// accumulated nonzero `row_reuses` across the sweep.
 #[test]
 fn every_store_matches_seq_basic_on_every_fixture() {
     let stores = [
         ("dense", StoreSpec::dense()),
         ("delta", StoreSpec::delta(4)),
         ("mmap", StoreSpec::mmap(64 * 1024)),
+        ("mmap-tiny", StoreSpec::mmap(4096)),
     ];
+    let mut reuses: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
     for (fixture, graph) in fixtures() {
         let full = Runner::new(RunConfig::seq_basic())
             .run(SeqEngine::ordered(), &graph)
@@ -290,6 +299,12 @@ fn every_store_matches_seq_basic_on_every_fixture() {
                         &full,
                         &out.dist,
                     );
+                    assert_eq!(
+                        out.counters.row_reuses,
+                        out.counters.lease_hits + out.counters.lease_misses,
+                        "{label}[{store_label}] on {fixture}: every reuse goes through a lease"
+                    );
+                    *reuses.entry(store_label).or_insert(0) += out.counters.row_reuses;
                 }
 
                 // Distributed: the store backs the driver's gather target.
@@ -308,6 +323,13 @@ fn every_store_matches_seq_basic_on_every_fixture() {
                 );
             }
         }
+    }
+    for (store_label, _) in &stores {
+        assert!(
+            reuses.get(store_label).copied().unwrap_or(0) > 0,
+            "{store_label}: row reuse never fired across the whole sweep — \
+             the lease layer is being bypassed on this backend"
+        );
     }
 }
 

@@ -36,6 +36,13 @@ fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
     })
 }
 
+/// Strategy: `n × n` row contents for a store of `3..max_n` vertices.
+fn arb_rows(max_n: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    (3..max_n).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0u32..100_000, n), n)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -280,6 +287,101 @@ proptest! {
                 prop_assert_eq!(index.estimate(v, l), exact.get(v, l), "landmark {}", l);
             }
         }
+    }
+
+    #[test]
+    fn leases_are_bit_identical_to_row_copies_on_every_backend(
+        rows in arb_rows(20),
+        order in proptest::collection::vec(any::<u32>(), 1..40),
+        pin_at in any::<u32>(),
+    ) {
+        use parapsp::core::{Store, StoreSpec};
+        let n = rows.len();
+        // A lease is a *view* of a published row — whatever the backend
+        // does underneath (lend, decode, evict, decode again), the bytes a
+        // held lease shows must stay bit-identical to a `with_row` copy,
+        // under an arbitrary publish order and read churn. The mmap budget
+        // is three decoded rows so churn genuinely evicts.
+        for spec in [
+            StoreSpec::dense(),
+            StoreSpec::delta(2),
+            StoreSpec::mmap(3 * 4 * n as u64),
+        ] {
+            let store = Store::new(n, &spec);
+            // Deterministic shuffle of the publish order from `order`.
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            for (i, &x) in order.iter().enumerate() {
+                perm.swap(i % n, (x as usize) % n);
+            }
+            let p = perm[(pin_at as usize) % n];
+            let mut held = None;
+            for &s in &perm {
+                store.publish_from(s, &rows[s as usize]);
+                if s == p {
+                    // Pin mid-publication: later publishes and reads churn
+                    // the cache around the held lease.
+                    held = store.lease_row(p);
+                }
+            }
+            let lease = held.expect("published row must lease");
+            for &x in &order {
+                let t = x % n as u32;
+                let matches = store
+                    .with_row(t, |r| r == rows[t as usize].as_slice())
+                    .expect("published row must be readable");
+                prop_assert!(matches, "{}: with_row({t}) diverged", spec.label());
+                prop_assert_eq!(
+                    &lease[..],
+                    rows[p as usize].as_slice(),
+                    "{}: held lease of row {} corrupted by churn",
+                    spec.label(),
+                    p
+                );
+            }
+            drop(lease);
+            for s in 0..n as u32 {
+                let lease = store.lease_row(s).expect("all rows published");
+                prop_assert_eq!(&lease[..], rows[s as usize].as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_rows_survive_churn_at_the_minimal_budget(
+        rows in arb_rows(16),
+        churn in proptest::collection::vec(any::<u32>(), 1..60),
+        pin_at in any::<u32>(),
+    ) {
+        use parapsp::core::{Store, StoreSpec};
+        let n = rows.len();
+        // Exactly the smallest budget `validate_for` admits: two decoded
+        // rows. One is pinned by the held lease; every other row must
+        // stream through the single remaining slot without ever evicting
+        // the pinned one.
+        let store = Store::new(n, &StoreSpec::mmap(2 * 4 * n as u64));
+        for (s, row) in rows.iter().enumerate() {
+            store.publish_from(s as u32, row);
+        }
+        let p = pin_at % n as u32;
+        let lease = store.lease_row(p).expect("published row must lease");
+        for &x in &churn {
+            let t = x % n as u32;
+            let matches = store
+                .with_row(t, |r| r == rows[t as usize].as_slice())
+                .expect("published row must be readable");
+            prop_assert!(matches, "with_row({t}) diverged under minimal budget");
+            prop_assert_eq!(
+                &lease[..],
+                rows[p as usize].as_slice(),
+                "pinned row {} evicted or corrupted by churn on {}",
+                p,
+                t
+            );
+        }
+        prop_assert!(
+            store.pinned_bytes_peak() >= 4 * n as u64,
+            "peak pinned accounting missed the held lease"
+        );
     }
 
     #[test]
